@@ -1,0 +1,63 @@
+//! Criterion wrappers over the figure experiments: one benchmark per
+//! paper figure, timing the full experiment pipeline on a representative
+//! slice of each zoo. `cargo bench --bench figures` thus re-measures the
+//! machinery behind every figure; the `fig10_hf`…`fig13_tv_compile`
+//! binaries print the full-zoo data series themselves.
+
+use bench::{compile_cost_points, compile_four_ways};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig10_hf_speedups(c: &mut Criterion) {
+    let models: Vec<_> = pypm_models::hf_zoo().into_iter().take(4).collect();
+    c.bench_function("fig10_hf_four_way_compile_x4_models", |b| {
+        b.iter(|| {
+            models
+                .iter()
+                .map(|cfg| compile_four_ways(cfg.name, |s| cfg.build(s)).speedup(3))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn fig11_tv_speedups(c: &mut Criterion) {
+    let models: Vec<_> = pypm_models::tv_zoo().into_iter().take(4).collect();
+    c.bench_function("fig11_tv_four_way_compile_x4_models", |b| {
+        b.iter(|| {
+            models
+                .iter()
+                .map(|cfg| compile_four_ways(cfg.name, |s| cfg.build(s)).speedup(3))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn fig12_hf_compile_cost(c: &mut Criterion) {
+    let models: Vec<_> = pypm_models::hf_zoo().into_iter().take(4).collect();
+    c.bench_function("fig12_hf_matcher_cost_x4_models", |b| {
+        b.iter(|| {
+            models
+                .iter()
+                .flat_map(|cfg| compile_cost_points(cfg.name, |s| cfg.build(s)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+fn fig13_tv_compile_cost(c: &mut Criterion) {
+    let models: Vec<_> = pypm_models::tv_zoo().into_iter().take(4).collect();
+    c.bench_function("fig13_tv_matcher_cost_x4_models", |b| {
+        b.iter(|| {
+            models
+                .iter()
+                .flat_map(|cfg| compile_cost_points(cfg.name, |s| cfg.build(s)))
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = fig10_hf_speedups, fig11_tv_speedups, fig12_hf_compile_cost, fig13_tv_compile_cost
+}
+criterion_main!(benches);

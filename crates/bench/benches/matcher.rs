@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks of the abstract machine: the cost of the
+//! core transitions that dominate the compile-time figures — structural
+//! decomposition, alternate backtracking, recursion unfolding, and guard
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pypm_core::{
+    Expr, Machine, NoAttrs, PatternId, PatternStore, StructuralAttrInterp, SymbolTable, TermId,
+    TermStore,
+};
+
+const FUEL: u64 = 10_000_000;
+
+struct Fx {
+    syms: SymbolTable,
+    terms: TermStore,
+    pats: PatternStore,
+}
+
+fn fx() -> Fx {
+    Fx {
+        syms: SymbolTable::new(),
+        terms: TermStore::new(),
+        pats: PatternStore::new(),
+    }
+}
+
+/// Balanced binary term of the given depth.
+fn full_tree(fx: &mut Fx, depth: u32) -> TermId {
+    let c = fx.syms.op("c", 0);
+    let f = fx.syms.op("f", 2);
+    let mut t = fx.terms.app0(c);
+    for _ in 0..depth {
+        t = fx.terms.app(f, vec![t, t]);
+    }
+    t
+}
+
+/// Pattern of the same shape with one variable per leaf position reused
+/// (nonlinear).
+fn full_pattern(fx: &mut Fx, depth: u32) -> PatternId {
+    let f = fx.syms.op("f", 2);
+    let x = fx.syms.var("x");
+    let mut p = fx.pats.var(x);
+    for _ in 0..depth {
+        p = fx.pats.app(f, vec![p, p]);
+    }
+    p
+}
+
+fn bench_structural(c: &mut Criterion) {
+    let mut group = c.benchmark_group("structural_match");
+    for depth in [4u32, 8, 12] {
+        let mut f = fx();
+        let t = full_tree(&mut f, depth);
+        let p = full_pattern(&mut f, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let out = Machine::new(&mut f.pats, &f.terms, &NoAttrs)
+                    .run(p, t, FUEL)
+                    .unwrap();
+                assert!(out.witness().is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backtracking(c: &mut Criterion) {
+    // n alternates where only the last matches: the machine pays n−1
+    // failed branches per run.
+    let mut group = c.benchmark_group("alternate_backtracking");
+    for n in [2usize, 8, 32] {
+        let mut f = fx();
+        let c0 = f.syms.op("c", 0);
+        let good = f.syms.op("g", 1);
+        let t_inner = f.terms.app0(c0);
+        let t = f.terms.app(good, vec![t_inner]);
+        let x = f.syms.var("x");
+        let px = f.pats.var(x);
+        let good_pat = f.pats.app(good, vec![px]);
+        let mut alts = Vec::new();
+        for i in 0..n - 1 {
+            let bad = f.syms.op(&format!("bad{i}"), 1);
+            alts.push(f.pats.app(bad, vec![px]));
+        }
+        alts.push(good_pat);
+        let p = f.pats.alts(&alts);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = Machine::new(&mut f.pats, &f.terms, &NoAttrs)
+                    .run(p, t, FUEL)
+                    .unwrap();
+                assert!(out.witness().is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursion(c: &mut Criterion) {
+    // UnaryChain against towers of growing height: one μ-unfold per
+    // level.
+    let mut group = c.benchmark_group("recursive_chain");
+    for height in [4u32, 16, 64] {
+        let mut f = fx();
+        let relu = f.syms.op("Relu", 1);
+        let c0 = f.syms.op("c", 0);
+        let mut t = f.terms.app0(c0);
+        for _ in 0..height {
+            t = f.terms.app(relu, vec![t]);
+        }
+        let x = f.syms.var("x");
+        let fv = f.syms.fun_var("F");
+        let un = f.syms.pat_name("U");
+        let px = f.pats.var(x);
+        let call = f.pats.call(un, vec![x]);
+        let rec = f.pats.fun_app(fv, vec![call]);
+        let base = f.pats.fun_app(fv, vec![px]);
+        let body = f.pats.alt(rec, base);
+        let p = f.pats.mu(un, vec![x], vec![x], body);
+        group.bench_with_input(BenchmarkId::from_parameter(height), &height, |b, _| {
+            b.iter(|| {
+                let out = Machine::new(&mut f.pats, &f.terms, &NoAttrs)
+                    .run(p, t, FUEL)
+                    .unwrap();
+                assert!(out.witness().is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_guards(c: &mut Criterion) {
+    // Guarded pattern with a conjunction of k attribute comparisons.
+    let mut group = c.benchmark_group("guard_evaluation");
+    for k in [1usize, 4, 16] {
+        let mut f = fx();
+        let interp = StructuralAttrInterp::new(&mut f.syms);
+        let c0 = f.syms.op("c", 0);
+        let g1 = f.syms.op("g", 1);
+        let inner = f.terms.app0(c0);
+        let t = f.terms.app(g1, vec![inner]);
+        let x = f.syms.var("x");
+        let px = f.pats.var(x);
+        let mut guard = Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(2));
+        for _ in 1..k {
+            guard = guard.and(Expr::var_attr(x, interp.size_attr()).eq(Expr::Const(2)));
+        }
+        let p = f.pats.guarded(px, guard);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let out = Machine::new(&mut f.pats, &f.terms, &interp)
+                    .run(p, t, FUEL)
+                    .unwrap();
+                assert!(out.witness().is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_structural, bench_backtracking, bench_recursion, bench_guards
+}
+criterion_main!(benches);

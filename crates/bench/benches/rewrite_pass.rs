@@ -1,0 +1,88 @@
+//! Criterion benchmarks of the full rewrite pass on representative
+//! models from both zoos — the engine-level cost that Figs. 12–13
+//! aggregate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pypm_dsl::LibraryConfig;
+use pypm_engine::{Rewriter, Session};
+
+fn bench_hf_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hf_rewrite_pass");
+    group.sample_size(10);
+    for model in ["bert-tiny", "bert-base", "gpt2"] {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|m| m.name == model)
+            .unwrap();
+        for (cname, lib) in [
+            ("fmha", LibraryConfig::fmha_only()),
+            ("epilog", LibraryConfig::epilog_only()),
+            ("both", LibraryConfig::both()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(model, cname),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let mut s = Session::new();
+                        let mut g = cfg.build(&mut s);
+                        let rs = s.load_library(lib);
+                        Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tv_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tv_rewrite_pass");
+    group.sample_size(10);
+    for model in ["alexnet", "resnet18", "vgg16"] {
+        let cfg = pypm_models::tv_zoo()
+            .into_iter()
+            .find(|m| m.name == model)
+            .unwrap();
+        for (cname, lib) in [
+            ("fmha", LibraryConfig::fmha_only()),
+            ("epilog", LibraryConfig::epilog_only()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(model, cname),
+                &cfg,
+                |b, cfg| {
+                    b.iter(|| {
+                        let mut s = Session::new();
+                        let mut g = cfg.build(&mut s);
+                        let rs = s.load_library(lib);
+                        Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    // §4.2: directed graph partitioning over a transformer model.
+    let mut group = c.benchmark_group("graph_partitioning");
+    group.sample_size(10);
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|m| m.name == "bert-tiny")
+        .unwrap();
+    group.bench_function("bert-tiny/MatMulEpilog", |b| {
+        b.iter(|| {
+            let mut s = Session::new();
+            let g = cfg.build(&mut s);
+            let rs = s.load_library(LibraryConfig::all());
+            pypm_engine::partition(&mut s, &rs, &g, "MatMulEpilog")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hf_pass, bench_tv_pass, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 10: HuggingFace benchmarks — per-model relative speedups under
+//! FMHA-only, Epilog-only and Both, as histograms over the zoo.
+
+use bench::{compile_four_ways, geomean, histogram, CONFIG_NAMES};
+
+fn main() {
+    let zoo = pypm_models::hf_zoo();
+    println!("=== Figure 10: HuggingFace transformer benchmarks ===");
+    println!("(simulated A6000 testbed; speedups relative to the baseline compile)\n");
+    println!(
+        "{:<22} {:>10} {:>8} {:>8} {:>8}  {:>7} {:>7}",
+        "model", "base µs", "fmha", "epilog", "both", "nodes", "after"
+    );
+
+    let mut rows = Vec::new();
+    for cfg in &zoo {
+        let row = compile_four_ways(cfg.name, |s| cfg.build(s));
+        println!(
+            "{:<22} {:>10.1} {:>7.3}x {:>7.3}x {:>7.3}x  {:>7} {:>7}",
+            row.name,
+            row.outcomes[0].inference_us,
+            row.speedup(1),
+            row.speedup(2),
+            row.speedup(3),
+            row.outcomes[0].nodes_after,
+            row.outcomes[3].nodes_after,
+        );
+        rows.push(row);
+    }
+
+    println!();
+    for (i, cname) in CONFIG_NAMES.iter().enumerate().skip(1) {
+        let speedups: Vec<f64> = rows.iter().map(|r| r.speedup(i)).collect();
+        println!(
+            "{}",
+            histogram(
+                &format!("HF speedup distribution — {cname} only"),
+                &speedups
+            )
+        );
+    }
+    let both: Vec<f64> = rows.iter().map(|r| r.speedup(3)).collect();
+    println!("geomean speedup with both optimizations: {:.3}x", geomean(&both));
+}

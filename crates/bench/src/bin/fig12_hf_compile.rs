@@ -1,0 +1,40 @@
+//! Figure 12: HuggingFace compile-time cost — pattern-matcher wall-clock
+//! as a function of the number of matches found, per pattern group.
+//!
+//! Expected shape (paper §4.1): time grows with match count; the Epilog
+//! pass costs far more than the MHA pass even at equal match counts,
+//! because "there are many more matrix multiplies in all of the HF and
+//! TV models than potential MHA matches" — the matcher burns time on
+//! partial matches. Everything stays well under the paper's 3-second
+//! bound.
+
+use bench::compile_cost_points;
+
+fn main() {
+    println!("=== Figure 12: HF compile-time cost (matcher time vs matches) ===\n");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "model", "pattern", "matches", "attempts", "steps", "time µs"
+    );
+    let mut per_pattern: std::collections::BTreeMap<&str, Vec<(u64, f64)>> = Default::default();
+    for cfg in pypm_models::hf_zoo() {
+        for p in compile_cost_points(cfg.name, |s| cfg.build(s)) {
+            println!(
+                "{:<22} {:>8} {:>10} {:>12} {:>12} {:>12.1}",
+                p.model, p.pattern, p.matches, p.attempts, p.steps, p.time_us
+            );
+            per_pattern.entry(p.pattern).or_default().push((p.matches, p.time_us));
+        }
+    }
+    println!();
+    for (pattern, points) in per_pattern {
+        let total: f64 = points.iter().map(|&(_, t)| t).sum();
+        let max = points.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        let matches: u64 = points.iter().map(|&(m, _)| m).sum();
+        println!(
+            "{pattern:>8}: {matches} matches across the zoo, total {:.1} ms, worst model {:.1} ms (paper bound: < 3 s per model)",
+            total / 1e3,
+            max / 1e3
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 13: TorchVision compile-time cost — pattern-matcher wall-clock
+//! as a function of the number of matches found, per pattern group.
+//!
+//! Expected shape (paper §4.1): the MHA pass finds zero matches on every
+//! CNN yet still pays the traversal; the Epilog pass finds many matches
+//! and costs orders of magnitude more, dominated by partial matches on
+//! the models' many convolutions and matmuls.
+
+use bench::compile_cost_points;
+
+fn main() {
+    println!("=== Figure 13: TV compile-time cost (matcher time vs matches) ===\n");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "model", "pattern", "matches", "attempts", "steps", "time µs"
+    );
+    let mut per_pattern: std::collections::BTreeMap<&str, Vec<(u64, f64)>> = Default::default();
+    for cfg in pypm_models::tv_zoo() {
+        for p in compile_cost_points(cfg.name, |s| cfg.build(s)) {
+            println!(
+                "{:<22} {:>8} {:>10} {:>12} {:>12} {:>12.1}",
+                p.model, p.pattern, p.matches, p.attempts, p.steps, p.time_us
+            );
+            per_pattern.entry(p.pattern).or_default().push((p.matches, p.time_us));
+        }
+    }
+    println!();
+    for (pattern, points) in per_pattern {
+        let total: f64 = points.iter().map(|&(_, t)| t).sum();
+        let max = points.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        let matches: u64 = points.iter().map(|&(m, _)| m).sum();
+        println!(
+            "{pattern:>8}: {matches} matches across the zoo, total {:.1} ms, worst model {:.1} ms (paper bound: < 3 s per model)",
+            total / 1e3,
+            max / 1e3
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Shared harness for regenerating the paper's evaluation (§4.1).
+//!
+//! The paper compiles "each model in the two benchmarks four ways. Once
+//! with the FMHA and Epilog optimizations disabled, once each with FMHA
+//! and Epilog only, and once with both optimizations enabled
+//! simultaneously", then reports per-model relative speedups as
+//! histograms (Figs. 10–11) and pattern-matcher time against match count
+//! (Figs. 12–13). [`compile_four_ways`] performs the four compiles of one
+//! model on the simulated testbed; the `fig10_hf` … `fig13_tv_compile`
+//! binaries aggregate zoo-wide results in the same format as the paper's
+//! figures.
+
+#![warn(missing_docs)]
+
+use pypm_dsl::LibraryConfig;
+use pypm_engine::{PassStats, Rewriter, Session};
+use pypm_graph::Graph;
+use pypm_perf::CostModel;
+
+/// The four compile configurations of §4.1, in the paper's order.
+pub const CONFIG_NAMES: [&str; 4] = ["baseline", "fmha", "epilog", "both"];
+
+/// Returns the library configuration for a configuration index.
+pub fn config(i: usize) -> LibraryConfig {
+    match i {
+        0 => LibraryConfig::none(),
+        1 => LibraryConfig::fmha_only(),
+        2 => LibraryConfig::epilog_only(),
+        3 => LibraryConfig::both(),
+        _ => panic!("config index out of range"),
+    }
+}
+
+/// Result of one model compiled one way.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// Simulated inference time, µs.
+    pub inference_us: f64,
+    /// Rewrite-pass statistics (compile-time cost, Figs. 12–13).
+    pub stats: PassStats,
+    /// Live node count after the pass.
+    pub nodes_after: usize,
+}
+
+/// Results of one model compiled all four ways.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Model name.
+    pub name: String,
+    /// Outcomes in [`CONFIG_NAMES`] order.
+    pub outcomes: Vec<CompileOutcome>,
+}
+
+impl ModelRow {
+    /// Speedup of configuration `i` relative to the baseline compile.
+    pub fn speedup(&self, i: usize) -> f64 {
+        self.outcomes[0].inference_us / self.outcomes[i].inference_us
+    }
+}
+
+/// Compiles one model four ways on a fresh session each time.
+///
+/// `build` constructs the model graph into the provided session.
+pub fn compile_four_ways(name: &str, build: impl Fn(&mut Session) -> Graph) -> ModelRow {
+    let mut outcomes = Vec::with_capacity(4);
+    for i in 0..4 {
+        let mut session = Session::new();
+        let mut graph = build(&mut session);
+        let rules = session.load_library(config(i));
+        let stats = if rules.is_empty() {
+            PassStats::default()
+        } else {
+            Rewriter::new(&mut session, &rules)
+                .run(&mut graph)
+                .expect("rewrite pass succeeds")
+        };
+        graph.validate().expect("graph valid after pass");
+        let cm = CostModel::new();
+        let inference_us = cm.graph_cost(&graph, &session.syms, &session.registry, &session.ops);
+        outcomes.push(CompileOutcome {
+            inference_us,
+            stats,
+            nodes_after: graph.live_count(),
+        });
+    }
+    ModelRow {
+        name: name.to_owned(),
+        outcomes,
+    }
+}
+
+/// One point of the compile-time-cost experiments (Figs. 12–13): the
+/// matcher run with one pattern group on one model.
+#[derive(Debug, Clone)]
+pub struct CompileCostPoint {
+    /// Model name.
+    pub model: String,
+    /// Pattern group ("MHA" or "Epilog").
+    pub pattern: &'static str,
+    /// Matches found by the pass.
+    pub matches: u64,
+    /// Matcher wall-clock, µs.
+    pub time_us: f64,
+    /// Match attempts (includes the partial matches the paper discusses).
+    pub attempts: u64,
+    /// Abstract-machine steps.
+    pub steps: u64,
+}
+
+/// Runs the FMHA-only and Epilog-only passes on one model and reports a
+/// cost point per pattern group.
+pub fn compile_cost_points(
+    name: &str,
+    build: impl Fn(&mut Session) -> Graph,
+) -> Vec<CompileCostPoint> {
+    let mut out = Vec::new();
+    for (pattern, cfg) in [
+        ("MHA", LibraryConfig::fmha_only()),
+        ("Epilog", LibraryConfig::epilog_only()),
+    ] {
+        let mut session = Session::new();
+        let mut graph = build(&mut session);
+        let rules = session.load_library(cfg);
+        let stats = Rewriter::new(&mut session, &rules)
+            .run(&mut graph)
+            .expect("pass succeeds");
+        out.push(CompileCostPoint {
+            model: name.to_owned(),
+            pattern,
+            matches: stats.matches_found,
+            time_us: stats.duration.as_secs_f64() * 1e6,
+            attempts: stats.match_attempts,
+            steps: stats.machine_steps,
+        });
+    }
+    out
+}
+
+/// Renders an ASCII histogram of speedups, in the style of the paper's
+/// Figs. 10–11.
+pub fn histogram(title: &str, values: &[f64]) -> String {
+    let lo = 0.95f64;
+    let hi = values.iter().cloned().fold(1.05f64, f64::max) + 0.05;
+    let buckets = 12usize;
+    let width = (hi - lo) / buckets as f64;
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        let b = (((v - lo) / width) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut s = format!("{title}\n");
+    for (i, &c) in counts.iter().enumerate() {
+        let lo_edge = lo + i as f64 * width;
+        let hi_edge = lo_edge + width;
+        let bar = "#".repeat(c * 40 / max);
+        s.push_str(&format!("  {lo_edge:5.2}-{hi_edge:5.2}x | {bar} {c}\n"));
+    }
+    let mean = values.iter().sum::<f64>() / values.len().max(1) as f64;
+    let best = values.iter().cloned().fold(f64::MIN, f64::max);
+    s.push_str(&format!(
+        "  mean {mean:.3}x, max {best:.3}x, n={}\n",
+        values.len()
+    ));
+    s
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_way_compile_of_a_transformer() {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|c| c.name == "bert-tiny")
+            .unwrap();
+        let row = compile_four_ways(cfg.name, |s| cfg.build(s));
+        // FMHA and Both speed up transformers; Epilog helps too; Both is
+        // at least as good as each alone (within float noise).
+        assert!(row.speedup(1) > 1.0, "fmha {:.3}", row.speedup(1));
+        assert!(row.speedup(2) > 1.0, "epilog {:.3}", row.speedup(2));
+        assert!(row.speedup(3) >= row.speedup(1) * 0.999);
+        assert!(row.speedup(3) >= row.speedup(2) * 0.999);
+    }
+
+    #[test]
+    fn four_way_compile_of_a_cnn() {
+        let cfg = pypm_models::tv_zoo()
+            .into_iter()
+            .find(|c| c.name == "vgg11")
+            .unwrap();
+        let row = compile_four_ways(cfg.name, |s| cfg.build(s));
+        // No attention in CNNs: FMHA-only is exactly baseline.
+        assert!((row.speedup(1) - 1.0).abs() < 1e-9);
+        assert!(row.speedup(2) > 1.0);
+    }
+
+    #[test]
+    fn cost_points_report_matches_and_time() {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|c| c.name == "bert-tiny")
+            .unwrap();
+        let points = compile_cost_points(cfg.name, |s| cfg.build(s));
+        assert_eq!(points.len(), 2);
+        let mha = &points[0];
+        assert_eq!(mha.pattern, "MHA");
+        assert_eq!(mha.matches as usize, cfg.layers);
+        assert!(mha.time_us > 0.0);
+    }
+
+    #[test]
+    fn histogram_renders_all_values() {
+        let h = histogram("test", &[1.0, 1.1, 1.1, 1.4]);
+        assert!(h.contains("n=4"));
+        assert!(h.contains("mean"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+}

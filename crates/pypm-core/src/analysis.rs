@@ -1,0 +1,310 @@
+//! Definite-binding analysis for patterns.
+//!
+//! The paper requires that "for the (overarching) pattern to match, every
+//! fresh variable introduced must eventually be bound to some subterm"
+//! (§2.3), and both the machine and the declarative enumerator evaluate
+//! guards and match constraints at the point where the surrounding
+//! subpattern has just been matched. This module statically verifies the
+//! corresponding scoping discipline:
+//!
+//! * every variable mentioned by a guard is *definitely bound* once the
+//!   guarded subpattern has matched (in every alternate);
+//! * the constrained variable of `p ; (p′ ≈ x)` is definitely bound by
+//!   `p`;
+//! * every `∃x.p` definitely binds `x`.
+//!
+//! The analysis is a standard forward definite-assignment pass: it
+//! computes, for each subpattern, the set of variables bound after a
+//! successful match given the set bound before, taking the *intersection*
+//! over alternates. Recursive calls are treated optimistically (a call is
+//! assumed to bind all its arguments); the μ body is checked under that
+//! assumption, which is the usual co-inductive reading and is exact for
+//! patterns whose every alternate binds its parameters (e.g. `UnaryChain`
+//! in Fig. 3).
+//!
+//! The PyPM frontend (`pypm-dsl`) runs this analysis when a pattern is
+//! registered, mirroring how the Python frontend rejects ill-scoped
+//! patterns at serialization time.
+
+use crate::pattern::{Pattern, PatternId, PatternStore};
+use crate::symbol::{SymbolTable, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A scoping violation detected by [`check_bindings`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindingError {
+    /// A guard mentions a variable that may be unbound when the guard is
+    /// evaluated.
+    GuardVarUnbound {
+        /// The variable name.
+        var: String,
+    },
+    /// The `x` of `p ; (p′ ≈ x)` may be unbound after matching `p`.
+    ConstraintVarUnbound {
+        /// The variable name.
+        var: String,
+    },
+    /// An `∃x.p` where `x` may remain unbound after matching `p`.
+    ExistentialUnbound {
+        /// The variable name.
+        var: String,
+    },
+}
+
+impl fmt::Display for BindingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BindingError::GuardVarUnbound { var } => {
+                write!(f, "guard mentions possibly-unbound variable {var}")
+            }
+            BindingError::ConstraintVarUnbound { var } => {
+                write!(f, "match constraint on possibly-unbound variable {var}")
+            }
+            BindingError::ExistentialUnbound { var } => {
+                write!(f, "existential variable {var} may remain unbound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BindingError {}
+
+/// Checks the scoping discipline described in the module docs.
+///
+/// `pre_bound` is the set of variables assumed bound before matching
+/// begins (empty for a standalone pattern; the rewrite engine passes the
+/// pattern's declared parameters when rules are validated).
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_bindings(
+    pats: &PatternStore,
+    syms: &SymbolTable,
+    p: PatternId,
+    pre_bound: &BTreeSet<Var>,
+) -> Result<BTreeSet<Var>, BindingError> {
+    analyze(pats, syms, p, pre_bound.clone())
+}
+
+fn analyze(
+    pats: &PatternStore,
+    syms: &SymbolTable,
+    p: PatternId,
+    mut bound: BTreeSet<Var>,
+) -> Result<BTreeSet<Var>, BindingError> {
+    match pats.get(p) {
+        Pattern::Var(x) => {
+            bound.insert(*x);
+            Ok(bound)
+        }
+        Pattern::App(_, args) | Pattern::FunApp(_, args) => {
+            for &a in args {
+                bound = analyze(pats, syms, a, bound)?;
+            }
+            Ok(bound)
+        }
+        Pattern::Alt(l, r) => {
+            let bl = analyze(pats, syms, *l, bound.clone())?;
+            let br = analyze(pats, syms, *r, bound)?;
+            Ok(bl.intersection(&br).copied().collect())
+        }
+        Pattern::Guard(inner, g) => {
+            let bound = analyze(pats, syms, *inner, bound)?;
+            let mut gv = Vec::new();
+            g.free_vars(&mut gv);
+            for x in gv {
+                if !bound.contains(&x) {
+                    return Err(BindingError::GuardVarUnbound {
+                        var: syms.var_name(x).to_owned(),
+                    });
+                }
+            }
+            Ok(bound)
+        }
+        Pattern::Exists(x, inner) => {
+            let bound = analyze(pats, syms, *inner, bound)?;
+            if !bound.contains(x) {
+                return Err(BindingError::ExistentialUnbound {
+                    var: syms.var_name(*x).to_owned(),
+                });
+            }
+            Ok(bound)
+        }
+        Pattern::MatchConstr {
+            main,
+            constraint,
+            var,
+        } => {
+            let bound = analyze(pats, syms, *main, bound)?;
+            if !bound.contains(var) {
+                return Err(BindingError::ConstraintVarUnbound {
+                    var: syms.var_name(*var).to_owned(),
+                });
+            }
+            analyze(pats, syms, *constraint, bound)
+        }
+        Pattern::Mu {
+            params, args, body, ..
+        } => {
+            // Check the body under the parameter view of the incoming
+            // bindings; calls are assumed to bind their arguments
+            // (optimistic, see module docs).
+            let mut body_pre: BTreeSet<Var> = BTreeSet::new();
+            for (prm, arg) in params.iter().zip(args.iter()) {
+                if bound.contains(arg) {
+                    body_pre.insert(*prm);
+                }
+            }
+            let body_post = analyze(pats, syms, *body, body_pre)?;
+            // Translate the body result back through the argument view.
+            for (prm, arg) in params.iter().zip(args.iter()) {
+                if body_post.contains(prm) {
+                    bound.insert(*arg);
+                }
+            }
+            Ok(bound)
+        }
+        Pattern::Call(_, args) => {
+            // Optimistic: a successful recursive match binds its
+            // arguments.
+            bound.extend(args.iter().copied());
+            Ok(bound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::Expr;
+
+    fn setup() -> (SymbolTable, PatternStore) {
+        (SymbolTable::new(), PatternStore::new())
+    }
+
+    fn empty() -> BTreeSet<Var> {
+        BTreeSet::new()
+    }
+
+    #[test]
+    fn guard_after_binding_is_fine() {
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let rank = syms.attr("rank");
+        let px = pats.var(x);
+        let p = pats.guarded(px, Expr::var_attr(x, rank).eq(Expr::Const(2)));
+        let bound = check_bindings(&pats, &syms, p, &empty()).unwrap();
+        assert!(bound.contains(&x));
+    }
+
+    #[test]
+    fn guard_on_sibling_variable_is_rejected() {
+        // f(x, (y where x.rank = 2)): when the guard runs, x IS bound by
+        // the machine's left-to-right order — but the guard is attached to
+        // the y-subpattern, so the analysis of that subpattern alone does
+        // not see x. The analysis is flow-sensitive across App arguments,
+        // so this is actually accepted.
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let rank = syms.attr("rank");
+        let f = syms.op("f", 2);
+        let px = pats.var(x);
+        let py = pats.var(y);
+        let guarded = pats.guarded(py, Expr::var_attr(x, rank).eq(Expr::Const(2)));
+        let p = pats.app(f, vec![px, guarded]);
+        assert!(check_bindings(&pats, &syms, p, &empty()).is_ok());
+
+        // Flipped argument order: the guard mentions y before y binds.
+        let guarded_x = pats.guarded(px, Expr::var_attr(y, rank).eq(Expr::Const(2)));
+        let p_bad = pats.app(f, vec![guarded_x, py]);
+        assert!(matches!(
+            check_bindings(&pats, &syms, p_bad, &empty()),
+            Err(BindingError::GuardVarUnbound { .. })
+        ));
+    }
+
+    #[test]
+    fn alternates_intersect_bindings() {
+        // (f(x, y) | f(x, x)) ; guard on y → rejected: the right
+        // alternate does not bind y.
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let rank = syms.attr("rank");
+        let f = syms.op("f", 2);
+        let px = pats.var(x);
+        let py = pats.var(y);
+        let l = pats.app(f, vec![px, py]);
+        let r = pats.app(f, vec![px, px]);
+        let alt = pats.alt(l, r);
+        let bad = pats.guarded(alt, Expr::var_attr(y, rank).eq(Expr::Const(1)));
+        assert!(matches!(
+            check_bindings(&pats, &syms, bad, &empty()),
+            Err(BindingError::GuardVarUnbound { .. })
+        ));
+        let ok = pats.guarded(alt, Expr::var_attr(x, rank).eq(Expr::Const(1)));
+        assert!(check_bindings(&pats, &syms, ok, &empty()).is_ok());
+    }
+
+    #[test]
+    fn match_constraint_requires_main_to_bind() {
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let g = syms.op("g", 1);
+        let px = pats.var(x);
+        let py = pats.var(y);
+        let gy = pats.app(g, vec![py]);
+        // (x ; (g(y) ≈ x)) — fine: main binds x.
+        let ok = pats.match_constr(px, gy, x);
+        assert!(check_bindings(&pats, &syms, ok, &empty()).is_ok());
+        // (x ; (g(y) ≈ y)) — y unbound after main.
+        let bad = pats.match_constr(px, gy, y);
+        assert!(matches!(
+            check_bindings(&pats, &syms, bad, &empty()),
+            Err(BindingError::ConstraintVarUnbound { .. })
+        ));
+    }
+
+    #[test]
+    fn existential_must_be_bound() {
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let g = syms.op("g", 1);
+        let px = pats.var(x);
+        let py = pats.var(y);
+        let gy = pats.app(g, vec![py]);
+        let constrained = pats.match_constr(px, gy, x);
+        let ok = pats.exists(y, constrained);
+        assert!(check_bindings(&pats, &syms, ok, &empty()).is_ok());
+
+        let bad_inner = pats.var(x);
+        let bad = pats.exists(y, bad_inner);
+        assert!(matches!(
+            check_bindings(&pats, &syms, bad, &empty()),
+            Err(BindingError::ExistentialUnbound { .. })
+        ));
+    }
+
+    #[test]
+    fn unary_chain_passes_optimistic_recursion() {
+        // Fig. 3: μU(x)[x]. (F(U(x)) ‖ F(x)) — both alternates bind x
+        // (the recursive one via the optimistic call assumption).
+        let (mut syms, mut pats) = setup();
+        let x = syms.var("x");
+        let fv = syms.fun_var("F");
+        let un = syms.pat_name("U");
+        let px = pats.var(x);
+        let call = pats.call(un, vec![x]);
+        let rec = pats.fun_app(fv, vec![call]);
+        let base = pats.fun_app(fv, vec![px]);
+        let body = pats.alt(rec, base);
+        let p = pats.mu(un, vec![x], vec![x], body);
+        let bound = check_bindings(&pats, &syms, p, &empty()).unwrap();
+        assert!(bound.contains(&x));
+    }
+}

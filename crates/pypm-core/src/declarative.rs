@@ -1,0 +1,544 @@
+//! The declarative semantics `p @ ⟨θ, φ⟩ ≈ t` (paper §3.1.1 and Fig. 16).
+//!
+//! Two executable readings of the inductive relation are provided:
+//!
+//! * [`check`] — given a *witness* `⟨θ, φ⟩`, verify that a derivation of
+//!   `p @ ⟨θ, φ⟩ ≈ t` exists. This is the "proof checking" reading of the
+//!   logic-programming analogy in §3.
+//! * [`enumerate`] — search for *all* (minimal) witnesses. This is the
+//!   clairvoyant reading: unlike the left-eager algorithmic semantics it
+//!   explores every alternate, so it serves as ground truth for the
+//!   soundness property tests (Theorem 2).
+//!
+//! Both functions are fuel-bounded because recursive patterns may unfold
+//! forever (§3.5); exhausting the fuel is reported as
+//! [`DeclError::OutOfFuel`] rather than silently deciding the judgment.
+//!
+//! ## Search space notes
+//!
+//! The rules `P-Exists` and `P-MatchConstr` "invent a term t′ from nowhere"
+//! (paper §3.3) and are not directly implementable. The implementable
+//! completion used here restricts invented terms to *subterms of the
+//! matched term*: any binding the abstract machine can produce arises from
+//! a `match(x, t′)` action where `t′` is a subterm of the original term, so
+//! this restriction is complete with respect to machine-reachable
+//! witnesses. Patterns accepted by
+//! [`PatternStore::validate`](crate::pattern::PatternStore::validate) bind
+//! every existential structurally, so for them the restriction is
+//! invisible.
+//!
+//! Like the machine (rule `ST-Match-Guard` places the `guard(g)` action
+//! immediately after the guarded subpattern), [`enumerate`] evaluates
+//! guards once the guarded subpattern has been matched. A guard whose
+//! variables are bound only *outside* the guarded subpattern is therefore
+//! rejected by both — see `analysis::check_bindings` for the static check
+//! that rules such patterns out.
+
+use crate::attr::AttrInterp;
+use crate::pattern::{Pattern, PatternId, PatternStore};
+use crate::subst::Witness;
+use crate::term::{TermId, TermStore};
+use std::fmt;
+
+/// Errors from the fuel-bounded declarative procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclError {
+    /// Fuel exhausted: the judgment was not decided either way.
+    OutOfFuel,
+}
+
+impl fmt::Display for DeclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclError::OutOfFuel => write!(f, "declarative search exhausted its fuel"),
+        }
+    }
+}
+
+impl std::error::Error for DeclError {}
+
+/// Maximum recursion depth of the derivation search. Derivations deeper
+/// than this (only reachable through unproductive μ-unfolding) are
+/// reported as fuel exhaustion before the call stack overflows.
+const MAX_DERIVATION_DEPTH: u32 = 512;
+
+struct Ctx<'a, A: AttrInterp + ?Sized> {
+    pats: &'a mut PatternStore,
+    terms: &'a TermStore,
+    interp: &'a A,
+    fuel: u64,
+    depth: u32,
+}
+
+impl<A: AttrInterp + ?Sized> Ctx<'_, A> {
+    fn spend(&mut self) -> Result<(), DeclError> {
+        if self.fuel == 0 || self.depth >= MAX_DERIVATION_DEPTH {
+            return Err(DeclError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn release(&mut self) {
+        self.depth -= 1;
+    }
+}
+
+/// Checks `p @ ⟨θ, φ⟩ ≈ t` for a given witness (Fig. 16).
+///
+/// # Errors
+///
+/// Returns [`DeclError::OutOfFuel`] if the derivation search exceeds
+/// `fuel` rule applications (possible only with recursive patterns).
+pub fn check<A: AttrInterp + ?Sized>(
+    pats: &mut PatternStore,
+    terms: &TermStore,
+    interp: &A,
+    p: PatternId,
+    witness: &Witness,
+    t: TermId,
+    fuel: u64,
+) -> Result<bool, DeclError> {
+    let mut ctx = Ctx {
+        pats,
+        terms,
+        interp,
+        fuel,
+        depth: 0,
+    };
+    check_rec(&mut ctx, p, witness, t)
+}
+
+fn check_rec<A: AttrInterp + ?Sized>(
+    ctx: &mut Ctx<'_, A>,
+    p: PatternId,
+    w: &Witness,
+    t: TermId,
+) -> Result<bool, DeclError> {
+    ctx.spend()?;
+    let r = check_rec_inner(ctx, p, w, t);
+    ctx.release();
+    r
+}
+
+fn check_rec_inner<A: AttrInterp + ?Sized>(
+    ctx: &mut Ctx<'_, A>,
+    p: PatternId,
+    w: &Witness,
+    t: TermId,
+) -> Result<bool, DeclError> {
+    match ctx.pats.get(p).clone() {
+        // P-Var: θ(x) ↦ t.
+        Pattern::Var(x) => Ok(w.theta.get(x) == Some(t)),
+        // P-Fun: heads equal, arguments match pointwise.
+        Pattern::App(f, pargs) => {
+            if ctx.terms.op(t) != f || ctx.terms.args(t).len() != pargs.len() {
+                return Ok(false);
+            }
+            let targs = ctx.terms.args(t).to_vec();
+            for (pi, ti) in pargs.into_iter().zip(targs) {
+                if !check_rec(ctx, pi, w, ti)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        // P-Fun-Var: φ(F) ↦ f and arguments match pointwise.
+        Pattern::FunApp(fv, pargs) => {
+            if w.phi.get(fv) != Some(ctx.terms.op(t)) || ctx.terms.args(t).len() != pargs.len() {
+                return Ok(false);
+            }
+            let targs = ctx.terms.args(t).to_vec();
+            for (pi, ti) in pargs.into_iter().zip(targs) {
+                if !check_rec(ctx, pi, w, ti)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        // P-Alt-1 / P-Alt-2.
+        Pattern::Alt(l, r) => Ok(check_rec(ctx, l, w, t)? || check_rec(ctx, r, w, t)?),
+        // P-Guard: inner matches and ⟦g[θ]⟧ = True.
+        Pattern::Guard(inner, g) => Ok(check_rec(ctx, inner, w, t)?
+            && g.eval(&w.theta, ctx.terms, ctx.interp).holds()),
+        // P-Exists: some t′ with p @ θ∪{x↦t′} ≈ t. If θ already binds x
+        // (the machine always returns such witnesses) that binding is the
+        // t′; otherwise candidates range over subterms of t (see module
+        // docs).
+        Pattern::Exists(x, inner) => {
+            if w.theta.get(x).is_some() {
+                return check_rec(ctx, inner, w, t);
+            }
+            for cand in ctx.terms.subterms(t) {
+                let mut w2 = w.clone();
+                w2.theta.bind(x, cand);
+                if check_rec(ctx, inner, &w2, t)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        // P-MatchConstr: main matches t, θ(x) ↦ t′, constraint matches t′.
+        Pattern::MatchConstr {
+            main,
+            constraint,
+            var,
+        } => {
+            if !check_rec(ctx, main, w, t)? {
+                return Ok(false);
+            }
+            match w.theta.get(var) {
+                Some(t2) => check_rec(ctx, constraint, w, t2),
+                None => Ok(false),
+            }
+        }
+        // P-Mu: unfold one step.
+        Pattern::Mu { .. } => {
+            let unfolded = ctx.pats.unfold_mu(p);
+            check_rec(ctx, unfolded, w, t)
+        }
+        // Bare calls are ill-formed at top level.
+        Pattern::Call(..) => Ok(false),
+    }
+}
+
+/// Enumerates all minimal witnesses extending `seed` such that
+/// `p @ ⟨θ, φ⟩ ≈ t`, deduplicated.
+///
+/// "Minimal" means variables are bound only as required by the derivation;
+/// by Theorem 1 (match weakening) every extension of a returned witness is
+/// also a witness.
+///
+/// # Errors
+///
+/// Returns [`DeclError::OutOfFuel`] if the search exceeds `fuel` rule
+/// applications, in which case nothing can be concluded about the
+/// judgment.
+pub fn enumerate<A: AttrInterp + ?Sized>(
+    pats: &mut PatternStore,
+    terms: &TermStore,
+    interp: &A,
+    p: PatternId,
+    seed: &Witness,
+    t: TermId,
+    fuel: u64,
+) -> Result<Vec<Witness>, DeclError> {
+    let mut ctx = Ctx {
+        pats,
+        terms,
+        interp,
+        fuel,
+        depth: 0,
+    };
+    let mut out = enum_rec(&mut ctx, p, seed.clone(), t)?;
+    out.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    out.dedup();
+    Ok(out)
+}
+
+fn enum_rec<A: AttrInterp + ?Sized>(
+    ctx: &mut Ctx<'_, A>,
+    p: PatternId,
+    w: Witness,
+    t: TermId,
+) -> Result<Vec<Witness>, DeclError> {
+    ctx.spend()?;
+    let r = enum_rec_inner(ctx, p, w, t);
+    ctx.release();
+    r
+}
+
+fn enum_rec_inner<A: AttrInterp + ?Sized>(
+    ctx: &mut Ctx<'_, A>,
+    p: PatternId,
+    w: Witness,
+    t: TermId,
+) -> Result<Vec<Witness>, DeclError> {
+    match ctx.pats.get(p).clone() {
+        Pattern::Var(x) => match w.theta.get(x) {
+            Some(t2) if t2 == t => Ok(vec![w]),
+            Some(_) => Ok(vec![]),
+            None => {
+                let mut w2 = w;
+                w2.theta.bind(x, t);
+                Ok(vec![w2])
+            }
+        },
+        Pattern::App(f, pargs) => {
+            if ctx.terms.op(t) != f || ctx.terms.args(t).len() != pargs.len() {
+                return Ok(vec![]);
+            }
+            let targs = ctx.terms.args(t).to_vec();
+            enum_args(ctx, &pargs, &targs, w)
+        }
+        Pattern::FunApp(fv, pargs) => {
+            let g = ctx.terms.op(t);
+            if ctx.terms.args(t).len() != pargs.len() {
+                return Ok(vec![]);
+            }
+            let mut w = w;
+            match w.phi.get(fv) {
+                Some(f) if f != g => return Ok(vec![]),
+                Some(_) => {}
+                None => {
+                    w.phi.bind(fv, g);
+                }
+            }
+            let targs = ctx.terms.args(t).to_vec();
+            enum_args(ctx, &pargs, &targs, w)
+        }
+        Pattern::Alt(l, r) => {
+            let mut out = enum_rec(ctx, l, w.clone(), t)?;
+            out.extend(enum_rec(ctx, r, w, t)?);
+            Ok(out)
+        }
+        Pattern::Guard(inner, g) => {
+            let ws = enum_rec(ctx, inner, w, t)?;
+            Ok(ws
+                .into_iter()
+                .filter(|w| g.eval(&w.theta, ctx.terms, ctx.interp).holds())
+                .collect())
+        }
+        Pattern::Exists(x, inner) => {
+            let ws = enum_rec(ctx, inner, w, t)?;
+            // Keep witnesses where x got bound structurally; for those
+            // where it did not, canonically bind it to t (any t′ would do;
+            // validated patterns never reach this case).
+            Ok(ws
+                .into_iter()
+                .map(|mut w| {
+                    if w.theta.get(x).is_none() {
+                        w.theta.bind(x, t);
+                    }
+                    w
+                })
+                .collect())
+        }
+        Pattern::MatchConstr {
+            main,
+            constraint,
+            var,
+        } => {
+            let ws = enum_rec(ctx, main, w, t)?;
+            let mut out = Vec::new();
+            for w in ws {
+                match w.theta.get(var) {
+                    Some(bound) => out.extend(enum_rec(ctx, constraint, w, bound)?),
+                    None => {
+                        // Unconstrained x: candidates range over subterms
+                        // of t (see module docs).
+                        for cand in ctx.terms.subterms(t) {
+                            let mut w2 = w.clone();
+                            w2.theta.bind(var, cand);
+                            out.extend(enum_rec(ctx, constraint, w2, cand)?);
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Pattern::Mu { .. } => {
+            let unfolded = ctx.pats.unfold_mu(p);
+            enum_rec(ctx, unfolded, w, t)
+        }
+        Pattern::Call(..) => Ok(vec![]),
+    }
+}
+
+fn enum_args<A: AttrInterp + ?Sized>(
+    ctx: &mut Ctx<'_, A>,
+    pargs: &[PatternId],
+    targs: &[TermId],
+    w: Witness,
+) -> Result<Vec<Witness>, DeclError> {
+    let mut frontier = vec![w];
+    for (&pi, &ti) in pargs.iter().zip(targs.iter()) {
+        let mut next = Vec::new();
+        for w in frontier {
+            next.extend(enum_rec(ctx, pi, w, ti)?);
+        }
+        if next.is_empty() {
+            return Ok(vec![]);
+        }
+        frontier = next;
+    }
+    Ok(frontier)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::NoAttrs;
+    use crate::subst::Subst;
+    use crate::symbol::SymbolTable;
+
+    const FUEL: u64 = 100_000;
+
+    struct Fixture {
+        syms: SymbolTable,
+        terms: TermStore,
+        pats: PatternStore,
+    }
+
+    fn fixture() -> Fixture {
+        Fixture {
+            syms: SymbolTable::new(),
+            terms: TermStore::new(),
+            pats: PatternStore::new(),
+        }
+    }
+
+    fn enumerate_all(fx: &mut Fixture, p: PatternId, t: TermId) -> Vec<Witness> {
+        enumerate(
+            &mut fx.pats,
+            &fx.terms,
+            &NoAttrs,
+            p,
+            &Witness::new(),
+            t,
+            FUEL,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn var_has_exactly_one_witness() {
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let x = fx.syms.var("x");
+        let tc = fx.terms.app0(c);
+        let p = fx.pats.var(x);
+        let ws = enumerate_all(&mut fx, p, tc);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].theta.get(x), Some(tc));
+        assert!(check(&mut fx.pats, &fx.terms, &NoAttrs, p, &ws[0], tc, FUEL).unwrap());
+    }
+
+    #[test]
+    fn alternates_yield_both_witnesses() {
+        // §3.1.2's incompleteness example: the declarative semantics
+        // derives BOTH substitutions for f(x,y)‖f(y,x) @ f(c1,c2), while
+        // the machine only ever produces the first.
+        let mut fx = fixture();
+        let c1 = fx.syms.op("c1", 0);
+        let c2 = fx.syms.op("c2", 0);
+        let f = fx.syms.op("f", 2);
+        let x = fx.syms.var("x");
+        let y = fx.syms.var("y");
+        let t1 = fx.terms.app0(c1);
+        let t2 = fx.terms.app0(c2);
+        let t = fx.terms.app(f, vec![t1, t2]);
+        let px = fx.pats.var(x);
+        let py = fx.pats.var(y);
+        let left = fx.pats.app(f, vec![px, py]);
+        let right = fx.pats.app(f, vec![py, px]);
+        let p = fx.pats.alt(left, right);
+
+        let ws = enumerate_all(&mut fx, p, t);
+        assert_eq!(ws.len(), 2);
+        let straight: Subst = [(x, t1), (y, t2)].into_iter().collect();
+        let flipped: Subst = [(x, t2), (y, t1)].into_iter().collect();
+        assert!(ws.iter().any(|w| w.theta == straight));
+        assert!(ws.iter().any(|w| w.theta == flipped));
+    }
+
+    #[test]
+    fn check_rejects_wrong_witness() {
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let d = fx.syms.op("d", 0);
+        let x = fx.syms.var("x");
+        let tc = fx.terms.app0(c);
+        let td = fx.terms.app0(d);
+        let p = fx.pats.var(x);
+        let mut w = Witness::new();
+        w.theta.bind(x, td);
+        assert!(!check(&mut fx.pats, &fx.terms, &NoAttrs, p, &w, tc, FUEL).unwrap());
+    }
+
+    #[test]
+    fn match_weakening_holds_on_example() {
+        // Theorem 1: if p @ θ ≈ t and θ ⊆ θ′ then p @ θ′ ≈ t.
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let d = fx.syms.op("d", 0);
+        let x = fx.syms.var("x");
+        let y = fx.syms.var("y");
+        let tc = fx.terms.app0(c);
+        let td = fx.terms.app0(d);
+        let p = fx.pats.var(x);
+        let mut small = Witness::new();
+        small.theta.bind(x, tc);
+        let mut big = small.clone();
+        big.theta.bind(y, td);
+        assert!(small.is_sub_witness_of(&big));
+        assert!(check(&mut fx.pats, &fx.terms, &NoAttrs, p, &small, tc, FUEL).unwrap());
+        assert!(check(&mut fx.pats, &fx.terms, &NoAttrs, p, &big, tc, FUEL).unwrap());
+    }
+
+    #[test]
+    fn recursive_pattern_enumerates_every_depth() {
+        // μP(x)[x]. (g(P(x)) ‖ x) against g(g(c)) has three witnesses:
+        // x ↦ g(g(c)), x ↦ g(c), x ↦ c.
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let g = fx.syms.op("g", 1);
+        let x = fx.syms.var("x");
+        let pn = fx.syms.pat_name("P");
+        let tc = fx.terms.app0(c);
+        let g1 = fx.terms.app(g, vec![tc]);
+        let g2 = fx.terms.app(g, vec![g1]);
+
+        let px = fx.pats.var(x);
+        let call = fx.pats.call(pn, vec![x]);
+        let rec = fx.pats.app(g, vec![call]);
+        let body = fx.pats.alt(rec, px);
+        let p = fx.pats.mu(pn, vec![x], vec![x], body);
+
+        let ws = enumerate_all(&mut fx, p, g2);
+        let bindings: Vec<_> = ws.iter().filter_map(|w| w.theta.get(x)).collect();
+        assert_eq!(ws.len(), 3);
+        assert!(bindings.contains(&g2));
+        assert!(bindings.contains(&g1));
+        assert!(bindings.contains(&tc));
+    }
+
+    #[test]
+    fn divergent_pattern_reports_out_of_fuel() {
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let x = fx.syms.var("x");
+        let pn = fx.syms.pat_name("Loop");
+        let tc = fx.terms.app0(c);
+        let call = fx.pats.call(pn, vec![x]);
+        let p = fx.pats.mu(pn, vec![x], vec![x], call);
+        let err = enumerate(
+            &mut fx.pats,
+            &fx.terms,
+            &NoAttrs,
+            p,
+            &Witness::new(),
+            tc,
+            1_000,
+        )
+        .unwrap_err();
+        assert_eq!(err, DeclError::OutOfFuel);
+    }
+
+    #[test]
+    fn function_variable_enumeration_respects_phi() {
+        let mut fx = fixture();
+        let c = fx.syms.op("c", 0);
+        let relu = fx.syms.op("Relu", 1);
+        let x = fx.syms.var("x");
+        let fv = fx.syms.fun_var("F");
+        let tc = fx.terms.app0(c);
+        let t = fx.terms.app(relu, vec![tc]);
+        let px = fx.pats.var(x);
+        let p = fx.pats.fun_app(fv, vec![px]);
+        let ws = enumerate_all(&mut fx, p, t);
+        assert_eq!(ws.len(), 1);
+        assert_eq!(ws[0].phi.get(fv), Some(relu));
+    }
+}

@@ -1,0 +1,446 @@
+//! Guard expressions and their evaluation (paper §3.2, Fig. 8).
+//!
+//! ```text
+//! e ::= t.α | x.α | n | e + e | e − e | e * e
+//! g ::= e = e′ | e < e′ | g ∧ g′ | g ∨ g′ | ¬g
+//! ```
+//!
+//! The paper lifts an attribute interpretation `⟦·⟧ : A → Term ⇀ ℕ` to a
+//! denotation on closed expressions and then to a boolean denotation on
+//! closed guards. Here evaluation of an *open* guard takes a substitution
+//! `θ` (to close `x.α` into `θ(x).α`) and an [`AttrInterp`].
+//!
+//! Evaluation is partial: an unbound variable or undefined attribute makes
+//! the guard **fail** (the machine backtracks), which is the conservative
+//! reading of the partial map `⇀` in the paper. [`Guard::eval`] reports the
+//! distinction between `false` and `undefined` via [`GuardValue`] so that
+//! callers (and tests) can observe it.
+
+use crate::attr::AttrInterp;
+use crate::subst::Subst;
+use crate::symbol::{Attr, SymbolTable, Var};
+use crate::term::{TermId, TermStore};
+
+/// Arithmetic expressions `e` over attributes of terms and variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// An integer literal `n`.
+    Const(i64),
+    /// `x.α` — attribute of whatever term `x` is bound to.
+    VarAttr(Var, Attr),
+    /// `t.α` — attribute of a concrete term.
+    TermAttr(TermId, Attr),
+    /// `e + e′`.
+    Add(Box<Expr>, Box<Expr>),
+    /// `e − e′`.
+    Sub(Box<Expr>, Box<Expr>),
+    /// `e * e′` (the paper's grammar ends with "…"; multiplication is the
+    /// one extra operation the PyPM examples use).
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // builder-style combinators, not std::ops
+impl Expr {
+    /// Convenience constructor for `x.α`.
+    pub fn var_attr(x: Var, a: Attr) -> Self {
+        Expr::VarAttr(x, a)
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Self {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self − rhs`.
+    pub fn sub(self, rhs: Expr) -> Self {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Self {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Guard {
+        Guard::Eq(self, rhs)
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Guard {
+        Guard::Lt(self, rhs)
+    }
+
+    /// `self ≤ rhs`, as the derived form `¬(rhs < self)`.
+    pub fn le(self, rhs: Expr) -> Guard {
+        Guard::Not(Box::new(Guard::Lt(rhs, self)))
+    }
+
+    /// `self ≠ rhs`, as the derived form `¬(self = rhs)`.
+    pub fn ne(self, rhs: Expr) -> Guard {
+        Guard::Not(Box::new(Guard::Eq(self, rhs)))
+    }
+
+    /// Evaluates the expression under `θ`.
+    ///
+    /// Returns `None` when a mentioned variable is unbound or an attribute
+    /// is undefined. Arithmetic wraps (attribute values are metadata-sized;
+    /// overflow would indicate corrupt metadata, and wrapping keeps
+    /// evaluation total).
+    pub fn eval<A: AttrInterp + ?Sized>(
+        &self,
+        theta: &Subst,
+        terms: &TermStore,
+        interp: &A,
+    ) -> Option<i64> {
+        match self {
+            Expr::Const(n) => Some(*n),
+            Expr::VarAttr(x, a) => {
+                let t = theta.get(*x)?;
+                interp.attr(terms, t, *a)
+            }
+            Expr::TermAttr(t, a) => interp.attr(terms, *t, *a),
+            Expr::Add(l, r) => Some(
+                l.eval(theta, terms, interp)?
+                    .wrapping_add(r.eval(theta, terms, interp)?),
+            ),
+            Expr::Sub(l, r) => Some(
+                l.eval(theta, terms, interp)?
+                    .wrapping_sub(r.eval(theta, terms, interp)?),
+            ),
+            Expr::Mul(l, r) => Some(
+                l.eval(theta, terms, interp)?
+                    .wrapping_mul(r.eval(theta, terms, interp)?),
+            ),
+        }
+    }
+
+    /// Free pattern variables of the expression, appended to `out`.
+    pub fn free_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Const(_) | Expr::TermAttr(..) => {}
+            Expr::VarAttr(x, _) => out.push(*x),
+            Expr::Add(l, r) | Expr::Sub(l, r) | Expr::Mul(l, r) => {
+                l.free_vars(out);
+                r.free_vars(out);
+            }
+        }
+    }
+
+    /// Renames free variables according to `ren` (used by μ-unfolding).
+    pub(crate) fn rename(&self, ren: &dyn Fn(Var) -> Var) -> Expr {
+        match self {
+            Expr::Const(n) => Expr::Const(*n),
+            Expr::VarAttr(x, a) => Expr::VarAttr(ren(*x), *a),
+            Expr::TermAttr(t, a) => Expr::TermAttr(*t, *a),
+            Expr::Add(l, r) => Expr::Add(Box::new(l.rename(ren)), Box::new(r.rename(ren))),
+            Expr::Sub(l, r) => Expr::Sub(Box::new(l.rename(ren)), Box::new(r.rename(ren))),
+            Expr::Mul(l, r) => Expr::Mul(Box::new(l.rename(ren)), Box::new(r.rename(ren))),
+        }
+    }
+
+    /// Pretty-prints with names from `syms`.
+    pub fn display(&self, syms: &SymbolTable, terms: &TermStore) -> String {
+        match self {
+            Expr::Const(n) => n.to_string(),
+            Expr::VarAttr(x, a) => format!("{}.{}", syms.var_name(*x), syms.attr_name(*a)),
+            Expr::TermAttr(t, a) => {
+                format!("{}.{}", terms.display(syms, *t), syms.attr_name(*a))
+            }
+            Expr::Add(l, r) => format!(
+                "({} + {})",
+                l.display(syms, terms),
+                r.display(syms, terms)
+            ),
+            Expr::Sub(l, r) => format!(
+                "({} - {})",
+                l.display(syms, terms),
+                r.display(syms, terms)
+            ),
+            Expr::Mul(l, r) => format!(
+                "({} * {})",
+                l.display(syms, terms),
+                r.display(syms, terms)
+            ),
+        }
+    }
+}
+
+/// The three-valued result of guard evaluation.
+///
+/// The machine collapses `Undefined` into `False` (backtrack), but keeping
+/// the distinction observable is useful for diagnostics and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardValue {
+    /// The guard holds: `⟦g[θ]⟧ = True`.
+    True,
+    /// The guard is false.
+    False,
+    /// Some subexpression was undefined (unbound variable or undefined
+    /// attribute).
+    Undefined,
+}
+
+impl GuardValue {
+    /// Whether the machine should proceed (rule `ST-CheckGuard-Continue`).
+    pub fn holds(self) -> bool {
+        matches!(self, GuardValue::True)
+    }
+}
+
+/// Boolean guards `g` over arithmetic expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Guard {
+    /// `e = e′`.
+    Eq(Expr, Expr),
+    /// `e < e′`.
+    Lt(Expr, Expr),
+    /// `g ∧ g′`.
+    And(Box<Guard>, Box<Guard>),
+    /// `g ∨ g′`.
+    Or(Box<Guard>, Box<Guard>),
+    /// `¬g`.
+    Not(Box<Guard>),
+}
+
+impl Guard {
+    /// `self ∧ rhs`.
+    pub fn and(self, rhs: Guard) -> Guard {
+        Guard::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self ∨ rhs`.
+    pub fn or(self, rhs: Guard) -> Guard {
+        Guard::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Guard {
+        Guard::Not(Box::new(self))
+    }
+
+    /// A guard that always holds (`0 = 0`).
+    pub fn tt() -> Guard {
+        Guard::Eq(Expr::Const(0), Expr::Const(0))
+    }
+
+    /// A guard that never holds (`0 < 0`).
+    pub fn ff() -> Guard {
+        Guard::Lt(Expr::Const(0), Expr::Const(0))
+    }
+
+    /// Evaluates `⟦g[θ]⟧`.
+    ///
+    /// `Undefined` propagates through connectives *strictly*: if any
+    /// subexpression is undefined the whole guard is `Undefined`. This
+    /// matches the paper's reading where `g[θ]` must be a *closed, defined*
+    /// guard term before its boolean denotation is taken.
+    pub fn eval<A: AttrInterp + ?Sized>(
+        &self,
+        theta: &Subst,
+        terms: &TermStore,
+        interp: &A,
+    ) -> GuardValue {
+        fn from_bool(b: bool) -> GuardValue {
+            if b {
+                GuardValue::True
+            } else {
+                GuardValue::False
+            }
+        }
+        match self {
+            Guard::Eq(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp)) {
+                (Some(a), Some(b)) => from_bool(a == b),
+                _ => GuardValue::Undefined,
+            },
+            Guard::Lt(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp)) {
+                (Some(a), Some(b)) => from_bool(a < b),
+                _ => GuardValue::Undefined,
+            },
+            Guard::And(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp))
+            {
+                (GuardValue::Undefined, _) | (_, GuardValue::Undefined) => GuardValue::Undefined,
+                (a, b) => from_bool(a.holds() && b.holds()),
+            },
+            Guard::Or(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp)) {
+                (GuardValue::Undefined, _) | (_, GuardValue::Undefined) => GuardValue::Undefined,
+                (a, b) => from_bool(a.holds() || b.holds()),
+            },
+            Guard::Not(g) => match g.eval(theta, terms, interp) {
+                GuardValue::Undefined => GuardValue::Undefined,
+                v => from_bool(!v.holds()),
+            },
+        }
+    }
+
+    /// Free pattern variables of the guard, appended to `out`.
+    pub fn free_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Guard::Eq(l, r) | Guard::Lt(l, r) => {
+                l.free_vars(out);
+                r.free_vars(out);
+            }
+            Guard::And(l, r) | Guard::Or(l, r) => {
+                l.free_vars(out);
+                r.free_vars(out);
+            }
+            Guard::Not(g) => g.free_vars(out),
+        }
+    }
+
+    /// Renames free variables according to `ren` (used by μ-unfolding).
+    pub(crate) fn rename(&self, ren: &dyn Fn(Var) -> Var) -> Guard {
+        match self {
+            Guard::Eq(l, r) => Guard::Eq(l.rename(ren), r.rename(ren)),
+            Guard::Lt(l, r) => Guard::Lt(l.rename(ren), r.rename(ren)),
+            Guard::And(l, r) => Guard::And(Box::new(l.rename(ren)), Box::new(r.rename(ren))),
+            Guard::Or(l, r) => Guard::Or(Box::new(l.rename(ren)), Box::new(r.rename(ren))),
+            Guard::Not(g) => Guard::Not(Box::new(g.rename(ren))),
+        }
+    }
+
+    /// Pretty-prints with names from `syms`.
+    pub fn display(&self, syms: &SymbolTable, terms: &TermStore) -> String {
+        match self {
+            Guard::Eq(l, r) => format!("{} = {}", l.display(syms, terms), r.display(syms, terms)),
+            Guard::Lt(l, r) => format!("{} < {}", l.display(syms, terms), r.display(syms, terms)),
+            Guard::And(l, r) => format!(
+                "({} && {})",
+                l.display(syms, terms),
+                r.display(syms, terms)
+            ),
+            Guard::Or(l, r) => format!(
+                "({} || {})",
+                l.display(syms, terms),
+                r.display(syms, terms)
+            ),
+            Guard::Not(g) => format!("!({})", g.display(syms, terms)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::{StructuralAttrInterp, TableAttrInterp};
+
+    fn setup() -> (SymbolTable, TermStore) {
+        (SymbolTable::new(), TermStore::new())
+    }
+
+    #[test]
+    fn constant_arithmetic() {
+        let (syms, terms) = setup();
+        let _ = &syms;
+        let e = Expr::Const(2).add(Expr::Const(3)).mul(Expr::Const(4));
+        assert_eq!(e.eval(&Subst::new(), &terms, &crate::attr::NoAttrs), Some(20));
+    }
+
+    #[test]
+    fn var_attr_requires_binding_and_definition() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let t = terms.app0(c);
+        let x = syms.var("x");
+        let rank = syms.attr("rank");
+        let e = Expr::var_attr(x, rank);
+
+        let mut interp = TableAttrInterp::new();
+        // Unbound variable → undefined.
+        assert_eq!(e.eval(&Subst::new(), &terms, &interp), None);
+        // Bound, attribute undefined → undefined.
+        let theta: Subst = [(x, t)].into_iter().collect();
+        assert_eq!(e.eval(&theta, &terms, &interp), None);
+        // Bound and defined.
+        interp.set(t, rank, 2);
+        assert_eq!(e.eval(&theta, &terms, &interp), Some(2));
+    }
+
+    #[test]
+    fn guard_connectives() {
+        let (syms, terms) = setup();
+        let _ = &syms;
+        let interp = crate::attr::NoAttrs;
+        let theta = Subst::new();
+        let tt = Guard::tt();
+        let ff = Guard::ff();
+        assert_eq!(tt.eval(&theta, &terms, &interp), GuardValue::True);
+        assert_eq!(ff.eval(&theta, &terms, &interp), GuardValue::False);
+        assert_eq!(
+            tt.clone().and(ff.clone()).eval(&theta, &terms, &interp),
+            GuardValue::False
+        );
+        assert_eq!(
+            tt.clone().or(ff.clone()).eval(&theta, &terms, &interp),
+            GuardValue::True
+        );
+        assert_eq!(ff.not().eval(&theta, &terms, &interp), GuardValue::True);
+    }
+
+    #[test]
+    fn undefined_is_strict_through_connectives() {
+        let (mut syms, terms) = setup();
+        let x = syms.var("x");
+        let rank = syms.attr("rank");
+        let undef = Expr::var_attr(x, rank).eq(Expr::Const(0));
+        let theta = Subst::new();
+        let interp = crate::attr::NoAttrs;
+        assert_eq!(undef.eval(&theta, &terms, &interp), GuardValue::Undefined);
+        assert_eq!(
+            Guard::tt().or(undef.clone()).eval(&theta, &terms, &interp),
+            GuardValue::Undefined
+        );
+        assert!(!Guard::tt().or(undef).eval(&theta, &terms, &interp).holds());
+    }
+
+    #[test]
+    fn derived_comparisons() {
+        let (syms, terms) = setup();
+        let _ = &syms;
+        let theta = Subst::new();
+        let interp = crate::attr::NoAttrs;
+        assert!(Expr::Const(1).le(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
+        assert!(Expr::Const(1).le(Expr::Const(2)).eval(&theta, &terms, &interp).holds());
+        assert!(!Expr::Const(2).le(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
+        assert!(Expr::Const(1).ne(Expr::Const(2)).eval(&theta, &terms, &interp).holds());
+        assert!(!Expr::Const(1).ne(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
+    }
+
+    #[test]
+    fn structural_attrs_in_guards() {
+        let (mut syms, mut terms) = setup();
+        let interp = StructuralAttrInterp::new(&mut syms);
+        let c = syms.op("c", 0);
+        let g = syms.op("g", 1);
+        let a = terms.app0(c);
+        let ga = terms.app(g, vec![a]);
+        let x = syms.var("x");
+        let theta: Subst = [(x, ga)].into_iter().collect();
+        let guard = Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(2));
+        assert_eq!(guard.eval(&theta, &terms, &interp), GuardValue::True);
+    }
+
+    #[test]
+    fn free_vars_collects_all_occurrences() {
+        let (mut syms, _) = setup();
+        let x = syms.var("x");
+        let y = syms.var("y");
+        let rank = syms.attr("rank");
+        let g = Expr::var_attr(x, rank)
+            .eq(Expr::var_attr(y, rank))
+            .and(Expr::var_attr(x, rank).lt(Expr::Const(4)));
+        let mut vars = Vec::new();
+        g.free_vars(&mut vars);
+        assert_eq!(vars, vec![x, y, x]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let (mut syms, terms) = setup();
+        let x = syms.var("x");
+        let rank = syms.attr("rank");
+        let g = Expr::var_attr(x, rank).eq(Expr::Const(2));
+        assert_eq!(g.display(&syms, &terms), "x.rank = 2");
+    }
+}

@@ -1,0 +1,323 @@
+//! Interned identifiers used throughout the calculus.
+//!
+//! CorePyPM is parameterized over a signature `Σ` of operators with arities
+//! (paper §3.1). This module provides the [`SymbolTable`] that owns that
+//! signature, together with interners for the four other name spaces that
+//! appear in the grammar of Figure 15:
+//!
+//! * [`Symbol`] — operator symbols `f, g ∈ Σ`,
+//! * [`Var`] — pattern variables `x, y`,
+//! * [`FunVar`] — function variables `F` (§3.4),
+//! * [`Attr`] — attribute names `α` used in guard expressions (§3.2),
+//! * [`PatName`] — names `P` of recursive patterns (§3.5).
+//!
+//! All identifier types are small `Copy` indices; the table maps them back to
+//! human-readable names for display and diagnostics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
+            serde::Serialize, serde::Deserialize,
+        )]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Raw index of this identifier inside its interner.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs an identifier from a raw index.
+            ///
+            /// Only meaningful for indices previously produced by the same
+            /// [`SymbolTable`]; used by serialization code.
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An operator symbol `f ∈ Σ` with a fixed arity.
+    Symbol,
+    "f"
+);
+id_type!(
+    /// A pattern variable `x` ranging over terms.
+    Var,
+    "x"
+);
+id_type!(
+    /// A function variable `F` ranging over operator symbols (§3.4).
+    FunVar,
+    "F"
+);
+id_type!(
+    /// An attribute name `α`, given meaning by an
+    /// [`AttrInterp`](crate::attr::AttrInterp).
+    Attr,
+    "attr"
+);
+id_type!(
+    /// The name `P` of a recursive pattern definition (§3.5).
+    PatName,
+    "P"
+);
+
+/// One interner: name ↔ index, in insertion order.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    names: Vec<String>,
+    by_name: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.by_name.get(name) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), i);
+        i
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    fn len(&self) -> usize {
+        self.names.len()
+    }
+}
+
+/// The signature `Σ` plus interners for every identifier namespace.
+///
+/// A `SymbolTable` is shared by the term store, the pattern store, the guard
+/// evaluator and the abstract machine; all of them refer to identifiers that
+/// only make sense relative to one table.
+///
+/// # Examples
+///
+/// ```
+/// use pypm_core::SymbolTable;
+///
+/// let mut syms = SymbolTable::new();
+/// let matmul = syms.op("MatMul", 2);
+/// assert_eq!(syms.arity(matmul), 2);
+/// assert_eq!(syms.op_name(matmul), "MatMul");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    ops: Interner,
+    arities: Vec<usize>,
+    vars: Interner,
+    fun_vars: Interner,
+    attrs: Interner,
+    pat_names: Interner,
+    fresh_counter: u64,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or re-resolves) an operator with the given arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` was previously declared with a *different* arity:
+    /// the signature assigns each symbol exactly one arity (§3.1).
+    pub fn op(&mut self, name: &str, arity: usize) -> Symbol {
+        let i = self.ops.intern(name);
+        if (i as usize) == self.arities.len() {
+            self.arities.push(arity);
+        } else {
+            assert_eq!(
+                self.arities[i as usize], arity,
+                "operator {name} redeclared with different arity"
+            );
+        }
+        Symbol(i)
+    }
+
+    /// Looks up an operator by name without declaring it.
+    pub fn find_op(&self, name: &str) -> Option<Symbol> {
+        self.ops.lookup(name).map(Symbol)
+    }
+
+    /// The arity `arity(f)` of an operator.
+    pub fn arity(&self, f: Symbol) -> usize {
+        self.arities[f.index()]
+    }
+
+    /// The declared name of an operator.
+    pub fn op_name(&self, f: Symbol) -> &str {
+        self.ops.name(f.0)
+    }
+
+    /// Number of declared operators.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Iterates over all declared operators.
+    pub fn ops(&self) -> impl Iterator<Item = Symbol> + '_ {
+        (0..self.ops.len() as u32).map(Symbol)
+    }
+
+    /// Interns a pattern variable.
+    pub fn var(&mut self, name: &str) -> Var {
+        Var(self.vars.intern(name))
+    }
+
+    /// Generates a pattern variable with a fresh, unused name.
+    ///
+    /// This is the analogue of PyPM's `var()` (paper §2.3); the DSL uses it
+    /// to implement local variables.
+    pub fn fresh_var(&mut self) -> Var {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("%v{}", self.fresh_counter);
+            if self.vars.lookup(&name).is_none() {
+                return Var(self.vars.intern(&name));
+            }
+        }
+    }
+
+    /// The name of a pattern variable.
+    pub fn var_name(&self, x: Var) -> &str {
+        self.vars.name(x.0)
+    }
+
+    /// Number of interned pattern variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Interns a function variable.
+    pub fn fun_var(&mut self, name: &str) -> FunVar {
+        FunVar(self.fun_vars.intern(name))
+    }
+
+    /// The name of a function variable.
+    pub fn fun_var_name(&self, fv: FunVar) -> &str {
+        self.fun_vars.name(fv.0)
+    }
+
+    /// Interns an attribute name.
+    pub fn attr(&mut self, name: &str) -> Attr {
+        Attr(self.attrs.intern(name))
+    }
+
+    /// Looks up an attribute by name without declaring it.
+    pub fn find_attr(&self, name: &str) -> Option<Attr> {
+        self.attrs.lookup(name).map(Attr)
+    }
+
+    /// The name of an attribute.
+    pub fn attr_name(&self, a: Attr) -> &str {
+        self.attrs.name(a.0)
+    }
+
+    /// Interns a recursive-pattern name.
+    pub fn pat_name(&mut self, name: &str) -> PatName {
+        PatName(self.pat_names.intern(name))
+    }
+
+    /// The text of a recursive-pattern name.
+    pub fn pat_name_text(&self, p: PatName) -> &str {
+        self.pat_names.name(p.0)
+    }
+
+    /// Generates a fresh nullary operator symbol.
+    ///
+    /// Used by the graph substrate to turn graph inputs and opaque nodes
+    /// into distinct constants of the term algebra.
+    pub fn fresh_const(&mut self, hint: &str) -> Symbol {
+        loop {
+            self.fresh_counter += 1;
+            let name = format!("%{hint}{}", self.fresh_counter);
+            if self.ops.lookup(&name).is_none() {
+                return self.op(&name, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.op("Add", 2);
+        let b = t.op("Add", 2);
+        assert_eq!(a, b);
+        assert_eq!(t.op_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "redeclared")]
+    fn arity_conflict_panics() {
+        let mut t = SymbolTable::new();
+        t.op("Add", 2);
+        t.op("Add", 3);
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut t = SymbolTable::new();
+        let x = t.fresh_var();
+        let y = t.fresh_var();
+        assert_ne!(x, y);
+        assert_ne!(t.var_name(x), t.var_name(y));
+    }
+
+    #[test]
+    fn fresh_consts_are_nullary_and_distinct() {
+        let mut t = SymbolTable::new();
+        let c1 = t.fresh_const("in");
+        let c2 = t.fresh_const("in");
+        assert_ne!(c1, c2);
+        assert_eq!(t.arity(c1), 0);
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let mut t = SymbolTable::new();
+        let v = t.var("x");
+        let f = t.fun_var("x");
+        let a = t.attr("x");
+        assert_eq!(t.var_name(v), "x");
+        assert_eq!(t.fun_var_name(f), "x");
+        assert_eq!(t.attr_name(a), "x");
+    }
+
+    #[test]
+    fn find_op_roundtrip() {
+        let mut t = SymbolTable::new();
+        let f = t.op("Trans", 1);
+        assert_eq!(t.find_op("Trans"), Some(f));
+        assert_eq!(t.find_op("nope"), None);
+    }
+}

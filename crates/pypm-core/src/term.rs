@@ -1,0 +1,422 @@
+//! Terms `t ::= f(t₁, …, tₙ)` of the core calculus (paper §3.1, Fig. 5).
+//!
+//! Terms are hash-consed inside a [`TermStore`]: structurally equal terms
+//! share a single [`TermId`], so the `t′ ≠ t` test in rule
+//! `ST-Match-Var-Conflict` is a constant-time id comparison. This mirrors
+//! the role of node identity in DLCB's computation graphs while keeping the
+//! calculus tree-shaped, exactly as the paper abstracts graphs into syntax
+//! trees (§3).
+
+use crate::symbol::{Symbol, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A hash-consed term. Equal ids ⇔ structurally equal terms.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// Raw index into the owning [`TermStore`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Interior node data: a correctly-saturated operator application.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TermNode {
+    op: Symbol,
+    args: Vec<TermId>,
+}
+
+/// Arena of hash-consed terms.
+///
+/// # Examples
+///
+/// ```
+/// use pypm_core::{SymbolTable, TermStore};
+///
+/// let mut syms = SymbolTable::new();
+/// let zero = syms.op("zero", 0);
+/// let succ = syms.op("succ", 1);
+///
+/// let mut terms = TermStore::new();
+/// let z = terms.app0(zero);
+/// let one = terms.app(succ, vec![z]);
+/// let one_again = terms.app(succ, vec![z]);
+/// assert_eq!(one, one_again); // hash-consing
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TermStore {
+    nodes: Vec<TermNode>,
+    dedup: HashMap<TermNode, TermId>,
+    /// Cached size (number of operator applications) per term.
+    sizes: Vec<u64>,
+    /// Cached height (leaf = 1) per term.
+    heights: Vec<u64>,
+}
+
+impl TermStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the application `op(args…)`.
+    ///
+    /// # Panics
+    ///
+    /// Does **not** check arity against a [`SymbolTable`]; use
+    /// [`TermStore::app_checked`] when the caller cannot guarantee
+    /// saturation.
+    pub fn app(&mut self, op: Symbol, args: Vec<TermId>) -> TermId {
+        let node = TermNode { op, args };
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        let size = 1 + node.args.iter().map(|a| self.sizes[a.index()]).sum::<u64>();
+        let height = 1 + node
+            .args
+            .iter()
+            .map(|a| self.heights[a.index()])
+            .max()
+            .unwrap_or(0);
+        self.sizes.push(size);
+        self.heights.push(height);
+        self.dedup.insert(node.clone(), id);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Interns a constant (nullary application).
+    pub fn app0(&mut self, op: Symbol) -> TermId {
+        self.app(op, Vec::new())
+    }
+
+    /// Interns `op(args…)` after validating saturation against `syms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `args.len() != arity(op)`.
+    pub fn app_checked(
+        &mut self,
+        syms: &SymbolTable,
+        op: Symbol,
+        args: Vec<TermId>,
+    ) -> Result<TermId, ArityError> {
+        let expected = syms.arity(op);
+        if args.len() != expected {
+            return Err(ArityError {
+                op: syms.op_name(op).to_owned(),
+                expected,
+                got: args.len(),
+            });
+        }
+        Ok(self.app(op, args))
+    }
+
+    /// Head operator of a term.
+    pub fn op(&self, t: TermId) -> Symbol {
+        self.nodes[t.index()].op
+    }
+
+    /// Argument list of a term.
+    pub fn args(&self, t: TermId) -> &[TermId] {
+        &self.nodes[t.index()].args
+    }
+
+    /// Number of operator applications in `t`.
+    pub fn size(&self, t: TermId) -> u64 {
+        self.sizes[t.index()]
+    }
+
+    /// Height of `t` (a constant has height 1).
+    pub fn height(&self, t: TermId) -> u64 {
+        self.heights[t.index()]
+    }
+
+    /// Total number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the store contains no terms.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All distinct subterms of `t`, including `t` itself (preorder).
+    pub fn subterms(&self, t: TermId) -> Vec<TermId> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut out = Vec::new();
+        let mut stack = vec![t];
+        while let Some(u) = stack.pop() {
+            if seen[u.index()] {
+                continue;
+            }
+            seen[u.index()] = true;
+            out.push(u);
+            for &a in self.args(u).iter().rev() {
+                stack.push(a);
+            }
+        }
+        out
+    }
+
+    /// Whether `needle` occurs in `haystack` (reflexive).
+    pub fn contains(&self, haystack: TermId, needle: TermId) -> bool {
+        if haystack == needle {
+            return true;
+        }
+        self.args(haystack)
+            .iter()
+            .any(|&a| self.contains(a, needle))
+    }
+
+    /// Pretty-prints `t` using operator names from `syms`.
+    pub fn display(&self, syms: &SymbolTable, t: TermId) -> String {
+        let mut s = String::new();
+        self.write_term(syms, t, &mut s);
+        s
+    }
+
+    fn write_term(&self, syms: &SymbolTable, t: TermId, out: &mut String) {
+        out.push_str(syms.op_name(self.op(t)));
+        let args = self.args(t);
+        if !args.is_empty() {
+            out.push('(');
+            for (i, &a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                self.write_term(syms, a, out);
+            }
+            out.push(')');
+        }
+    }
+
+    /// Parses the `display` syntax back into a term, declaring unknown
+    /// operators on the fly with the observed arity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax or arity problem.
+    pub fn parse(&mut self, syms: &mut SymbolTable, input: &str) -> Result<TermId, String> {
+        let mut p = TermParser {
+            input: input.as_bytes(),
+            pos: 0,
+        };
+        let t = p.term(self, syms)?;
+        p.skip_ws();
+        if p.pos != p.input.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(t)
+    }
+}
+
+/// Error returned by [`TermStore::app_checked`] on an unsaturated
+/// application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArityError {
+    /// Operator name.
+    pub op: String,
+    /// Declared arity.
+    pub expected: usize,
+    /// Number of arguments supplied.
+    pub got: usize,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "operator {} expects {} arguments, got {}",
+            self.op, self.expected, self.got
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
+
+struct TermParser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl TermParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() {
+            let c = self.input[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'%' || c == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(format!("expected identifier at byte {start}"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn term(&mut self, store: &mut TermStore, syms: &mut SymbolTable) -> Result<TermId, String> {
+        let name = self.ident()?;
+        self.skip_ws();
+        let mut args = Vec::new();
+        if self.pos < self.input.len() && self.input[self.pos] == b'(' {
+            self.pos += 1;
+            loop {
+                self.skip_ws();
+                if self.pos < self.input.len() && self.input[self.pos] == b')' {
+                    self.pos += 1;
+                    break;
+                }
+                args.push(self.term(store, syms)?);
+                self.skip_ws();
+                if self.pos < self.input.len() && self.input[self.pos] == b',' {
+                    self.pos += 1;
+                } else if self.pos < self.input.len() && self.input[self.pos] == b')' {
+                    self.pos += 1;
+                    break;
+                } else {
+                    return Err(format!("expected ',' or ')' at byte {}", self.pos));
+                }
+            }
+        }
+        let op = match syms.find_op(&name) {
+            Some(op) => {
+                if syms.arity(op) != args.len() {
+                    return Err(format!(
+                        "operator {name} expects {} arguments, got {}",
+                        syms.arity(op),
+                        args.len()
+                    ));
+                }
+                op
+            }
+            None => syms.op(&name, args.len()),
+        };
+        Ok(store.app(op, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SymbolTable, TermStore) {
+        (SymbolTable::new(), TermStore::new())
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let f = syms.op("f", 2);
+        let a = terms.app0(c);
+        let t1 = terms.app(f, vec![a, a]);
+        let t2 = terms.app(f, vec![a, a]);
+        assert_eq!(t1, t2);
+        assert_eq!(terms.len(), 2);
+    }
+
+    #[test]
+    fn size_and_height() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let f = syms.op("f", 2);
+        let g = syms.op("g", 1);
+        let a = terms.app0(c);
+        let ga = terms.app(g, vec![a]);
+        let t = terms.app(f, vec![ga, a]);
+        assert_eq!(terms.size(a), 1);
+        // Size counts tree nodes, with sharing expanded: f, g, a, a.
+        assert_eq!(terms.size(t), 4);
+        assert_eq!(terms.height(a), 1);
+        assert_eq!(terms.height(t), 3);
+    }
+
+    #[test]
+    fn app_checked_rejects_bad_arity() {
+        let (mut syms, mut terms) = setup();
+        let f = syms.op("f", 2);
+        let c = syms.op("c", 0);
+        let a = terms.app0(c);
+        let err = terms.app_checked(&syms, f, vec![a]).unwrap_err();
+        assert_eq!(err.expected, 2);
+        assert_eq!(err.got, 1);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let f = syms.op("MatMul", 2);
+        let g = syms.op("Trans", 1);
+        let a = terms.app0(c);
+        let ga = terms.app(g, vec![a]);
+        let t = terms.app(f, vec![a, ga]);
+        let text = terms.display(&syms, t);
+        assert_eq!(text, "MatMul(c, Trans(c))");
+        let reparsed = terms.parse(&mut syms, &text).unwrap();
+        assert_eq!(reparsed, t);
+    }
+
+    #[test]
+    fn parse_declares_unknown_ops() {
+        let (mut syms, mut terms) = setup();
+        let t = terms.parse(&mut syms, "Add(x1, Mul(x1, x1))").unwrap();
+        assert_eq!(terms.display(&syms, t), "Add(x1, Mul(x1, x1))");
+        assert_eq!(syms.arity(syms.find_op("Add").unwrap()), 2);
+        assert_eq!(syms.arity(syms.find_op("x1").unwrap()), 0);
+    }
+
+    #[test]
+    fn parse_rejects_arity_mismatch() {
+        let (mut syms, mut terms) = setup();
+        terms.parse(&mut syms, "f(a, b)").unwrap();
+        assert!(terms.parse(&mut syms, "f(a)").is_err());
+    }
+
+    #[test]
+    fn subterms_are_deduped() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let f = syms.op("f", 2);
+        let a = terms.app0(c);
+        let t = terms.app(f, vec![a, a]);
+        let subs = terms.subterms(t);
+        assert_eq!(subs.len(), 2);
+        assert!(subs.contains(&t) && subs.contains(&a));
+    }
+
+    #[test]
+    fn contains_is_reflexive_and_deep() {
+        let (mut syms, mut terms) = setup();
+        let c = syms.op("c", 0);
+        let d = syms.op("d", 0);
+        let g = syms.op("g", 1);
+        let a = terms.app0(c);
+        let b = terms.app0(d);
+        let ga = terms.app(g, vec![a]);
+        assert!(terms.contains(ga, ga));
+        assert!(terms.contains(ga, a));
+        assert!(!terms.contains(ga, b));
+    }
+}

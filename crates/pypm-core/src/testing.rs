@@ -1,0 +1,339 @@
+//! Random generation of signatures, terms and patterns for property
+//! testing the metatheory.
+//!
+//! The soundness test-suite (Theorem 2) needs pairs `(p, t)` drawn from a
+//! distribution that exercises every pattern constructor, while staying in
+//! the *well-formed* fragment where the paper's theorems are stated:
+//! patterns pass both [`PatternStore::validate`] and
+//! [`analysis::check_bindings`](crate::analysis::check_bindings). Rather
+//! than rejection-sampling raw ASTs (vanishingly few random existentials
+//! are well-scoped), [`PatternGen`] generates well-formed patterns *by
+//! construction*:
+//!
+//! * guards are attached only to subpatterns that definitely bind the
+//!   guarded variable,
+//! * existentials use the Fig. 4 idiom `∃y. (x ; (… y … ≈ x))`,
+//! * recursion uses the `UnaryChain` shape of Fig. 3 (a `μ` whose
+//!   alternates all bind the parameter).
+//!
+//! Terms are generated over the same fixed signature, biased toward shapes
+//! the patterns can actually match so that both success and failure
+//! branches of the machine get coverage.
+
+use crate::guard::{Expr, Guard};
+use crate::pattern::{PatternId, PatternStore};
+use crate::symbol::{Attr, FunVar, Symbol, SymbolTable, Var};
+use crate::term::{TermId, TermStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fixed test signature: a few constants, unary and binary operators,
+/// a variable pool, function variables and structural attributes.
+#[derive(Debug)]
+pub struct TestSig {
+    /// The shared symbol table.
+    pub syms: SymbolTable,
+    /// Nullary operators.
+    pub consts: Vec<Symbol>,
+    /// Unary operators.
+    pub unaries: Vec<Symbol>,
+    /// Binary operators.
+    pub binaries: Vec<Symbol>,
+    /// Pattern-variable pool.
+    pub vars: Vec<Var>,
+    /// Function-variable pool.
+    pub fun_vars: Vec<FunVar>,
+    /// The `size` structural attribute.
+    pub size_attr: Attr,
+    /// The `height` structural attribute.
+    pub height_attr: Attr,
+}
+
+impl TestSig {
+    /// Builds the standard test signature.
+    pub fn new() -> Self {
+        let mut syms = SymbolTable::new();
+        let interp = crate::attr::StructuralAttrInterp::new(&mut syms);
+        let consts = (0..3).map(|i| syms.op(&format!("c{i}"), 0)).collect();
+        let unaries = (0..3).map(|i| syms.op(&format!("u{i}"), 1)).collect();
+        let binaries = (0..2).map(|i| syms.op(&format!("b{i}"), 2)).collect();
+        let vars = (0..4).map(|i| syms.var(&format!("x{i}"))).collect();
+        let fun_vars = (0..2).map(|i| syms.fun_var(&format!("F{i}"))).collect();
+        TestSig {
+            size_attr: interp.size_attr(),
+            height_attr: interp.height_attr(),
+            syms,
+            consts,
+            unaries,
+            binaries,
+            vars,
+            fun_vars,
+        }
+    }
+
+    /// The structural attribute interpretation matching this signature.
+    pub fn interp(&self) -> crate::attr::StructuralAttrInterp {
+        // StructuralAttrInterp only stores attr ids; re-deriving it from
+        // an immutable self would require interning, so rebuild from the
+        // known ids.
+        crate::attr::StructuralAttrInterp::from_attrs(
+            self.size_attr,
+            self.height_attr,
+            // arity attr is interned right after size/height by new();
+            // recompute via lookup to stay robust.
+            self.syms.find_attr("arity").expect("arity attr interned"),
+        )
+    }
+}
+
+impl Default for TestSig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Random term generator over a [`TestSig`].
+#[derive(Debug)]
+pub struct TermGen {
+    rng: StdRng,
+}
+
+impl TermGen {
+    /// Creates a generator from a seed (deterministic per seed).
+    pub fn new(seed: u64) -> Self {
+        TermGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates a term of height at most `max_depth`.
+    pub fn term(&mut self, sig: &TestSig, terms: &mut TermStore, max_depth: u32) -> TermId {
+        if max_depth <= 1 {
+            let c = sig.consts[self.rng.gen_range(0..sig.consts.len())];
+            return terms.app0(c);
+        }
+        match self.rng.gen_range(0..10) {
+            0..=2 => {
+                let c = sig.consts[self.rng.gen_range(0..sig.consts.len())];
+                terms.app0(c)
+            }
+            3..=6 => {
+                let u = sig.unaries[self.rng.gen_range(0..sig.unaries.len())];
+                let a = self.term(sig, terms, max_depth - 1);
+                terms.app(u, vec![a])
+            }
+            _ => {
+                let b = sig.binaries[self.rng.gen_range(0..sig.binaries.len())];
+                let a1 = self.term(sig, terms, max_depth - 1);
+                let a2 = self.term(sig, terms, max_depth - 1);
+                terms.app(b, vec![a1, a2])
+            }
+        }
+    }
+
+    /// Generates a tower `u(u(…u(c)…))` of random height in
+    /// `1..=max_height`, useful for exercising recursive patterns.
+    pub fn tower(&mut self, sig: &TestSig, terms: &mut TermStore, max_height: u32) -> TermId {
+        let u = sig.unaries[self.rng.gen_range(0..sig.unaries.len())];
+        let c = sig.consts[self.rng.gen_range(0..sig.consts.len())];
+        let mut t = terms.app0(c);
+        for _ in 0..self.rng.gen_range(1..=max_height) {
+            t = terms.app(u, vec![t]);
+        }
+        t
+    }
+}
+
+/// Random well-formed pattern generator over a [`TestSig`].
+#[derive(Debug)]
+pub struct PatternGen {
+    rng: StdRng,
+    mu_counter: u32,
+}
+
+impl PatternGen {
+    /// Creates a generator from a seed (deterministic per seed).
+    pub fn new(seed: u64) -> Self {
+        PatternGen {
+            rng: StdRng::seed_from_u64(seed),
+            mu_counter: 0,
+        }
+    }
+
+    fn var(&mut self, sig: &TestSig) -> Var {
+        sig.vars[self.rng.gen_range(0..sig.vars.len())]
+    }
+
+    /// Generates a well-formed pattern of depth at most `max_depth`.
+    ///
+    /// The result always passes `PatternStore::validate` and
+    /// `analysis::check_bindings` (asserted in this crate's tests).
+    pub fn pattern(
+        &mut self,
+        sig: &mut TestSig,
+        pats: &mut PatternStore,
+        max_depth: u32,
+    ) -> PatternId {
+        if max_depth <= 1 {
+            return match self.rng.gen_range(0..3) {
+                0 => {
+                    let c = sig.consts[self.rng.gen_range(0..sig.consts.len())];
+                    pats.app(c, vec![])
+                }
+                _ => {
+                    let x = self.var(sig);
+                    pats.var(x)
+                }
+            };
+        }
+        match self.rng.gen_range(0..14) {
+            0..=1 => {
+                let x = self.var(sig);
+                pats.var(x)
+            }
+            2 => {
+                let c = sig.consts[self.rng.gen_range(0..sig.consts.len())];
+                pats.app(c, vec![])
+            }
+            3..=4 => {
+                let u = sig.unaries[self.rng.gen_range(0..sig.unaries.len())];
+                let a = self.pattern(sig, pats, max_depth - 1);
+                pats.app(u, vec![a])
+            }
+            5..=6 => {
+                let b = sig.binaries[self.rng.gen_range(0..sig.binaries.len())];
+                let a1 = self.pattern(sig, pats, max_depth - 1);
+                let a2 = self.pattern(sig, pats, max_depth - 1);
+                pats.app(b, vec![a1, a2])
+            }
+            7 => {
+                let fv = sig.fun_vars[self.rng.gen_range(0..sig.fun_vars.len())];
+                let a = self.pattern(sig, pats, max_depth - 1);
+                pats.fun_app(fv, vec![a])
+            }
+            8..=9 => {
+                let l = self.pattern(sig, pats, max_depth - 1);
+                let r = self.pattern(sig, pats, max_depth - 1);
+                pats.alt(l, r)
+            }
+            10..=11 => {
+                // Guard on a variable the subpattern definitely binds:
+                // guard ( f(..x..) where x.attr ⋈ n ) built by wrapping a
+                // pattern that *starts* with the variable.
+                let x = self.var(sig);
+                let px = pats.var(x);
+                let inner = if self.rng.gen_bool(0.5) {
+                    let u = sig.unaries[self.rng.gen_range(0..sig.unaries.len())];
+                    pats.app(u, vec![px])
+                } else {
+                    px
+                };
+                let attr = if self.rng.gen_bool(0.5) {
+                    sig.size_attr
+                } else {
+                    sig.height_attr
+                };
+                let bound = self.rng.gen_range(0..5);
+                let e = Expr::var_attr(x, attr);
+                let g = match self.rng.gen_range(0..3) {
+                    0 => e.eq(Expr::Const(bound)),
+                    1 => e.lt(Expr::Const(bound)),
+                    _ => Guard::Not(Box::new(e.eq(Expr::Const(bound)))),
+                };
+                pats.guarded(inner, g)
+            }
+            12 => {
+                // Fig. 4 idiom: ∃y. (x ; (q(y) ≈ x)) where q(y) is a
+                // sub-pattern containing y.
+                let x = self.var(sig);
+                // Pick y distinct from x so the constraint is meaningful.
+                let y = loop {
+                    let y = self.var(sig);
+                    if y != x {
+                        break y;
+                    }
+                };
+                let py = pats.var(y);
+                let wrapped = if self.rng.gen_bool(0.7) {
+                    let u = sig.unaries[self.rng.gen_range(0..sig.unaries.len())];
+                    pats.app(u, vec![py])
+                } else {
+                    let fv = sig.fun_vars[self.rng.gen_range(0..sig.fun_vars.len())];
+                    pats.fun_app(fv, vec![py])
+                };
+                let px = pats.var(x);
+                let constrained = pats.match_constr(px, wrapped, x);
+                pats.exists(y, constrained)
+            }
+            _ => {
+                // UnaryChain-style recursion (Fig. 3):
+                // μP(x)[x]. (F(P(x)) ‖ F(x)).
+                self.mu_counter += 1;
+                let name = sig.syms.pat_name(&format!("Chain{}", self.mu_counter));
+                let x = self.var(sig);
+                let fv = sig.fun_vars[self.rng.gen_range(0..sig.fun_vars.len())];
+                let px = pats.var(x);
+                let call = pats.call(name, vec![x]);
+                let rec = pats.fun_app(fv, vec![call]);
+                let base = pats.fun_app(fv, vec![px]);
+                let body = pats.alt(rec, base);
+                pats.mu(name, vec![x], vec![x], body)
+            }
+        }
+    }
+}
+
+impl crate::attr::StructuralAttrInterp {
+    /// Rebuilds an interpretation from known attribute handles (used by
+    /// [`TestSig::interp`]).
+    #[doc(hidden)]
+    pub fn from_attrs(size: Attr, height: Attr, arity: Attr) -> Self {
+        Self::from_parts(size, height, arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::check_bindings;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn generated_patterns_are_well_formed() {
+        let mut sig = TestSig::new();
+        let mut pats = PatternStore::new();
+        let mut gen = PatternGen::new(42);
+        for _ in 0..500 {
+            let p = gen.pattern(&mut sig, &mut pats, 4);
+            pats.validate(&sig.syms, p)
+                .unwrap_or_else(|e| panic!("invalid pattern {}: {e}", pats.display(&sig.syms, p)));
+            check_bindings(&pats, &sig.syms, p, &BTreeSet::new()).unwrap_or_else(|e| {
+                panic!("ill-scoped pattern {}: {e}", pats.display(&sig.syms, p))
+            });
+        }
+    }
+
+    #[test]
+    fn generated_terms_respect_depth() {
+        let sig = TestSig::new();
+        let mut terms = TermStore::new();
+        let mut gen = TermGen::new(7);
+        for _ in 0..200 {
+            let t = gen.term(&sig, &mut terms, 4);
+            assert!(terms.height(t) <= 4);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let sig = TestSig::new();
+        let mut terms1 = TermStore::new();
+        let mut terms2 = TermStore::new();
+        let t1 = TermGen::new(99).term(&sig, &mut terms1, 5);
+        let t2 = TermGen::new(99).term(&sig, &mut terms2, 5);
+        assert_eq!(
+            terms1.display(&sig.syms, t1),
+            terms2.display(&sig.syms, t2)
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Rule-by-rule validation of the abstract machine against hand-derived
+//! executions of the step relation (paper Figs. 17–18).
+//!
+//! Each test fixes a pattern/term pair, derives the transition sequence
+//! on paper, and asserts the machine applies exactly those rules in
+//! exactly that order. Together the tests cover every rule of the
+//! appendix at least once, including both totalizing completions.
+
+use pypm_core::{
+    Expr, Machine, NoAttrs, Outcome, PatternStore, RuleName, StructuralAttrInterp, SymbolTable,
+    TermStore,
+};
+use RuleName::*;
+
+struct Fx {
+    syms: SymbolTable,
+    terms: TermStore,
+    pats: PatternStore,
+}
+
+fn fx() -> Fx {
+    Fx {
+        syms: SymbolTable::new(),
+        terms: TermStore::new(),
+        pats: PatternStore::new(),
+    }
+}
+
+fn trace(fx: &mut Fx, p: pypm_core::PatternId, t: pypm_core::TermId) -> (Outcome, Vec<RuleName>) {
+    let mut m = Machine::new(&mut fx.pats, &fx.terms, &NoAttrs).with_trace();
+    let out = m.run(p, t, 100_000).unwrap();
+    (out, m.trace().unwrap().to_vec())
+}
+
+/// match(x, c): ST-Match-Var-Bind, ST-Success.
+#[test]
+fn var_bind_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let p = f.pats.var(x);
+    let (out, tr) = trace(&mut f, p, tc);
+    assert!(out.witness().is_some());
+    assert_eq!(tr, vec![MatchVarBind, Success]);
+}
+
+/// match(f(x, x), f(c, c)): Fun, Bind, Bound, Success — the Bound rule
+/// fires because the second occurrence sees the existing binding.
+#[test]
+fn var_bound_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let b = f.syms.op("f", 2);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(b, vec![tc, tc]);
+    let px = f.pats.var(x);
+    let p = f.pats.app(b, vec![px, px]);
+    let (out, tr) = trace(&mut f, p, t);
+    assert!(out.witness().is_some());
+    assert_eq!(tr, vec![MatchFun, MatchVarBind, MatchVarBound, Success]);
+}
+
+/// match(f(x, x), f(c, d)) with no stack: Fun, Bind, Var-Conflict →
+/// failure.
+#[test]
+fn var_conflict_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let d = f.syms.op("d", 0);
+    let b = f.syms.op("f", 2);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let td = f.terms.app0(d);
+    let t = f.terms.app(b, vec![tc, td]);
+    let px = f.pats.var(x);
+    let p = f.pats.app(b, vec![px, px]);
+    let (out, tr) = trace(&mut f, p, t);
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(tr, vec![MatchFun, MatchVarBind, MatchVarConflict]);
+}
+
+/// match(f(x), g(c)): Fun-Conflict with empty stack → failure.
+#[test]
+fn fun_conflict_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let u1 = f.syms.op("f", 1);
+    let u2 = f.syms.op("g", 1);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(u2, vec![tc]);
+    let px = f.pats.var(x);
+    let p = f.pats.app(u1, vec![px]);
+    let (out, tr) = trace(&mut f, p, t);
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(tr, vec![MatchFunConflict]);
+}
+
+/// match(f(x) ‖ g(x), g(c)): Alt pushes the frame, the left branch
+/// conflicts and pops it, the right branch succeeds.
+#[test]
+fn alternate_backtrack_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let u1 = f.syms.op("f", 1);
+    let u2 = f.syms.op("g", 1);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(u2, vec![tc]);
+    let px = f.pats.var(x);
+    let l = f.pats.app(u1, vec![px]);
+    let r = f.pats.app(u2, vec![px]);
+    let p = f.pats.alt(l, r);
+    let (out, tr) = trace(&mut f, p, t);
+    assert!(out.witness().is_some());
+    assert_eq!(
+        tr,
+        vec![MatchAlt, MatchFunConflict, MatchFun, MatchVarBind, Success]
+    );
+}
+
+/// Guarded pattern, guard true: Match-Guard defers the check, inner
+/// match binds, CheckGuard-Continue passes.
+#[test]
+fn guard_continue_trace() {
+    let mut f = fx();
+    let interp = StructuralAttrInterp::new(&mut f.syms);
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let px = f.pats.var(x);
+    let p = f
+        .pats
+        .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(1)));
+    let mut m = Machine::new(&mut f.pats, &f.terms, &interp).with_trace();
+    let out = m.run(p, tc, 100_000).unwrap();
+    assert!(out.witness().is_some());
+    assert_eq!(
+        m.trace().unwrap(),
+        &[MatchGuard, MatchVarBind, CheckGuardContinue, Success]
+    );
+}
+
+/// Guarded pattern, guard false: CheckGuard-Backtrack with empty stack →
+/// failure.
+#[test]
+fn guard_backtrack_trace() {
+    let mut f = fx();
+    let interp = StructuralAttrInterp::new(&mut f.syms);
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let px = f.pats.var(x);
+    let p = f
+        .pats
+        .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(9)));
+    let mut m = Machine::new(&mut f.pats, &f.terms, &interp).with_trace();
+    let out = m.run(p, tc, 100_000).unwrap();
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(
+        m.trace().unwrap(),
+        &[MatchGuard, MatchVarBind, CheckGuardBacktrack]
+    );
+}
+
+/// ∃y.(x ; (g(y) ≈ x)) against g(c): the appendix's Exists and
+/// MatchConstr rules in sequence, ending with CheckName on the bound
+/// existential.
+#[test]
+fn exists_and_constraint_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let g1 = f.syms.op("g", 1);
+    let x = f.syms.var("x");
+    let y = f.syms.var("y");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(g1, vec![tc]);
+    let px = f.pats.var(x);
+    let py = f.pats.var(y);
+    let gy = f.pats.app(g1, vec![py]);
+    let constrained = f.pats.match_constr(px, gy, x);
+    let p = f.pats.exists(y, constrained);
+    let (out, tr) = trace(&mut f, p, t);
+    assert!(out.witness().is_some());
+    assert_eq!(
+        tr,
+        vec![
+            MatchExists,      // unfold ∃: push checkName(y)
+            MatchMatchConstr, // split p ; (p′ ≈ x)
+            MatchVarBind,     // x ↦ g(c)
+            MatchConstr,      // dispatch θ(x) against g(y)
+            MatchFun,         // g matches g
+            MatchVarBind,     // y ↦ c
+            CheckName,        // y is bound
+            Success,
+        ]
+    );
+}
+
+/// The totalizing completion: an unbound existential backtracks rather
+/// than wedging the machine.
+#[test]
+fn check_name_unbound_trace() {
+    // ∃y.x — ill-formed (rejected by validate), but the machine must
+    // still terminate: CheckName-Unbound → failure.
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let y = f.syms.var("y");
+    let tc = f.terms.app0(c);
+    let px = f.pats.var(x);
+    let p = f.pats.exists(y, px);
+    assert!(f.pats.validate(&f.syms, p).is_err());
+    let (out, tr) = trace(&mut f, p, tc);
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(tr, vec![MatchExists, MatchVarBind, CheckNameUnbound]);
+}
+
+/// The totalizing completion for match constraints on unbound variables.
+#[test]
+fn match_constr_unbound_trace() {
+    // (x ; (c ≈ y)) — y never bound: MatchConstr-Unbound → failure.
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let y = f.syms.var("y");
+    let tc = f.terms.app0(c);
+    let px = f.pats.var(x);
+    let pc = f.pats.app(c, vec![]);
+    let p = f.pats.match_constr(px, pc, y);
+    let (out, tr) = trace(&mut f, p, tc);
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(tr, vec![MatchMatchConstr, MatchVarBind, MatchConstrUnbound]);
+}
+
+/// Function variables: Bind on first use, Bound on the repeat, Conflict
+/// across alternates.
+#[test]
+fn fun_var_rules_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let relu = f.syms.op("Relu", 1);
+    let x = f.syms.var("x");
+    let fv = f.syms.fun_var("F");
+    let tc = f.terms.app0(c);
+    let inner_t = f.terms.app(relu, vec![tc]);
+    let t = f.terms.app(relu, vec![inner_t]);
+    let px = f.pats.var(x);
+    let inner_p = f.pats.fun_app(fv, vec![px]);
+    let p = f.pats.fun_app(fv, vec![inner_p]);
+    let (out, tr) = trace(&mut f, p, t);
+    let w = out.witness().unwrap();
+    assert_eq!(w.phi.get(fv), Some(relu));
+    assert_eq!(
+        tr,
+        vec![MatchFunVarBind, MatchFunVarBound, MatchVarBind, Success]
+    );
+}
+
+/// F(x) against a term with a different arity: Fun-Var-Conflict.
+#[test]
+fn fun_var_arity_conflict_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let add = f.syms.op("Add", 2);
+    let x = f.syms.var("x");
+    let fv = f.syms.fun_var("F");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(add, vec![tc, tc]);
+    let px = f.pats.var(x);
+    let p = f.pats.fun_app(fv, vec![px]);
+    let (out, tr) = trace(&mut f, p, t);
+    assert_eq!(out, Outcome::Failure);
+    assert_eq!(tr, vec![MatchFunVarConflict]);
+}
+
+/// μ-recursion: each level contributes one ST-Match-Mu; the trace for a
+/// 2-tower shows two unfolds plus the per-level alternate machinery.
+#[test]
+fn mu_unfold_trace() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let u = f.syms.op("u", 1);
+    let x = f.syms.var("x");
+    let pn = f.syms.pat_name("Chain");
+    let tc = f.terms.app0(c);
+    let t1 = f.terms.app(u, vec![tc]);
+    let t2 = f.terms.app(u, vec![t1]);
+    // μChain(x)[x]. (u(Chain(x)) ‖ u(x))
+    let px = f.pats.var(x);
+    let call = f.pats.call(pn, vec![x]);
+    let rec = f.pats.app(u, vec![call]);
+    let base = f.pats.app(u, vec![px]);
+    let body = f.pats.alt(rec, base);
+    let p = f.pats.mu(pn, vec![x], vec![x], body);
+
+    let (out, tr) = trace(&mut f, p, t2);
+    let w = out.witness().unwrap();
+    assert_eq!(w.theta.get(x), Some(tc));
+    let unfolds = tr.iter().filter(|&&r| r == MatchMu).count();
+    // One unfold per tower level, plus one final unfold whose recursive
+    // call bottoms out at the constant before the base alternate fires.
+    assert_eq!(unfolds, 3, "levels + 1 unfolds: {tr:?}");
+    // Recursion bottoms out by backtracking at the constant.
+    assert!(tr.contains(&MatchFunConflict));
+}
+
+/// step() on a halted machine is a no-op.
+#[test]
+fn stepping_after_halt_is_noop() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let x = f.syms.var("x");
+    let tc = f.terms.app0(c);
+    let p = f.pats.var(x);
+    let mut m = Machine::new(&mut f.pats, &f.terms, &NoAttrs);
+    m.run(p, tc, 100).unwrap();
+    assert!(m.outcome().is_some());
+    assert_eq!(m.step(), None);
+    assert_eq!(m.step(), None);
+}
+
+/// resume() continues a partially run machine to the same outcome a
+/// single run would reach.
+#[test]
+fn resume_reaches_same_outcome() {
+    let mut f = fx();
+    let c = f.syms.op("c", 0);
+    let b = f.syms.op("f", 2);
+    let x = f.syms.var("x");
+    let y = f.syms.var("y");
+    let tc = f.terms.app0(c);
+    let t = f.terms.app(b, vec![tc, tc]);
+    let px = f.pats.var(x);
+    let py = f.pats.var(y);
+    let p = f.pats.app(b, vec![px, py]);
+
+    let mut m = Machine::new(&mut f.pats, &f.terms, &NoAttrs);
+    m.load(p, t);
+    // One step at a time.
+    let mut budget = 100;
+    while m.outcome().is_none() && budget > 0 {
+        m.resume(1).ok();
+        budget -= 1;
+    }
+    let stepped = m.outcome().cloned().unwrap();
+    let direct = Machine::new(&mut f.pats, &f.terms, &NoAttrs)
+        .run(p, t, 100)
+        .unwrap();
+    assert_eq!(stepped, direct);
+}

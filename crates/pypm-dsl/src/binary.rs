@@ -1,0 +1,753 @@
+//! The portable *binary* format for rule sets — the "portable serialized
+//! binary format" that PyPM's Python frontend emits and DLCB dynamically
+//! loads (paper §2.4).
+//!
+//! The encoding is self-describing and position-independent: all
+//! identifiers are carried by name and re-interned on load, so a rule set
+//! serialized against one [`SymbolTable`] can be loaded into a completely
+//! fresh session (this is what makes the format *portable* across the
+//! frontend/backend process boundary).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   "PYPMB1"
+//! u32     operator count
+//!   str name, u32 arity                    (operator table)
+//! u32     pattern count
+//!   str name
+//!   u32 param count,     str × n           (term parameters)
+//!   u32 fun-param count, str × n           (function parameters)
+//!   pattern tree                           (tagged preorder)
+//!   u32 rule count
+//!     str name, guard, rhs
+//! ```
+
+use crate::ruleset::{PatternDef, Rhs, RuleDef, RuleSet};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pypm_core::{Expr, Guard, Pattern, PatternId, PatternStore, SymbolTable};
+use std::fmt;
+
+const MAGIC: &[u8; 6] = b"PYPMB1";
+
+/// Errors from decoding a pattern binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinError {
+    /// Wrong magic bytes or truncated header.
+    BadMagic,
+    /// Ran out of bytes mid-structure.
+    Truncated,
+    /// Unknown structure tag.
+    BadTag {
+        /// Which structure was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// Invalid UTF-8 in a string.
+    BadString,
+    /// An operator was referenced before its table entry.
+    UnknownOp {
+        /// The operator name.
+        name: String,
+    },
+    /// A declaration conflicts with the loading session's signature
+    /// (same operator name, different arity) or with itself (μ with
+    /// mismatched parameter/argument counts).
+    Inconsistent {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for BinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinError::BadMagic => write!(f, "not a PyPM pattern binary"),
+            BinError::Truncated => write!(f, "pattern binary is truncated"),
+            BinError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            BinError::BadString => write!(f, "invalid utf-8 in pattern binary"),
+            BinError::UnknownOp { name } => write!(f, "undeclared operator {name}"),
+            BinError::Inconsistent { what } => write!(f, "inconsistent pattern binary: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BinError {}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+/// Serializes a rule set to the binary format.
+pub fn encode(rs: &RuleSet, syms: &SymbolTable, pats: &PatternStore) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+
+    // Operator table: every op any pattern or rhs mentions.
+    let mut ops: std::collections::BTreeMap<String, usize> = Default::default();
+    for def in &rs.patterns {
+        collect_ops(pats, syms, def.pattern, &mut ops);
+        for rule in &def.rules {
+            collect_rhs_ops(&rule.rhs, syms, &mut ops);
+        }
+    }
+    buf.put_u32_le(ops.len() as u32);
+    for (name, arity) in &ops {
+        put_str(&mut buf, name);
+        buf.put_u32_le(*arity as u32);
+    }
+
+    buf.put_u32_le(rs.patterns.len() as u32);
+    for def in &rs.patterns {
+        put_str(&mut buf, &def.name);
+        buf.put_u32_le(def.params.len() as u32);
+        for &p in &def.params {
+            put_str(&mut buf, syms.var_name(p));
+        }
+        buf.put_u32_le(def.fun_params.len() as u32);
+        for &fp in &def.fun_params {
+            put_str(&mut buf, syms.fun_var_name(fp));
+        }
+        put_pattern(&mut buf, syms, pats, def.pattern);
+        buf.put_u32_le(def.rules.len() as u32);
+        for rule in &def.rules {
+            put_str(&mut buf, &rule.name);
+            put_guard(&mut buf, syms, &rule.guard);
+            put_rhs(&mut buf, syms, &rule.rhs);
+        }
+    }
+    buf.freeze()
+}
+
+fn collect_ops(
+    pats: &PatternStore,
+    syms: &SymbolTable,
+    p: PatternId,
+    out: &mut std::collections::BTreeMap<String, usize>,
+) {
+    match pats.get(p) {
+        Pattern::Var(_) | Pattern::Call(..) => {}
+        Pattern::App(f, args) => {
+            out.insert(syms.op_name(*f).to_owned(), args.len());
+            for &a in args {
+                collect_ops(pats, syms, a, out);
+            }
+        }
+        Pattern::FunApp(_, args) => {
+            for &a in args {
+                collect_ops(pats, syms, a, out);
+            }
+        }
+        Pattern::Alt(l, r) => {
+            collect_ops(pats, syms, *l, out);
+            collect_ops(pats, syms, *r, out);
+        }
+        Pattern::Guard(inner, _) | Pattern::Exists(_, inner) => collect_ops(pats, syms, *inner, out),
+        Pattern::MatchConstr {
+            main, constraint, ..
+        } => {
+            collect_ops(pats, syms, *main, out);
+            collect_ops(pats, syms, *constraint, out);
+        }
+        Pattern::Mu { body, .. } => collect_ops(pats, syms, *body, out),
+    }
+}
+
+fn collect_rhs_ops(
+    rhs: &Rhs,
+    syms: &SymbolTable,
+    out: &mut std::collections::BTreeMap<String, usize>,
+) {
+    match rhs {
+        Rhs::Var(_) => {}
+        Rhs::App { op, args, .. } => {
+            out.insert(syms.op_name(*op).to_owned(), args.len());
+            for a in args {
+                collect_rhs_ops(a, syms, out);
+            }
+        }
+        Rhs::FunApp(_, args) => {
+            for a in args {
+                collect_rhs_ops(a, syms, out);
+            }
+        }
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_pattern(buf: &mut BytesMut, syms: &SymbolTable, pats: &PatternStore, p: PatternId) {
+    match pats.get(p) {
+        Pattern::Var(x) => {
+            buf.put_u8(0);
+            put_str(buf, syms.var_name(*x));
+        }
+        Pattern::App(f, args) => {
+            buf.put_u8(1);
+            put_str(buf, syms.op_name(*f));
+            buf.put_u32_le(args.len() as u32);
+            for &a in args {
+                put_pattern(buf, syms, pats, a);
+            }
+        }
+        Pattern::FunApp(fv, args) => {
+            buf.put_u8(2);
+            put_str(buf, syms.fun_var_name(*fv));
+            buf.put_u32_le(args.len() as u32);
+            for &a in args {
+                put_pattern(buf, syms, pats, a);
+            }
+        }
+        Pattern::Alt(l, r) => {
+            buf.put_u8(3);
+            put_pattern(buf, syms, pats, *l);
+            put_pattern(buf, syms, pats, *r);
+        }
+        Pattern::Guard(inner, g) => {
+            buf.put_u8(4);
+            put_pattern(buf, syms, pats, *inner);
+            put_guard(buf, syms, g);
+        }
+        Pattern::Exists(x, inner) => {
+            buf.put_u8(5);
+            put_str(buf, syms.var_name(*x));
+            put_pattern(buf, syms, pats, *inner);
+        }
+        Pattern::MatchConstr {
+            main,
+            constraint,
+            var,
+        } => {
+            buf.put_u8(6);
+            put_pattern(buf, syms, pats, *main);
+            put_pattern(buf, syms, pats, *constraint);
+            put_str(buf, syms.var_name(*var));
+        }
+        Pattern::Mu {
+            name,
+            params,
+            args,
+            body,
+        } => {
+            buf.put_u8(7);
+            put_str(buf, syms.pat_name_text(*name));
+            buf.put_u32_le(params.len() as u32);
+            for &x in params {
+                put_str(buf, syms.var_name(x));
+            }
+            buf.put_u32_le(args.len() as u32);
+            for &y in args {
+                put_str(buf, syms.var_name(y));
+            }
+            put_pattern(buf, syms, pats, *body);
+        }
+        Pattern::Call(name, args) => {
+            buf.put_u8(8);
+            put_str(buf, syms.pat_name_text(*name));
+            buf.put_u32_le(args.len() as u32);
+            for &y in args {
+                put_str(buf, syms.var_name(y));
+            }
+        }
+    }
+}
+
+fn put_guard(buf: &mut BytesMut, syms: &SymbolTable, g: &Guard) {
+    match g {
+        Guard::Eq(l, r) => {
+            buf.put_u8(0);
+            put_expr(buf, syms, l);
+            put_expr(buf, syms, r);
+        }
+        Guard::Lt(l, r) => {
+            buf.put_u8(1);
+            put_expr(buf, syms, l);
+            put_expr(buf, syms, r);
+        }
+        Guard::And(l, r) => {
+            buf.put_u8(2);
+            put_guard(buf, syms, l);
+            put_guard(buf, syms, r);
+        }
+        Guard::Or(l, r) => {
+            buf.put_u8(3);
+            put_guard(buf, syms, l);
+            put_guard(buf, syms, r);
+        }
+        Guard::Not(inner) => {
+            buf.put_u8(4);
+            put_guard(buf, syms, inner);
+        }
+    }
+}
+
+fn put_expr(buf: &mut BytesMut, syms: &SymbolTable, e: &Expr) {
+    match e {
+        Expr::Const(n) => {
+            buf.put_u8(0);
+            buf.put_i64_le(*n);
+        }
+        Expr::VarAttr(x, a) => {
+            buf.put_u8(1);
+            put_str(buf, syms.var_name(*x));
+            put_str(buf, syms.attr_name(*a));
+        }
+        Expr::Add(l, r) => {
+            buf.put_u8(2);
+            put_expr(buf, syms, l);
+            put_expr(buf, syms, r);
+        }
+        Expr::Sub(l, r) => {
+            buf.put_u8(3);
+            put_expr(buf, syms, l);
+            put_expr(buf, syms, r);
+        }
+        Expr::Mul(l, r) => {
+            buf.put_u8(4);
+            put_expr(buf, syms, l);
+            put_expr(buf, syms, r);
+        }
+        // TermAttr never occurs in serialized patterns: patterns are
+        // closed syntax with no embedded concrete terms.
+        Expr::TermAttr(..) => unreachable!("TermAttr in serialized pattern"),
+    }
+}
+
+fn put_rhs(buf: &mut BytesMut, syms: &SymbolTable, rhs: &Rhs) {
+    match rhs {
+        Rhs::Var(x) => {
+            buf.put_u8(0);
+            put_str(buf, syms.var_name(*x));
+        }
+        Rhs::App { op, args, attrs } => {
+            buf.put_u8(1);
+            put_str(buf, syms.op_name(*op));
+            buf.put_u32_le(args.len() as u32);
+            for a in args {
+                put_rhs(buf, syms, a);
+            }
+            buf.put_u32_le(attrs.len() as u32);
+            for (a, v) in attrs {
+                put_str(buf, syms.attr_name(*a));
+                buf.put_i64_le(*v);
+            }
+        }
+        Rhs::FunApp(fv, args) => {
+            buf.put_u8(2);
+            put_str(buf, syms.fun_var_name(*fv));
+            buf.put_u32_le(args.len() as u32);
+            for a in args {
+                put_rhs(buf, syms, a);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Deserializes a rule set, interning all names into `syms`/`pats`.
+///
+/// # Errors
+///
+/// See [`BinError`].
+pub fn decode(
+    mut data: Bytes,
+    syms: &mut SymbolTable,
+    pats: &mut PatternStore,
+) -> Result<RuleSet, BinError> {
+    if data.remaining() < MAGIC.len() || &data.chunk()[..MAGIC.len()] != MAGIC {
+        return Err(BinError::BadMagic);
+    }
+    data.advance(MAGIC.len());
+
+    let op_count = get_u32(&mut data)?;
+    for _ in 0..op_count {
+        let name = get_str(&mut data)?;
+        let arity = get_u32(&mut data)? as usize;
+        match syms.find_op(&name) {
+            Some(existing) if syms.arity(existing) != arity => {
+                return Err(BinError::Inconsistent {
+                    what: format!(
+                        "operator {name} declared with arity {arity}, session has {}",
+                        syms.arity(existing)
+                    ),
+                });
+            }
+            Some(_) => {}
+            None => {
+                syms.op(&name, arity);
+            }
+        }
+    }
+
+    let pat_count = get_u32(&mut data)?;
+    let mut rs = RuleSet::new();
+    for _ in 0..pat_count {
+        let name = get_str(&mut data)?;
+        let n_params = get_u32(&mut data)?;
+        let mut params = Vec::with_capacity(n_params as usize);
+        for _ in 0..n_params {
+            let pn = get_str(&mut data)?;
+            params.push(syms.var(&pn));
+        }
+        let n_fparams = get_u32(&mut data)?;
+        let mut fun_params = Vec::with_capacity(n_fparams as usize);
+        for _ in 0..n_fparams {
+            let fp = get_str(&mut data)?;
+            fun_params.push(syms.fun_var(&fp));
+        }
+        let pattern = get_pattern(&mut data, syms, pats)?;
+        let n_rules = get_u32(&mut data)?;
+        let mut rules = Vec::with_capacity(n_rules as usize);
+        for _ in 0..n_rules {
+            let rname = get_str(&mut data)?;
+            let guard = get_guard(&mut data, syms)?;
+            let rhs = get_rhs(&mut data, syms)?;
+            rules.push(RuleDef {
+                name: rname,
+                guard,
+                rhs,
+            });
+        }
+        rs.patterns.push(PatternDef {
+            name,
+            params,
+            fun_params,
+            pattern,
+            rules,
+        });
+    }
+    Ok(rs)
+}
+
+fn get_u32(data: &mut Bytes) -> Result<u32, BinError> {
+    if data.remaining() < 4 {
+        return Err(BinError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn get_i64(data: &mut Bytes) -> Result<i64, BinError> {
+    if data.remaining() < 8 {
+        return Err(BinError::Truncated);
+    }
+    Ok(data.get_i64_le())
+}
+
+fn get_u8(data: &mut Bytes) -> Result<u8, BinError> {
+    if data.remaining() < 1 {
+        return Err(BinError::Truncated);
+    }
+    Ok(data.get_u8())
+}
+
+fn get_str(data: &mut Bytes) -> Result<String, BinError> {
+    let len = get_u32(data)? as usize;
+    if data.remaining() < len {
+        return Err(BinError::Truncated);
+    }
+    let s = String::from_utf8(data.chunk()[..len].to_vec()).map_err(|_| BinError::BadString)?;
+    data.advance(len);
+    Ok(s)
+}
+
+fn get_pattern(
+    data: &mut Bytes,
+    syms: &mut SymbolTable,
+    pats: &mut PatternStore,
+) -> Result<PatternId, BinError> {
+    let tag = get_u8(data)?;
+    Ok(match tag {
+        0 => {
+            let x = get_str(data)?;
+            let v = syms.var(&x);
+            pats.var(v)
+        }
+        1 => {
+            let name = get_str(data)?;
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                args.push(get_pattern(data, syms, pats)?);
+            }
+            let op = syms
+                .find_op(&name)
+                .ok_or(BinError::UnknownOp { name })?;
+            pats.app(op, args)
+        }
+        2 => {
+            let name = get_str(data)?;
+            let fv = syms.fun_var(&name);
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                args.push(get_pattern(data, syms, pats)?);
+            }
+            pats.fun_app(fv, args)
+        }
+        3 => {
+            let l = get_pattern(data, syms, pats)?;
+            let r = get_pattern(data, syms, pats)?;
+            pats.alt(l, r)
+        }
+        4 => {
+            let inner = get_pattern(data, syms, pats)?;
+            let g = get_guard(data, syms)?;
+            pats.guarded(inner, g)
+        }
+        5 => {
+            let x = get_str(data)?;
+            let v = syms.var(&x);
+            let inner = get_pattern(data, syms, pats)?;
+            pats.exists(v, inner)
+        }
+        6 => {
+            let main = get_pattern(data, syms, pats)?;
+            let constraint = get_pattern(data, syms, pats)?;
+            let x = get_str(data)?;
+            let v = syms.var(&x);
+            pats.match_constr(main, constraint, v)
+        }
+        7 => {
+            let name = get_str(data)?;
+            let pn = syms.pat_name(&name);
+            let n = get_u32(data)?;
+            let mut params = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let s = get_str(data)?;
+                params.push(syms.var(&s));
+            }
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let s = get_str(data)?;
+                args.push(syms.var(&s));
+            }
+            let body = get_pattern(data, syms, pats)?;
+            if params.len() != args.len() {
+                return Err(BinError::Inconsistent {
+                    what: format!(
+                        "μ{} has {} parameters but {} arguments",
+                        get_owned_name(syms, pn),
+                        params.len(),
+                        args.len()
+                    ),
+                });
+            }
+            pats.mu(pn, params, args, body)
+        }
+        8 => {
+            let name = get_str(data)?;
+            let pn = syms.pat_name(&name);
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let s = get_str(data)?;
+                args.push(syms.var(&s));
+            }
+            pats.call(pn, args)
+        }
+        tag => return Err(BinError::BadTag {
+            what: "pattern",
+            tag,
+        }),
+    })
+}
+
+fn get_owned_name(syms: &SymbolTable, pn: pypm_core::PatName) -> String {
+    syms.pat_name_text(pn).to_owned()
+}
+
+fn get_guard(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Guard, BinError> {
+    let tag = get_u8(data)?;
+    Ok(match tag {
+        0 => Guard::Eq(get_expr(data, syms)?, get_expr(data, syms)?),
+        1 => Guard::Lt(get_expr(data, syms)?, get_expr(data, syms)?),
+        2 => Guard::And(
+            Box::new(get_guard(data, syms)?),
+            Box::new(get_guard(data, syms)?),
+        ),
+        3 => Guard::Or(
+            Box::new(get_guard(data, syms)?),
+            Box::new(get_guard(data, syms)?),
+        ),
+        4 => Guard::Not(Box::new(get_guard(data, syms)?)),
+        tag => return Err(BinError::BadTag { what: "guard", tag }),
+    })
+}
+
+fn get_expr(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Expr, BinError> {
+    let tag = get_u8(data)?;
+    Ok(match tag {
+        0 => Expr::Const(get_i64(data)?),
+        1 => {
+            let v = get_str(data)?;
+            let a = get_str(data)?;
+            Expr::var_attr(syms.var(&v), syms.attr(&a))
+        }
+        2 => get_expr(data, syms)?.add(get_expr(data, syms)?),
+        3 => get_expr(data, syms)?.sub(get_expr(data, syms)?),
+        4 => get_expr(data, syms)?.mul(get_expr(data, syms)?),
+        tag => return Err(BinError::BadTag { what: "expr", tag }),
+    })
+}
+
+fn get_rhs(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Rhs, BinError> {
+    let tag = get_u8(data)?;
+    Ok(match tag {
+        0 => {
+            let x = get_str(data)?;
+            Rhs::Var(syms.var(&x))
+        }
+        1 => {
+            let name = get_str(data)?;
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                args.push(get_rhs(data, syms)?);
+            }
+            let n_attrs = get_u32(data)?;
+            let mut attrs = Vec::with_capacity(n_attrs as usize);
+            for _ in 0..n_attrs {
+                let a = get_str(data)?;
+                let v = get_i64(data)?;
+                attrs.push((syms.attr(&a), v));
+            }
+            let op = match syms.find_op(&name) {
+                Some(op) => op,
+                None => syms.op(&name, args.len()),
+            };
+            Rhs::App { op, args, attrs }
+        }
+        2 => {
+            let name = get_str(data)?;
+            let fv = syms.fun_var(&name);
+            let n = get_u32(data)?;
+            let mut args = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                args.push(get_rhs(data, syms)?);
+            }
+            Rhs::FunApp(fv, args)
+        }
+        tag => return Err(BinError::BadTag { what: "rhs", tag }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Frontend;
+    use crate::text::print_ruleset;
+
+    fn roundtrip_display(
+        rs: &RuleSet,
+        syms: &SymbolTable,
+        pats: &PatternStore,
+    ) -> (String, String) {
+        let bin = encode(rs, syms, pats);
+        let mut syms2 = SymbolTable::new();
+        let mut pats2 = PatternStore::new();
+        let rs2 = decode(bin, &mut syms2, &mut pats2).unwrap();
+        (
+            print_ruleset(rs, syms, pats),
+            print_ruleset(&rs2, &syms2, &pats2),
+        )
+    }
+
+    #[test]
+    fn full_featured_ruleset_roundtrips() {
+        let mut fe = Frontend::new();
+        let matmul = fe.syms.op("MatMul", 2);
+        let trans = fe.syms.op("Trans", 1);
+        let f32mm = fe.syms.op("cublasMM_xyT_f32", 2);
+        let rank = fe.syms.attr("rank");
+        let elt = fe.syms.attr("eltType");
+        fe.pattern("MMxyT", |p| {
+            let x = p.param("x");
+            let y = p.param("y");
+            let rx = p.attr(x, rank);
+            let ry = p.attr(y, rank);
+            p.assert_(rx.eq(Expr::Const(2)).and(ry.eq(Expr::Const(2))));
+            let py = p.v(y);
+            let yt = p.op(trans, vec![py]);
+            let px = p.v(x);
+            p.op(matmul, vec![px, yt])
+        });
+        fe.pattern("UnaryChain", |p| {
+            let x = p.param("x");
+            let f = p.fun_param("f");
+            let inner = p.rec(vec![x]);
+            p.fun(f, vec![inner])
+        });
+        fe.pattern("UnaryChain", |p| {
+            let x = p.param("x");
+            let f = p.fun_param("f");
+            let px = p.v(x);
+            p.fun(f, vec![px])
+        });
+        let x = fe.syms.var("x");
+        let y = fe.syms.var("y");
+        fe.rule("MMxyT", "cublasrule", |r| {
+            r.assert_(Expr::var_attr(x, elt).eq(Expr::Const(1)));
+            r.ret(Rhs::app(f32mm, vec![Rhs::Var(x), Rhs::Var(y)]));
+        });
+        let (syms, pats, rs) = fe.serialize().unwrap();
+        let (a, b) = roundtrip_display(&rs, &syms, &pats);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut syms = SymbolTable::new();
+        let mut pats = PatternStore::new();
+        assert!(matches!(
+            decode(Bytes::from_static(b"NOTPYPM"), &mut syms, &mut pats),
+            Err(BinError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let mut fe = Frontend::new();
+        let relu = fe.syms.op("Relu", 1);
+        fe.pattern("P", |p| {
+            let x = p.param("x");
+            let px = p.v(x);
+            p.op(relu, vec![px])
+        });
+        let (syms, pats, rs) = fe.serialize().unwrap();
+        let bin = encode(&rs, &syms, &pats);
+        for cut in [MAGIC.len(), bin.len() / 2, bin.len() - 1] {
+            let mut syms2 = SymbolTable::new();
+            let mut pats2 = PatternStore::new();
+            let r = decode(bin.slice(..cut), &mut syms2, &mut pats2);
+            assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn decoded_ruleset_validates() {
+        let mut fe = Frontend::new();
+        let g = fe.syms.op("g", 1);
+        fe.pattern("Rooted", |p| {
+            let x = p.param("x");
+            let y = p.var();
+            let py = p.v(y);
+            let gy = p.op(g, vec![py]);
+            p.constrain(x, gy);
+            p.v(x)
+        });
+        let (syms, pats, rs) = fe.serialize().unwrap();
+        let bin = encode(&rs, &syms, &pats);
+        let mut syms2 = SymbolTable::new();
+        let mut pats2 = PatternStore::new();
+        let rs2 = decode(bin, &mut syms2, &mut pats2).unwrap();
+        rs2.validate(&pats2, &syms2).unwrap();
+    }
+}

@@ -1,0 +1,27 @@
+//! # pypm-engine — the DLCB rewrite engine
+//!
+//! The paper's DLCB backend "dynamically loads and parses a user-specified
+//! set of pattern binaries … repeatedly traverses the graph, attempting to
+//! match any of the patterns … greedily rewriting all of the patterns it
+//! can match until no matches remain" (§2.4). This crate is that backend:
+//!
+//! * [`Session`] — the shared symbol/term/pattern stores of a
+//!   compilation, with library/binary/text loading,
+//! * [`Rewriter`] — the greedy fixpoint pass driving the CorePyPM
+//!   abstract machine over graph term-views, with ordered guarded rule
+//!   firing and [`PassStats`] (the raw data behind the paper's
+//!   compile-time figures 12–13),
+//! * [`partition`] — directed graph partitioning (§4.2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod explain;
+pub mod partition;
+pub mod rewriter;
+pub mod session;
+
+pub use explain::{explain_match, Explanation};
+pub use partition::{partition, Partition};
+pub use rewriter::{MatchReport, PassConfig, PassStats, RewriteError, Rewriter, SweepPolicy};
+pub use session::Session;

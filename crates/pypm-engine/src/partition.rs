@@ -1,0 +1,208 @@
+//! Directed graph partitioning (paper §4.2).
+//!
+//! > "By using PyPM patterns, DLCB can partition a computation graph into
+//! > subgraphs that we know can be optimized, and then recursively
+//! > compile them."
+//!
+//! [`partition`] finds all matches of a pattern (typically Fig. 14's
+//! `MatMulEpilog`), then greedily claims non-overlapping matched regions,
+//! preferring larger matches. Each [`Partition`] records the region's
+//! root, its member nodes (the machine's structural coverage), and its
+//! dataflow frontier — the external inputs a "just in time"-compiled
+//! fused kernel for the region would take.
+
+use crate::rewriter::Rewriter;
+use crate::session::Session;
+use pypm_dsl::RuleSet;
+use pypm_graph::{Graph, NodeId, TermView};
+use std::collections::HashSet;
+
+/// One claimed subgraph region.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// The root node of the matched region (produces the region's
+    /// output).
+    pub root: NodeId,
+    /// Member nodes, root included.
+    pub nodes: Vec<NodeId>,
+    /// External inputs read by the region (deduplicated, in first-use
+    /// order): the argument list of the fused kernel.
+    pub frontier: Vec<NodeId>,
+}
+
+impl Partition {
+    /// Number of operator nodes fused into this region.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Partitions `graph` by the named pattern, greedily claiming
+/// non-overlapping regions from largest to smallest (ties broken toward
+/// nodes closer to the outputs).
+pub fn partition(
+    session: &mut Session,
+    rules: &RuleSet,
+    graph: &Graph,
+    pattern_name: &str,
+) -> Vec<Partition> {
+    let mut rewriter = Rewriter::new(session, rules);
+    let mut reports = rewriter.find_matches(graph, pattern_name);
+    // Largest regions first; among equals prefer later topo position
+    // (closer to outputs) so chains are claimed from their heads.
+    reports.sort_by(|a, b| {
+        b.coverage
+            .len()
+            .cmp(&a.coverage.len())
+            .then(b.node.cmp(&a.node))
+    });
+
+    let view = TermView::build(
+        graph,
+        &mut session.syms,
+        &mut session.terms,
+        &session.registry,
+    );
+    let mut claimed: HashSet<NodeId> = HashSet::new();
+    let mut out = Vec::new();
+    for report in reports {
+        let mut nodes: Vec<NodeId> = Vec::new();
+        let mut ok = true;
+        for &t in &report.coverage {
+            match view.node_of(t) {
+                Some(n) => {
+                    if claimed.contains(&n) {
+                        ok = false;
+                        break;
+                    }
+                    if !nodes.contains(&n) {
+                        nodes.push(n);
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok || nodes.is_empty() {
+            continue;
+        }
+        claimed.extend(nodes.iter().copied());
+        let member: HashSet<NodeId> = nodes.iter().copied().collect();
+        let mut frontier = Vec::new();
+        for &n in &nodes {
+            for &input in &graph.node(n).inputs {
+                if !member.contains(&input) && !frontier.contains(&input) {
+                    frontier.push(input);
+                }
+            }
+        }
+        out.push(Partition {
+            root: report.node,
+            nodes,
+            frontier,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pypm_dsl::LibraryConfig;
+    use pypm_graph::{DType, TensorMeta};
+
+    fn mat(s: &mut Session, g: &mut Graph, dims: &[i64]) -> NodeId {
+        g.input(&mut s.syms, TensorMeta::new(DType::F32, dims.to_vec()))
+    }
+
+    /// matmul → relu → gelu chain: one partition covering all three ops.
+    #[test]
+    fn epilog_chain_is_one_partition() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[8, 8]);
+        let b = mat(&mut s, &mut g, &[8, 8]);
+        let (matmul, relu, gelu) = (s.ops.matmul, s.ops.relu, s.ops.gelu);
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        let r = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
+        let ge = g.op(&mut s.syms, &s.registry, gelu, vec![r], vec![]).unwrap();
+        g.mark_output(ge);
+
+        let parts = partition(&mut s, &rs, &g, "MatMulEpilog");
+        assert_eq!(parts.len(), 1);
+        let p = &parts[0];
+        assert_eq!(p.root, ge);
+        assert_eq!(p.size(), 3);
+        assert!(p.nodes.contains(&mm) && p.nodes.contains(&r) && p.nodes.contains(&ge));
+        // Frontier: the two matrix inputs.
+        assert_eq!(p.frontier.len(), 2);
+        assert!(p.frontier.contains(&a) && p.frontier.contains(&b));
+    }
+
+    /// Two independent matmul+epilog chains: two disjoint partitions.
+    #[test]
+    fn independent_chains_get_separate_partitions() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let (matmul, relu, add) = (s.ops.matmul, s.ops.relu, s.ops.add);
+        let a = mat(&mut s, &mut g, &[8, 8]);
+        let b = mat(&mut s, &mut g, &[8, 8]);
+        let c = mat(&mut s, &mut g, &[8, 8]);
+        let d = mat(&mut s, &mut g, &[8, 8]);
+        let mm1 = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        let r1 = g.op(&mut s.syms, &s.registry, relu, vec![mm1], vec![]).unwrap();
+        let mm2 = g
+            .op(&mut s.syms, &s.registry, matmul, vec![c, d], vec![])
+            .unwrap();
+        let r2 = g.op(&mut s.syms, &s.registry, relu, vec![mm2], vec![]).unwrap();
+        let sum = g.op(&mut s.syms, &s.registry, add, vec![r1, r2], vec![]).unwrap();
+        g.mark_output(sum);
+
+        let parts = partition(&mut s, &rs, &g, "MatMulEpilog");
+        assert_eq!(parts.len(), 2);
+        // Each region covers its matmul and its relu (4 nodes total,
+        // disjoint).
+        let all: HashSet<NodeId> = parts.iter().flat_map(|p| p.nodes.clone()).collect();
+        assert_eq!(all.len(), 4, "partitions must not overlap");
+        assert!(!all.contains(&sum), "Add is not part of any epilog region");
+    }
+
+    /// A bare matmul (chain length 0) still forms a partition of size 1.
+    #[test]
+    fn bare_matmul_is_minimal_partition() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[8, 8]);
+        let b = mat(&mut s, &mut g, &[8, 8]);
+        let matmul = s.ops.matmul;
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        g.mark_output(mm);
+
+        let parts = partition(&mut s, &rs, &g, "MatMulEpilog");
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].size(), 1);
+        assert_eq!(parts[0].root, mm);
+    }
+
+    /// Unknown pattern name yields no partitions.
+    #[test]
+    fn unknown_pattern_yields_nothing() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[2, 2]);
+        g.mark_output(a);
+        assert!(partition(&mut s, &rs, &g, "NoSuchPattern").is_empty());
+    }
+}

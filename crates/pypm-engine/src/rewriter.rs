@@ -1,0 +1,788 @@
+//! The DLCB pattern-matching pass (paper §2.4, §4.1).
+//!
+//! > "When the rewriting compiler pass runs on an operator graph, the
+//! > compiler repeatedly traverses the graph, attempting to match any of
+//! > the patterns. Each time a node is visited, the compiler attempts to
+//! > match the subtree rooted at that node against each of the loaded
+//! > patterns, in order of their appearance in the original python file.
+//! > When a match is found, the corresponding rule (if any) fires, and
+//! > the replacement is built and substituted into the graph in place of
+//! > the subgraph the pattern matched."
+//!
+//! [`Rewriter::run`] implements exactly that loop: sweep nodes in
+//! topological order, drive the CorePyPM abstract machine at each node,
+//! fire the first rule whose guard holds, rebuild, and repeat until a
+//! full sweep finds nothing ("greedily rewriting all of the patterns it
+//! can match until no matches remain").
+//!
+//! [`PassStats`] records the counters behind the paper's compile-time
+//! figures (Figs. 12–13): wall-clock matching time, match attempts
+//! (including the "partial matches that don't end up actually matching"),
+//! matches found, and rewrites fired.
+
+use crate::session::Session;
+use pypm_core::{Machine, Outcome, Subst, TermId, Witness};
+use pypm_dsl::{Rhs, RuleSet};
+use pypm_graph::{Graph, NodeId, TermView};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// What the pass does after a rewrite fires mid-sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepPolicy {
+    /// Restart the sweep from the first node, exactly the paper's
+    /// "repeatedly traverses the graph" loop (§2.4). Guarantees the
+    /// first-pattern-first-node match order at every step.
+    #[default]
+    RestartOnRewrite,
+    /// Rebuild the term view but continue the current sweep from the
+    /// next surviving node. Reaches the same fixpoint for the library's
+    /// rule sets with fewer traversals; used by the scheduling ablation.
+    ContinueSweep,
+}
+
+/// Tuning knobs for the rewrite pass.
+#[derive(Debug, Clone, Copy)]
+pub struct PassConfig {
+    /// Step budget per machine run (recursive patterns can diverge).
+    pub machine_fuel: u64,
+    /// Upper bound on total rewrites, a safety net against rule sets
+    /// that never reach a fixpoint.
+    pub max_rewrites: usize,
+    /// Mid-sweep scheduling policy.
+    pub sweep_policy: SweepPolicy,
+}
+
+impl Default for PassConfig {
+    fn default() -> Self {
+        PassConfig {
+            machine_fuel: 1_000_000,
+            max_rewrites: 100_000,
+            sweep_policy: SweepPolicy::RestartOnRewrite,
+        }
+    }
+}
+
+/// Counters for one pass (the paper's compile-time cost metrics).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassStats {
+    /// Node visits across all sweeps.
+    pub nodes_visited: u64,
+    /// Pattern match attempts (pattern × node pairs tried).
+    pub match_attempts: u64,
+    /// Attempts that succeeded.
+    pub matches_found: u64,
+    /// Rules fired (≤ matches: a match with no passing rule fires none).
+    pub rewrites_fired: u64,
+    /// Abstract-machine transitions across all attempts.
+    pub machine_steps: u64,
+    /// Machine backtracks across all attempts.
+    pub machine_backtracks: u64,
+    /// Full sweeps over the graph.
+    pub sweeps: u64,
+    /// Wall-clock time of the pass.
+    pub duration: Duration,
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} visits, {} attempts, {} matches, {} rewrites, {} steps, {:.3} ms",
+            self.nodes_visited,
+            self.match_attempts,
+            self.matches_found,
+            self.rewrites_fired,
+            self.machine_steps,
+            self.duration.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Errors raised while building a replacement subgraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The rule's RHS mentions a variable the match did not bind.
+    UnboundRhsVar {
+        /// Variable name.
+        var: String,
+    },
+    /// The rule's RHS mentions a function variable the match did not
+    /// bind.
+    UnboundRhsFunVar {
+        /// Function variable name.
+        fun_var: String,
+    },
+    /// A matched term has no corresponding graph node (internal error).
+    NoNodeForTerm,
+    /// Building a replacement node failed (shape inference or arity).
+    BuildFailed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::UnboundRhsVar { var } => {
+                write!(f, "rule rhs uses unbound variable {var}")
+            }
+            RewriteError::UnboundRhsFunVar { fun_var } => {
+                write!(f, "rule rhs uses unbound function variable {fun_var}")
+            }
+            RewriteError::NoNodeForTerm => write!(f, "matched term has no graph node"),
+            RewriteError::BuildFailed { reason } => write!(f, "replacement build failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// One successful match, as reported by [`Rewriter::find_matches`].
+#[derive(Debug, Clone)]
+pub struct MatchReport {
+    /// Index of the pattern in the rule set.
+    pub pattern_index: usize,
+    /// The matched node (root of the matched subgraph).
+    pub node: NodeId,
+    /// The witness ⟨θ, φ⟩.
+    pub witness: Witness,
+    /// Terms structurally decomposed by the match — the matched subgraph
+    /// (used by directed graph partitioning, §4.2).
+    pub coverage: Vec<TermId>,
+}
+
+/// The rewrite engine driving a [`RuleSet`] over a [`Graph`].
+#[derive(Debug)]
+pub struct Rewriter<'a> {
+    session: &'a mut Session,
+    rules: &'a RuleSet,
+    config: PassConfig,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter for the given session and rule set.
+    pub fn new(session: &'a mut Session, rules: &'a RuleSet) -> Self {
+        Rewriter {
+            session,
+            rules,
+            config: PassConfig::default(),
+        }
+    }
+
+    /// Overrides the pass configuration.
+    pub fn with_config(mut self, config: PassConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the pass to fixpoint, mutating `graph` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replacement-construction failure; matching
+    /// itself cannot fail (fuel exhaustion on a pathological recursive
+    /// pattern is treated as "no match at this node").
+    pub fn run(&mut self, graph: &mut Graph) -> Result<PassStats, RewriteError> {
+        let start = Instant::now();
+        let mut stats = PassStats::default();
+        'sweeps: loop {
+            stats.sweeps += 1;
+            let mut view = TermView::build(
+                graph,
+                &mut self.session.syms,
+                &mut self.session.terms,
+                &self.session.registry,
+            );
+            let order = graph.topo_order();
+            let mut sweep_fired = false;
+            for node in order {
+                if !graph.is_alive(node) {
+                    // Collected by an earlier rewrite in this sweep
+                    // (ContinueSweep policy).
+                    continue;
+                }
+                stats.nodes_visited += 1;
+                let t = match view.term_of(node) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                for (pi, def) in self.rules.patterns.iter().enumerate() {
+                    if def.rules.is_empty() {
+                        // Pattern-only definitions (e.g. PwSubgraph) are
+                        // matched by find_matches/partitioning, not by the
+                        // rewriting pass.
+                        continue;
+                    }
+                    stats.match_attempts += 1;
+                    let mut machine =
+                        Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
+                    let outcome = machine.run(def.pattern, t, self.config.machine_fuel);
+                    let mstats = machine.stats();
+                    stats.machine_steps += mstats.steps;
+                    stats.machine_backtracks += mstats.backtracks;
+                    let witness = match outcome {
+                        Ok(Outcome::Success(w)) => w,
+                        Ok(Outcome::Failure) | Err(_) => continue,
+                    };
+                    stats.matches_found += 1;
+                    // "PyPM runs each of the corresponding rules one by
+                    // one … The first rule whose assertions pass is
+                    // fired."
+                    let fired = self.fire_first_rule(graph, &view, node, pi, &witness)?;
+                    if fired {
+                        stats.rewrites_fired += 1;
+                        sweep_fired = true;
+                        graph.gc();
+                        if stats.rewrites_fired as usize >= self.config.max_rewrites {
+                            break 'sweeps;
+                        }
+                        match self.config.sweep_policy {
+                            SweepPolicy::RestartOnRewrite => {
+                                // The term view is stale; restart.
+                                continue 'sweeps;
+                            }
+                            SweepPolicy::ContinueSweep => {
+                                // Refresh the view, keep the sweep
+                                // position (the just-rewritten node is
+                                // dead and will be skipped).
+                                view = TermView::build(
+                                    graph,
+                                    &mut self.session.syms,
+                                    &mut self.session.terms,
+                                    &self.session.registry,
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if !sweep_fired {
+                // A full sweep with no rewrite: fixpoint reached.
+                break;
+            }
+        }
+        // Identity-rewrite probes may have left unreferenced nodes.
+        graph.gc();
+        stats.duration = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Attempts the matched pattern's rules in order; builds and splices
+    /// the replacement of the first whose guard holds.
+    fn fire_first_rule(
+        &mut self,
+        graph: &mut Graph,
+        view: &TermView,
+        node: NodeId,
+        pattern_index: usize,
+        witness: &Witness,
+    ) -> Result<bool, RewriteError> {
+        let def = &self.rules.patterns[pattern_index];
+        for rule in &def.rules {
+            let holds = rule
+                .guard
+                .eval(&witness.theta, &self.session.terms, view.attrs())
+                .holds();
+            if !holds {
+                continue;
+            }
+            let root_meta = graph.node(node).meta.clone();
+            let replacement = self.instantiate_root(graph, view, &rule.rhs, witness, root_meta)?;
+            // Identity rewrites (replacement structurally equal to the
+            // matched subgraph, e.g. collapsing a chain of one RELU to
+            // one RELU) must not fire, or the pass would never reach a
+            // fixpoint. Compare *structurally*: freshly built nodes are
+            // new NodeIds but may denote the same term.
+            if replacement == node || self.term_of_new(graph, view, replacement) == view.term_of(node)
+            {
+                continue;
+            }
+            graph
+                .replace(node, replacement)
+                .map_err(|e| RewriteError::BuildFailed {
+                    reason: e.to_string(),
+                })?;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Builds the RHS root. A rewrite replaces a subgraph by an
+    /// equivalent one, so the replacement's output metadata is the
+    /// matched root's metadata verbatim (shape inference cannot always
+    /// recover it — e.g. the fused ConvBiasAct kernel carries its stride
+    /// internally).
+    fn instantiate_root(
+        &mut self,
+        graph: &mut Graph,
+        view: &TermView,
+        rhs: &Rhs,
+        witness: &Witness,
+        root_meta: pypm_graph::TensorMeta,
+    ) -> Result<NodeId, RewriteError> {
+        match rhs {
+            Rhs::Var(_) => self.instantiate(graph, view, rhs, witness),
+            Rhs::App { op, args, attrs } => {
+                let mut inputs = Vec::with_capacity(args.len());
+                for a in args {
+                    inputs.push(self.instantiate(graph, view, a, witness)?);
+                }
+                graph
+                    .op_with_meta(*op, inputs, attrs.clone(), root_meta)
+                    .map_err(|e| RewriteError::BuildFailed {
+                        reason: e.to_string(),
+                    })
+            }
+            Rhs::FunApp(fv, args) => {
+                let op = witness
+                    .phi
+                    .get(*fv)
+                    .ok_or_else(|| RewriteError::UnboundRhsFunVar {
+                        fun_var: self.session.syms.fun_var_name(*fv).to_owned(),
+                    })?;
+                let mut inputs = Vec::with_capacity(args.len());
+                for a in args {
+                    inputs.push(self.instantiate(graph, view, a, witness)?);
+                }
+                graph
+                    .op_with_meta(op, inputs, Vec::new(), root_meta)
+                    .map_err(|e| RewriteError::BuildFailed {
+                        reason: e.to_string(),
+                    })
+            }
+        }
+    }
+
+    /// The term a (possibly freshly created) node denotes: reuses the
+    /// view for pre-existing nodes and folds new nodes structurally.
+    fn term_of_new(&mut self, graph: &Graph, view: &TermView, n: NodeId) -> Option<TermId> {
+        if let Some(t) = view.term_of(n) {
+            return Some(t);
+        }
+        let node = graph.node(n);
+        let mut args = Vec::with_capacity(node.inputs.len());
+        for &i in &node.inputs {
+            args.push(self.term_of_new(graph, view, i)?);
+        }
+        Some(self.session.terms.app(node.op, args))
+    }
+
+    /// Builds the RHS template into the graph, reusing matched subgraphs
+    /// for variables.
+    fn instantiate(
+        &mut self,
+        graph: &mut Graph,
+        view: &TermView,
+        rhs: &Rhs,
+        witness: &Witness,
+    ) -> Result<NodeId, RewriteError> {
+        match rhs {
+            Rhs::Var(x) => {
+                let t = witness
+                    .theta
+                    .get(*x)
+                    .ok_or_else(|| RewriteError::UnboundRhsVar {
+                        var: self.session.syms.var_name(*x).to_owned(),
+                    })?;
+                view.node_of(t).ok_or(RewriteError::NoNodeForTerm)
+            }
+            Rhs::App { op, args, attrs } => {
+                let mut inputs = Vec::with_capacity(args.len());
+                for a in args {
+                    inputs.push(self.instantiate(graph, view, a, witness)?);
+                }
+                graph
+                    .op(
+                        &mut self.session.syms,
+                        &self.session.registry,
+                        *op,
+                        inputs,
+                        attrs.clone(),
+                    )
+                    .map_err(|e| RewriteError::BuildFailed {
+                        reason: e.to_string(),
+                    })
+            }
+            Rhs::FunApp(fv, args) => {
+                let op = witness
+                    .phi
+                    .get(*fv)
+                    .ok_or_else(|| RewriteError::UnboundRhsFunVar {
+                        fun_var: self.session.syms.fun_var_name(*fv).to_owned(),
+                    })?;
+                let mut inputs = Vec::with_capacity(args.len());
+                for a in args {
+                    inputs.push(self.instantiate(graph, view, a, witness)?);
+                }
+                graph
+                    .op(
+                        &mut self.session.syms,
+                        &self.session.registry,
+                        op,
+                        inputs,
+                        Vec::new(),
+                    )
+                    .map_err(|e| RewriteError::BuildFailed {
+                        reason: e.to_string(),
+                    })
+            }
+        }
+    }
+
+    /// Finds all matches of one named pattern over the current graph
+    /// *without rewriting* — the matching mode used by directed graph
+    /// partitioning (§4.2) and by diagnostics.
+    pub fn find_matches(&mut self, graph: &Graph, pattern_name: &str) -> Vec<MatchReport> {
+        let view = TermView::build(
+            graph,
+            &mut self.session.syms,
+            &mut self.session.terms,
+            &self.session.registry,
+        );
+        let (pi, def) = match self
+            .rules
+            .patterns
+            .iter()
+            .enumerate()
+            .find(|(_, d)| d.name == pattern_name)
+        {
+            Some(found) => found,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for node in graph.topo_order() {
+            let t = match view.term_of(node) {
+                Some(t) => t,
+                None => continue,
+            };
+            let mut machine =
+                Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
+            if let Ok(Outcome::Success(w)) = machine.run(def.pattern, t, self.config.machine_fuel)
+            {
+                let coverage = machine.coverage().to_vec();
+                out.push(MatchReport {
+                    pattern_index: pi,
+                    node,
+                    witness: w,
+                    coverage,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// Convenience: binds the substitution's entry for a named variable.
+pub fn binding_of(witness: &Witness, theta_name: &str, session: &Session) -> Option<TermId> {
+    let theta: &Subst = &witness.theta;
+    for (v, t) in theta.iter() {
+        if session.syms.var_name(v) == theta_name {
+            return Some(t);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pypm_dsl::LibraryConfig;
+    use pypm_graph::{DType, NodeKind, TensorMeta};
+
+    fn mat(s: &mut Session, g: &mut Graph, dims: &[i64]) -> NodeId {
+        g.input(&mut s.syms, TensorMeta::new(DType::F32, dims.to_vec()))
+    }
+
+    fn scalar_const(s: &mut Session, g: &mut Graph, milli: i64) -> NodeId {
+        g.op_with_meta(
+            s.ops.const_scalar,
+            vec![],
+            vec![(s.ops.value_milli_attr, milli)],
+            TensorMeta::scalar(DType::F32),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cublas_rewrite_fires_on_f32_rank2() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[64, 32]);
+        let b = mat(&mut s, &mut g, &[16, 32]);
+        let (trans, matmul) = (s.ops.trans, s.ops.matmul);
+        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+            .unwrap();
+        g.mark_output(mm);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 1);
+        let out = g.outputs()[0];
+        assert_eq!(g.node(out).op, s.ops.cublas_mm_xyt_f32);
+        assert_eq!(g.node(out).meta.shape.dims(), &[64, 16]);
+        // The Trans node is garbage now.
+        assert_eq!(g.live_count(), 3);
+    }
+
+    #[test]
+    fn cublas_rule_respects_dtype_guard() {
+        // f16 inputs: pattern matches structurally but neither rule
+        // guard passes — nothing fires.
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = g.input(&mut s.syms, TensorMeta::new(DType::F16, vec![8, 8]));
+        let b = g.input(&mut s.syms, TensorMeta::new(DType::F16, vec![8, 8]));
+        let (trans, matmul) = (s.ops.trans, s.ops.matmul);
+        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+            .unwrap();
+        g.mark_output(mm);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 0);
+        assert!(stats.matches_found > 0);
+        assert_eq!(g.node(g.outputs()[0]).op, matmul);
+    }
+
+    #[test]
+    fn gelu_subgraph_fuses_both_variants() {
+        // Div(x,2) and Mul(x,0.5) halves (Fig. 2) both collapse to Gelu.
+        for use_div in [true, false] {
+            let mut s = Session::new();
+            let rs = s.load_library(LibraryConfig::epilog_only());
+            let mut g = Graph::new();
+            let x = mat(&mut s, &mut g, &[4, 8]);
+            let (div, mul, add, erf) = (s.ops.div, s.ops.mul, s.ops.add, s.ops.erf);
+            let half = if use_div {
+                let two = scalar_const(&mut s, &mut g, 2000);
+                g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![]).unwrap()
+            } else {
+                let h = scalar_const(&mut s, &mut g, 500);
+                g.op(&mut s.syms, &s.registry, mul, vec![x, h], vec![]).unwrap()
+            };
+            let sqrt2 = scalar_const(&mut s, &mut g, 1414);
+            let xdiv = g
+                .op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![])
+                .unwrap();
+            let erfx = g.op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![]).unwrap();
+            let one = scalar_const(&mut s, &mut g, 1000);
+            let onep = g
+                .op(&mut s.syms, &s.registry, add, vec![one, erfx], vec![])
+                .unwrap();
+            let gelu = g
+                .op(&mut s.syms, &s.registry, mul, vec![half, onep], vec![])
+                .unwrap();
+            g.mark_output(gelu);
+
+            let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+            assert_eq!(stats.rewrites_fired, 1, "use_div={use_div}");
+            assert_eq!(g.node(g.outputs()[0]).op, s.ops.gelu);
+            // Gelu(x) over the original input: two live nodes.
+            assert_eq!(g.live_count(), 2);
+        }
+    }
+
+    #[test]
+    fn mha_fuses_to_fmha() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::fmha_only());
+        let mut g = Graph::new();
+        let q = mat(&mut s, &mut g, &[8, 128, 64]);
+        let k = mat(&mut s, &mut g, &[8, 128, 64]);
+        let v = mat(&mut s, &mut g, &[8, 128, 64]);
+        let (trans, matmul, mul, softmax) =
+            (s.ops.trans, s.ops.matmul, s.ops.mul, s.ops.softmax);
+        let kt = g.op(&mut s.syms, &s.registry, trans, vec![k], vec![]).unwrap();
+        let scores = g
+            .op(&mut s.syms, &s.registry, matmul, vec![q, kt], vec![])
+            .unwrap();
+        let scale = scalar_const(&mut s, &mut g, 125);
+        let scaled = g
+            .op(&mut s.syms, &s.registry, mul, vec![scores, scale], vec![])
+            .unwrap();
+        let probs = g
+            .op(&mut s.syms, &s.registry, softmax, vec![scaled], vec![])
+            .unwrap();
+        let out = g
+            .op(&mut s.syms, &s.registry, matmul, vec![probs, v], vec![])
+            .unwrap();
+        g.mark_output(out);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 1);
+        let root = g.outputs()[0];
+        assert_eq!(g.node(root).op, s.ops.fmha);
+        assert_eq!(g.node(root).inputs, vec![q, k, v]);
+    }
+
+    #[test]
+    fn epilog_fuses_relu_after_matmul() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::epilog_only());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[32, 64]);
+        let b = mat(&mut s, &mut g, &[64, 16]);
+        let (matmul, relu) = (s.ops.matmul, s.ops.relu);
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        let act = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
+        g.mark_output(act);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 1);
+        let root = g.outputs()[0];
+        assert_eq!(g.node(root).op, s.ops.gemm_epilog);
+        assert_eq!(
+            g.node(root).attr(s.ops.epilog_attr),
+            Some(pypm_graph::Activation::Relu.code())
+        );
+    }
+
+    #[test]
+    fn gelu_then_epilog_cascade() {
+        // MatMul → expanded GELU: first the GELU subgraph fuses to
+        // Gelu(mm), then EpilogGelu fuses the rest — two rewrites, one
+        // fused node (the cascade §4.1 relies on).
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::epilog_only());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[32, 64]);
+        let b = mat(&mut s, &mut g, &[64, 16]);
+        let (div, mul, add, erf, matmul) =
+            (s.ops.div, s.ops.mul, s.ops.add, s.ops.erf, s.ops.matmul);
+        let x = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        let two = scalar_const(&mut s, &mut g, 2000);
+        let half = g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![]).unwrap();
+        let sqrt2 = scalar_const(&mut s, &mut g, 1414);
+        let xdiv = g
+            .op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![])
+            .unwrap();
+        let erfx = g.op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![]).unwrap();
+        let one = scalar_const(&mut s, &mut g, 1000);
+        let onep = g
+            .op(&mut s.syms, &s.registry, add, vec![one, erfx], vec![])
+            .unwrap();
+        let gelu = g
+            .op(&mut s.syms, &s.registry, mul, vec![half, onep], vec![])
+            .unwrap();
+        g.mark_output(gelu);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 2);
+        let root = g.outputs()[0];
+        assert_eq!(g.node(root).op, s.ops.gemm_epilog);
+        assert_eq!(
+            g.node(root).attr(s.ops.epilog_attr),
+            Some(pypm_graph::Activation::Gelu.code())
+        );
+        assert_eq!(g.live_count(), 3); // a, b, fused node
+    }
+
+    #[test]
+    fn relu_chain_collapses_to_one() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let x = mat(&mut s, &mut g, &[4, 4]);
+        let relu = s.ops.relu;
+        let mut cur = x;
+        for _ in 0..6 {
+            cur = g.op(&mut s.syms, &s.registry, relu, vec![cur], vec![]).unwrap();
+        }
+        g.mark_output(cur);
+
+        Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        // Relu(x) and the input: exactly two live nodes.
+        assert_eq!(g.live_count(), 2);
+        let root = g.outputs()[0];
+        assert_eq!(g.node(root).op, relu);
+        assert_eq!(g.node(root).inputs, vec![x]);
+    }
+
+    #[test]
+    fn trans_trans_cancels_via_var_rhs() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let x = mat(&mut s, &mut g, &[4, 8]);
+        let trans = s.ops.trans;
+        let t1 = g.op(&mut s.syms, &s.registry, trans, vec![x], vec![]).unwrap();
+        let t2 = g.op(&mut s.syms, &s.registry, trans, vec![t1], vec![]).unwrap();
+        g.mark_output(t2);
+
+        Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(g.outputs(), &[x]);
+        assert_eq!(g.live_count(), 1);
+        assert_eq!(g.node(x).kind, NodeKind::Input);
+    }
+
+    #[test]
+    fn opaque_nodes_block_matching() {
+        // Trans(Opaque(Trans(x))) must NOT cancel: the opaque node hides
+        // its operand (§4.1).
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let x = mat(&mut s, &mut g, &[4, 4]);
+        let trans = s.ops.trans;
+        let t1 = g.op(&mut s.syms, &s.registry, trans, vec![x], vec![]).unwrap();
+        let mystery = s.syms.op("Mystery", 1);
+        let o = g
+            .opaque(&mut s.syms, mystery, vec![t1], TensorMeta::new(DType::F32, vec![4, 4]))
+            .unwrap();
+        let t2 = g.op(&mut s.syms, &s.registry, trans, vec![o], vec![]).unwrap();
+        g.mark_output(t2);
+
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 0);
+        assert_eq!(g.live_count(), 4);
+    }
+
+    #[test]
+    fn fixpoint_reached_on_unmatched_graph() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::both());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[4, 4]);
+        let b = mat(&mut s, &mut g, &[4, 4]);
+        let add = s.ops.add;
+        let sum = g.op(&mut s.syms, &s.registry, add, vec![a, b], vec![]).unwrap();
+        g.mark_output(sum);
+        let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
+        assert_eq!(stats.rewrites_fired, 0);
+        assert_eq!(stats.sweeps, 1);
+    }
+
+    #[test]
+    fn find_matches_reports_coverage() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let mut g = Graph::new();
+        let a = mat(&mut s, &mut g, &[8, 8]);
+        let b = mat(&mut s, &mut g, &[8, 8]);
+        let (matmul, relu, gelu) = (s.ops.matmul, s.ops.relu, s.ops.gelu);
+        let mm = g
+            .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+            .unwrap();
+        let r = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
+        let ge = g.op(&mut s.syms, &s.registry, gelu, vec![r], vec![]).unwrap();
+        g.mark_output(ge);
+
+        let mut rw = Rewriter::new(&mut s, &rs);
+        let matches = rw.find_matches(&g, "MatMulEpilog");
+        // The deepest match is rooted at the gelu node and covers
+        // gelu → relu → matmul.
+        let at_root = matches.iter().find(|m| m.node == ge).expect("root match");
+        assert!(at_root.coverage.len() >= 3);
+    }
+}

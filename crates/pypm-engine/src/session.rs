@@ -1,0 +1,111 @@
+//! The engine session: shared stores for one compilation.
+//!
+//! DLCB keeps one symbol universe per compilation — operator declarations,
+//! interned terms, loaded patterns, tensor attribute handles. A
+//! [`Session`] bundles those stores so the matcher, rewriter and
+//! partitioner all speak about the same identifiers.
+
+use pypm_core::{PatternStore, SymbolTable, TermStore};
+use pypm_dsl::{library, LibraryConfig, RuleSet};
+use pypm_graph::{OpRegistry, StdOps, TensorAttrs};
+
+/// Shared state for one compilation: symbols, terms, patterns, the
+/// operator registry and the standard operator set.
+///
+/// # Examples
+///
+/// ```
+/// use pypm_engine::Session;
+/// use pypm_dsl::LibraryConfig;
+///
+/// let mut session = Session::new();
+/// let rules = session.load_library(LibraryConfig::both());
+/// assert!(rules.find("MHA").is_some());
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    /// Identifier interners and the signature Σ.
+    pub syms: SymbolTable,
+    /// Hash-consed terms (the term views of graphs).
+    pub terms: TermStore,
+    /// Hash-consed patterns.
+    pub pats: PatternStore,
+    /// Operator classes and shape rules.
+    pub registry: OpRegistry,
+    /// The standard operator set.
+    pub ops: StdOps,
+    /// Tensor attribute handles (`rank`, `eltType`, …).
+    pub tattrs: TensorAttrs,
+}
+
+impl Session {
+    /// Creates a session with the standard operator set declared.
+    pub fn new() -> Self {
+        let mut syms = SymbolTable::new();
+        let mut registry = OpRegistry::new();
+        let ops = StdOps::declare(&mut registry, &mut syms);
+        let tattrs = TensorAttrs::intern(&mut syms);
+        Session {
+            syms,
+            terms: TermStore::new(),
+            pats: PatternStore::new(),
+            registry,
+            ops,
+            tattrs,
+        }
+    }
+
+    /// Builds the paper's pattern library into this session — the
+    /// engine-side equivalent of "DLCB dynamically loads and parses a
+    /// user-specified set of pattern binaries" (§2.4).
+    pub fn load_library(&mut self, cfg: LibraryConfig) -> RuleSet {
+        library::build_library_into(cfg, &mut self.syms, &mut self.pats, &self.ops, &self.tattrs)
+    }
+
+    /// Loads a rule set from its portable binary encoding (§2.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures.
+    pub fn load_binary(&mut self, data: bytes::Bytes) -> Result<RuleSet, pypm_dsl::binary::BinError> {
+        pypm_dsl::binary::decode(data, &mut self.syms, &mut self.pats)
+    }
+
+    /// Loads a rule set from the text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures.
+    pub fn load_text(&mut self, text: &str) -> Result<RuleSet, pypm_dsl::text::ParseError> {
+        pypm_dsl::text::parse_ruleset(text, &mut self.syms, &mut self.pats)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_declares_std_ops() {
+        let s = Session::new();
+        assert!(s.syms.find_op("MatMul").is_some());
+        assert!(s.syms.find_op("FMHA").is_some());
+        assert_eq!(s.syms.arity(s.ops.fmha), 3);
+    }
+
+    #[test]
+    fn load_library_and_binary_roundtrip() {
+        let mut s = Session::new();
+        let rs = s.load_library(LibraryConfig::all());
+        let bin = pypm_dsl::binary::encode(&rs, &s.syms, &s.pats);
+        let mut s2 = Session::new();
+        let rs2 = s2.load_binary(bin).unwrap();
+        assert_eq!(rs.len(), rs2.len());
+    }
+}

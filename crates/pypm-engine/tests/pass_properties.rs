@@ -1,0 +1,124 @@
+//! Property tests of the rewrite pass on randomly generated graphs: for
+//! any DAG of standard operators, the pass must terminate, preserve
+//! graph validity, preserve output metadata (rewrites are
+//! semantics-preserving), and be idempotent.
+
+use proptest::prelude::*;
+use pypm_dsl::LibraryConfig;
+use pypm_engine::{PassConfig, Rewriter, Session, SweepPolicy};
+use pypm_graph::{DType, Graph, NodeId, TensorMeta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random DAG over the rewrite-relevant operator set, biased to contain
+/// pattern-shaped fragments (matmul+transpose, matmul+activation,
+/// attention-ish stacks, relu chains).
+fn random_graph(s: &mut Session, seed: u64, size: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let dim = 8i64;
+    let sq = TensorMeta::new(DType::F32, vec![dim, dim]);
+    let mut nodes: Vec<NodeId> = (0..3).map(|_| g.input(&mut s.syms, sq.clone())).collect();
+    let mut push = |n: NodeId, nodes: &mut Vec<NodeId>| nodes.push(n);
+    for _ in 0..size {
+        let a = nodes[rng.gen_range(0..nodes.len())];
+        let b = nodes[rng.gen_range(0..nodes.len())];
+        let n = match rng.gen_range(0..10) {
+            0 | 1 => g.op(&mut s.syms, &s.registry, s.ops.relu, vec![a], vec![]),
+            2 => g.op(&mut s.syms, &s.registry, s.ops.gelu, vec![a], vec![]),
+            3 => g.op(&mut s.syms, &s.registry, s.ops.tanh, vec![a], vec![]),
+            4 => g.op(&mut s.syms, &s.registry, s.ops.trans, vec![a], vec![]),
+            5 => g.op(&mut s.syms, &s.registry, s.ops.softmax, vec![a], vec![]),
+            6 | 7 => g.op(&mut s.syms, &s.registry, s.ops.matmul, vec![a, b], vec![]),
+            8 => g.op(&mut s.syms, &s.registry, s.ops.add, vec![a, b], vec![]),
+            _ => g.op(&mut s.syms, &s.registry, s.ops.mul, vec![a, b], vec![]),
+        };
+        // Square matrices make every op shape-compatible; anything that
+        // still fails is a generator bug.
+        push(n.expect("square ops compose"), &mut nodes);
+    }
+    let last = *nodes.last().unwrap();
+    g.mark_output(last);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Termination + validity + metadata preservation on random graphs.
+    #[test]
+    fn pass_preserves_validity_and_output_meta(seed in any::<u64>(), size in 1usize..35) {
+        let mut s = Session::new();
+        let mut g = random_graph(&mut s, seed, size);
+        let out_meta_before: Vec<_> = g
+            .outputs()
+            .iter()
+            .map(|&o| g.node(o).meta.clone())
+            .collect();
+        let rules = s.load_library(LibraryConfig::both());
+        Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        g.validate().unwrap();
+        let out_meta_after: Vec<_> = g
+            .outputs()
+            .iter()
+            .map(|&o| g.node(o).meta.clone())
+            .collect();
+        prop_assert_eq!(out_meta_before, out_meta_after, "rewrites changed output metadata");
+    }
+
+    /// Idempotence: a second pass fires nothing.
+    #[test]
+    fn pass_is_idempotent(seed in any::<u64>(), size in 1usize..30) {
+        let mut s = Session::new();
+        let mut g = random_graph(&mut s, seed, size);
+        let rules = s.load_library(LibraryConfig::both());
+        Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        let second = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        prop_assert_eq!(second.rewrites_fired, 0);
+    }
+
+    /// Policy equivalence on random graphs: both sweep policies reach
+    /// graphs of identical size and output metadata (they may pick
+    /// different-but-equivalent fixpoints only if the rule set is
+    /// non-confluent; the library's rules are confluent on this operator
+    /// set, so the results must agree exactly in size).
+    #[test]
+    fn sweep_policies_agree_on_random_graphs(seed in any::<u64>(), size in 1usize..30) {
+        let mut results = Vec::new();
+        for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::ContinueSweep] {
+            let mut s = Session::new();
+            let mut g = random_graph(&mut s, seed, size);
+            let rules = s.load_library(LibraryConfig::both());
+            let stats = Rewriter::new(&mut s, &rules)
+                .with_config(PassConfig { sweep_policy: policy, ..Default::default() })
+                .run(&mut g)
+                .unwrap();
+            results.push((stats.rewrites_fired, g.live_count()));
+        }
+        prop_assert_eq!(results[0], results[1]);
+    }
+
+    /// The pass never grows the graph: destructive fusion only.
+    #[test]
+    fn pass_never_grows_the_graph(seed in any::<u64>(), size in 1usize..35) {
+        let mut s = Session::new();
+        let mut g = random_graph(&mut s, seed, size);
+        let before = g.live_count();
+        let rules = s.load_library(LibraryConfig::both());
+        Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        prop_assert!(g.live_count() <= before);
+    }
+
+    /// Matches found ≥ rewrites fired, and attempts ≥ matches.
+    #[test]
+    fn stats_are_internally_consistent(seed in any::<u64>(), size in 1usize..30) {
+        let mut s = Session::new();
+        let mut g = random_graph(&mut s, seed, size);
+        let rules = s.load_library(LibraryConfig::both());
+        let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        prop_assert!(stats.match_attempts >= stats.matches_found);
+        prop_assert!(stats.matches_found >= stats.rewrites_fired);
+        prop_assert!(stats.sweeps >= 1);
+        prop_assert!(stats.nodes_visited >= 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! The two sweep policies must reach the same fixpoint on the library's
+//! rule sets (they may differ in traversal counts, which is the point of
+//! the scheduling ablation).
+
+use pypm_dsl::LibraryConfig;
+use pypm_engine::{PassConfig, Rewriter, Session, SweepPolicy};
+use pypm_graph::{DType, Graph, TensorMeta};
+use pypm_perf::CostModel;
+
+fn run_policy(policy: SweepPolicy, build: impl Fn(&mut Session) -> Graph) -> (u64, usize, f64) {
+    let mut s = Session::new();
+    let mut g = build(&mut s);
+    let rules = s.load_library(LibraryConfig::both());
+    let cfg = PassConfig {
+        sweep_policy: policy,
+        ..Default::default()
+    };
+    let stats = Rewriter::new(&mut s, &rules)
+        .with_config(cfg)
+        .run(&mut g)
+        .unwrap();
+    g.validate().unwrap();
+    let cost = CostModel::new().graph_cost(&g, &s.syms, &s.registry, &s.ops);
+    (stats.rewrites_fired, g.live_count(), cost)
+}
+
+#[test]
+fn policies_agree_on_transformers() {
+    for name in ["bert-tiny", "gpt2", "t5-small-encoder"] {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap();
+        let restart = run_policy(SweepPolicy::RestartOnRewrite, |s| cfg.build(s));
+        let cont = run_policy(SweepPolicy::ContinueSweep, |s| cfg.build(s));
+        assert_eq!(restart.0, cont.0, "{name}: rewrite counts differ");
+        assert_eq!(restart.1, cont.1, "{name}: node counts differ");
+        assert!((restart.2 - cont.2).abs() < 1e-6, "{name}: costs differ");
+    }
+}
+
+#[test]
+fn policies_agree_on_cnns() {
+    for name in ["resnet18", "vgg13"] {
+        let cfg = pypm_models::tv_zoo()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap();
+        let restart = run_policy(SweepPolicy::RestartOnRewrite, |s| cfg.build(s));
+        let cont = run_policy(SweepPolicy::ContinueSweep, |s| cfg.build(s));
+        assert_eq!(restart.0, cont.0, "{name}");
+        assert_eq!(restart.1, cont.1, "{name}");
+    }
+}
+
+#[test]
+fn continue_sweep_visits_fewer_nodes() {
+    // The whole point of the ablation: ContinueSweep avoids the
+    // quadratic restart cost on rewrite-heavy graphs.
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-base")
+        .unwrap();
+    let mut visits = Vec::new();
+    for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::ContinueSweep] {
+        let mut s = Session::new();
+        let mut g = cfg.build(&mut s);
+        let rules = s.load_library(LibraryConfig::both());
+        let pc = PassConfig {
+            sweep_policy: policy,
+            ..Default::default()
+        };
+        let stats = Rewriter::new(&mut s, &rules)
+            .with_config(pc)
+            .run(&mut g)
+            .unwrap();
+        visits.push(stats.nodes_visited);
+    }
+    assert!(
+        visits[1] < visits[0],
+        "continue {} should visit fewer nodes than restart {}",
+        visits[1],
+        visits[0]
+    );
+}
+
+#[test]
+fn max_rewrites_bounds_the_pass() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::both());
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-base")
+        .unwrap();
+    let mut g = cfg.build(&mut s);
+    let pc = PassConfig {
+        max_rewrites: 3,
+        ..Default::default()
+    };
+    let stats = Rewriter::new(&mut s, &rules)
+        .with_config(pc)
+        .run(&mut g)
+        .unwrap();
+    assert_eq!(stats.rewrites_fired, 3);
+    g.validate().unwrap();
+}
+
+#[test]
+fn tiny_fuel_degrades_gracefully() {
+    // With almost no machine fuel every attempt "fails" (OutOfFuel is
+    // treated as no-match); the pass must terminate cleanly with zero
+    // rewrites rather than erroring.
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::both());
+    let mut g = Graph::new();
+    let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+    let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+    let mm = g
+        .op(&mut s.syms, &s.registry, s.ops.matmul, vec![a, b], vec![])
+        .unwrap();
+    let r = g.op(&mut s.syms, &s.registry, s.ops.relu, vec![mm], vec![]).unwrap();
+    g.mark_output(r);
+    let pc = PassConfig {
+        machine_fuel: 2,
+        ..Default::default()
+    };
+    let stats = Rewriter::new(&mut s, &rules)
+        .with_config(pc)
+        .run(&mut g)
+        .unwrap();
+    assert_eq!(stats.rewrites_fired, 0);
+}

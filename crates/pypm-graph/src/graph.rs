@@ -1,0 +1,676 @@
+//! The computation-graph IR that DLCB's pattern pass walks (paper §2.4,
+//! §4.1).
+//!
+//! A [`Graph`] is a DAG of operator [`Node`]s. Each node produces one
+//! tensor (PyPM operators in the paper return output arity 1) and carries
+//! [`TensorMeta`] plus non-dataflow attributes (e.g. conv stride). Inputs
+//! and *opaque* nodes — operators DLCB does not understand — participate
+//! in dataflow but are never matched structurally; the term view turns
+//! them into fresh constants.
+//!
+//! Rewrites are **destructive** (§2): [`Graph::replace`] redirects all
+//! users of the matched root to the replacement subgraph, and
+//! [`Graph::gc`] drops nodes no longer reachable from the outputs.
+
+use crate::ops::OpRegistry;
+use crate::tensor::TensorMeta;
+use pypm_core::{Attr, Symbol, SymbolTable};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node handle. Stable across rewrites until the node is collected.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What kind of node this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A graph input (placeholder tensor).
+    Input,
+    /// A regular operator application.
+    Op,
+    /// An operator outside DLCB's vocabulary; participates in dataflow but
+    /// cannot be matched (§4.1).
+    Opaque,
+}
+
+/// One operator application in the graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator symbol. For inputs this is the node's fresh constant
+    /// symbol; for opaque nodes it is the foreign operator's symbol.
+    pub op: Symbol,
+    /// For inputs and opaque nodes: the fresh nullary symbol the term
+    /// view abstracts this node as (distinct per node, so structurally
+    /// distinct subgraphs stay distinct as terms).
+    pub term_const: Option<Symbol>,
+    /// Dataflow inputs.
+    pub inputs: Vec<NodeId>,
+    /// Non-dataflow attributes (stride, scalar value, epilog code, …).
+    pub attrs: Vec<(Attr, i64)>,
+    /// Metadata of the produced tensor.
+    pub meta: TensorMeta,
+    /// Input / op / opaque.
+    pub kind: NodeKind,
+    /// Whether the node is alive (not yet collected).
+    alive: bool,
+}
+
+impl Node {
+    /// Looks up a node attribute by handle.
+    pub fn attr(&self, a: Attr) -> Option<i64> {
+        self.attrs.iter().find(|(k, _)| *k == a).map(|&(_, v)| v)
+    }
+}
+
+/// Errors raised by graph construction and mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An input node id was dead or out of range.
+    DeadInput {
+        /// The offending id.
+        node: NodeId,
+    },
+    /// Replacement would create a cycle (the new root depends on users of
+    /// the old root).
+    WouldCycle {
+        /// Root being replaced.
+        root: NodeId,
+        /// Proposed replacement.
+        replacement: NodeId,
+    },
+    /// Arity mismatch against the symbol table.
+    Arity {
+        /// Operator name.
+        op: String,
+        /// Declared arity.
+        expected: usize,
+        /// Inputs supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DeadInput { node } => write!(f, "input {node:?} is dead or invalid"),
+            GraphError::WouldCycle { root, replacement } => write!(
+                f,
+                "replacing {root:?} with {replacement:?} would create a cycle"
+            ),
+            GraphError::Arity { op, expected, got } => {
+                write!(f, "operator {op} expects {expected} inputs, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A tensor computation graph.
+///
+/// # Examples
+///
+/// ```
+/// use pypm_core::SymbolTable;
+/// use pypm_graph::{DType, Graph, OpRegistry, StdOps, TensorMeta};
+///
+/// let mut syms = SymbolTable::new();
+/// let mut reg = OpRegistry::new();
+/// let ops = StdOps::declare(&mut reg, &mut syms);
+///
+/// let mut g = Graph::new();
+/// let a = g.input(&mut syms, TensorMeta::new(DType::F32, vec![4, 8]));
+/// let b = g.input(&mut syms, TensorMeta::new(DType::F32, vec![4, 8]));
+/// let bt = g.op(&mut syms, &reg, ops.trans, vec![b], vec![]).unwrap();
+/// let mm = g.op(&mut syms, &reg, ops.matmul, vec![a, bt], vec![]).unwrap();
+/// g.mark_output(mm);
+/// assert_eq!(g.node(mm).meta.shape.dims(), &[4, 4]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+    /// Monotone revision counter, bumped on every mutation; term views use
+    /// it to invalidate caches.
+    revision: u64,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a graph input with the given metadata. The input is
+    /// abstracted as a fresh constant of the term algebra.
+    pub fn input(&mut self, syms: &mut SymbolTable, meta: TensorMeta) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let op = syms.fresh_const("in");
+        self.nodes.push(Node {
+            op,
+            term_const: Some(op),
+            inputs: Vec::new(),
+            attrs: Vec::new(),
+            meta,
+            kind: NodeKind::Input,
+            alive: true,
+        });
+        self.revision += 1;
+        id
+    }
+
+    /// Adds an operator node, inferring its metadata through `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] for dead inputs or arity mismatches, and
+    /// propagates shape-inference failures as `Arity`/`DeadInput`-free
+    /// panics-free errors via [`GraphError`].
+    pub fn op(
+        &mut self,
+        syms: &mut SymbolTable,
+        registry: &OpRegistry,
+        op: Symbol,
+        inputs: Vec<NodeId>,
+        attrs: Vec<(Attr, i64)>,
+    ) -> Result<NodeId, GraphError> {
+        let expected = syms.arity(op);
+        if inputs.len() != expected {
+            return Err(GraphError::Arity {
+                op: syms.op_name(op).to_owned(),
+                expected,
+                got: inputs.len(),
+            });
+        }
+        for &i in &inputs {
+            if !self.is_alive(i) {
+                return Err(GraphError::DeadInput { node: i });
+            }
+        }
+        let metas: Vec<&TensorMeta> = inputs.iter().map(|&i| &self.nodes[i.index()].meta).collect();
+        let meta = registry
+            .infer(syms, op, &metas, &attrs)
+            .map_err(|_| GraphError::Arity {
+                op: syms.op_name(op).to_owned(),
+                expected,
+                got: inputs.len(),
+            })?;
+        Ok(self.push_node(op, inputs, attrs, meta, NodeKind::Op))
+    }
+
+    /// Adds an operator node with explicitly supplied metadata (for
+    /// nullary constants and fused kernels with bespoke shapes).
+    pub fn op_with_meta(
+        &mut self,
+        op: Symbol,
+        inputs: Vec<NodeId>,
+        attrs: Vec<(Attr, i64)>,
+        meta: TensorMeta,
+    ) -> Result<NodeId, GraphError> {
+        for &i in &inputs {
+            if !self.is_alive(i) {
+                return Err(GraphError::DeadInput { node: i });
+            }
+        }
+        Ok(self.push_node(op, inputs, attrs, meta, NodeKind::Op))
+    }
+
+    /// Adds an opaque node (an operator DLCB does not understand, §4.1).
+    /// The node participates in dataflow but the term view abstracts it —
+    /// inputs and all — as a fresh constant, so patterns can never match
+    /// through it.
+    pub fn opaque(
+        &mut self,
+        syms: &mut SymbolTable,
+        op: Symbol,
+        inputs: Vec<NodeId>,
+        meta: TensorMeta,
+    ) -> Result<NodeId, GraphError> {
+        for &i in &inputs {
+            if !self.is_alive(i) {
+                return Err(GraphError::DeadInput { node: i });
+            }
+        }
+        let id = self.push_node(op, inputs, Vec::new(), meta, NodeKind::Opaque);
+        self.nodes[id.index()].term_const = Some(syms.fresh_const("opq"));
+        Ok(id)
+    }
+
+    fn push_node(
+        &mut self,
+        op: Symbol,
+        inputs: Vec<NodeId>,
+        attrs: Vec<(Attr, i64)>,
+        meta: TensorMeta,
+        kind: NodeKind,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            term_const: None,
+            inputs,
+            attrs,
+            meta,
+            kind,
+            alive: true,
+        });
+        self.revision += 1;
+        id
+    }
+
+    /// Marks a node as a graph output.
+    pub fn mark_output(&mut self, n: NodeId) {
+        if !self.outputs.contains(&n) {
+            self.outputs.push(n);
+            self.revision += 1;
+        }
+    }
+
+    /// The graph outputs.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    pub fn node(&self, n: NodeId) -> &Node {
+        &self.nodes[n.index()]
+    }
+
+    /// Whether a node is alive.
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        self.nodes.get(n.index()).is_some_and(|nd| nd.alive)
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Total nodes ever allocated (live + collected).
+    pub fn allocated_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The mutation revision counter (bumps on every change).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// All live node ids in reverse-postorder (inputs before users),
+    /// restricted to nodes reachable from the outputs.
+    pub fn topo_order(&self) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        // Iterative postorder DFS.
+        for &out in &self.outputs {
+            if !self.is_alive(out) {
+                continue;
+            }
+            let mut stack = vec![(out, 0usize)];
+            while let Some(&mut (n, ref mut child)) = stack.last_mut() {
+                if visited[n.index()] && *child == 0 {
+                    stack.pop();
+                    continue;
+                }
+                let node = &self.nodes[n.index()];
+                if *child < node.inputs.len() {
+                    let next = node.inputs[*child];
+                    *child += 1;
+                    if !visited[next.index()] {
+                        stack.push((next, 0));
+                    }
+                } else {
+                    visited[n.index()] = true;
+                    order.push(n);
+                    stack.pop();
+                }
+            }
+        }
+        order
+    }
+
+    /// Users of each live node (computed on demand).
+    pub fn users(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut users: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            for &input in &node.inputs {
+                users.entry(input).or_default().push(NodeId(i as u32));
+            }
+        }
+        users
+    }
+
+    /// Whether `ancestor` is reachable from `n` by following inputs.
+    pub fn depends_on(&self, n: NodeId, ancestor: NodeId) -> bool {
+        if n == ancestor {
+            return true;
+        }
+        let mut stack = vec![n];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(cur) = stack.pop() {
+            if seen[cur.index()] {
+                continue;
+            }
+            seen[cur.index()] = true;
+            for &i in &self.nodes[cur.index()].inputs {
+                if i == ancestor {
+                    return true;
+                }
+                stack.push(i);
+            }
+        }
+        false
+    }
+
+    /// Destructively replaces `root` with `replacement`: every user of
+    /// `root` now reads `replacement`, and outputs are redirected. The
+    /// subgraph exclusively feeding `root` becomes garbage; call
+    /// [`Graph::gc`] to collect it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::WouldCycle`] if `replacement` (transitively)
+    /// depends on `root` through a path that does not go through the
+    /// replacement itself — i.e. the rewrite would make `root`'s users
+    /// feed themselves.
+    pub fn replace(&mut self, root: NodeId, replacement: NodeId) -> Result<(), GraphError> {
+        if root == replacement {
+            return Ok(());
+        }
+        if !self.is_alive(root) || !self.is_alive(replacement) {
+            return Err(GraphError::DeadInput { node: root });
+        }
+        // The replacement may legitimately depend on root's *inputs* (and
+        // even on root itself when the rule reuses the matched subgraph as
+        // a sub-expression); what must not happen is a user of root
+        // becoming an ancestor of the replacement.
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.alive && node.inputs.contains(&root) && self.depends_on(replacement, NodeId(i as u32))
+            {
+                return Err(GraphError::WouldCycle { root, replacement });
+            }
+        }
+        for node in &mut self.nodes {
+            if !node.alive {
+                continue;
+            }
+            for input in &mut node.inputs {
+                if *input == root {
+                    *input = replacement;
+                }
+            }
+        }
+        // Avoid self-loops if the replacement read the root directly.
+        for input in &mut self.nodes[replacement.index()].inputs.clone() {
+            debug_assert_ne!(*input, replacement, "replacement reads itself");
+        }
+        for out in &mut self.outputs {
+            if *out == root {
+                *out = replacement;
+            }
+        }
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// Collects nodes unreachable from the outputs. Returns the number of
+    /// nodes freed.
+    pub fn gc(&mut self) -> usize {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = self.outputs.clone();
+        while let Some(n) = stack.pop() {
+            if reachable[n.index()] {
+                continue;
+            }
+            reachable[n.index()] = true;
+            stack.extend(self.nodes[n.index()].inputs.iter().copied());
+        }
+        let mut freed = 0;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if node.alive && !reachable[i] {
+                node.alive = false;
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.revision += 1;
+        }
+        freed
+    }
+
+    /// Validates structural invariants: inputs alive, acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.alive {
+                continue;
+            }
+            for &input in &node.inputs {
+                if !self.is_alive(input) {
+                    return Err(GraphError::DeadInput { node: input });
+                }
+                if self.depends_on(input, NodeId(i as u32)) {
+                    return Err(GraphError::WouldCycle {
+                        root: NodeId(i as u32),
+                        replacement: input,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the reachable graph in Graphviz DOT syntax.
+    pub fn to_dot(&self, syms: &SymbolTable) -> String {
+        let mut s = String::from("digraph G {\n  rankdir=BT;\n");
+        for n in self.topo_order() {
+            let node = self.node(n);
+            let label = match node.kind {
+                NodeKind::Input => format!("input {}", node.meta),
+                NodeKind::Opaque => format!("opaque {}", node.meta),
+                NodeKind::Op => format!("{} {}", syms.op_name(node.op), node.meta),
+            };
+            s.push_str(&format!("  n{} [label=\"{}\"];\n", n.0, label));
+            for &i in &node.inputs {
+                s.push_str(&format!("  n{} -> n{};\n", i.0, n.0));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::StdOps;
+    use crate::tensor::DType;
+
+    struct Fx {
+        syms: SymbolTable,
+        reg: OpRegistry,
+        ops: StdOps,
+        g: Graph,
+    }
+
+    fn fx() -> Fx {
+        let mut syms = SymbolTable::new();
+        let mut reg = OpRegistry::new();
+        let ops = StdOps::declare(&mut reg, &mut syms);
+        Fx {
+            syms,
+            reg,
+            ops,
+            g: Graph::new(),
+        }
+    }
+
+    fn mat(fx: &mut Fx, m: i64, n: i64) -> NodeId {
+        let meta = TensorMeta::new(DType::F32, vec![m, n]);
+        fx.g.input(&mut fx.syms, meta)
+    }
+
+    #[test]
+    fn build_and_infer() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 8);
+        let b = mat(&mut f, 4, 8);
+        let bt = f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![]).unwrap();
+        let mm = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
+            .unwrap();
+        f.g.mark_output(mm);
+        assert_eq!(f.g.node(mm).meta.shape.dims(), &[4, 4]);
+        assert_eq!(f.g.live_count(), 4);
+        f.g.validate().unwrap();
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 8);
+        assert!(matches!(
+            f.g.op(&mut f.syms, &f.reg, f.ops.matmul, vec![a], vec![]),
+            Err(GraphError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn topo_order_is_inputs_first() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let r1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let r2 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![]).unwrap();
+        f.g.mark_output(r2);
+        let order = f.g.topo_order();
+        assert_eq!(order, vec![a, r1, r2]);
+    }
+
+    #[test]
+    fn topo_order_handles_shared_subgraphs() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let add = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
+            .unwrap();
+        f.g.mark_output(add);
+        let order = f.g.topo_order();
+        assert_eq!(order, vec![a, r, add]);
+    }
+
+    #[test]
+    fn replace_and_gc() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let relu1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let relu2 = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.relu, vec![relu1], vec![])
+            .unwrap();
+        f.g.mark_output(relu2);
+
+        // Fuse the RELU chain: replace relu2 by a single relu(a).
+        let fused = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        f.g.replace(relu2, fused).unwrap();
+        assert_eq!(f.g.outputs(), &[fused]);
+        let freed = f.g.gc();
+        assert_eq!(freed, 2); // relu1 and relu2
+        assert!(!f.g.is_alive(relu1));
+        assert!(!f.g.is_alive(relu2));
+        assert!(f.g.is_alive(a));
+        f.g.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_redirects_users() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let relu = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let user = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![relu, relu], vec![])
+            .unwrap();
+        f.g.mark_output(user);
+        let gelu = f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![]).unwrap();
+        f.g.replace(relu, gelu).unwrap();
+        assert_eq!(f.g.node(user).inputs, vec![gelu, gelu]);
+    }
+
+    #[test]
+    fn gc_keeps_all_outputs() {
+        let mut f = fx();
+        let a = mat(&mut f, 2, 2);
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let s = f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![a], vec![]).unwrap();
+        f.g.mark_output(r);
+        f.g.mark_output(s);
+        assert_eq!(f.g.gc(), 0);
+        assert!(f.g.is_alive(r) && f.g.is_alive(s));
+    }
+
+    #[test]
+    fn opaque_nodes_flow() {
+        let mut f = fx();
+        let a = mat(&mut f, 2, 2);
+        let mystery = f.syms.op("MysteryOp", 1);
+        let o = f
+            .g
+            .opaque(&mut f.syms, mystery, vec![a], TensorMeta::new(DType::F32, vec![2, 2]))
+            .unwrap();
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![]).unwrap();
+        f.g.mark_output(r);
+        assert_eq!(f.g.node(o).kind, NodeKind::Opaque);
+        assert_eq!(f.g.topo_order(), vec![a, o, r]);
+    }
+
+    #[test]
+    fn dot_export_mentions_ops() {
+        let mut f = fx();
+        let a = mat(&mut f, 2, 2);
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        f.g.mark_output(r);
+        let dot = f.g.to_dot(&f.syms);
+        assert!(dot.contains("Relu"));
+        assert!(dot.contains("input"));
+        assert!(dot.contains("->"));
+    }
+
+    #[test]
+    fn revision_bumps_on_mutation() {
+        let mut f = fx();
+        let r0 = f.g.revision();
+        let a = mat(&mut f, 2, 2);
+        assert!(f.g.revision() > r0);
+        let r1 = f.g.revision();
+        f.g.mark_output(a);
+        assert!(f.g.revision() > r1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Tensor metadata: element types and shapes.
+//!
+//! The paper's PyPM exposes tensor-specific attributes on every term —
+//! "element type, shape, and rank" (§2) — which guards consult via
+//! `x.eltType` and `x.shape.rank`. This module defines the metadata those
+//! attributes are computed from.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element data types supported by the IR.
+///
+/// Each dtype has a stable numeric code used in guard expressions (guards
+/// compare integers), e.g. `x.eltType = DType::F32.code()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// bfloat16.
+    BF16,
+    /// 64-bit IEEE float.
+    F64,
+    /// 8-bit signed integer.
+    I8,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Stable numeric code for guard expressions.
+    pub fn code(self) -> i64 {
+        match self {
+            DType::F32 => 1,
+            DType::I8 => 2,
+            DType::F16 => 3,
+            DType::BF16 => 4,
+            DType::F64 => 5,
+            DType::I32 => 6,
+            DType::I64 => 7,
+            DType::Bool => 8,
+        }
+    }
+
+    /// Inverse of [`DType::code`].
+    pub fn from_code(code: i64) -> Option<DType> {
+        Some(match code {
+            1 => DType::F32,
+            2 => DType::I8,
+            3 => DType::F16,
+            4 => DType::BF16,
+            5 => DType::F64,
+            6 => DType::I32,
+            7 => DType::I64,
+            8 => DType::Bool,
+            _ => return None,
+        })
+    }
+
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> u64 {
+        match self {
+            DType::I8 | DType::Bool => 1,
+            DType::F16 | DType::BF16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F16 | DType::BF16 | DType::F64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::BF16 => "bf16",
+            DType::F64 => "f64",
+            DType::I8 => "i8",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A tensor shape: a list of dimension extents.
+///
+/// A scalar has rank 0. Extents are `i64` to line up with guard
+/// arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Shape(Vec<i64>);
+
+impl Shape {
+    /// A scalar shape (rank 0).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// Builds a shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<i64>>) -> Self {
+        Shape(dims.into())
+    }
+
+    /// The rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[i64] {
+        &self.0
+    }
+
+    /// The extent of dimension `i`, if in range.
+    pub fn dim(&self, i: usize) -> Option<i64> {
+        self.0.get(i).copied()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> i64 {
+        self.0.iter().product()
+    }
+
+    /// Whether two shapes are broadcast-compatible in the NumPy sense
+    /// (trailing dimensions equal or 1).
+    pub fn broadcast_compatible(&self, other: &Shape) -> bool {
+        self.0
+            .iter()
+            .rev()
+            .zip(other.0.iter().rev())
+            .all(|(&a, &b)| a == b || a == 1 || b == 1)
+    }
+
+    /// The broadcast of two compatible shapes.
+    ///
+    /// Returns `None` when the shapes are incompatible.
+    pub fn broadcast(&self, other: &Shape) -> Option<Shape> {
+        if !self.broadcast_compatible(other) {
+            return None;
+        }
+        let rank = self.rank().max(other.rank());
+        let mut dims = vec![1i64; rank];
+        for (i, d) in dims.iter_mut().enumerate() {
+            let a = if i + self.rank() >= rank {
+                self.0[i + self.rank() - rank]
+            } else {
+                1
+            };
+            let b = if i + other.rank() >= rank {
+                other.0[i + other.rank() - rank]
+            } else {
+                1
+            };
+            *d = a.max(b);
+        }
+        Some(Shape(dims))
+    }
+
+    /// The transpose of a rank ≥ 2 shape (last two dims swapped); lower
+    /// ranks are returned unchanged (transpose of a vector/scalar).
+    pub fn transposed(&self) -> Shape {
+        let mut dims = self.0.clone();
+        let n = dims.len();
+        if n >= 2 {
+            dims.swap(n - 2, n - 1);
+        }
+        Shape(dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<i64>> for Shape {
+    fn from(dims: Vec<i64>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[i64]> for Shape {
+    fn from(dims: &[i64]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Metadata carried by every graph node: the element type and shape of the
+/// tensor it produces.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorMeta {
+    /// Element data type.
+    pub dtype: DType,
+    /// Shape of the produced tensor.
+    pub shape: Shape,
+}
+
+impl TensorMeta {
+    /// Builds metadata.
+    pub fn new(dtype: DType, shape: impl Into<Shape>) -> Self {
+        TensorMeta {
+            dtype,
+            shape: shape.into(),
+        }
+    }
+
+    /// A scalar of the given dtype.
+    pub fn scalar(dtype: DType) -> Self {
+        TensorMeta {
+            dtype,
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// Total bytes of the tensor.
+    pub fn bytes(&self) -> u64 {
+        self.shape.numel().max(0) as u64 * self.dtype.size_bytes()
+    }
+}
+
+impl fmt::Display for TensorMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dtype, self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_codes_roundtrip() {
+        for d in [
+            DType::F32,
+            DType::F16,
+            DType::BF16,
+            DType::F64,
+            DType::I8,
+            DType::I32,
+            DType::I64,
+            DType::Bool,
+        ] {
+            assert_eq!(DType::from_code(d.code()), Some(d));
+        }
+        assert_eq!(DType::from_code(0), None);
+        assert_eq!(DType::from_code(99), None);
+    }
+
+    #[test]
+    fn shape_basics() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.dim(1), Some(3));
+        assert_eq!(s.dim(5), None);
+        assert_eq!(Shape::scalar().rank(), 0);
+        assert_eq!(Shape::scalar().numel(), 1);
+    }
+
+    #[test]
+    fn transpose_swaps_last_two() {
+        assert_eq!(
+            Shape::new(vec![2, 3, 4]).transposed(),
+            Shape::new(vec![2, 4, 3])
+        );
+        assert_eq!(Shape::new(vec![5]).transposed(), Shape::new(vec![5]));
+        assert_eq!(Shape::scalar().transposed(), Shape::scalar());
+    }
+
+    #[test]
+    fn broadcasting() {
+        let a = Shape::new(vec![4, 1, 3]);
+        let b = Shape::new(vec![2, 3]);
+        assert!(a.broadcast_compatible(&b));
+        assert_eq!(a.broadcast(&b), Some(Shape::new(vec![4, 2, 3])));
+
+        let c = Shape::new(vec![5, 3]);
+        let d = Shape::new(vec![4, 3]);
+        assert!(!c.broadcast_compatible(&d));
+        assert_eq!(c.broadcast(&d), None);
+
+        // Scalars broadcast with everything.
+        assert_eq!(
+            Shape::scalar().broadcast(&Shape::new(vec![7])),
+            Some(Shape::new(vec![7]))
+        );
+    }
+
+    #[test]
+    fn meta_bytes() {
+        let m = TensorMeta::new(DType::F32, vec![2, 3]);
+        assert_eq!(m.bytes(), 24);
+        assert_eq!(TensorMeta::scalar(DType::I8).bytes(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = TensorMeta::new(DType::F32, vec![2, 3]);
+        assert_eq!(m.to_string(), "f32[2x3]");
+        assert_eq!(DType::BF16.to_string(), "bf16");
+    }
+}

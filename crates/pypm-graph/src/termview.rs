@@ -1,0 +1,384 @@
+//! The term view: abstracting subgraphs as syntax trees (paper §3,
+//! "computation graphs of operators are abstracted as syntax trees in
+//! CorePyPM").
+//!
+//! Matching a pattern at a graph node means matching against the *tree*
+//! rooted at that node: shared subgraphs are duplicated in the view (the
+//! hash-consed [`TermStore`] re-shares them structurally), inputs and
+//! opaque nodes become fresh constants, and tensor metadata is carried to
+//! the term level in a side table so that guards can evaluate attributes
+//! like `x.rank` and `x.eltType`.
+//!
+//! The side table is keyed by [`TermId`]. Hash-consing makes structurally
+//! equal subgraphs share a term id; because distinct input nodes are
+//! distinct constants and shape inference is deterministic, structurally
+//! equal subgraphs always carry identical metadata, so the table is
+//! well-defined.
+
+use crate::graph::{Graph, NodeId, NodeKind};
+use crate::ops::OpRegistry;
+use crate::tensor::TensorMeta;
+use pypm_core::{Attr, AttrInterp, Symbol, SymbolTable, TermId, TermStore};
+use std::collections::HashMap;
+
+/// Interned handles for the tensor-specific attributes PyPM exposes on
+/// every term (§2: "all terms … have the same set of tensor-specific
+/// attributes including element type, shape, and rank").
+#[derive(Debug, Clone, Copy)]
+pub struct TensorAttrs {
+    /// `rank` — number of dimensions.
+    pub rank: Attr,
+    /// `eltType` — the [`DType`](crate::tensor::DType) code.
+    pub elt_type: Attr,
+    /// `numel` — total element count.
+    pub numel: Attr,
+    /// `dim0`–`dim3` — leading dimension extents.
+    pub dims: [Attr; 4],
+    /// `op_class` — the [`OpClass`](crate::ops::OpClass) code of the head
+    /// operator (Fig. 14's `op_class` constraint).
+    pub op_class: Attr,
+}
+
+impl TensorAttrs {
+    /// Interns the attribute names in `syms`.
+    pub fn intern(syms: &mut SymbolTable) -> Self {
+        TensorAttrs {
+            rank: syms.attr("rank"),
+            elt_type: syms.attr("eltType"),
+            numel: syms.attr("numel"),
+            dims: [
+                syms.attr("dim0"),
+                syms.attr("dim1"),
+                syms.attr("dim2"),
+                syms.attr("dim3"),
+            ],
+            op_class: syms.attr("op_class"),
+        }
+    }
+}
+
+/// The attribute interpretation backed by a term view's side tables.
+#[derive(Debug, Clone, Default)]
+pub struct GraphAttrInterp {
+    meta: HashMap<TermId, TensorMeta>,
+    class_code: HashMap<TermId, i64>,
+    node_attrs: HashMap<TermId, Vec<(Attr, i64)>>,
+    handles: Option<TensorAttrs>,
+}
+
+impl GraphAttrInterp {
+    /// Metadata recorded for a term, if any.
+    pub fn meta(&self, t: TermId) -> Option<&TensorMeta> {
+        self.meta.get(&t)
+    }
+}
+
+impl AttrInterp for GraphAttrInterp {
+    fn attr(&self, _terms: &TermStore, t: TermId, attr: Attr) -> Option<i64> {
+        let handles = self.handles?;
+        if attr == handles.op_class {
+            return self.class_code.get(&t).copied();
+        }
+        if let Some(meta) = self.meta.get(&t) {
+            if attr == handles.rank {
+                return Some(meta.shape.rank() as i64);
+            }
+            if attr == handles.elt_type {
+                return Some(meta.dtype.code());
+            }
+            if attr == handles.numel {
+                return Some(meta.shape.numel());
+            }
+            for (i, &d) in handles.dims.iter().enumerate() {
+                if attr == d {
+                    return meta.shape.dim(i);
+                }
+            }
+        }
+        // Operator attributes attached to the node (stride, value_milli,
+        // epilog, …).
+        self.node_attrs
+            .get(&t)
+            .and_then(|attrs| attrs.iter().find(|(k, _)| *k == attr).map(|&(_, v)| v))
+    }
+}
+
+/// Interns the value-specialized symbol for an attribute-carrying
+/// constant, e.g. `ConstScalar!value_milli=500`.
+fn specialized_const(syms: &mut SymbolTable, op: Symbol, attrs: &[(Attr, i64)]) -> Symbol {
+    let mut name = syms.op_name(op).to_owned();
+    let mut sorted: Vec<(String, i64)> = attrs
+        .iter()
+        .map(|&(a, v)| (syms.attr_name(a).to_owned(), v))
+        .collect();
+    sorted.sort();
+    for (a, v) in sorted {
+        name.push('!');
+        name.push_str(&a);
+        name.push('=');
+        name.push_str(&v.to_string());
+    }
+    syms.op(&name, 0)
+}
+
+/// A cached term view of a [`Graph`].
+///
+/// The view is valid for the graph revision it was built against;
+/// [`TermView::build`] after a rewrite produces a fresh view.
+#[derive(Debug, Clone)]
+pub struct TermView {
+    revision: u64,
+    term_of_node: HashMap<NodeId, TermId>,
+    node_of_term: HashMap<TermId, NodeId>,
+    attrs: GraphAttrInterp,
+}
+
+impl TermView {
+    /// Builds the term view of every node reachable from the graph
+    /// outputs.
+    pub fn build(
+        graph: &Graph,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        registry: &OpRegistry,
+    ) -> TermView {
+        let handles = TensorAttrs::intern(syms);
+        let mut view = TermView {
+            revision: graph.revision(),
+            term_of_node: HashMap::new(),
+            node_of_term: HashMap::new(),
+            attrs: GraphAttrInterp {
+                handles: Some(handles),
+                ..GraphAttrInterp::default()
+            },
+        };
+        for n in graph.topo_order() {
+            let node = graph.node(n);
+            let term = match node.kind {
+                NodeKind::Input | NodeKind::Opaque => {
+                    let c = node
+                        .term_const
+                        .expect("inputs and opaque nodes carry a term constant");
+                    terms.app0(c)
+                }
+                NodeKind::Op if node.inputs.is_empty() && !node.attrs.is_empty() => {
+                    // Attribute-carrying constants (e.g. ConstScalar with
+                    // value_milli): specialize the symbol per attribute
+                    // valuation so that distinct constants are distinct
+                    // terms while equal constants still share (needed for
+                    // nonlinear patterns and correct attribute lookup).
+                    let c = specialized_const(syms, node.op, &node.attrs);
+                    terms.app0(c)
+                }
+                NodeKind::Op => {
+                    let args: Vec<TermId> = node
+                        .inputs
+                        .iter()
+                        .map(|i| view.term_of_node[i])
+                        .collect();
+                    terms.app(node.op, args)
+                }
+            };
+            view.term_of_node.insert(n, term);
+            // First producer wins: any node with this term computes the
+            // same value, so reusing the first is sound.
+            view.node_of_term.entry(term).or_insert(n);
+            view.attrs.meta.entry(term).or_insert_with(|| node.meta.clone());
+            view.attrs
+                .class_code
+                .entry(term)
+                .or_insert_with(|| registry.class(node.op).code() );
+            if !node.attrs.is_empty() {
+                view.attrs
+                    .node_attrs
+                    .entry(term)
+                    .or_insert_with(|| node.attrs.clone());
+            }
+        }
+        view
+    }
+
+    /// The graph revision this view was built against.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// The term rooted at a node, if the node is reachable.
+    pub fn term_of(&self, n: NodeId) -> Option<TermId> {
+        self.term_of_node.get(&n).copied()
+    }
+
+    /// A node producing the given term, if any.
+    pub fn node_of(&self, t: TermId) -> Option<NodeId> {
+        self.node_of_term.get(&t).copied()
+    }
+
+    /// The attribute interpretation for guard evaluation.
+    pub fn attrs(&self) -> &GraphAttrInterp {
+        &self.attrs
+    }
+
+    /// Number of viewed nodes.
+    pub fn len(&self) -> usize {
+        self.term_of_node.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.term_of_node.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{OpClass, StdOps};
+    use crate::tensor::DType;
+    use pypm_core::TermStore;
+
+    struct Fx {
+        syms: SymbolTable,
+        reg: OpRegistry,
+        ops: StdOps,
+        g: Graph,
+        terms: TermStore,
+    }
+
+    fn fx() -> Fx {
+        let mut syms = SymbolTable::new();
+        let mut reg = OpRegistry::new();
+        let ops = StdOps::declare(&mut reg, &mut syms);
+        Fx {
+            syms,
+            reg,
+            ops,
+            g: Graph::new(),
+            terms: TermStore::new(),
+        }
+    }
+
+    #[test]
+    fn term_view_mirrors_structure() {
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
+        let b = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
+        let bt = f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![]).unwrap();
+        let mm = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
+            .unwrap();
+        f.g.mark_output(mm);
+
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let t = view.term_of(mm).unwrap();
+        let text = f.terms.display(&f.syms, t);
+        assert!(text.starts_with("MatMul("));
+        assert!(text.contains("Trans("));
+        assert_eq!(view.node_of(t), Some(mm));
+    }
+
+    #[test]
+    fn distinct_inputs_are_distinct_constants() {
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let b = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let add = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![a, b], vec![])
+            .unwrap();
+        f.g.mark_output(add);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_ne!(view.term_of(a), view.term_of(b));
+    }
+
+    #[test]
+    fn shared_subgraph_shares_terms() {
+        // add(relu(a), relu(a)) — both relu uses view as the same term.
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let add = f
+            .g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
+            .unwrap();
+        f.g.mark_output(add);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let t_add = view.term_of(add).unwrap();
+        let args = f.terms.args(t_add);
+        assert_eq!(args[0], args[1]);
+    }
+
+    #[test]
+    fn attributes_expose_tensor_metadata() {
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::I8, vec![3, 5]));
+        f.g.mark_output(a);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let t = view.term_of(a).unwrap();
+        let h = TensorAttrs::intern(&mut f.syms);
+        let interp = view.attrs();
+        assert_eq!(interp.attr(&f.terms, t, h.rank), Some(2));
+        assert_eq!(interp.attr(&f.terms, t, h.elt_type), Some(DType::I8.code()));
+        assert_eq!(interp.attr(&f.terms, t, h.numel), Some(15));
+        assert_eq!(interp.attr(&f.terms, t, h.dims[0]), Some(3));
+        assert_eq!(interp.attr(&f.terms, t, h.dims[1]), Some(5));
+        assert_eq!(interp.attr(&f.terms, t, h.dims[2]), None);
+    }
+
+    #[test]
+    fn op_class_attribute() {
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        f.g.mark_output(r);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let h = TensorAttrs::intern(&mut f.syms);
+        let t = view.term_of(r).unwrap();
+        assert_eq!(
+            view.attrs().attr(&f.terms, t, h.op_class),
+            Some(OpClass::UnaryPointwise.code())
+        );
+    }
+
+    #[test]
+    fn node_attrs_visible_as_term_attrs() {
+        let mut f = fx();
+        let c = f
+            .g
+            .op_with_meta(
+                f.ops.const_scalar,
+                vec![],
+                vec![(f.ops.value_milli_attr, 500)],
+                TensorMeta::scalar(DType::F32),
+            )
+            .unwrap();
+        f.g.mark_output(c);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let t = view.term_of(c).unwrap();
+        assert_eq!(
+            view.attrs().attr(&f.terms, t, f.ops.value_milli_attr),
+            Some(500)
+        );
+    }
+
+    #[test]
+    fn opaque_nodes_view_as_constants() {
+        let mut f = fx();
+        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let mystery = f.syms.op("Mystery", 1);
+        let o = f
+            .g
+            .opaque(&mut f.syms, mystery, vec![a], TensorMeta::new(DType::F32, vec![2, 2]))
+            .unwrap();
+        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![]).unwrap();
+        f.g.mark_output(r);
+        let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let t = view.term_of(r).unwrap();
+        // Relu(<const>) — the opaque node's own op never appears.
+        let text = f.terms.display(&f.syms, t);
+        assert!(text.starts_with("Relu("));
+        assert!(!text.contains("Mystery"));
+        let inner = f.terms.args(t)[0];
+        assert_eq!(f.terms.args(inner).len(), 0);
+    }
+}

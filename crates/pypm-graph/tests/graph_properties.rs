@@ -1,0 +1,185 @@
+//! Property tests of the graph substrate: random DAGs must uphold the
+//! structural invariants the rewrite engine relies on.
+
+use proptest::prelude::*;
+use pypm_core::{SymbolTable, TermStore};
+use pypm_graph::{DType, Graph, NodeId, OpRegistry, StdOps, TensorMeta, TermView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Fx {
+    syms: SymbolTable,
+    reg: OpRegistry,
+    ops: StdOps,
+}
+
+fn fx() -> Fx {
+    let mut syms = SymbolTable::new();
+    let mut reg = OpRegistry::new();
+    let ops = StdOps::declare(&mut reg, &mut syms);
+    Fx { syms, reg, ops }
+}
+
+/// Builds a random square-matrix DAG: a few inputs, then a sequence of
+/// unary/binary pointwise ops and matmuls over earlier nodes.
+fn random_graph(fx: &mut Fx, seed: u64, size: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::new();
+    let dim = 8i64;
+    let mut nodes: Vec<NodeId> = (0..3)
+        .map(|_| g.input(&mut fx.syms, TensorMeta::new(DType::F32, vec![dim, dim])))
+        .collect();
+    for _ in 0..size {
+        let pick = nodes[rng.gen_range(0..nodes.len())];
+        let n = match rng.gen_range(0..6) {
+            0 => g
+                .op(&mut fx.syms, &fx.reg, fx.ops.relu, vec![pick], vec![])
+                .unwrap(),
+            1 => g
+                .op(&mut fx.syms, &fx.reg, fx.ops.gelu, vec![pick], vec![])
+                .unwrap(),
+            2 => g
+                .op(&mut fx.syms, &fx.reg, fx.ops.trans, vec![pick], vec![])
+                .unwrap(),
+            3 | 4 => {
+                let other = nodes[rng.gen_range(0..nodes.len())];
+                g.op(&mut fx.syms, &fx.reg, fx.ops.add, vec![pick, other], vec![])
+                    .unwrap()
+            }
+            _ => {
+                let other = nodes[rng.gen_range(0..nodes.len())];
+                g.op(
+                    &mut fx.syms,
+                    &fx.reg,
+                    fx.ops.matmul,
+                    vec![pick, other],
+                    vec![],
+                )
+                .unwrap()
+            }
+        };
+        nodes.push(n);
+    }
+    // Mark a couple of late nodes as outputs.
+    let k = nodes.len();
+    g.mark_output(nodes[k - 1]);
+    g.mark_output(nodes[k / 2]);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topological order places every node after its inputs and covers
+    /// exactly the reachable live nodes.
+    #[test]
+    fn topo_order_is_consistent(seed in any::<u64>(), size in 1usize..40) {
+        let mut f = fx();
+        let g = random_graph(&mut f, seed, size);
+        let order = g.topo_order();
+        let pos: std::collections::HashMap<NodeId, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &n in &order {
+            for &input in &g.node(n).inputs {
+                prop_assert!(pos[&input] < pos[&n], "{input:?} not before {n:?}");
+            }
+        }
+        // No duplicates.
+        prop_assert_eq!(pos.len(), order.len());
+    }
+
+    /// GC never removes reachable nodes, and is idempotent.
+    #[test]
+    fn gc_preserves_reachable(seed in any::<u64>(), size in 1usize..40) {
+        let mut f = fx();
+        let mut g = random_graph(&mut f, seed, size);
+        let reachable_before = g.topo_order();
+        g.gc();
+        for &n in &reachable_before {
+            prop_assert!(g.is_alive(n));
+        }
+        let freed_again = g.gc();
+        prop_assert_eq!(freed_again, 0, "gc must be idempotent");
+        g.validate().unwrap();
+    }
+
+    /// The term view is total on reachable nodes, and `node_of ∘ term_of`
+    /// returns a node denoting the same term.
+    #[test]
+    fn term_view_roundtrips(seed in any::<u64>(), size in 1usize..30) {
+        let mut f = fx();
+        let g = random_graph(&mut f, seed, size);
+        let mut terms = TermStore::new();
+        let view = TermView::build(&g, &mut f.syms, &mut terms, &f.reg);
+        for n in g.topo_order() {
+            let t = view.term_of(n);
+            prop_assert!(t.is_some(), "{n:?} missing from view");
+            let back = view.node_of(t.unwrap()).unwrap();
+            prop_assert_eq!(view.term_of(back), t);
+        }
+    }
+
+    /// Structurally identical subgraphs share a term id; distinct inputs
+    /// never do.
+    #[test]
+    fn term_sharing_matches_structure(seed in any::<u64>()) {
+        let mut f = fx();
+        let mut g = Graph::new();
+        let dim = 4i64;
+        let a = g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![dim, dim]));
+        let b = g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![dim, dim]));
+        let _ = seed;
+        let r1 = g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let r2 = g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let r3 = g.op(&mut f.syms, &f.reg, f.ops.relu, vec![b], vec![]).unwrap();
+        let top = g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![r1, r2], vec![])
+            .unwrap();
+        let top2 = g
+            .op(&mut f.syms, &f.reg, f.ops.add, vec![top, r3], vec![])
+            .unwrap();
+        g.mark_output(top2);
+        let mut terms = TermStore::new();
+        let view = TermView::build(&g, &mut f.syms, &mut terms, &f.reg);
+        prop_assert_eq!(view.term_of(r1), view.term_of(r2));
+        prop_assert_ne!(view.term_of(r1), view.term_of(r3));
+        prop_assert_ne!(view.term_of(a), view.term_of(b));
+    }
+
+    /// Replacing any non-output node with one of its own inputs (a
+    /// "bypass" rewrite) preserves validity.
+    #[test]
+    fn bypass_replace_preserves_validity(seed in any::<u64>(), size in 2usize..30) {
+        let mut f = fx();
+        let mut g = random_graph(&mut f, seed, size);
+        let candidates: Vec<NodeId> = g
+            .topo_order()
+            .into_iter()
+            .filter(|&n| !g.node(n).inputs.is_empty())
+            .collect();
+        if let Some(&victim) = candidates.first() {
+            let bypass = g.node(victim).inputs[0];
+            // Only sound if metadata agrees; skip otherwise (mirrors the
+            // engine's semantics-preserving rewrites).
+            if g.node(victim).meta == g.node(bypass).meta {
+                g.replace(victim, bypass).unwrap();
+                g.gc();
+                g.validate().unwrap();
+            }
+        }
+    }
+}
+
+/// Deterministic regression: users() lists each user once per edge.
+#[test]
+fn users_counts_multi_edges() {
+    let mut f = fx();
+    let mut g = Graph::new();
+    let a = g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+    let add = g
+        .op(&mut f.syms, &f.reg, f.ops.add, vec![a, a], vec![])
+        .unwrap();
+    g.mark_output(add);
+    let users = g.users();
+    assert_eq!(users[&a], vec![add, add]);
+}

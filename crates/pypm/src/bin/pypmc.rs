@@ -1,0 +1,260 @@
+//! `pypmc` — a command-line driver for the PyPM reproduction.
+//!
+//! ```text
+//! pypmc list-models                         list both model zoos
+//! pypmc compile <model> [--config C] [--policy P] [--dot]
+//!                                           compile one model and report
+//!                                           rewrite stats + simulated cost
+//! pypmc library [--format text|binary] [-o FILE]
+//!                                           dump the paper's pattern library
+//! pypmc partition <model>                   directed graph partitioning (§4.2)
+//! pypmc explain <model> <pattern>           per-node match diagnostics
+//! ```
+//!
+//! Configurations `C`: `baseline`, `fmha`, `epilog`, `both` (default).
+//! Policies `P`: `restart` (paper-faithful, default), `continue`.
+
+use pypm::dsl::{binary, text, LibraryConfig};
+use pypm::engine::{partition, PassConfig, Rewriter, Session, SweepPolicy};
+use pypm::graph::Graph;
+use pypm::perf::CostModel;
+use std::io::Write;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list-models") => list_models(),
+        Some("compile") => compile(&args[1..]),
+        Some("library") => library(&args[1..]),
+        Some("partition") => run_partition(&args[1..]),
+        Some("explain") => run_explain(&args[1..]),
+        _ => {
+            eprintln!("usage: pypmc <list-models|compile|library|partition|explain> [...]");
+            eprintln!("see the module docs (`cargo doc -p pypm`) for details");
+            2
+        }
+    };
+    exit(code);
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
+    if let Some(cfg) = pypm::models::hf_zoo().into_iter().find(|c| c.name == name) {
+        return Some(cfg.build(session));
+    }
+    if let Some(cfg) = pypm::models::tv_zoo().into_iter().find(|c| c.name == name) {
+        return Some(cfg.build(session));
+    }
+    None
+}
+
+fn list_models() -> i32 {
+    println!("HuggingFace-style transformers:");
+    for c in pypm::models::hf_zoo() {
+        println!(
+            "  {:<22} {} layers, hidden {}, seq {}, gelu {:?}, scale {:?}",
+            c.name, c.layers, c.hidden, c.seq, c.gelu, c.scale
+        );
+    }
+    println!("\nTorchVision-style CNNs:");
+    for c in pypm::models::tv_zoo() {
+        println!(
+            "  {:<22} {} stages, {} classifier layers, res {}",
+            c.name,
+            c.stages.len(),
+            c.classifier.len(),
+            c.resolution
+        );
+    }
+    0
+}
+
+fn compile(args: &[String]) -> i32 {
+    let Some(model) = args.first() else {
+        eprintln!("usage: pypmc compile <model> [--config C] [--policy P] [--dot]");
+        return 2;
+    };
+    let lib = match flag_value(args, "--config").unwrap_or("both") {
+        "baseline" => LibraryConfig::none(),
+        "fmha" => LibraryConfig::fmha_only(),
+        "epilog" => LibraryConfig::epilog_only(),
+        "both" => LibraryConfig::both(),
+        "all" => LibraryConfig::all(),
+        other => {
+            eprintln!("unknown config {other}");
+            return 2;
+        }
+    };
+    let policy = match flag_value(args, "--policy").unwrap_or("restart") {
+        "restart" => SweepPolicy::RestartOnRewrite,
+        "continue" => SweepPolicy::ContinueSweep,
+        other => {
+            eprintln!("unknown policy {other}");
+            return 2;
+        }
+    };
+
+    let mut s = Session::new();
+    let Some(mut g) = build_model(&mut s, model) else {
+        eprintln!("unknown model {model}; try `pypmc list-models`");
+        return 1;
+    };
+    let cm = CostModel::new();
+    let before_nodes = g.live_count();
+    let before_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
+
+    let rules = s.load_library(lib);
+    let stats = if rules.is_empty() {
+        Default::default()
+    } else {
+        match Rewriter::new(&mut s, &rules)
+            .with_config(PassConfig {
+                sweep_policy: policy,
+                ..Default::default()
+            })
+            .run(&mut g)
+        {
+            Ok(st) => st,
+            Err(e) => {
+                eprintln!("rewrite pass failed: {e}");
+                return 1;
+            }
+        }
+    };
+    if let Err(e) = g.validate() {
+        eprintln!("internal error: invalid graph after pass: {e}");
+        return 1;
+    }
+    let after_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
+
+    println!("model      {model}");
+    println!("nodes      {before_nodes} -> {}", g.live_count());
+    println!(
+        "rewrites   {} fired / {} matches / {} attempts",
+        stats.rewrites_fired, stats.matches_found, stats.match_attempts
+    );
+    println!(
+        "matcher    {:.2} ms, {} machine steps, {} backtracks, {} sweeps",
+        stats.duration.as_secs_f64() * 1e3,
+        stats.machine_steps,
+        stats.machine_backtracks,
+        stats.sweeps
+    );
+    println!(
+        "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",
+        before_cost / after_cost
+    );
+    if args.iter().any(|a| a == "--dot") {
+        println!("\n{}", g.to_dot(&s.syms));
+    }
+    0
+}
+
+fn library(args: &[String]) -> i32 {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let format = flag_value(args, "--format").unwrap_or("text");
+    let payload: Vec<u8> = match format {
+        "text" => text::print_ruleset(&rules, &s.syms, &s.pats).into_bytes(),
+        "binary" => binary::encode(&rules, &s.syms, &s.pats).to_vec(),
+        other => {
+            eprintln!("unknown format {other} (want text|binary)");
+            return 2;
+        }
+    };
+    match flag_value(args, "-o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &payload) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            println!("wrote {} bytes to {path}", payload.len());
+        }
+        None => {
+            std::io::stdout().write_all(&payload).expect("stdout");
+        }
+    }
+    0
+}
+
+fn run_explain(args: &[String]) -> i32 {
+    let (Some(model), Some(pattern)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: pypmc explain <model> <pattern>");
+        return 2;
+    };
+    let mut s = Session::new();
+    let Some(g) = build_model(&mut s, model) else {
+        eprintln!("unknown model {model}; try `pypmc list-models`");
+        return 1;
+    };
+    let rules = s.load_library(LibraryConfig::all());
+    if rules.find(pattern).is_none() {
+        eprintln!("unknown pattern {pattern}; library patterns:");
+        for def in &rules.patterns {
+            eprintln!("  {}", def.name);
+        }
+        return 1;
+    }
+    let mut matched = 0u32;
+    let mut failed = 0u32;
+    let mut worst: Option<pypm::engine::Explanation> = None;
+    for node in g.topo_order() {
+        if let Some(e) = pypm::engine::explain_match(&mut s, &rules, &g, node, pattern, 1_000_000)
+        {
+            if e.matched {
+                matched += 1;
+                println!("{e}");
+            } else {
+                failed += 1;
+                if worst.as_ref().map(|w| w.steps < e.steps).unwrap_or(true) {
+                    worst = Some(e);
+                }
+            }
+        }
+    }
+    println!("{matched} nodes matched, {failed} did not.");
+    if let Some(w) = worst {
+        println!("
+most expensive failed attempt:
+{w}");
+    }
+    0
+}
+
+fn run_partition(args: &[String]) -> i32 {
+    let Some(model) = args.first() else {
+        eprintln!("usage: pypmc partition <model>");
+        return 2;
+    };
+    let mut s = Session::new();
+    let Some(g) = build_model(&mut s, model) else {
+        eprintln!("unknown model {model}; try `pypmc list-models`");
+        return 1;
+    };
+    let rules = s.load_library(LibraryConfig::all());
+    let parts = partition(&mut s, &rules, &g, "MatMulEpilog");
+    let cm = CostModel::new();
+    println!("{model}: {} MatMulEpilog partitions over {} nodes", parts.len(), g.live_count());
+    for p in &parts {
+        let per_node: f64 = p
+            .nodes
+            .iter()
+            .map(|&n| cm.node_cost(&g, &s.syms, &s.registry, &s.ops, n))
+            .sum();
+        let fused = cm.fused_region_cost(&g, &s.registry, &s.ops, &p.nodes, &p.frontier, p.root);
+        println!(
+            "  root {:?}: {} nodes, {} frontier inputs, {per_node:.1} µs per-node vs {fused:.1} µs fused",
+            p.root,
+            p.size(),
+            p.frontier.len()
+        );
+    }
+    0
+}

@@ -1,0 +1,49 @@
+//! # PyPM — pattern matching for AI compilers, in Rust
+//!
+//! A from-scratch reproduction of *"Pattern Matching in AI Compilers and
+//! its Formalization (Extended)"* (CGO 2025). This facade crate
+//! re-exports the whole system:
+//!
+//! | module | crate | paper role |
+//! |---|---|---|
+//! | [`core`] | `pypm-core` | CorePyPM: terms, patterns, both semantics, the abstract machine (§3) |
+//! | [`graph`] | `pypm-graph` | DLCB's computation-graph IR and term views (§2.4) |
+//! | [`dsl`] | `pypm-dsl` | the PyPM frontend: builders, tracing, serialization (§2) |
+//! | [`engine`] | `pypm-engine` | the rewrite pass and directed graph partitioning (§2.4, §4.2) |
+//! | [`models`] | `pypm-models` | synthetic HuggingFace / TorchVision zoos (§4.1) |
+//! | [`perf`] | `pypm-perf` | the simulated GPU testbed (§4.1) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pypm::engine::{Rewriter, Session};
+//! use pypm::dsl::LibraryConfig;
+//! use pypm::graph::{DType, Graph, TensorMeta};
+//!
+//! // Build MatMul(a, Trans(b)) — the Fig. 1 subject.
+//! let mut s = Session::new();
+//! let mut g = Graph::new();
+//! let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![64, 32]));
+//! let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![16, 32]));
+//! let trans = s.ops.trans;
+//! let matmul = s.ops.matmul;
+//! let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+//! let mm = g.op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![]).unwrap();
+//! g.mark_output(mm);
+//!
+//! // Load the paper's pattern library and rewrite to fixpoint.
+//! let rules = s.load_library(LibraryConfig::all());
+//! let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+//! assert_eq!(stats.rewrites_fired, 1);
+//! assert_eq!(g.node(g.outputs()[0]).op, s.ops.cublas_mm_xyt_f32);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pypm_core as core;
+pub use pypm_dsl as dsl;
+pub use pypm_engine as engine;
+pub use pypm_graph as graph;
+pub use pypm_models as models;
+pub use pypm_perf as perf;

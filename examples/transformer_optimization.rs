@@ -1,0 +1,57 @@
+//! The paper's §4.1 workflow on one model: compile a transformer four
+//! ways (baseline / FMHA / Epilog / both) and report simulated inference
+//! speedups — one row of Figure 10.
+//!
+//! Run with `cargo run --example transformer_optimization [model-name]`.
+
+use pypm::dsl::LibraryConfig;
+use pypm::engine::{Rewriter, Session};
+use pypm::perf::CostModel;
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "bert-base".into());
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown model {wanted}; available:");
+            for c in pypm::models::hf_zoo() {
+                eprintln!("  {}", c.name);
+            }
+            std::process::exit(1);
+        });
+
+    println!(
+        "model {}: {} layers, hidden {}, seq {}, gelu {:?}, scale {:?}\n",
+        cfg.name, cfg.layers, cfg.hidden, cfg.seq, cfg.gelu, cfg.scale
+    );
+
+    let configs = [
+        ("baseline", LibraryConfig::none()),
+        ("fmha", LibraryConfig::fmha_only()),
+        ("epilog", LibraryConfig::epilog_only()),
+        ("both", LibraryConfig::both()),
+    ];
+    let mut baseline = None;
+    for (name, lib) in configs {
+        let mut s = Session::new();
+        let mut g = cfg.build(&mut s);
+        let rules = s.load_library(lib);
+        let stats = if rules.is_empty() {
+            Default::default()
+        } else {
+            Rewriter::new(&mut s, &rules).run(&mut g).unwrap()
+        };
+        let cost = CostModel::new().graph_cost(&g, &s.syms, &s.registry, &s.ops);
+        let speedup = baseline.get_or_insert(cost);
+        println!(
+            "{name:<9} {:>9.1} µs  ({:.3}x)  — {} rewrites, {} matches, {} nodes, matcher {:.2} ms",
+            cost,
+            *speedup / cost,
+            stats.rewrites_fired,
+            stats.matches_found,
+            g.live_count(),
+            stats.duration.as_secs_f64() * 1e3,
+        );
+    }
+}
