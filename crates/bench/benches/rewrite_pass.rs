@@ -19,18 +19,14 @@ fn bench_hf_pass(c: &mut Criterion) {
             ("epilog", LibraryConfig::epilog_only()),
             ("both", LibraryConfig::both()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(model, cname),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let mut s = Session::new();
-                        let mut g = cfg.build(&mut s);
-                        let rs = s.load_library(lib);
-                        Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(model, cname), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut s = Session::new();
+                    let mut g = cfg.build(&mut s);
+                    let rs = s.load_library(lib);
+                    Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                })
+            });
         }
     }
     group.finish();
@@ -48,18 +44,14 @@ fn bench_tv_pass(c: &mut Criterion) {
             ("fmha", LibraryConfig::fmha_only()),
             ("epilog", LibraryConfig::epilog_only()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(model, cname),
-                &cfg,
-                |b, cfg| {
-                    b.iter(|| {
-                        let mut s = Session::new();
-                        let mut g = cfg.build(&mut s);
-                        let rs = s.load_library(lib);
-                        Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(model, cname), &cfg, |b, cfg| {
+                b.iter(|| {
+                    let mut s = Session::new();
+                    let mut g = cfg.build(&mut s);
+                    let rs = s.load_library(lib);
+                    Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                })
+            });
         }
     }
     group.finish();

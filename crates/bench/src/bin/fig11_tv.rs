@@ -44,5 +44,8 @@ fn main() {
         );
     }
     let both: Vec<f64> = rows.iter().map(|r| r.speedup(3)).collect();
-    println!("geomean speedup with both optimizations: {:.3}x", geomean(&both));
+    println!(
+        "geomean speedup with both optimizations: {:.3}x",
+        geomean(&both)
+    );
 }

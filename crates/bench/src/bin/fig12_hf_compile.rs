@@ -23,7 +23,10 @@ fn main() {
                 "{:<22} {:>8} {:>10} {:>12} {:>12} {:>12.1}",
                 p.model, p.pattern, p.matches, p.attempts, p.steps, p.time_us
             );
-            per_pattern.entry(p.pattern).or_default().push((p.matches, p.time_us));
+            per_pattern
+                .entry(p.pattern)
+                .or_default()
+                .push((p.matches, p.time_us));
         }
     }
     println!();

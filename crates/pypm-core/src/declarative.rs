@@ -160,8 +160,9 @@ fn check_rec_inner<A: AttrInterp + ?Sized>(
         // P-Alt-1 / P-Alt-2.
         Pattern::Alt(l, r) => Ok(check_rec(ctx, l, w, t)? || check_rec(ctx, r, w, t)?),
         // P-Guard: inner matches and ⟦g[θ]⟧ = True.
-        Pattern::Guard(inner, g) => Ok(check_rec(ctx, inner, w, t)?
-            && g.eval(&w.theta, ctx.terms, ctx.interp).holds()),
+        Pattern::Guard(inner, g) => {
+            Ok(check_rec(ctx, inner, w, t)? && g.eval(&w.theta, ctx.terms, ctx.interp).holds())
+        }
         // P-Exists: some t′ with p @ θ∪{x↦t′} ≈ t. If θ already binds x
         // (the machine always returns such witnesses) that binding is the
         // t′; otherwise candidates range over subterms of t (see module

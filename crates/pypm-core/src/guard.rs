@@ -147,21 +147,9 @@ impl Expr {
             Expr::TermAttr(t, a) => {
                 format!("{}.{}", terms.display(syms, *t), syms.attr_name(*a))
             }
-            Expr::Add(l, r) => format!(
-                "({} + {})",
-                l.display(syms, terms),
-                r.display(syms, terms)
-            ),
-            Expr::Sub(l, r) => format!(
-                "({} - {})",
-                l.display(syms, terms),
-                r.display(syms, terms)
-            ),
-            Expr::Mul(l, r) => format!(
-                "({} * {})",
-                l.display(syms, terms),
-                r.display(syms, terms)
-            ),
+            Expr::Add(l, r) => format!("({} + {})", l.display(syms, terms), r.display(syms, terms)),
+            Expr::Sub(l, r) => format!("({} - {})", l.display(syms, terms), r.display(syms, terms)),
+            Expr::Mul(l, r) => format!("({} * {})", l.display(syms, terms), r.display(syms, terms)),
         }
     }
 }
@@ -258,11 +246,14 @@ impl Guard {
                 (Some(a), Some(b)) => from_bool(a < b),
                 _ => GuardValue::Undefined,
             },
-            Guard::And(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp))
-            {
-                (GuardValue::Undefined, _) | (_, GuardValue::Undefined) => GuardValue::Undefined,
-                (a, b) => from_bool(a.holds() && b.holds()),
-            },
+            Guard::And(l, r) => {
+                match (l.eval(theta, terms, interp), r.eval(theta, terms, interp)) {
+                    (GuardValue::Undefined, _) | (_, GuardValue::Undefined) => {
+                        GuardValue::Undefined
+                    }
+                    (a, b) => from_bool(a.holds() && b.holds()),
+                }
+            }
             Guard::Or(l, r) => match (l.eval(theta, terms, interp), r.eval(theta, terms, interp)) {
                 (GuardValue::Undefined, _) | (_, GuardValue::Undefined) => GuardValue::Undefined,
                 (a, b) => from_bool(a.holds() || b.holds()),
@@ -305,16 +296,12 @@ impl Guard {
         match self {
             Guard::Eq(l, r) => format!("{} = {}", l.display(syms, terms), r.display(syms, terms)),
             Guard::Lt(l, r) => format!("{} < {}", l.display(syms, terms), r.display(syms, terms)),
-            Guard::And(l, r) => format!(
-                "({} && {})",
-                l.display(syms, terms),
-                r.display(syms, terms)
-            ),
-            Guard::Or(l, r) => format!(
-                "({} || {})",
-                l.display(syms, terms),
-                r.display(syms, terms)
-            ),
+            Guard::And(l, r) => {
+                format!("({} && {})", l.display(syms, terms), r.display(syms, terms))
+            }
+            Guard::Or(l, r) => {
+                format!("({} || {})", l.display(syms, terms), r.display(syms, terms))
+            }
             Guard::Not(g) => format!("!({})", g.display(syms, terms)),
         }
     }
@@ -334,7 +321,10 @@ mod tests {
         let (syms, terms) = setup();
         let _ = &syms;
         let e = Expr::Const(2).add(Expr::Const(3)).mul(Expr::Const(4));
-        assert_eq!(e.eval(&Subst::new(), &terms, &crate::attr::NoAttrs), Some(20));
+        assert_eq!(
+            e.eval(&Subst::new(), &terms, &crate::attr::NoAttrs),
+            Some(20)
+        );
     }
 
     #[test]
@@ -400,11 +390,26 @@ mod tests {
         let _ = &syms;
         let theta = Subst::new();
         let interp = crate::attr::NoAttrs;
-        assert!(Expr::Const(1).le(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
-        assert!(Expr::Const(1).le(Expr::Const(2)).eval(&theta, &terms, &interp).holds());
-        assert!(!Expr::Const(2).le(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
-        assert!(Expr::Const(1).ne(Expr::Const(2)).eval(&theta, &terms, &interp).holds());
-        assert!(!Expr::Const(1).ne(Expr::Const(1)).eval(&theta, &terms, &interp).holds());
+        assert!(Expr::Const(1)
+            .le(Expr::Const(1))
+            .eval(&theta, &terms, &interp)
+            .holds());
+        assert!(Expr::Const(1)
+            .le(Expr::Const(2))
+            .eval(&theta, &terms, &interp)
+            .holds());
+        assert!(!Expr::Const(2)
+            .le(Expr::Const(1))
+            .eval(&theta, &terms, &interp)
+            .holds());
+        assert!(Expr::Const(1)
+            .ne(Expr::Const(2))
+            .eval(&theta, &terms, &interp)
+            .holds());
+        assert!(!Expr::Const(1)
+            .ne(Expr::Const(1))
+            .eval(&theta, &terms, &interp)
+            .holds());
     }
 
     #[test]

@@ -547,6 +547,14 @@ impl<'a, A: AttrInterp + ?Sized> Machine<'a, A> {
     }
 }
 
+impl PatternStore {
+    /// Test helper: a constant pattern `c` for a nullary operator.
+    #[doc(hidden)]
+    pub fn app0_like(&mut self, c: crate::symbol::Symbol) -> PatternId {
+        self.app(c, Vec::new())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,9 +729,10 @@ mod tests {
         let tc = fx.terms.app0(c);
         let tg = fx.terms.app(g, vec![tc]);
         let px = fx.pats.var(x);
-        let want2 = fx
-            .pats
-            .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(2)));
+        let want2 = fx.pats.guarded(
+            px,
+            Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(2)),
+        );
 
         let out = Machine::new(&mut fx.pats, &fx.terms, &interp)
             .run(want2, tg, FUEL)
@@ -748,9 +757,10 @@ mod tests {
         let tc = fx.terms.app0(c);
         let tg = fx.terms.app(g, vec![tc]);
         let px = fx.pats.var(x);
-        let flat = fx
-            .pats
-            .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(1)));
+        let flat = fx.pats.guarded(
+            px,
+            Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(1)),
+        );
         let under_g = fx.pats.app(g, vec![px]);
         let p = fx.pats.alt(flat, under_g);
         let out = Machine::new(&mut fx.pats, &fx.terms, &interp)
@@ -948,13 +958,5 @@ mod tests {
         assert_eq!(st.steps, 4); // Fun, Bind, Bind, Success
         assert_eq!(st.backtracks, 0);
         assert_eq!(st.max_kont_depth, 2);
-    }
-}
-
-impl PatternStore {
-    /// Test helper: a constant pattern `c` for a nullary operator.
-    #[doc(hidden)]
-    pub fn app0_like(&mut self, c: crate::symbol::Symbol) -> PatternId {
-        self.app(c, Vec::new())
     }
 }

@@ -169,9 +169,7 @@ impl PatternStore {
     /// Panics if `ps` is empty.
     pub fn alts(&mut self, ps: &[PatternId]) -> PatternId {
         let (&last, init) = ps.split_last().expect("alts of empty list");
-        init.iter()
-            .rev()
-            .fold(last, |acc, &p| self.alt(p, acc))
+        init.iter().rev().fold(last, |acc, &p| self.alt(p, acc))
     }
 
     /// `p ; guard(g)`.
@@ -541,9 +539,7 @@ impl PatternStore {
                 self.fun_vars_into(*l, out);
                 self.fun_vars_into(*r, out);
             }
-            Pattern::Guard(inner, _) | Pattern::Exists(_, inner) => {
-                self.fun_vars_into(*inner, out)
-            }
+            Pattern::Guard(inner, _) | Pattern::Exists(_, inner) => self.fun_vars_into(*inner, out),
             Pattern::MatchConstr {
                 main, constraint, ..
             } => {
@@ -639,19 +635,17 @@ impl PatternStore {
                 mus.pop();
                 r
             }
-            Pattern::Call(name, args) => {
-                match mus.iter().rev().find(|(n, _)| n == name) {
-                    None => Err(PatternError::UnboundCall {
-                        name: syms.pat_name_text(*name).to_owned(),
-                    }),
-                    Some((_, n)) if *n != args.len() => Err(PatternError::MuArityMismatch {
-                        name: syms.pat_name_text(*name).to_owned(),
-                        params: *n,
-                        args: args.len(),
-                    }),
-                    Some(_) => Ok(()),
-                }
-            }
+            Pattern::Call(name, args) => match mus.iter().rev().find(|(n, _)| n == name) {
+                None => Err(PatternError::UnboundCall {
+                    name: syms.pat_name_text(*name).to_owned(),
+                }),
+                Some((_, n)) if *n != args.len() => Err(PatternError::MuArityMismatch {
+                    name: syms.pat_name_text(*name).to_owned(),
+                    params: *n,
+                    args: args.len(),
+                }),
+                Some(_) => Ok(()),
+            },
         }
     }
 
@@ -836,7 +830,10 @@ impl fmt::Display for PatternError {
                 write!(f, "μ{name} has {params} parameters but {args} arguments")
             }
             PatternError::UnusedExistential { var } => {
-                write!(f, "existential variable {var} never occurs in a binding position")
+                write!(
+                    f,
+                    "existential variable {var} never occurs in a binding position"
+                )
             }
         }
     }
@@ -963,10 +960,7 @@ mod tests {
         // replaces the call *before* renaming per P-Mu; our simultaneous
         // traversal renames call args then wraps: P(x) ↦ μP(x)[y].body with
         // the arg renamed to y.
-        assert_eq!(
-            pats.display(&syms, unfolded),
-            "g((mu P(x)[y]. g(P(x))))"
-        );
+        assert_eq!(pats.display(&syms, unfolded), "g((mu P(x)[y]. g(P(x))))");
         // Unfolding is memoized.
         let again = pats.unfold_mu(mu);
         assert_eq!(unfolded, again);

@@ -73,9 +73,7 @@ impl Subst {
     /// Whether `self ⊆ other` pointwise — the hypothesis of Theorem 1
     /// (match weakening).
     pub fn is_sub_subst_of(&self, other: &Subst) -> bool {
-        self.map
-            .iter()
-            .all(|(&x, &t)| other.get(x) == Some(t))
+        self.map.iter().all(|(&x, &t)| other.get(x) == Some(t))
     }
 
     /// Iterates over the bindings in variable order.
@@ -203,7 +201,12 @@ impl Witness {
 
 impl fmt::Display for Witness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "⟨{} vars, {} fun vars⟩", self.theta.len(), self.phi.len())
+        write!(
+            f,
+            "⟨{} vars, {} fun vars⟩",
+            self.theta.len(),
+            self.phi.len()
+        )
     }
 }
 

@@ -331,9 +331,6 @@ mod tests {
         let mut terms2 = TermStore::new();
         let t1 = TermGen::new(99).term(&sig, &mut terms1, 5);
         let t2 = TermGen::new(99).term(&sig, &mut terms2, 5);
-        assert_eq!(
-            terms1.display(&sig.syms, t1),
-            terms2.display(&sig.syms, t2)
-        );
+        assert_eq!(terms1.display(&sig.syms, t1), terms2.display(&sig.syms, t2));
     }
 }

@@ -131,9 +131,10 @@ fn guard_continue_trace() {
     let x = f.syms.var("x");
     let tc = f.terms.app0(c);
     let px = f.pats.var(x);
-    let p = f
-        .pats
-        .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(1)));
+    let p = f.pats.guarded(
+        px,
+        Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(1)),
+    );
     let mut m = Machine::new(&mut f.pats, &f.terms, &interp).with_trace();
     let out = m.run(p, tc, 100_000).unwrap();
     assert!(out.witness().is_some());
@@ -153,9 +154,10 @@ fn guard_backtrack_trace() {
     let x = f.syms.var("x");
     let tc = f.terms.app0(c);
     let px = f.pats.var(x);
-    let p = f
-        .pats
-        .guarded(px, Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(9)));
+    let p = f.pats.guarded(
+        px,
+        Expr::var_attr(x, interp.height_attr()).eq(Expr::Const(9)),
+    );
     let mut m = Machine::new(&mut f.pats, &f.terms, &interp).with_trace();
     let out = m.run(p, tc, 100_000).unwrap();
     assert_eq!(out, Outcome::Failure);

@@ -20,9 +20,7 @@
 use proptest::prelude::*;
 use pypm_core::declarative::{check, enumerate, DeclError};
 use pypm_core::testing::{PatternGen, TermGen, TestSig};
-use pypm_core::{
-    Machine, MachineError, Outcome, PatternStore, Subst, TermStore, Witness,
-};
+use pypm_core::{Machine, MachineError, Outcome, PatternStore, Subst, TermStore, Witness};
 
 const MACHINE_FUEL: u64 = 200_000;
 const DECL_FUEL: u64 = 400_000;
@@ -221,8 +219,11 @@ fn seed_sweep_regression() {
         for term_seed in 0..12 {
             let mut case = build_case(pat_seed, term_seed, 4, 4);
             let interp = case.sig.interp();
-            let outcome = Machine::new(&mut case.pats, &case.terms, &interp)
-                .run(case.p, case.t, MACHINE_FUEL);
+            let outcome = Machine::new(&mut case.pats, &case.terms, &interp).run(
+                case.p,
+                case.t,
+                MACHINE_FUEL,
+            );
             match outcome {
                 Ok(Outcome::Success(w)) => {
                     successes += 1;

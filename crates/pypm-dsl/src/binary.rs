@@ -143,7 +143,9 @@ fn collect_ops(
             collect_ops(pats, syms, *l, out);
             collect_ops(pats, syms, *r, out);
         }
-        Pattern::Guard(inner, _) | Pattern::Exists(_, inner) => collect_ops(pats, syms, *inner, out),
+        Pattern::Guard(inner, _) | Pattern::Exists(_, inner) => {
+            collect_ops(pats, syms, *inner, out)
+        }
         Pattern::MatchConstr {
             main, constraint, ..
         } => {
@@ -476,9 +478,7 @@ fn get_pattern(
             for _ in 0..n {
                 args.push(get_pattern(data, syms, pats)?);
             }
-            let op = syms
-                .find_op(&name)
-                .ok_or(BinError::UnknownOp { name })?;
+            let op = syms.find_op(&name).ok_or(BinError::UnknownOp { name })?;
             pats.app(op, args)
         }
         2 => {
@@ -553,10 +553,12 @@ fn get_pattern(
             }
             pats.call(pn, args)
         }
-        tag => return Err(BinError::BadTag {
-            what: "pattern",
-            tag,
-        }),
+        tag => {
+            return Err(BinError::BadTag {
+                what: "pattern",
+                tag,
+            })
+        }
     })
 }
 

@@ -64,13 +64,8 @@ impl RuleSetBuilder {
     ///
     /// Panics if an alternate redeclares the pattern with different
     /// parameters.
-    pub fn pattern<F>(
-        &mut self,
-        syms: &mut SymbolTable,
-        pats: &mut PatternStore,
-        name: &str,
-        f: F,
-    ) where
+    pub fn pattern<F>(&mut self, syms: &mut SymbolTable, pats: &mut PatternStore, name: &str, f: F)
+    where
         F: FnOnce(&mut PatternBuilder<'_>) -> PatternId,
     {
         // Snapshot of previously defined patterns, for cross-pattern
@@ -430,7 +425,8 @@ impl Frontend {
     where
         F: FnOnce(&mut PatternBuilder<'_>) -> PatternId,
     {
-        self.builder.pattern(&mut self.syms, &mut self.pats, name, f);
+        self.builder
+            .pattern(&mut self.syms, &mut self.pats, name, f);
     }
 
     /// Registers a rule (see [`RuleSetBuilder::rule`]).

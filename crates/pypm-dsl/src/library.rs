@@ -472,6 +472,32 @@ fn define_algebraic(fe: &mut Frontend, ops: &StdOps, tattrs: &TensorAttrs) {
     });
 }
 
+/// Re-exported for callers that need the variable handles of a library
+/// pattern's parameters.
+pub fn param(syms: &SymbolTable, def_params: &[Var], name: &str) -> Option<Var> {
+    def_params
+        .iter()
+        .copied()
+        .find(|&v| syms.var_name(v) == name)
+}
+
+/// Like [`build_library`], but extends stores in place instead of
+/// consuming them — the form the rewrite engine's `Session` uses.
+pub fn build_library_into(
+    cfg: LibraryConfig,
+    syms: &mut SymbolTable,
+    pats: &mut PatternStore,
+    ops: &StdOps,
+    tattrs: &TensorAttrs,
+) -> RuleSet {
+    let s = std::mem::take(syms);
+    let p = std::mem::take(pats);
+    let (s, p, rs) = build_library(cfg, s, p, ops, tattrs);
+    *syms = s;
+    *pats = p;
+    rs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,35 +575,6 @@ mod tests {
         let mut pats2 = PatternStore::new();
         let rs2 = crate::text::parse_ruleset(&text, &mut syms2, &mut pats2)
             .unwrap_or_else(|e| panic!("{e}\n{text}"));
-        assert_eq!(
-            text,
-            crate::text::print_ruleset(&rs2, &syms2, &pats2)
-        );
+        assert_eq!(text, crate::text::print_ruleset(&rs2, &syms2, &pats2));
     }
-}
-
-/// Re-exported for callers that need the variable handles of a library
-/// pattern's parameters.
-pub fn param(syms: &SymbolTable, def_params: &[Var], name: &str) -> Option<Var> {
-    def_params
-        .iter()
-        .copied()
-        .find(|&v| syms.var_name(v) == name)
-}
-
-/// Like [`build_library`], but extends stores in place instead of
-/// consuming them — the form the rewrite engine's `Session` uses.
-pub fn build_library_into(
-    cfg: LibraryConfig,
-    syms: &mut SymbolTable,
-    pats: &mut PatternStore,
-    ops: &StdOps,
-    tattrs: &TensorAttrs,
-) -> RuleSet {
-    let s = std::mem::take(syms);
-    let p = std::mem::take(pats);
-    let (s, p, rs) = build_library(cfg, s, p, ops, tattrs);
-    *syms = s;
-    *pats = p;
-    rs
 }

@@ -24,9 +24,7 @@
 //! `mu`) is a recursive call; anything else is a term variable.
 
 use crate::ruleset::{PatternDef, Rhs, RuleDef, RuleSet};
-use pypm_core::{
-    Expr, FunVar, Guard, Pattern, PatternId, PatternStore, Symbol, SymbolTable, Var,
-};
+use pypm_core::{Expr, FunVar, Guard, Pattern, PatternId, PatternStore, Symbol, SymbolTable, Var};
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
@@ -526,12 +524,10 @@ impl Parser<'_> {
                 }
                 args.push(self.pattern_expr(syms, pats, ctx)?);
             }
-            let op = syms
-                .find_op(&name)
-                .ok_or_else(|| ParseError {
-                    pos: self.pos,
-                    message: format!("operator {name} not declared"),
-                })?;
+            let op = syms.find_op(&name).ok_or_else(|| ParseError {
+                pos: self.pos,
+                message: format!("operator {name} not declared"),
+            })?;
             return Ok(pats.app(op, args));
         }
         // Bare identifier: declared nullary op, else variable.

@@ -4,10 +4,10 @@
 
 use proptest::prelude::*;
 use pypm_core::testing::{PatternGen, TestSig};
+use pypm_core::Guard;
 use pypm_core::{PatternStore, SymbolTable};
 use pypm_dsl::ruleset::{PatternDef, Rhs, RuleDef, RuleSet};
 use pypm_dsl::{binary, text};
-use pypm_core::Guard;
 
 /// Wraps a randomly generated pattern into a one-pattern rule set whose
 /// parameters are the pattern's free variables.

@@ -95,8 +95,7 @@ pub fn explain_match(
         &session.registry,
     );
     let t = view.term_of(node)?;
-    let mut machine =
-        Machine::new(&mut session.pats, &session.terms, view.attrs()).with_trace();
+    let mut machine = Machine::new(&mut session.pats, &session.terms, view.attrs()).with_trace();
     let outcome = machine.run(def.pattern, t, fuel).ok()?;
     let stats = machine.stats();
 
@@ -158,7 +157,9 @@ mod tests {
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
         let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
         let (trans, matmul) = (s.ops.trans, s.ops.matmul);
-        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let bt = g
+            .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+            .unwrap();
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
             .unwrap();
@@ -183,7 +184,9 @@ mod tests {
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![2, 8, 8]));
         let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![2, 8, 8]));
         let (trans, matmul) = (s.ops.trans, s.ops.matmul);
-        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let bt = g
+            .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+            .unwrap();
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
             .unwrap();
@@ -204,7 +207,9 @@ mod tests {
         let mut g = Graph::new();
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
         let relu = s.ops.relu;
-        let r = g.op(&mut s.syms, &s.registry, relu, vec![a], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, relu, vec![a], vec![])
+            .unwrap();
         g.mark_output(r);
 
         let e = explain_match(&mut s, &rules, &g, r, "MMxyT", 100_000).unwrap();

@@ -129,8 +129,12 @@ mod tests {
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
             .unwrap();
-        let r = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
-        let ge = g.op(&mut s.syms, &s.registry, gelu, vec![r], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+            .unwrap();
+        let ge = g
+            .op(&mut s.syms, &s.registry, gelu, vec![r], vec![])
+            .unwrap();
         g.mark_output(ge);
 
         let parts = partition(&mut s, &rs, &g, "MatMulEpilog");
@@ -158,12 +162,18 @@ mod tests {
         let mm1 = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
             .unwrap();
-        let r1 = g.op(&mut s.syms, &s.registry, relu, vec![mm1], vec![]).unwrap();
+        let r1 = g
+            .op(&mut s.syms, &s.registry, relu, vec![mm1], vec![])
+            .unwrap();
         let mm2 = g
             .op(&mut s.syms, &s.registry, matmul, vec![c, d], vec![])
             .unwrap();
-        let r2 = g.op(&mut s.syms, &s.registry, relu, vec![mm2], vec![]).unwrap();
-        let sum = g.op(&mut s.syms, &s.registry, add, vec![r1, r2], vec![]).unwrap();
+        let r2 = g
+            .op(&mut s.syms, &s.registry, relu, vec![mm2], vec![])
+            .unwrap();
+        let sum = g
+            .op(&mut s.syms, &s.registry, add, vec![r1, r2], vec![])
+            .unwrap();
         g.mark_output(sum);
 
         let parts = partition(&mut s, &rs, &g, "MatMulEpilog");

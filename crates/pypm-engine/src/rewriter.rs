@@ -296,7 +296,8 @@ impl<'a> Rewriter<'a> {
             // one RELU) must not fire, or the pass would never reach a
             // fixpoint. Compare *structurally*: freshly built nodes are
             // new NodeIds but may denote the same term.
-            if replacement == node || self.term_of_new(graph, view, replacement) == view.term_of(node)
+            if replacement == node
+                || self.term_of_new(graph, view, replacement) == view.term_of(node)
             {
                 continue;
             }
@@ -460,8 +461,7 @@ impl<'a> Rewriter<'a> {
             };
             let mut machine =
                 Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
-            if let Ok(Outcome::Success(w)) = machine.run(def.pattern, t, self.config.machine_fuel)
-            {
+            if let Ok(Outcome::Success(w)) = machine.run(def.pattern, t, self.config.machine_fuel) {
                 let coverage = machine.coverage().to_vec();
                 out.push(MatchReport {
                     pattern_index: pi,
@@ -514,7 +514,9 @@ mod tests {
         let a = mat(&mut s, &mut g, &[64, 32]);
         let b = mat(&mut s, &mut g, &[16, 32]);
         let (trans, matmul) = (s.ops.trans, s.ops.matmul);
-        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let bt = g
+            .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+            .unwrap();
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
             .unwrap();
@@ -539,7 +541,9 @@ mod tests {
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F16, vec![8, 8]));
         let b = g.input(&mut s.syms, TensorMeta::new(DType::F16, vec![8, 8]));
         let (trans, matmul) = (s.ops.trans, s.ops.matmul);
-        let bt = g.op(&mut s.syms, &s.registry, trans, vec![b], vec![]).unwrap();
+        let bt = g
+            .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+            .unwrap();
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
             .unwrap();
@@ -562,16 +566,20 @@ mod tests {
             let (div, mul, add, erf) = (s.ops.div, s.ops.mul, s.ops.add, s.ops.erf);
             let half = if use_div {
                 let two = scalar_const(&mut s, &mut g, 2000);
-                g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![]).unwrap()
+                g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![])
+                    .unwrap()
             } else {
                 let h = scalar_const(&mut s, &mut g, 500);
-                g.op(&mut s.syms, &s.registry, mul, vec![x, h], vec![]).unwrap()
+                g.op(&mut s.syms, &s.registry, mul, vec![x, h], vec![])
+                    .unwrap()
             };
             let sqrt2 = scalar_const(&mut s, &mut g, 1414);
             let xdiv = g
                 .op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![])
                 .unwrap();
-            let erfx = g.op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![]).unwrap();
+            let erfx = g
+                .op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![])
+                .unwrap();
             let one = scalar_const(&mut s, &mut g, 1000);
             let onep = g
                 .op(&mut s.syms, &s.registry, add, vec![one, erfx], vec![])
@@ -597,9 +605,10 @@ mod tests {
         let q = mat(&mut s, &mut g, &[8, 128, 64]);
         let k = mat(&mut s, &mut g, &[8, 128, 64]);
         let v = mat(&mut s, &mut g, &[8, 128, 64]);
-        let (trans, matmul, mul, softmax) =
-            (s.ops.trans, s.ops.matmul, s.ops.mul, s.ops.softmax);
-        let kt = g.op(&mut s.syms, &s.registry, trans, vec![k], vec![]).unwrap();
+        let (trans, matmul, mul, softmax) = (s.ops.trans, s.ops.matmul, s.ops.mul, s.ops.softmax);
+        let kt = g
+            .op(&mut s.syms, &s.registry, trans, vec![k], vec![])
+            .unwrap();
         let scores = g
             .op(&mut s.syms, &s.registry, matmul, vec![q, kt], vec![])
             .unwrap();
@@ -633,7 +642,9 @@ mod tests {
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
             .unwrap();
-        let act = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
+        let act = g
+            .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+            .unwrap();
         g.mark_output(act);
 
         let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
@@ -662,12 +673,16 @@ mod tests {
             .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
             .unwrap();
         let two = scalar_const(&mut s, &mut g, 2000);
-        let half = g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![]).unwrap();
+        let half = g
+            .op(&mut s.syms, &s.registry, div, vec![x, two], vec![])
+            .unwrap();
         let sqrt2 = scalar_const(&mut s, &mut g, 1414);
         let xdiv = g
             .op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![])
             .unwrap();
-        let erfx = g.op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![]).unwrap();
+        let erfx = g
+            .op(&mut s.syms, &s.registry, erf, vec![xdiv], vec![])
+            .unwrap();
         let one = scalar_const(&mut s, &mut g, 1000);
         let onep = g
             .op(&mut s.syms, &s.registry, add, vec![one, erfx], vec![])
@@ -697,7 +712,9 @@ mod tests {
         let relu = s.ops.relu;
         let mut cur = x;
         for _ in 0..6 {
-            cur = g.op(&mut s.syms, &s.registry, relu, vec![cur], vec![]).unwrap();
+            cur = g
+                .op(&mut s.syms, &s.registry, relu, vec![cur], vec![])
+                .unwrap();
         }
         g.mark_output(cur);
 
@@ -716,8 +733,12 @@ mod tests {
         let mut g = Graph::new();
         let x = mat(&mut s, &mut g, &[4, 8]);
         let trans = s.ops.trans;
-        let t1 = g.op(&mut s.syms, &s.registry, trans, vec![x], vec![]).unwrap();
-        let t2 = g.op(&mut s.syms, &s.registry, trans, vec![t1], vec![]).unwrap();
+        let t1 = g
+            .op(&mut s.syms, &s.registry, trans, vec![x], vec![])
+            .unwrap();
+        let t2 = g
+            .op(&mut s.syms, &s.registry, trans, vec![t1], vec![])
+            .unwrap();
         g.mark_output(t2);
 
         Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
@@ -735,12 +756,21 @@ mod tests {
         let mut g = Graph::new();
         let x = mat(&mut s, &mut g, &[4, 4]);
         let trans = s.ops.trans;
-        let t1 = g.op(&mut s.syms, &s.registry, trans, vec![x], vec![]).unwrap();
+        let t1 = g
+            .op(&mut s.syms, &s.registry, trans, vec![x], vec![])
+            .unwrap();
         let mystery = s.syms.op("Mystery", 1);
         let o = g
-            .opaque(&mut s.syms, mystery, vec![t1], TensorMeta::new(DType::F32, vec![4, 4]))
+            .opaque(
+                &mut s.syms,
+                mystery,
+                vec![t1],
+                TensorMeta::new(DType::F32, vec![4, 4]),
+            )
             .unwrap();
-        let t2 = g.op(&mut s.syms, &s.registry, trans, vec![o], vec![]).unwrap();
+        let t2 = g
+            .op(&mut s.syms, &s.registry, trans, vec![o], vec![])
+            .unwrap();
         g.mark_output(t2);
 
         let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
@@ -756,7 +786,9 @@ mod tests {
         let a = mat(&mut s, &mut g, &[4, 4]);
         let b = mat(&mut s, &mut g, &[4, 4]);
         let add = s.ops.add;
-        let sum = g.op(&mut s.syms, &s.registry, add, vec![a, b], vec![]).unwrap();
+        let sum = g
+            .op(&mut s.syms, &s.registry, add, vec![a, b], vec![])
+            .unwrap();
         g.mark_output(sum);
         let stats = Rewriter::new(&mut s, &rs).run(&mut g).unwrap();
         assert_eq!(stats.rewrites_fired, 0);
@@ -774,8 +806,12 @@ mod tests {
         let mm = g
             .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
             .unwrap();
-        let r = g.op(&mut s.syms, &s.registry, relu, vec![mm], vec![]).unwrap();
-        let ge = g.op(&mut s.syms, &s.registry, gelu, vec![r], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+            .unwrap();
+        let ge = g
+            .op(&mut s.syms, &s.registry, gelu, vec![r], vec![])
+            .unwrap();
         g.mark_output(ge);
 
         let mut rw = Rewriter::new(&mut s, &rs);

@@ -67,7 +67,10 @@ impl Session {
     /// # Errors
     ///
     /// Propagates decode failures.
-    pub fn load_binary(&mut self, data: bytes::Bytes) -> Result<RuleSet, pypm_dsl::binary::BinError> {
+    pub fn load_binary(
+        &mut self,
+        data: bytes::Bytes,
+    ) -> Result<RuleSet, pypm_dsl::binary::BinError> {
         pypm_dsl::binary::decode(data, &mut self.syms, &mut self.pats)
     }
 

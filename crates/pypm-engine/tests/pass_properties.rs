@@ -19,7 +19,7 @@ fn random_graph(s: &mut Session, seed: u64, size: usize) -> Graph {
     let dim = 8i64;
     let sq = TensorMeta::new(DType::F32, vec![dim, dim]);
     let mut nodes: Vec<NodeId> = (0..3).map(|_| g.input(&mut s.syms, sq.clone())).collect();
-    let mut push = |n: NodeId, nodes: &mut Vec<NodeId>| nodes.push(n);
+    let push = |n: NodeId, nodes: &mut Vec<NodeId>| nodes.push(n);
     for _ in 0..size {
         let a = nodes[rng.gen_range(0..nodes.len())];
         let b = nodes[rng.gen_range(0..nodes.len())];

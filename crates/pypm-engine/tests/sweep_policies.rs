@@ -118,7 +118,9 @@ fn tiny_fuel_degrades_gracefully() {
     let mm = g
         .op(&mut s.syms, &s.registry, s.ops.matmul, vec![a, b], vec![])
         .unwrap();
-    let r = g.op(&mut s.syms, &s.registry, s.ops.relu, vec![mm], vec![]).unwrap();
+    let r = g
+        .op(&mut s.syms, &s.registry, s.ops.relu, vec![mm], vec![])
+        .unwrap();
     g.mark_output(r);
     let pc = PassConfig {
         machine_fuel: 2,

@@ -202,7 +202,10 @@ impl Graph {
                 return Err(GraphError::DeadInput { node: i });
             }
         }
-        let metas: Vec<&TensorMeta> = inputs.iter().map(|&i| &self.nodes[i.index()].meta).collect();
+        let metas: Vec<&TensorMeta> = inputs
+            .iter()
+            .map(|&i| &self.nodes[i.index()].meta)
+            .collect();
         let meta = registry
             .infer(syms, op, &metas, &attrs)
             .map_err(|_| GraphError::Arity {
@@ -407,7 +410,9 @@ impl Graph {
         // a sub-expression); what must not happen is a user of root
         // becoming an ancestor of the replacement.
         for (i, node) in self.nodes.iter().enumerate() {
-            if node.alive && node.inputs.contains(&root) && self.depends_on(replacement, NodeId(i as u32))
+            if node.alive
+                && node.inputs.contains(&root)
+                && self.depends_on(replacement, NodeId(i as u32))
             {
                 return Err(GraphError::WouldCycle { root, replacement });
             }
@@ -540,11 +545,12 @@ mod tests {
         let mut f = fx();
         let a = mat(&mut f, 4, 8);
         let b = mat(&mut f, 4, 8);
-        let bt = f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![]).unwrap();
-        let mm = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
-            .unwrap();
+        let bt =
+            f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![])
+                .unwrap();
+        let mm =
+            f.g.op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
+                .unwrap();
         f.g.mark_output(mm);
         assert_eq!(f.g.node(mm).meta.shape.dims(), &[4, 4]);
         assert_eq!(f.g.live_count(), 4);
@@ -565,8 +571,12 @@ mod tests {
     fn topo_order_is_inputs_first() {
         let mut f = fx();
         let a = mat(&mut f, 4, 4);
-        let r1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let r2 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![]).unwrap();
+        let r1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let r2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![])
+                .unwrap();
         f.g.mark_output(r2);
         let order = f.g.topo_order();
         assert_eq!(order, vec![a, r1, r2]);
@@ -576,11 +586,12 @@ mod tests {
     fn topo_order_handles_shared_subgraphs() {
         let mut f = fx();
         let a = mat(&mut f, 4, 4);
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let add = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
-            .unwrap();
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let add =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
+                .unwrap();
         f.g.mark_output(add);
         let order = f.g.topo_order();
         assert_eq!(order, vec![a, r, add]);
@@ -590,15 +601,18 @@ mod tests {
     fn replace_and_gc() {
         let mut f = fx();
         let a = mat(&mut f, 4, 4);
-        let relu1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let relu2 = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.relu, vec![relu1], vec![])
-            .unwrap();
+        let relu1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let relu2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![relu1], vec![])
+                .unwrap();
         f.g.mark_output(relu2);
 
         // Fuse the RELU chain: replace relu2 by a single relu(a).
-        let fused = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let fused =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
         f.g.replace(relu2, fused).unwrap();
         assert_eq!(f.g.outputs(), &[fused]);
         let freed = f.g.gc();
@@ -613,13 +627,16 @@ mod tests {
     fn replace_redirects_users() {
         let mut f = fx();
         let a = mat(&mut f, 4, 4);
-        let relu = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let user = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.add, vec![relu, relu], vec![])
-            .unwrap();
+        let relu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let user =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![relu, relu], vec![])
+                .unwrap();
         f.g.mark_output(user);
-        let gelu = f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![]).unwrap();
+        let gelu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+                .unwrap();
         f.g.replace(relu, gelu).unwrap();
         assert_eq!(f.g.node(user).inputs, vec![gelu, gelu]);
     }
@@ -628,8 +645,12 @@ mod tests {
     fn gc_keeps_all_outputs() {
         let mut f = fx();
         let a = mat(&mut f, 2, 2);
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let s = f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![a], vec![]).unwrap();
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let s =
+            f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![a], vec![])
+                .unwrap();
         f.g.mark_output(r);
         f.g.mark_output(s);
         assert_eq!(f.g.gc(), 0);
@@ -641,11 +662,17 @@ mod tests {
         let mut f = fx();
         let a = mat(&mut f, 2, 2);
         let mystery = f.syms.op("MysteryOp", 1);
-        let o = f
-            .g
-            .opaque(&mut f.syms, mystery, vec![a], TensorMeta::new(DType::F32, vec![2, 2]))
+        let o =
+            f.g.opaque(
+                &mut f.syms,
+                mystery,
+                vec![a],
+                TensorMeta::new(DType::F32, vec![2, 2]),
+            )
             .unwrap();
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![]).unwrap();
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![])
+                .unwrap();
         f.g.mark_output(r);
         assert_eq!(f.g.node(o).kind, NodeKind::Opaque);
         assert_eq!(f.g.topo_order(), vec![a, o, r]);
@@ -655,7 +682,9 @@ mod tests {
     fn dot_export_mentions_ops() {
         let mut f = fx();
         let a = mat(&mut f, 2, 2);
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
         f.g.mark_output(r);
         let dot = f.g.to_dot(&f.syms);
         assert!(dot.contains("Relu"));

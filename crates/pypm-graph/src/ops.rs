@@ -241,20 +241,20 @@ impl OpRegistry {
         }
         match info.shape_rule {
             ShapeRule::SameAsFirst => {
-                let first = inputs.first().ok_or(ShapeError::WrongInputCount {
-                    op: name(),
-                    got: 0,
-                })?;
+                let first = inputs
+                    .first()
+                    .ok_or(ShapeError::WrongInputCount { op: name(), got: 0 })?;
                 Ok((*first).clone())
             }
             ShapeRule::Broadcast => {
                 let (a, b) = (inputs[0], inputs[1]);
-                let shape = a.shape.broadcast(&b.shape).ok_or_else(|| {
-                    ShapeError::Incompatible {
-                        op: name(),
-                        reason: format!("cannot broadcast {} with {}", a.shape, b.shape),
-                    }
-                })?;
+                let shape =
+                    a.shape
+                        .broadcast(&b.shape)
+                        .ok_or_else(|| ShapeError::Incompatible {
+                            op: name(),
+                            reason: format!("cannot broadcast {} with {}", a.shape, b.shape),
+                        })?;
                 Ok(TensorMeta::new(a.dtype, shape))
             }
             ShapeRule::MatMul => {
@@ -301,9 +301,10 @@ impl OpRegistry {
                 dims.push(n);
                 Ok(TensorMeta::new(a.dtype, dims))
             }
-            ShapeRule::Transpose => {
-                Ok(TensorMeta::new(inputs[0].dtype, inputs[0].shape.transposed()))
-            }
+            ShapeRule::Transpose => Ok(TensorMeta::new(
+                inputs[0].dtype,
+                inputs[0].shape.transposed(),
+            )),
             ShapeRule::SoftmaxLike => Ok(inputs[0].clone()),
             ShapeRule::Conv2d => {
                 let x = inputs[0];
@@ -329,7 +330,12 @@ impl OpRegistry {
                 // Same-padding model: spatial dims divide by stride.
                 Ok(TensorMeta::new(
                     x.dtype,
-                    vec![n, out_c, (h + stride - 1) / stride, (wdim + stride - 1) / stride],
+                    vec![
+                        n,
+                        out_c,
+                        (h + stride - 1) / stride,
+                        (wdim + stride - 1) / stride,
+                    ],
                 ))
             }
             ShapeRule::Flatten => {

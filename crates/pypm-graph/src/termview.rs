@@ -171,11 +171,8 @@ impl TermView {
                     terms.app0(c)
                 }
                 NodeKind::Op => {
-                    let args: Vec<TermId> = node
-                        .inputs
-                        .iter()
-                        .map(|i| view.term_of_node[i])
-                        .collect();
+                    let args: Vec<TermId> =
+                        node.inputs.iter().map(|i| view.term_of_node[i]).collect();
                     terms.app(node.op, args)
                 }
             };
@@ -183,11 +180,14 @@ impl TermView {
             // First producer wins: any node with this term computes the
             // same value, so reusing the first is sound.
             view.node_of_term.entry(term).or_insert(n);
-            view.attrs.meta.entry(term).or_insert_with(|| node.meta.clone());
+            view.attrs
+                .meta
+                .entry(term)
+                .or_insert_with(|| node.meta.clone());
             view.attrs
                 .class_code
                 .entry(term)
-                .or_insert_with(|| registry.class(node.op).code() );
+                .or_insert_with(|| registry.class(node.op).code());
             if !node.attrs.is_empty() {
                 view.attrs
                     .node_attrs
@@ -260,13 +260,16 @@ mod tests {
     #[test]
     fn term_view_mirrors_structure() {
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
-        let b = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
-        let bt = f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![]).unwrap();
-        let mm = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
-            .unwrap();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
+        let b =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![4, 8]));
+        let bt =
+            f.g.op(&mut f.syms, &f.reg, f.ops.trans, vec![b], vec![])
+                .unwrap();
+        let mm =
+            f.g.op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, bt], vec![])
+                .unwrap();
         f.g.mark_output(mm);
 
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
@@ -280,12 +283,13 @@ mod tests {
     #[test]
     fn distinct_inputs_are_distinct_constants() {
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
-        let b = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
-        let add = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.add, vec![a, b], vec![])
-            .unwrap();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let b =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let add =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![a, b], vec![])
+                .unwrap();
         f.g.mark_output(add);
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         assert_ne!(view.term_of(a), view.term_of(b));
@@ -295,12 +299,14 @@ mod tests {
     fn shared_subgraph_shares_terms() {
         // add(relu(a), relu(a)) — both relu uses view as the same term.
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-        let add = f
-            .g
-            .op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
-            .unwrap();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let add =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![r, r], vec![])
+                .unwrap();
         f.g.mark_output(add);
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         let t_add = view.term_of(add).unwrap();
@@ -311,7 +317,8 @@ mod tests {
     #[test]
     fn attributes_expose_tensor_metadata() {
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::I8, vec![3, 5]));
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::I8, vec![3, 5]));
         f.g.mark_output(a);
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         let t = view.term_of(a).unwrap();
@@ -328,8 +335,11 @@ mod tests {
     #[test]
     fn op_class_attribute() {
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
         f.g.mark_output(r);
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         let h = TensorAttrs::intern(&mut f.syms);
@@ -343,9 +353,8 @@ mod tests {
     #[test]
     fn node_attrs_visible_as_term_attrs() {
         let mut f = fx();
-        let c = f
-            .g
-            .op_with_meta(
+        let c =
+            f.g.op_with_meta(
                 f.ops.const_scalar,
                 vec![],
                 vec![(f.ops.value_milli_attr, 500)],
@@ -364,13 +373,20 @@ mod tests {
     #[test]
     fn opaque_nodes_view_as_constants() {
         let mut f = fx();
-        let a = f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
         let mystery = f.syms.op("Mystery", 1);
-        let o = f
-            .g
-            .opaque(&mut f.syms, mystery, vec![a], TensorMeta::new(DType::F32, vec![2, 2]))
+        let o =
+            f.g.opaque(
+                &mut f.syms,
+                mystery,
+                vec![a],
+                TensorMeta::new(DType::F32, vec![2, 2]),
+            )
             .unwrap();
-        let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![]).unwrap();
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![o], vec![])
+                .unwrap();
         f.g.mark_output(r);
         let view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         let t = view.term_of(r).unwrap();

@@ -33,19 +33,17 @@ fn op_with_dead_input_is_rejected() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
     let b = mat(&mut f, &[4, 4]);
-    let victim = f
-        .g
-        .op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
-        .unwrap();
+    let victim =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+            .unwrap();
     f.g.mark_output(b);
     f.g.gc(); // collects `victim` (not reachable from outputs)
     assert!(!f.g.is_alive(victim));
 
     let rev_before = f.g.revision();
-    let err = f
-        .g
-        .op(&mut f.syms, &f.reg, f.ops.relu, vec![victim], vec![])
-        .unwrap_err();
+    let err =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![victim], vec![])
+            .unwrap_err();
     assert!(matches!(err, GraphError::DeadInput { .. }));
     assert_eq!(f.g.revision(), rev_before, "failed op must not mutate");
     f.g.validate().unwrap();
@@ -56,9 +54,9 @@ fn arity_mismatch_is_rejected_before_shape_inference() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
     for (op, inputs) in [
-        (f.ops.relu, vec![a, a]),  // unary with 2 inputs
-        (f.ops.matmul, vec![a]),   // binary with 1
-        (f.ops.fmha, vec![a, a]),  // ternary with 2
+        (f.ops.relu, vec![a, a]), // unary with 2 inputs
+        (f.ops.matmul, vec![a]),  // binary with 1
+        (f.ops.fmha, vec![a, a]), // ternary with 2
     ] {
         let err = f.g.op(&mut f.syms, &f.reg, op, inputs, vec![]).unwrap_err();
         assert!(matches!(err, GraphError::Arity { .. }));
@@ -70,11 +68,13 @@ fn shape_incompatibility_is_rejected() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 8]);
     let b = mat(&mut f, &[9, 4]); // contraction mismatch: 8 vs 9
-    let err = f
-        .g
-        .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, b], vec![])
-        .unwrap_err();
-    assert!(matches!(err, GraphError::Arity { .. } | GraphError::DeadInput { .. }));
+    let err =
+        f.g.op(&mut f.syms, &f.reg, f.ops.matmul, vec![a, b], vec![])
+            .unwrap_err();
+    assert!(matches!(
+        err,
+        GraphError::Arity { .. } | GraphError::DeadInput { .. }
+    ));
     f.g.validate().unwrap();
 }
 
@@ -84,9 +84,15 @@ fn cyclic_replacement_is_rejected() {
     // relu2 (a user of relu1) an ancestor of its own replacement.
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
-    let r1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-    let r2 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![]).unwrap();
-    let r3 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r2], vec![]).unwrap();
+    let r1 =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+            .unwrap();
+    let r2 =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![])
+            .unwrap();
+    let r3 =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r2], vec![])
+            .unwrap();
     f.g.mark_output(r3);
 
     let err = f.g.replace(r1, r3).unwrap_err();
@@ -100,8 +106,12 @@ fn cyclic_replacement_is_rejected() {
 fn replace_with_dead_node_is_rejected() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
-    let r1 = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
-    let dead = f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![]).unwrap();
+    let r1 =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+            .unwrap();
+    let dead =
+        f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+            .unwrap();
     f.g.mark_output(r1);
     f.g.gc();
     assert!(!f.g.is_alive(dead));
@@ -113,7 +123,9 @@ fn replace_with_dead_node_is_rejected() {
 fn self_replacement_is_a_noop() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
-    let r = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+    let r =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+            .unwrap();
     f.g.mark_output(r);
     let rev = f.g.revision();
     f.g.replace(r, r).unwrap();
@@ -124,10 +136,9 @@ fn self_replacement_is_a_noop() {
 fn errors_render_human_readably() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
-    let err = f
-        .g
-        .op(&mut f.syms, &f.reg, f.ops.matmul, vec![a], vec![])
-        .unwrap_err();
+    let err =
+        f.g.op(&mut f.syms, &f.reg, f.ops.matmul, vec![a], vec![])
+            .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("MatMul"), "{msg}");
     assert!(msg.contains("2"), "{msg}");
@@ -138,7 +149,9 @@ fn opaque_with_dead_input_is_rejected() {
     let mut f = fx();
     let a = mat(&mut f, &[4, 4]);
     let b = mat(&mut f, &[4, 4]);
-    let dead = f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![]).unwrap();
+    let dead =
+        f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+            .unwrap();
     f.g.mark_output(b);
     f.g.gc();
     let foreign = f.syms.op("Foreign", 1);

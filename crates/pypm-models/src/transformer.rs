@@ -257,8 +257,7 @@ mod tests {
         for cfg in hf_zoo() {
             let mut s = Session::new();
             let g = cfg.build(&mut s);
-            g.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
             assert!(!g.outputs().is_empty());
             assert!(g.live_count() > 10, "{} too small", cfg.name);
         }
@@ -266,7 +265,10 @@ mod tests {
 
     #[test]
     fn fmha_fuses_once_per_layer() {
-        let cfg = hf_zoo().into_iter().find(|c| c.name == "bert-small").unwrap();
+        let cfg = hf_zoo()
+            .into_iter()
+            .find(|c| c.name == "bert-small")
+            .unwrap();
         let mut s = Session::new();
         let mut g = cfg.build(&mut s);
         let rs = s.load_library(LibraryConfig::fmha_only());

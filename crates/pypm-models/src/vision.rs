@@ -196,21 +196,53 @@ pub fn tv_zoo() -> Vec<VisionConfig> {
     };
     vec![
         plain("alexnet", vec![(16, 1), (32, 1), (64, 3)], vec![256, 256]),
-        plain("vgg11", vec![(16, 1), (32, 1), (64, 2), (64, 2)], vec![256, 256]),
-        plain("vgg13", vec![(16, 2), (32, 2), (64, 2), (64, 2)], vec![256, 256]),
-        plain("vgg16", vec![(16, 2), (32, 2), (64, 3), (64, 3)], vec![256, 256]),
-        plain("vgg19", vec![(16, 2), (32, 2), (64, 4), (64, 4)], vec![256, 256]),
+        plain(
+            "vgg11",
+            vec![(16, 1), (32, 1), (64, 2), (64, 2)],
+            vec![256, 256],
+        ),
+        plain(
+            "vgg13",
+            vec![(16, 2), (32, 2), (64, 2), (64, 2)],
+            vec![256, 256],
+        ),
+        plain(
+            "vgg16",
+            vec![(16, 2), (32, 2), (64, 3), (64, 3)],
+            vec![256, 256],
+        ),
+        plain(
+            "vgg19",
+            vec![(16, 2), (32, 2), (64, 4), (64, 4)],
+            vec![256, 256],
+        ),
         resnet("resnet18", vec![(16, 2), (32, 2), (64, 2), (64, 2)]),
         resnet("resnet34", vec![(16, 3), (32, 4), (64, 6), (64, 3)]),
         resnet("resnet50", vec![(32, 3), (64, 4), (128, 6), (128, 3)]),
         resnet("wide_resnet50", vec![(48, 3), (96, 4), (192, 6), (192, 3)]),
         resnet("resnext50", vec![(32, 3), (64, 4), (128, 6), (128, 3)]),
         plain("squeezenet1_0", vec![(16, 2), (32, 3), (48, 3)], vec![]),
-        plain("mobilenet_v2", vec![(8, 2), (16, 3), (32, 4), (64, 3)], vec![]),
-        plain("mobilenet_v3", vec![(8, 2), (16, 3), (32, 5), (64, 3)], vec![]),
+        plain(
+            "mobilenet_v2",
+            vec![(8, 2), (16, 3), (32, 4), (64, 3)],
+            vec![],
+        ),
+        plain(
+            "mobilenet_v3",
+            vec![(8, 2), (16, 3), (32, 5), (64, 3)],
+            vec![],
+        ),
         plain("shufflenet_v2", vec![(12, 2), (24, 3), (48, 4)], vec![]),
-        plain("mnasnet1_0", vec![(8, 2), (16, 3), (32, 4), (64, 2)], vec![]),
-        plain("efficientnet_b0", vec![(8, 2), (16, 3), (24, 4), (48, 3)], vec![]),
+        plain(
+            "mnasnet1_0",
+            vec![(8, 2), (16, 3), (32, 4), (64, 2)],
+            vec![],
+        ),
+        plain(
+            "efficientnet_b0",
+            vec![(8, 2), (16, 3), (24, 4), (48, 3)],
+            vec![],
+        ),
         resnet("densenet121", vec![(16, 4), (32, 6), (64, 8), (64, 4)]),
         plain("googlenet", vec![(16, 2), (32, 4), (64, 4)], vec![256]),
         plain("inception_v3", vec![(16, 3), (32, 5), (64, 5)], vec![256]),
@@ -218,7 +250,11 @@ pub fn tv_zoo() -> Vec<VisionConfig> {
         VisionConfig {
             name: "efficientnet_se",
             resolution: 32,
-            stages: vec![stage(8, 2, 2, false), stage(16, 2, 3, false), stage(32, 2, 3, false)],
+            stages: vec![
+                stage(8, 2, 2, false),
+                stage(16, 2, 3, false),
+                stage(32, 2, 3, false),
+            ],
             classifier: vec![],
             classes: 100,
             opaque_pooling: false,
@@ -227,7 +263,11 @@ pub fn tv_zoo() -> Vec<VisionConfig> {
         VisionConfig {
             name: "convnext_tiny",
             resolution: 32,
-            stages: vec![stage(16, 2, 2, true), stage(32, 2, 2, true), stage(64, 2, 4, true)],
+            stages: vec![
+                stage(16, 2, 2, true),
+                stage(32, 2, 2, true),
+                stage(64, 2, 4, true),
+            ],
             classifier: vec![256],
             classes: 100,
             opaque_pooling: true,
@@ -247,8 +287,7 @@ mod tests {
         for cfg in tv_zoo() {
             let mut s = Session::new();
             let g = cfg.build(&mut s);
-            g.validate()
-                .unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            g.validate().unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
             assert!(g.live_count() > 10, "{} too small", cfg.name);
         }
     }
@@ -278,9 +317,7 @@ mod tests {
         let fused = g
             .topo_order()
             .iter()
-            .filter(|&&n| {
-                g.node(n).op == s.ops.conv_bias_act || g.node(n).op == s.ops.gemm_epilog
-            })
+            .filter(|&&n| g.node(n).op == s.ops.conv_bias_act || g.node(n).op == s.ops.gemm_epilog)
             .count();
         assert_eq!(fused, expected);
     }

@@ -68,13 +68,7 @@ impl CostModel {
     ///
     /// Contractions and fused kernels get exact operation counts; other
     /// operators are `numel × flops_per_elem` from the registry.
-    pub fn node_flops(
-        &self,
-        graph: &Graph,
-        registry: &OpRegistry,
-        ops: &StdOps,
-        n: NodeId,
-    ) -> f64 {
+    pub fn node_flops(&self, graph: &Graph, registry: &OpRegistry, ops: &StdOps, n: NodeId) -> f64 {
         let node = graph.node(n);
         let out_elems = node.meta.shape.numel().max(0) as f64;
         let op = node.op;
@@ -231,7 +225,9 @@ pub fn partitioned_graph_cost(
         .sum();
     let fused: f64 = regions
         .iter()
-        .map(|(nodes, frontier, root)| cm.fused_region_cost(graph, registry, ops, nodes, frontier, *root))
+        .map(|(nodes, frontier, root)| {
+            cm.fused_region_cost(graph, registry, ops, nodes, frontier, *root)
+        })
         .sum();
     loose + fused
 }
@@ -272,7 +268,9 @@ mod tests {
         let mut s = sess();
         let mut g = Graph::new();
         let x = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![4, 4]));
-        let r = g.op(&mut s.syms, &s.registry, s.ops.relu, vec![x], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, s.ops.relu, vec![x], vec![])
+            .unwrap();
         g.mark_output(r);
         let cm = CostModel::new();
         let cost = cm.node_cost(&g, &s.syms, &s.registry, &s.ops, r);
@@ -373,7 +371,12 @@ mod tests {
         let x = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![64, 64]));
         let foreign = s.syms.op("Foreign", 1);
         let o = g
-            .opaque(&mut s.syms, foreign, vec![x], TensorMeta::new(DType::F32, vec![64, 64]))
+            .opaque(
+                &mut s.syms,
+                foreign,
+                vec![x],
+                TensorMeta::new(DType::F32, vec![64, 64]),
+            )
             .unwrap();
         g.mark_output(o);
         let cm = CostModel::new();
@@ -391,7 +394,12 @@ mod tests {
         let k = g.input(&mut s.syms, TensorMeta::new(DType::F32, dims.clone()));
         let v = g.input(&mut s.syms, TensorMeta::new(DType::F32, dims.clone()));
         let fmha = g
-            .op_with_meta(s.ops.fmha, vec![q, k, v], vec![], TensorMeta::new(DType::F32, dims))
+            .op_with_meta(
+                s.ops.fmha,
+                vec![q, k, v],
+                vec![],
+                TensorMeta::new(DType::F32, dims),
+            )
             .unwrap();
         g.mark_output(fmha);
         let cm = CostModel::new();
@@ -405,7 +413,9 @@ mod tests {
         let mut s = sess();
         let mut g = Graph::new();
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![64, 64]));
-        let r = g.op(&mut s.syms, &s.registry, s.ops.relu, vec![a], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, s.ops.relu, vec![a], vec![])
+            .unwrap();
         g.mark_output(r);
         let slow = CostModel {
             device: DeviceModel {
@@ -431,8 +441,12 @@ mod tests {
         let mm = g
             .op(&mut s.syms, &s.registry, s.ops.matmul, vec![a, b], vec![])
             .unwrap();
-        let r = g.op(&mut s.syms, &s.registry, s.ops.relu, vec![mm], vec![]).unwrap();
-        let e = g.op(&mut s.syms, &s.registry, s.ops.exp, vec![r], vec![]).unwrap();
+        let r = g
+            .op(&mut s.syms, &s.registry, s.ops.relu, vec![mm], vec![])
+            .unwrap();
+        let e = g
+            .op(&mut s.syms, &s.registry, s.ops.exp, vec![r], vec![])
+            .unwrap();
         g.mark_output(e);
 
         let parts = partition(&mut s, &rs, &g, "MatMulEpilog");

@@ -206,8 +206,7 @@ fn run_explain(args: &[String]) -> i32 {
     let mut failed = 0u32;
     let mut worst: Option<pypm::engine::Explanation> = None;
     for node in g.topo_order() {
-        if let Some(e) = pypm::engine::explain_match(&mut s, &rules, &g, node, pattern, 1_000_000)
-        {
+        if let Some(e) = pypm::engine::explain_match(&mut s, &rules, &g, node, pattern, 1_000_000) {
             if e.matched {
                 matched += 1;
                 println!("{e}");
@@ -221,9 +220,11 @@ fn run_explain(args: &[String]) -> i32 {
     }
     println!("{matched} nodes matched, {failed} did not.");
     if let Some(w) = worst {
-        println!("
+        println!(
+            "
 most expensive failed attempt:
-{w}");
+{w}"
+        );
     }
     0
 }
@@ -241,7 +242,11 @@ fn run_partition(args: &[String]) -> i32 {
     let rules = s.load_library(LibraryConfig::all());
     let parts = partition(&mut s, &rules, &g, "MatMulEpilog");
     let cm = CostModel::new();
-    println!("{model}: {} MatMulEpilog partitions over {} nodes", parts.len(), g.live_count());
+    println!(
+        "{model}: {} MatMulEpilog partitions over {} nodes",
+        parts.len(),
+        g.live_count()
+    );
     for p in &parts {
         let per_node: f64 = p
             .nodes

@@ -19,7 +19,9 @@ fn build(s: &mut Session, use_div: bool) -> Graph {
     let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![32, 64]));
     let w = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![64, 128]));
     let (matmul, div, mul, add, erf) = (s.ops.matmul, s.ops.div, s.ops.mul, s.ops.add, s.ops.erf);
-    let x = g.op(&mut s.syms, &s.registry, matmul, vec![a, w], vec![]).unwrap();
+    let x = g
+        .op(&mut s.syms, &s.registry, matmul, vec![a, w], vec![])
+        .unwrap();
 
     let konst = |s: &mut Session, g: &mut Graph, milli: i64| -> NodeId {
         g.op_with_meta(
@@ -33,17 +35,27 @@ fn build(s: &mut Session, use_div: bool) -> Graph {
 
     let half = if use_div {
         let two = konst(s, &mut g, 2000);
-        g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![]).unwrap()
+        g.op(&mut s.syms, &s.registry, div, vec![x, two], vec![])
+            .unwrap()
     } else {
         let h = konst(s, &mut g, 500);
-        g.op(&mut s.syms, &s.registry, mul, vec![x, h], vec![]).unwrap()
+        g.op(&mut s.syms, &s.registry, mul, vec![x, h], vec![])
+            .unwrap()
     };
     let sqrt2 = konst(s, &mut g, 1414);
-    let xd = g.op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![]).unwrap();
-    let e = g.op(&mut s.syms, &s.registry, erf, vec![xd], vec![]).unwrap();
+    let xd = g
+        .op(&mut s.syms, &s.registry, div, vec![x, sqrt2], vec![])
+        .unwrap();
+    let e = g
+        .op(&mut s.syms, &s.registry, erf, vec![xd], vec![])
+        .unwrap();
     let one = konst(s, &mut g, 1000);
-    let onep = g.op(&mut s.syms, &s.registry, add, vec![one, e], vec![]).unwrap();
-    let out = g.op(&mut s.syms, &s.registry, mul, vec![half, onep], vec![]).unwrap();
+    let onep = g
+        .op(&mut s.syms, &s.registry, add, vec![one, e], vec![])
+        .unwrap();
+    let out = g
+        .op(&mut s.syms, &s.registry, mul, vec![half, onep], vec![])
+        .unwrap();
     g.mark_output(out);
     g
 }

@@ -21,7 +21,13 @@ fn rewrites_with(session: &mut Session, rules: &pypm::dsl::RuleSet) -> u64 {
         .op(&mut session.syms, &session.registry, trans, vec![b], vec![])
         .unwrap();
     let mm = g
-        .op(&mut session.syms, &session.registry, matmul, vec![a, bt], vec![])
+        .op(
+            &mut session.syms,
+            &session.registry,
+            matmul,
+            vec![a, bt],
+            vec![],
+        )
         .unwrap();
     g.mark_output(mm);
     Rewriter::new(session, rules)

@@ -19,7 +19,9 @@ fn demo(dtype: DType) {
     let x = g.input(&mut s.syms, TensorMeta::new(dtype, vec![64, 32]));
     let y = g.input(&mut s.syms, TensorMeta::new(dtype, vec![16, 32]));
     let (trans, matmul) = (s.ops.trans, s.ops.matmul);
-    let yt = g.op(&mut s.syms, &s.registry, trans, vec![y], vec![]).unwrap();
+    let yt = g
+        .op(&mut s.syms, &s.registry, trans, vec![y], vec![])
+        .unwrap();
     let mm = g
         .op(&mut s.syms, &s.registry, matmul, vec![x, yt], vec![])
         .unwrap();

@@ -23,7 +23,9 @@ fn main() {
     let relu = s.ops.relu;
     let mut cur = x;
     for _ in 0..7 {
-        cur = g.op(&mut s.syms, &s.registry, relu, vec![cur], vec![]).unwrap();
+        cur = g
+            .op(&mut s.syms, &s.registry, relu, vec![cur], vec![])
+            .unwrap();
     }
     g.mark_output(cur);
 

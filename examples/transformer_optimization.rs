@@ -9,7 +9,9 @@ use pypm::engine::{Rewriter, Session};
 use pypm::perf::CostModel;
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "bert-base".into());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "bert-base".into());
     let cfg = pypm::models::hf_zoo()
         .into_iter()
         .find(|c| c.name == wanted)

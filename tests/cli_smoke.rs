@@ -1,0 +1,45 @@
+//! Smoke tests of the `pypmc` CLI binary: every subcommand must run on
+//! a real model/ruleset with the expected exit status and output shape.
+
+use std::process::{Command, Output};
+
+fn pypmc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pypmc"))
+        .args(args)
+        .output()
+        .expect("failed to spawn pypmc")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = pypmc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn list_models_names_both_zoos() {
+    let out = pypmc(&["list-models"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("bert-small"), "missing HF zoo entry:\n{text}");
+    assert!(text.contains("resnet"), "missing TV zoo entry:\n{text}");
+}
+
+#[test]
+fn compile_reports_stats_and_cost() {
+    let out = pypmc(&["compile", "bert-small"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("rewrites"), "missing rewrite stats:\n{text}");
+}
+
+#[test]
+fn compile_unknown_model_fails() {
+    let out = pypmc(&["compile", "no-such-model"]);
+    assert!(!out.status.success());
+}

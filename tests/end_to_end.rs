@@ -6,7 +6,9 @@ use pypm::dsl::LibraryConfig;
 use pypm::engine::{Rewriter, Session};
 use pypm::perf::CostModel;
 
-const CONFIGS: [(&str, fn() -> LibraryConfig); 4] = [
+type ConfigFn = fn() -> LibraryConfig;
+
+const CONFIGS: [(&str, ConfigFn); 4] = [
     ("baseline", LibraryConfig::none),
     ("fmha", LibraryConfig::fmha_only),
     ("epilog", LibraryConfig::epilog_only),
@@ -21,7 +23,7 @@ fn all_models_all_configs_valid_and_never_slower() {
     let tv: Vec<_> = pypm::models::tv_zoo().into_iter().take(6).collect();
     let cm = CostModel::new();
 
-    let mut run = |name: &str, build: &dyn Fn(&mut Session) -> pypm::graph::Graph| {
+    let run = |name: &str, build: &dyn Fn(&mut Session) -> pypm::graph::Graph| {
         for (cname, cfg) in CONFIGS {
             let mut s = Session::new();
             let mut g = build(&mut s);
@@ -140,7 +142,10 @@ fn both_config_dominates() {
     }
     assert!(fired[3] >= fired[1] && fired[3] >= fired[2]);
     let min = costs.iter().cloned().fold(f64::MAX, f64::min);
-    assert!((costs[3] - min).abs() < 1e-6, "both must be fastest: {costs:?}");
+    assert!(
+        (costs[3] - min).abs() < 1e-6,
+        "both must be fastest: {costs:?}"
+    );
 }
 
 /// Directed graph partitioning covers every matmul in a transformer

@@ -30,8 +30,8 @@ fn every_engine_match_is_declaratively_certified() {
                 None => continue,
             };
             for def in &rules.patterns {
-                let outcome = Machine::new(&mut s.pats, &s.terms, view.attrs())
-                    .run(def.pattern, t, FUEL);
+                let outcome =
+                    Machine::new(&mut s.pats, &s.terms, view.attrs()).run(def.pattern, t, FUEL);
                 if let Ok(Outcome::Success(w)) = outcome {
                     let ok = declarative::check(
                         &mut s.pats,

@@ -1,0 +1,372 @@
+//! Offline shim for the `proptest` crate — see `vendor/README.md`.
+//!
+//! Implements the subset the PyPM property suites use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`, [`arbitrary::any`], integer-range strategies and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Unlike upstream, runs are **deterministic by default**: each test's
+//! RNG is seeded from a hash of its fully qualified name mixed with
+//! `PYPM_PROPTEST_SEED` (default 0), so CI failures reproduce locally
+//! with no regression-persistence files. `PYPM_PROPTEST_CASES`
+//! overrides per-test case counts globally (e.g. set it to 16 for a
+//! quick smoke pass).
+
+#![forbid(unsafe_code)]
+
+/// Configuration and RNG plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Per-suite configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count after applying the `PYPM_PROPTEST_CASES`
+        /// environment override.
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PYPM_PROPTEST_CASES") {
+                Ok(v) => v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad PYPM_PROPTEST_CASES: {v:?}")),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// The global seed from `PYPM_PROPTEST_SEED` (default 0).
+    pub fn global_seed() -> u64 {
+        match std::env::var("PYPM_PROPTEST_SEED") {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("bad PYPM_PROPTEST_SEED: {v:?}")),
+            Err(_) => 0,
+        }
+    }
+
+    /// Deterministic per-test RNG.
+    #[derive(Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from the test's fully qualified name and the
+        /// global seed.
+        pub fn for_test(test_name: &str) -> Self {
+            // FNV-1a over the name keeps distinct tests on distinct
+            // streams even with the same global seed.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h ^ global_seed().rotate_left(32)),
+            }
+        }
+
+        /// The next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::RngCore::next_u64(&mut self.inner)
+        }
+
+        /// Uniform sample below `bound` (used by range strategies).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            rand::Rng::gen_range(&mut self.inner, 0..bound)
+        }
+    }
+
+    /// A failed property (carried out of the test-case closure).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Wraps a failure message.
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Types that can produce a value per test case.
+    pub trait Strategy {
+        /// The produced value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait backing it.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),*) => {$(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Supports the upstream surface the repo uses: an optional leading
+/// `#![proptest_config(expr)]`, then any number of `#[test]` functions
+/// whose arguments are drawn `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let cases = config.effective_cases();
+            let mut rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "[{}] case {}/{} failed (PYPM_PROPTEST_SEED={}): {}\n  inputs:{}",
+                        stringify!($name),
+                        case + 1,
+                        cases,
+                        $crate::test_runner::global_seed(),
+                        err,
+                        ::std::string::String::new()
+                            $(+ &format!(" {} = {:?}", stringify!($arg), $arg))+,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_tests!(($cfg); $($rest)*);
+    };
+}
+
+/// Asserts a condition, failing the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality, failing the current case with both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {:?} == {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}: {:?} == {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality, failing the current case with the shared value.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}: {:?} != {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in 0usize..5, z in any::<u64>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert_eq!(z, z);
+            prop_assert_ne!(x as u64 + 1, x as u64);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(seed in any::<u64>(),) {
+            let _ = seed;
+        }
+    }
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let mut c = crate::test_runner::TestRng::for_test("u");
+        let (va, vb) = (a.next_u64(), b.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, c.next_u64());
+    }
+
+    #[test]
+    fn failure_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                #[allow(unused)]
+                fn always_fails(x in 0u32..2) {
+                    prop_assert!(false, "boom {x}");
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("boom"), "{msg}");
+        assert!(msg.contains("inputs"), "{msg}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline shim for the `rand` crate — see `vendor/README.md`.
+//!
+//! Provides the subset of rand 0.8's API that the PyPM sources use:
+//! [`rngs::StdRng`], [`Rng::gen_range`], [`Rng::gen_bool`] and
+//! [`SeedableRng::seed_from_u64`]. The generator core is xoshiro256**
+//! seeded through SplitMix64, which matches rand's statistical quality
+//! for test-data generation without pulling in the real dependency
+//! graph.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset: only `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed; the stream is a pure
+    /// function of the seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types that can be sampled uniformly to yield a `T`.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform sampling below a bound, without modulo bias (rejection on
+/// the tail of the 2^64 space).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - u64::MAX % bound;
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = uniform_below(rng, span);
+                (self.start as i128 + off as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $ty;
+                }
+                let off = uniform_below(rng, span + 1);
+                (start as i128 + off as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling helpers over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open or inclusive integer range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with success probability `p` (clamped to
+    /// `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53-bit fraction gives an exact comparison for representable p.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256** with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u32..=5);
+            assert!((1..=5).contains(&w));
+            let x = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_500..5_500).contains(&hits), "hits = {hits}");
+        assert!((0..1000).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn distribution_covers_all_buckets() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "{counts:?}");
+    }
+}

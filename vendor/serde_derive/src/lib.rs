@@ -1,0 +1,53 @@
+//! Offline shim for `serde_derive` — see `vendor/README.md`.
+//!
+//! Emits *marker* implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits (which have no methods). No syn/quote:
+//! the input is scanned token-by-token for the `struct`/`enum` name.
+//! Generic types are rejected loudly rather than silently mis-derived.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following `struct` or `enum`, panicking on
+/// generics (unsupported by the shim).
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde shim: expected type name after `{kw}`, got {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde shim: generic type `{name}` is not supported; \
+                             extend vendor/serde_derive if needed"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde shim: no struct/enum found in derive input");
+}
+
+/// Derives the shim `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
