@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{PassConfig, Rewriter, Session, SweepPolicy};
+use pypm_engine::{PassConfig, Pipeline, RewritePass, Session, SweepPolicy};
 use pypm_models::{GeluVariant, ScaleVariant, TransformerConfig};
 
 fn bench_sweep_policy(c: &mut Criterion) {
@@ -31,11 +31,11 @@ fn bench_sweep_policy(c: &mut Criterion) {
                 let mut s = Session::new();
                 let mut g = cfg.build(&mut s);
                 let rules = s.load_library(LibraryConfig::both());
-                Rewriter::new(&mut s, &rules)
-                    .with_config(PassConfig {
+                Pipeline::new(&mut s)
+                    .with(RewritePass::new(rules).config(PassConfig {
                         sweep_policy: policy,
                         ..Default::default()
-                    })
+                    }))
                     .run(&mut g)
                     .unwrap()
             })
@@ -71,7 +71,10 @@ fn bench_alternate_order(c: &mut Criterion) {
                 let mut s = Session::new();
                 let mut g = cfg.build(&mut s);
                 let rules = s.load_library(LibraryConfig::fmha_only());
-                Rewriter::new(&mut s, &rules).run(&mut g).unwrap()
+                Pipeline::new(&mut s)
+                    .with(RewritePass::new(rules))
+                    .run(&mut g)
+                    .unwrap()
             })
         });
     }
@@ -101,7 +104,10 @@ fn bench_model_size_scaling(c: &mut Criterion) {
                 let mut s = Session::new();
                 let mut g = cfg.build(&mut s);
                 let rules = s.load_library(LibraryConfig::epilog_only());
-                Rewriter::new(&mut s, &rules).run(&mut g).unwrap()
+                Pipeline::new(&mut s)
+                    .with(RewritePass::new(rules))
+                    .run(&mut g)
+                    .unwrap()
             })
         });
     }

@@ -2,9 +2,9 @@
 //! models from both zoos — the engine-level cost that Figs. 12–13
 //! aggregate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{Rewriter, Session};
+use pypm_engine::{PartitionPass, Pipeline, RewritePass, Session};
 
 fn bench_hf_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("hf_rewrite_pass");
@@ -24,7 +24,10 @@ fn bench_hf_pass(c: &mut Criterion) {
                     let mut s = Session::new();
                     let mut g = cfg.build(&mut s);
                     let rs = s.load_library(lib);
-                    Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                    Pipeline::new(&mut s)
+                        .with(RewritePass::new(rs))
+                        .run(&mut g)
+                        .unwrap()
                 })
             });
         }
@@ -49,7 +52,10 @@ fn bench_tv_pass(c: &mut Criterion) {
                     let mut s = Session::new();
                     let mut g = cfg.build(&mut s);
                     let rs = s.load_library(lib);
-                    Rewriter::new(&mut s, &rs).run(&mut g).unwrap()
+                    Pipeline::new(&mut s)
+                        .with(RewritePass::new(rs))
+                        .run(&mut g)
+                        .unwrap()
                 })
             });
         }
@@ -68,13 +74,28 @@ fn bench_partitioning(c: &mut Criterion) {
     group.bench_function("bert-tiny/MatMulEpilog", |b| {
         b.iter(|| {
             let mut s = Session::new();
-            let g = cfg.build(&mut s);
+            let mut g = cfg.build(&mut s);
             let rs = s.load_library(LibraryConfig::all());
-            pypm_engine::partition(&mut s, &rs, &g, "MatMulEpilog")
+            Pipeline::new(&mut s)
+                .with(PartitionPass::default().with_rules(rs))
+                .run(&mut g)
+                .unwrap()
         })
     });
     group.finish();
 }
 
 criterion_group!(benches, bench_hf_pass, bench_tv_pass, bench_partitioning);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    // The BENCH_*.json perf trajectory: aggregate the same model ×
+    // configuration matrix into a machine-readable document.
+    match bench::emit_rewrite_pass_json() {
+        Ok(path) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write BENCH_rewrite_pass.json: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,7 +13,7 @@
 #![warn(missing_docs)]
 
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{PassStats, Rewriter, Session};
+use pypm_engine::{PassStats, Pipeline, PipelineReport, RewritePass, Session};
 use pypm_graph::Graph;
 use pypm_perf::CostModel;
 
@@ -70,9 +70,11 @@ pub fn compile_four_ways(name: &str, build: impl Fn(&mut Session) -> Graph) -> M
         let stats = if rules.is_empty() {
             PassStats::default()
         } else {
-            Rewriter::new(&mut session, &rules)
+            Pipeline::new(&mut session)
+                .with(RewritePass::new(rules))
                 .run(&mut graph)
                 .expect("rewrite pass succeeds")
+                .total()
         };
         graph.validate().expect("graph valid after pass");
         let cm = CostModel::new();
@@ -121,9 +123,11 @@ pub fn compile_cost_points(
         let mut session = Session::new();
         let mut graph = build(&mut session);
         let rules = session.load_library(cfg);
-        let stats = Rewriter::new(&mut session, &rules)
+        let stats = Pipeline::new(&mut session)
+            .with(RewritePass::new(rules))
             .run(&mut graph)
-            .expect("pass succeeds");
+            .expect("pass succeeds")
+            .total();
         out.push(CompileCostPoint {
             model: name.to_owned(),
             pattern,
@@ -163,6 +167,155 @@ pub fn histogram(title: &str, values: &[f64]) -> String {
         values.len()
     ));
     s
+}
+
+/// One aggregated row of the `BENCH_rewrite_pass.json` trajectory: a
+/// model × library-configuration cell, averaged over several pipeline
+/// runs, with the last run's full `pypm.pipeline.v1` report embedded.
+#[derive(Debug, Clone)]
+pub struct PassBenchRow {
+    /// Model name.
+    pub model: String,
+    /// Library configuration name (see [`CONFIG_NAMES`]).
+    pub config: &'static str,
+    /// Number of timed pipeline runs averaged.
+    pub runs: usize,
+    /// Mean pipeline wall-clock, ms.
+    pub mean_wall_ms: f64,
+    /// Mean pattern match attempts ("matches tried", including the
+    /// paper's partial matches).
+    pub mean_match_attempts: f64,
+    /// Mean successful matches.
+    pub mean_matches_found: f64,
+    /// Mean rewrites fired.
+    pub mean_rewrites_fired: f64,
+    /// The last run's [`PipelineReport::to_json`] payload.
+    pub last_report_json: String,
+}
+
+/// Runs the rewrite pipeline `runs` times for one model × configuration
+/// cell and aggregates a [`PassBenchRow`].
+pub fn rewrite_pass_row(
+    model: &str,
+    config_name: &'static str,
+    lib: LibraryConfig,
+    runs: usize,
+    build: impl Fn(&mut Session) -> Graph,
+) -> PassBenchRow {
+    assert!(runs > 0, "need at least one run");
+    let mut wall_ms = 0.0;
+    let mut attempts = 0u64;
+    let mut matches = 0u64;
+    let mut rewrites = 0u64;
+    let mut last: Option<PipelineReport> = None;
+    for _ in 0..runs {
+        let mut session = Session::new();
+        let mut graph = build(&mut session);
+        let rules = session.load_library(lib);
+        let report = Pipeline::new(&mut session)
+            .with(RewritePass::new(rules))
+            .run(&mut graph)
+            .expect("rewrite pass succeeds");
+        let total = report.total();
+        wall_ms += total.duration.as_secs_f64() * 1e3;
+        attempts += total.match_attempts;
+        matches += total.matches_found;
+        rewrites += total.rewrites_fired;
+        last = Some(report);
+    }
+    let n = runs as f64;
+    PassBenchRow {
+        model: model.to_owned(),
+        config: config_name,
+        runs,
+        mean_wall_ms: wall_ms / n,
+        mean_match_attempts: attempts as f64 / n,
+        mean_matches_found: matches as f64 / n,
+        mean_rewrites_fired: rewrites as f64 / n,
+        last_report_json: last.expect("runs > 0").to_json(),
+    }
+}
+
+/// Renders the `BENCH_rewrite_pass.json` document (schema
+/// `pypm.bench.rewrite_pass.v1`) from aggregated rows.
+pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v1\",\n  \"rows\": [");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // Model/config names are static ASCII identifiers; escape the
+        // two JSON-significant characters anyway.
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "\n    {{\"model\": \"{}\", \"config\": \"{}\", \"runs\": {}, \
+             \"mean_wall_ms\": {:.6}, \"mean_match_attempts\": {:.1}, \
+             \"mean_matches_found\": {:.1}, \"mean_rewrites_fired\": {:.1}, \
+             \"last_report\": {}}}",
+            esc(&row.model),
+            esc(row.config),
+            row.runs,
+            row.mean_wall_ms,
+            row.mean_match_attempts,
+            row.mean_matches_found,
+            row.mean_rewrites_fired,
+            // Already-valid JSON from PipelineReport::to_json; embed raw.
+            row.last_report_json.trim_end(),
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The representative model × configuration matrix the rewrite-pass
+/// trajectory tracks (mirrors the criterion groups in
+/// `benches/rewrite_pass.rs`).
+pub fn rewrite_pass_rows(runs: usize) -> Vec<PassBenchRow> {
+    let mut rows = Vec::new();
+    for model in ["bert-tiny", "bert-base", "gpt2"] {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|m| m.name == model)
+            .expect("hf zoo model");
+        for (cname, lib) in [
+            ("fmha", LibraryConfig::fmha_only()),
+            ("epilog", LibraryConfig::epilog_only()),
+            ("both", LibraryConfig::both()),
+        ] {
+            rows.push(rewrite_pass_row(model, cname, lib, runs, |s| cfg.build(s)));
+        }
+    }
+    for model in ["alexnet", "resnet18", "vgg16"] {
+        let cfg = pypm_models::tv_zoo()
+            .into_iter()
+            .find(|m| m.name == model)
+            .expect("tv zoo model");
+        for (cname, lib) in [
+            ("fmha", LibraryConfig::fmha_only()),
+            ("epilog", LibraryConfig::epilog_only()),
+        ] {
+            rows.push(rewrite_pass_row(model, cname, lib, runs, |s| cfg.build(s)));
+        }
+    }
+    rows
+}
+
+/// Writes `BENCH_rewrite_pass.json` next to the bench crate's manifest
+/// (`crates/bench/BENCH_rewrite_pass.json`) and returns the path.
+/// Regenerate with the one documented command:
+///
+/// ```sh
+/// cargo bench -p bench --bench rewrite_pass
+/// ```
+///
+/// # Errors
+///
+/// Propagates the filesystem write failure.
+pub fn emit_rewrite_pass_json() -> std::io::Result<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_rewrite_pass.json");
+    let rows = rewrite_pass_rows(5);
+    std::fs::write(path, rows_to_json(&rows))?;
+    Ok(path.to_owned())
 }
 
 /// Geometric mean of a slice.
@@ -223,6 +376,27 @@ mod tests {
         let h = histogram("test", &[1.0, 1.1, 1.1, 1.4]);
         assert!(h.contains("n=4"));
         assert!(h.contains("mean"));
+    }
+
+    #[test]
+    fn bench_rows_aggregate_and_render_json() {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|c| c.name == "bert-tiny")
+            .unwrap();
+        let row = rewrite_pass_row("bert-tiny", "fmha", LibraryConfig::fmha_only(), 2, |s| {
+            cfg.build(s)
+        });
+        assert_eq!(row.runs, 2);
+        assert_eq!(row.mean_matches_found as usize, cfg.layers);
+        assert!(row.mean_wall_ms > 0.0);
+        let json = rows_to_json(std::slice::from_ref(&row));
+        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v1\""));
+        assert!(json.contains("\"model\": \"bert-tiny\""));
+        assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(json.matches(open).count(), json.matches(close).count());
+        }
     }
 
     #[test]

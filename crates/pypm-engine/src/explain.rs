@@ -8,12 +8,15 @@
 //! transitions. This module packages that trace into a report pattern
 //! authors can read.
 
+use crate::pass::{MatchRejected, Observer, PassRecord, RejectReason, RewriteFired};
 use crate::session::Session;
 use pypm_core::{Machine, Outcome, RuleName};
 use pypm_dsl::RuleSet;
 use pypm_graph::{Graph, NodeId, TermView};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// Diagnostic report for one pattern at one node.
 #[derive(Debug, Clone)]
@@ -76,10 +79,31 @@ fn truncate(s: &str, max: usize) -> String {
     format!("{head}… ({} chars)", s.chars().count())
 }
 
+/// The legacy name of [`explain_at`].
+///
+/// Deprecated: call [`explain_at`] for one-off per-node diagnostics, or
+/// attach an [`ExplainObserver`] to a [`crate::Pipeline`] to watch
+/// matches fire and get rejected across a whole compilation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use explain_at, or attach an ExplainObserver to a Pipeline; \
+            see the migration table in the pypm-engine crate docs"
+)]
+pub fn explain_match(
+    session: &mut Session,
+    rules: &RuleSet,
+    graph: &Graph,
+    node: NodeId,
+    pattern_name: &str,
+    fuel: u64,
+) -> Option<Explanation> {
+    explain_at(session, rules, graph, node, pattern_name, fuel)
+}
+
 /// Runs one named pattern at one node with tracing enabled and explains
 /// the outcome. Returns `None` for unknown patterns or unreachable
 /// nodes.
-pub fn explain_match(
+pub fn explain_at(
     session: &mut Session,
     rules: &RuleSet,
     graph: &Graph,
@@ -143,6 +167,130 @@ pub fn explain_match(
     })
 }
 
+/// An [`Observer`] that turns pipeline events into a compilation-wide
+/// match narrative — which patterns fired where, and which matches were
+/// rejected and why — subsuming the ad-hoc per-call explanation
+/// plumbing the engine used to expose.
+///
+/// Share the observer to read it back after the run:
+///
+/// ```
+/// use pypm_engine::{ExplainObserver, Pipeline, RewritePass, Session};
+/// use pypm_dsl::LibraryConfig;
+/// use pypm_graph::Graph;
+///
+/// let mut s = Session::new();
+/// let rules = s.load_library(LibraryConfig::both());
+/// let explain = ExplainObserver::new().shared();
+/// let mut g = Graph::new();
+/// Pipeline::new(&mut s)
+///     .with(RewritePass::new(rules))
+///     .observe(explain.clone())
+///     .run(&mut g)
+///     .unwrap();
+/// assert!(explain.borrow().fired().is_empty()); // empty graph
+/// ```
+#[derive(Debug, Default)]
+pub struct ExplainObserver {
+    filter: Option<String>,
+    fired: Vec<RewriteFired>,
+    rejected: Vec<MatchRejected>,
+    passes: Vec<String>,
+}
+
+impl ExplainObserver {
+    /// Observes every pattern.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes only events for the named pattern.
+    pub fn for_pattern(pattern: impl Into<String>) -> Self {
+        ExplainObserver {
+            filter: Some(pattern.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Wraps the observer for shared ownership, so it can be both
+    /// registered with a [`crate::Pipeline`] and read afterwards.
+    pub fn shared(self) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(self))
+    }
+
+    /// Rewrites that fired, in firing order.
+    pub fn fired(&self) -> &[RewriteFired] {
+        &self.fired
+    }
+
+    /// Matches that fired no rewrite, in discovery order.
+    pub fn rejected(&self) -> &[MatchRejected] {
+        &self.rejected
+    }
+
+    /// Names of the passes observed, in run order.
+    pub fn passes(&self) -> &[String] {
+        &self.passes
+    }
+
+    fn keeps(&self, pattern: &str) -> bool {
+        match self.filter.as_deref() {
+            Some(f) => f == pattern,
+            None => true,
+        }
+    }
+
+    /// Renders the narrative: per-pattern fire counts and rejection
+    /// reasons, most active patterns first.
+    pub fn summary(&self) -> String {
+        let mut by_pattern: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        for f in &self.fired {
+            by_pattern.entry(&f.pattern).or_default().0 += 1;
+        }
+        for r in &self.rejected {
+            let slot = by_pattern.entry(&r.pattern).or_default();
+            match r.reason {
+                RejectReason::GuardsFailed => slot.1 += 1,
+                RejectReason::IdentityReplacement => slot.2 += 1,
+            }
+        }
+        let mut rows: Vec<_> = by_pattern.into_iter().collect();
+        rows.sort_by_key(|&(name, (f, g, i))| (std::cmp::Reverse(f + g + i), name));
+        let mut out = format!(
+            "{} rewrites fired, {} matches rejected across {} pass(es)\n",
+            self.fired.len(),
+            self.rejected.len(),
+            self.passes.len()
+        );
+        for (name, (fired, guards, identity)) in rows {
+            out.push_str(&format!(
+                "  {name}: {fired} fired, {guards} rejected by guards, {identity} identity\n"
+            ));
+        }
+        out
+    }
+}
+
+impl Observer for ExplainObserver {
+    fn on_pass_start(&mut self, pass: &str, _graph: &Graph) {
+        self.passes.push(pass.to_owned());
+    }
+
+    fn on_pass_end(&mut self, _pass: &str, _record: &PassRecord) {}
+
+    fn on_rewrite_fired(&mut self, event: &RewriteFired) {
+        if self.keeps(&event.pattern) {
+            self.fired.push(event.clone());
+        }
+    }
+
+    fn on_match_rejected(&mut self, event: &MatchRejected) {
+        if self.keeps(&event.pattern) {
+            self.rejected.push(event.clone());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,7 +313,7 @@ mod tests {
             .unwrap();
         g.mark_output(mm);
 
-        let e = explain_match(&mut s, &rules, &g, mm, "MMxyT", 100_000).unwrap();
+        let e = explain_at(&mut s, &rules, &g, mm, "MMxyT", 100_000).unwrap();
         assert!(e.matched);
         assert!(e.witness.is_some());
         assert!(e.steps > 0);
@@ -192,7 +340,7 @@ mod tests {
             .unwrap();
         g.mark_output(mm);
 
-        let e = explain_match(&mut s, &rules, &g, mm, "MMxyT", 100_000).unwrap();
+        let e = explain_at(&mut s, &rules, &g, mm, "MMxyT", 100_000).unwrap();
         assert!(!e.matched);
         assert!(e
             .conflicts
@@ -212,7 +360,7 @@ mod tests {
             .unwrap();
         g.mark_output(r);
 
-        let e = explain_match(&mut s, &rules, &g, r, "MMxyT", 100_000).unwrap();
+        let e = explain_at(&mut s, &rules, &g, r, "MMxyT", 100_000).unwrap();
         assert!(!e.matched);
         assert!(e
             .conflicts
@@ -227,6 +375,6 @@ mod tests {
         let mut g = Graph::new();
         let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![2, 2]));
         g.mark_output(a);
-        assert!(explain_match(&mut s, &rules, &g, a, "Nope", 100).is_none());
+        assert!(explain_at(&mut s, &rules, &g, a, "Nope", 100).is_none());
     }
 }

@@ -3,25 +3,68 @@
 //! The paper's DLCB backend "dynamically loads and parses a user-specified
 //! set of pattern binaries … repeatedly traverses the graph, attempting to
 //! match any of the patterns … greedily rewriting all of the patterns it
-//! can match until no matches remain" (§2.4). This crate is that backend:
+//! can match until no matches remain" (§2.4). This crate is that backend,
+//! organised as a pass manager:
 //!
 //! * [`Session`] — the shared symbol/term/pattern stores of a
 //!   compilation, with library/binary/text loading,
-//! * [`Rewriter`] — the greedy fixpoint pass driving the CorePyPM
+//! * [`Pipeline`] — the pass manager: an ordered, instrumented sequence
+//!   of [`Pass`] stages over one session and graph, reporting per-pass
+//!   counters, diagnostics and artifacts through [`PipelineReport`]
+//!   (with a stable JSON rendering),
+//! * [`RewritePass`] — the greedy fixpoint pass driving the CorePyPM
 //!   abstract machine over graph term-views, with ordered guarded rule
 //!   firing and [`PassStats`] (the raw data behind the paper's
 //!   compile-time figures 12–13),
-//! * [`partition`] — directed graph partitioning (§4.2).
+//! * [`PartitionPass`] — directed graph partitioning (§4.2), published
+//!   as a pipeline artifact,
+//! * [`ExplainObserver`] / [`explain_at`] — live match/rewrite
+//!   narratives and per-node machine-trace diagnostics.
+//!
+//! ## Migrating from the legacy entry points
+//!
+//! The pre-pipeline API still compiles behind thin deprecated shims that
+//! drive exactly the same engine code:
+//!
+//! | legacy | replacement |
+//! |---|---|
+//! | `Rewriter::new(&mut s, &rules).run(&mut g)` | `Pipeline::new(&mut s).with(RewritePass::new(rules)).run(&mut g)` |
+//! | `Rewriter::new(..).with_config(cfg).run(..)` | `RewritePass::new(rules).config(cfg)` (or `.policy(..)` / `.machine_fuel(..)` / `.max_rewrites(..)`) |
+//! | `Rewriter::new(..).find_matches(&g, "P")` | the free [`find_matches`]`(&mut s, &rules, &g, "P")` |
+//! | `partition(&mut s, &rules, &g, "P")` | `Pipeline::new(&mut s).with(PartitionPass::new("P").with_rules(rules))`, then `report.artifact::<Vec<Partition>>(PartitionPass::ARTIFACT)` |
+//! | `explain_match(..)` | [`explain_at`]`(..)` for one node, or an [`ExplainObserver`] attached via `Pipeline::observe` for a whole compilation |
+//! | inspecting `PassStats` by hand | `PipelineReport::total()`, per-pass `PipelineReport::passes()`, machine-readable `PipelineReport::to_json()` |
+//!
+//! A legacy `Rewriter::run` and a `Pipeline` with one `RewritePass`
+//! produce byte-identical [`PassStats`] counters — the equivalence suite
+//! in `tests/pipeline_equivalence.rs` (crate `pypm`) proves it across
+//! the full model zoo and both sweep policies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod explain;
 pub mod partition;
+pub mod pass;
+pub mod pipeline;
 pub mod rewriter;
 pub mod session;
 
-pub use explain::{explain_match, Explanation};
-pub use partition::{partition, Partition};
-pub use rewriter::{MatchReport, PassConfig, PassStats, RewriteError, Rewriter, SweepPolicy};
+pub use explain::{explain_at, ExplainObserver, Explanation};
+pub use partition::{Partition, PartitionPass};
+pub use pass::{
+    Diagnostic, MatchRejected, Observer, Pass, PassError, PassOutcome, PassRecord, PipelineCx,
+    RejectReason, RewriteFired, Severity,
+};
+pub use pipeline::{Pipeline, PipelineError, PipelineReport};
+pub use rewriter::{
+    find_matches, MatchReport, PassConfig, PassStats, RewriteError, RewritePass, SweepPolicy,
+};
 pub use session::Session;
+
+#[allow(deprecated)]
+pub use explain::explain_match;
+#[allow(deprecated)]
+pub use partition::partition;
+#[allow(deprecated)]
+pub use rewriter::Rewriter;

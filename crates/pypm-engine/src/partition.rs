@@ -11,9 +11,10 @@
 //! dataflow frontier — the external inputs a "just in time"-compiled
 //! fused kernel for the region would take.
 
-use crate::rewriter::Rewriter;
+use crate::pass::{Pass, PassError, PassOutcome, PipelineCx};
+use crate::rewriter::find_matches;
 use crate::session::Session;
-use pypm_dsl::RuleSet;
+use pypm_dsl::{LibraryConfig, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
 use std::collections::HashSet;
 
@@ -37,17 +38,37 @@ impl Partition {
     }
 }
 
-/// Partitions `graph` by the named pattern, greedily claiming
-/// non-overlapping regions from largest to smallest (ties broken toward
-/// nodes closer to the outputs).
+/// The legacy partitioning entry point.
+///
+/// Deprecated: run a [`PartitionPass`] in a [`crate::Pipeline`] instead
+/// and read the `Vec<Partition>` back from the report's
+/// [`PartitionPass::ARTIFACT`] — same greedy claiming, plus pipeline
+/// instrumentation and diagnostics.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Pipeline::new(&mut session).with(PartitionPass::new(pattern).with_rules(rules)) \
+            and report.artifact::<Vec<Partition>>(PartitionPass::ARTIFACT); \
+            see the migration table in the pypm-engine crate docs"
+)]
 pub fn partition(
     session: &mut Session,
     rules: &RuleSet,
     graph: &Graph,
     pattern_name: &str,
 ) -> Vec<Partition> {
-    let mut rewriter = Rewriter::new(session, rules);
-    let mut reports = rewriter.find_matches(graph, pattern_name);
+    partition_impl(session, rules, graph, pattern_name)
+}
+
+/// Partitions `graph` by the named pattern, greedily claiming
+/// non-overlapping regions from largest to smallest (ties broken toward
+/// nodes closer to the outputs).
+fn partition_impl(
+    session: &mut Session,
+    rules: &RuleSet,
+    graph: &Graph,
+    pattern_name: &str,
+) -> Vec<Partition> {
+    let mut reports = find_matches(session, rules, graph, pattern_name);
     // Largest regions first; among equals prefer later topo position
     // (closer to outputs) so chains are claimed from their heads.
     reports.sort_by(|a, b| {
@@ -107,7 +128,114 @@ pub fn partition(
     out
 }
 
+/// Directed graph partitioning (§4.2) as a read-only [`Pass`].
+///
+/// Publishes its `Vec<Partition>` under [`PartitionPass::ARTIFACT`] and
+/// emits a note diagnostic with the region count; the graph is left
+/// untouched. By default the pass matches the paper's `MatMulEpilog`
+/// pattern against the full pattern library; use [`PartitionPass::new`]
+/// and [`PartitionPass::with_rules`] to override either.
+///
+/// ```
+/// use pypm_engine::{Partition, PartitionPass, Pipeline, Session};
+/// use pypm_graph::{DType, Graph, TensorMeta};
+///
+/// let mut s = Session::new();
+/// let mut g = Graph::new();
+/// let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+/// let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+/// let matmul = s.ops.matmul;
+/// let mm = g.op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![]).unwrap();
+/// g.mark_output(mm);
+///
+/// let report = Pipeline::new(&mut s)
+///     .with(PartitionPass::default())
+///     .run(&mut g)
+///     .unwrap();
+/// let parts: &Vec<Partition> = report.artifact(PartitionPass::ARTIFACT).unwrap();
+/// assert_eq!(parts.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionPass {
+    pattern: String,
+    rules: Option<RuleSet>,
+}
+
+impl Default for PartitionPass {
+    /// Partitions by `MatMulEpilog` (the paper's Fig. 14 pattern)
+    /// against the full library.
+    fn default() -> Self {
+        PartitionPass::new("MatMulEpilog")
+    }
+}
+
+impl PartitionPass {
+    /// The pass name, as it appears in records, diagnostics and JSON.
+    pub const NAME: &'static str = "partition";
+
+    /// Key the `Vec<Partition>` artifact is published under.
+    pub const ARTIFACT: &'static str = "partitions";
+
+    /// Creates the pass for a named pattern.
+    pub fn new(pattern: impl Into<String>) -> Self {
+        PartitionPass {
+            pattern: pattern.into(),
+            rules: None,
+        }
+    }
+
+    /// Uses this rule set instead of loading the full library.
+    pub fn with_rules(mut self, rules: RuleSet) -> Self {
+        self.rules = Some(rules);
+        self
+    }
+
+    /// The pattern this pass partitions by.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+}
+
+impl Pass for PartitionPass {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn run(
+        &mut self,
+        session: &mut Session,
+        graph: &mut Graph,
+        cx: &mut PipelineCx,
+    ) -> Result<PassOutcome, PassError> {
+        let loaded;
+        let rules = match &self.rules {
+            Some(rules) => rules,
+            None => {
+                // Pattern stores are hash-consed, so re-loading the
+                // library into an already-populated session is cheap.
+                loaded = session.load_library(LibraryConfig::all());
+                &loaded
+            }
+        };
+        if rules.find(&self.pattern).is_none() {
+            cx.warn(format!("pattern {} not in the rule set", self.pattern));
+        }
+        let parts = partition_impl(session, rules, graph, &self.pattern);
+        cx.note(format!(
+            "{} {} partitions over {} nodes",
+            parts.len(),
+            self.pattern,
+            graph.live_count()
+        ));
+        cx.publish(Self::ARTIFACT, parts);
+        Ok(PassOutcome::unchanged())
+    }
+}
+
+// The unit tests drive the deprecated `partition` shim on purpose: they
+// pin down the exact legacy behaviour the shim must preserve.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pypm_dsl::LibraryConfig;

@@ -1,0 +1,426 @@
+//! The pass abstraction: compilation stages over one [`Session`].
+//!
+//! The paper's DLCB integration (§2.4) treats rewriting, partitioning
+//! and match explanation as stages of a single compilation. A [`Pass`]
+//! is one such stage; a [`crate::Pipeline`] schedules passes in order
+//! and a [`PipelineCx`] carries what they share: diagnostics, per-pass
+//! instrumentation, published artifacts, and [`Observer`] hooks that
+//! stream match/rewrite events as they happen.
+//!
+//! The three built-in passes mirror the engine's historic entry points:
+//!
+//! | pass | replaces |
+//! |---|---|
+//! | [`crate::RewritePass`] | `Rewriter::new(..).run(..)` |
+//! | [`crate::PartitionPass`] | the free `partition(..)` function |
+//! | [`crate::ExplainObserver`] | ad-hoc `explain_match` plumbing |
+
+use crate::rewriter::{PassStats, RewriteError};
+use crate::session::Session;
+use pypm_graph::{Graph, NodeId};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+/// One compilation stage, run by a [`crate::Pipeline`].
+///
+/// A pass receives the shared [`Session`] stores, the graph under
+/// compilation, and the pipeline context for diagnostics, events and
+/// artifacts. Read-only analyses (like [`crate::PartitionPass`]) simply
+/// leave the graph untouched and report [`PassOutcome::unchanged`].
+pub trait Pass {
+    /// Stable name of the pass, used in records, diagnostics and JSON.
+    fn name(&self) -> &str;
+
+    /// Runs the pass over `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PassError`] when the pass cannot complete; the
+    /// pipeline stops at the first failing pass.
+    fn run(
+        &mut self,
+        session: &mut Session,
+        graph: &mut Graph,
+        cx: &mut PipelineCx,
+    ) -> Result<PassOutcome, PassError>;
+}
+
+/// What a pass did to the graph, plus its instrumentation counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassOutcome {
+    /// Whether the pass mutated the graph.
+    pub changed: bool,
+    /// The pass's counters (zeroed for passes that don't match).
+    pub stats: PassStats,
+}
+
+impl PassOutcome {
+    /// An outcome for a pass that left the graph untouched.
+    pub fn unchanged() -> Self {
+        PassOutcome::default()
+    }
+
+    /// An outcome carrying rewrite-pass counters; the graph is
+    /// considered changed when any rewrite fired.
+    pub fn from_stats(stats: PassStats) -> Self {
+        PassOutcome {
+            changed: stats.rewrites_fired > 0,
+            stats,
+        }
+    }
+}
+
+/// Errors raised by a [`Pass`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// Building a replacement subgraph failed.
+    Rewrite(RewriteError),
+    /// The graph failed validation after the pass ran.
+    InvalidGraph {
+        /// Validation failure rendered for humans.
+        reason: String,
+    },
+    /// Any other pass-specific failure.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::Rewrite(e) => write!(f, "{e}"),
+            PassError::InvalidGraph { reason } => {
+                write!(f, "invalid graph after pass: {reason}")
+            }
+            PassError::Failed { reason } => write!(f, "{reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PassError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PassError::Rewrite(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RewriteError> for PassError {
+    fn from(e: RewriteError) -> Self {
+        PassError::Rewrite(e)
+    }
+}
+
+/// A rewrite that fired, as streamed to [`Observer::on_rewrite_fired`].
+#[derive(Debug, Clone)]
+pub struct RewriteFired {
+    /// Name of the pass that fired the rewrite.
+    pub pass: String,
+    /// Name of the matched pattern.
+    pub pattern: String,
+    /// Index of the fired rule within the pattern's rule list.
+    pub rule: usize,
+    /// Root node of the replaced subgraph.
+    pub node: NodeId,
+    /// Sweep number (1-based) the rewrite fired in.
+    pub sweep: u64,
+}
+
+/// Why a successful match fired no rewrite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Every rule's guard evaluated to false — the paper's "if no rule
+    /// can apply, none fires".
+    GuardsFailed,
+    /// A guard held but the replacement was structurally identical to
+    /// the matched subgraph (identity rewrites must not fire or the
+    /// pass would never reach a fixpoint).
+    IdentityReplacement,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::GuardsFailed => write!(f, "no rule guard held"),
+            RejectReason::IdentityReplacement => write!(f, "identity replacement"),
+        }
+    }
+}
+
+/// A match that fired no rewrite, as streamed to
+/// [`Observer::on_match_rejected`].
+#[derive(Debug, Clone)]
+pub struct MatchRejected {
+    /// Name of the pass that attempted the match.
+    pub pass: String,
+    /// Name of the matched pattern.
+    pub pattern: String,
+    /// Node the pattern matched at.
+    pub node: NodeId,
+    /// Why no rule fired.
+    pub reason: RejectReason,
+    /// Sweep number (1-based) the match was found in.
+    pub sweep: u64,
+}
+
+/// Instrumentation hooks streamed live from running passes.
+///
+/// All methods default to no-ops, so an observer implements only what
+/// it cares about. Observers needing to be read after the pipeline
+/// finishes can be shared via `Rc<RefCell<_>>` (see
+/// [`crate::ExplainObserver::shared`]), for which a blanket [`Observer`]
+/// impl is provided.
+pub trait Observer {
+    /// A pass is about to run over `graph`.
+    fn on_pass_start(&mut self, pass: &str, graph: &Graph) {
+        let _ = (pass, graph);
+    }
+
+    /// A pass finished; `record` holds its counters and wall-clock.
+    fn on_pass_end(&mut self, pass: &str, record: &PassRecord) {
+        let _ = (pass, record);
+    }
+
+    /// A rule fired and the graph was rewritten.
+    fn on_rewrite_fired(&mut self, event: &RewriteFired) {
+        let _ = event;
+    }
+
+    /// A pattern matched but no rewrite fired.
+    fn on_match_rejected(&mut self, event: &MatchRejected) {
+        let _ = event;
+    }
+}
+
+impl<T: Observer> Observer for Rc<RefCell<T>> {
+    fn on_pass_start(&mut self, pass: &str, graph: &Graph) {
+        self.borrow_mut().on_pass_start(pass, graph);
+    }
+
+    fn on_pass_end(&mut self, pass: &str, record: &PassRecord) {
+        self.borrow_mut().on_pass_end(pass, record);
+    }
+
+    fn on_rewrite_fired(&mut self, event: &RewriteFired) {
+        self.borrow_mut().on_rewrite_fired(event);
+    }
+
+    fn on_match_rejected(&mut self, event: &MatchRejected) {
+        self.borrow_mut().on_match_rejected(event);
+    }
+}
+
+/// Severity of a pipeline [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Informational.
+    Note,
+    /// Something suspicious that did not stop the pipeline.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// One diagnostic emitted by a pass.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Name of the emitting pass.
+    pub pass: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.severity, self.pass, self.message)
+    }
+}
+
+/// The record of one completed pass, in pipeline order.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Pass name.
+    pub name: String,
+    /// Whether the pass mutated the graph.
+    pub changed: bool,
+    /// The pass's own counters ([`PassStats::duration`] covers only the
+    /// matching loop; `wall` the whole pass).
+    pub stats: PassStats,
+    /// Wall-clock of the whole pass as measured by the pipeline.
+    pub wall: Duration,
+}
+
+/// What a finished pipeline run decomposes into: records, diagnostics
+/// and artifacts.
+pub(crate) type PipelineParts = (
+    Vec<PassRecord>,
+    Vec<Diagnostic>,
+    BTreeMap<String, Box<dyn Any>>,
+);
+
+/// Shared state threaded through every pass of a pipeline run:
+/// diagnostics, per-pass records, published artifacts, and the
+/// registered [`Observer`]s.
+#[derive(Default)]
+pub struct PipelineCx {
+    diagnostics: Vec<Diagnostic>,
+    records: Vec<PassRecord>,
+    observers: Vec<Box<dyn Observer>>,
+    artifacts: BTreeMap<String, Box<dyn Any>>,
+    current: String,
+    current_sweep: u64,
+}
+
+impl fmt::Debug for PipelineCx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelineCx")
+            .field("diagnostics", &self.diagnostics)
+            .field("records", &self.records)
+            .field("observers", &self.observers.len())
+            .field("artifacts", &self.artifacts.keys().collect::<Vec<_>>())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl PipelineCx {
+    /// Creates an empty context (no observers, no records).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an observer.
+    pub(crate) fn add_observer(&mut self, obs: Box<dyn Observer>) {
+        self.observers.push(obs);
+    }
+
+    /// True when at least one observer is registered — passes may use
+    /// this to skip building event payloads nobody will see.
+    pub fn has_observers(&self) -> bool {
+        !self.observers.is_empty()
+    }
+
+    /// Emits an informational diagnostic attributed to the running pass.
+    pub fn note(&mut self, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            pass: self.current.clone(),
+            severity: Severity::Note,
+            message: message.into(),
+        });
+    }
+
+    /// Emits a warning diagnostic attributed to the running pass.
+    pub fn warn(&mut self, message: impl Into<String>) {
+        self.diagnostics.push(Diagnostic {
+            pass: self.current.clone(),
+            severity: Severity::Warning,
+            message: message.into(),
+        });
+    }
+
+    /// Diagnostics emitted so far.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Records of the passes completed so far.
+    pub fn records(&self) -> &[PassRecord] {
+        &self.records
+    }
+
+    /// Publishes a typed artifact under `key` for later passes and the
+    /// final [`crate::PipelineReport`] (e.g. [`crate::PartitionPass`]
+    /// publishes its `Vec<Partition>`).
+    pub fn publish<T: Any>(&mut self, key: impl Into<String>, value: T) {
+        self.artifacts.insert(key.into(), Box::new(value));
+    }
+
+    /// Reads back a previously published artifact.
+    pub fn artifact<T: Any>(&self, key: &str) -> Option<&T> {
+        self.artifacts.get(key).and_then(|a| a.downcast_ref())
+    }
+
+    /// Sets the sweep number subsequent events are tagged with.
+    pub fn set_sweep(&mut self, sweep: u64) {
+        self.current_sweep = sweep;
+    }
+
+    /// Streams a fired rewrite to every observer.
+    pub fn emit_rewrite_fired(&mut self, pattern: &str, rule: usize, node: NodeId) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let event = RewriteFired {
+            pass: self.current.clone(),
+            pattern: pattern.to_owned(),
+            rule,
+            node,
+            sweep: self.current_sweep,
+        };
+        for obs in &mut self.observers {
+            obs.on_rewrite_fired(&event);
+        }
+    }
+
+    /// Streams a rejected match to every observer.
+    pub fn emit_match_rejected(&mut self, pattern: &str, node: NodeId, reason: RejectReason) {
+        if self.observers.is_empty() {
+            return;
+        }
+        let event = MatchRejected {
+            pass: self.current.clone(),
+            pattern: pattern.to_owned(),
+            node,
+            reason,
+            sweep: self.current_sweep,
+        };
+        for obs in &mut self.observers {
+            obs.on_match_rejected(&event);
+        }
+    }
+
+    /// Marks `name` as the running pass and notifies observers.
+    pub(crate) fn begin_pass(&mut self, name: &str, graph: &Graph) {
+        self.current = name.to_owned();
+        self.current_sweep = 0;
+        for obs in &mut self.observers {
+            obs.on_pass_start(name, graph);
+        }
+    }
+
+    /// Records the finished pass and notifies observers.
+    pub(crate) fn finish_pass(&mut self, outcome: PassOutcome, wall: Duration) {
+        let record = PassRecord {
+            name: std::mem::take(&mut self.current),
+            changed: outcome.changed,
+            stats: outcome.stats,
+            wall,
+        };
+        for obs in &mut self.observers {
+            obs.on_pass_end(&record.name, &record);
+        }
+        self.records.push(record);
+    }
+
+    /// Decomposes the context into the parts a
+    /// [`crate::PipelineReport`] keeps.
+    pub(crate) fn into_parts(self) -> PipelineParts {
+        (self.records, self.diagnostics, self.artifacts)
+    }
+}

@@ -20,6 +20,7 @@
 //! (including the "partial matches that don't end up actually matching"),
 //! matches found, and rewrites fired.
 
+use crate::pass::{Pass, PassError, PassOutcome, PipelineCx, RejectReason};
 use crate::session::Session;
 use pypm_core::{Machine, Outcome, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
@@ -153,42 +154,39 @@ pub struct MatchReport {
     pub coverage: Vec<TermId>,
 }
 
-/// The rewrite engine driving a [`RuleSet`] over a [`Graph`].
-#[derive(Debug)]
-pub struct Rewriter<'a> {
+/// How an attempted firing of a matched pattern ended.
+enum FireResult {
+    /// The rule with this index fired and the graph was rewritten.
+    Fired,
+    /// No rule fired, for this reason.
+    Rejected(RejectReason),
+}
+
+/// The internal engine shared by [`RewritePass`] and the deprecated
+/// [`Rewriter`] shim: the paper's greedy fixpoint loop.
+struct Driver<'a> {
     session: &'a mut Session,
     rules: &'a RuleSet,
     config: PassConfig,
 }
 
-impl<'a> Rewriter<'a> {
-    /// Creates a rewriter for the given session and rule set.
-    pub fn new(session: &'a mut Session, rules: &'a RuleSet) -> Self {
-        Rewriter {
+impl<'a> Driver<'a> {
+    fn new(session: &'a mut Session, rules: &'a RuleSet, config: PassConfig) -> Self {
+        Driver {
             session,
             rules,
-            config: PassConfig::default(),
+            config,
         }
     }
 
-    /// Overrides the pass configuration.
-    pub fn with_config(mut self, config: PassConfig) -> Self {
-        self.config = config;
-        self
-    }
-
-    /// Runs the pass to fixpoint, mutating `graph` in place.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first replacement-construction failure; matching
-    /// itself cannot fail (fuel exhaustion on a pathological recursive
-    /// pattern is treated as "no match at this node").
-    pub fn run(&mut self, graph: &mut Graph) -> Result<PassStats, RewriteError> {
+    /// Runs the pass to fixpoint, mutating `graph` in place and
+    /// streaming match/rewrite events through `cx`.
+    fn run(&mut self, graph: &mut Graph, cx: &mut PipelineCx) -> Result<PassStats, RewriteError> {
         let start = Instant::now();
         let mut stats = PassStats::default();
         'sweeps: loop {
             stats.sweeps += 1;
+            cx.set_sweep(stats.sweeps);
             let mut view = TermView::build(
                 graph,
                 &mut self.session.syms,
@@ -230,7 +228,13 @@ impl<'a> Rewriter<'a> {
                     // "PyPM runs each of the corresponding rules one by
                     // one … The first rule whose assertions pass is
                     // fired."
-                    let fired = self.fire_first_rule(graph, &view, node, pi, &witness)?;
+                    let fired = match self.fire_first_rule(graph, &view, node, pi, &witness, cx)? {
+                        FireResult::Fired => true,
+                        FireResult::Rejected(reason) => {
+                            cx.emit_match_rejected(&def.name, node, reason);
+                            false
+                        }
+                    };
                     if fired {
                         stats.rewrites_fired += 1;
                         sweep_fired = true;
@@ -279,9 +283,11 @@ impl<'a> Rewriter<'a> {
         node: NodeId,
         pattern_index: usize,
         witness: &Witness,
-    ) -> Result<bool, RewriteError> {
+        cx: &mut PipelineCx,
+    ) -> Result<FireResult, RewriteError> {
         let def = &self.rules.patterns[pattern_index];
-        for rule in &def.rules {
+        let mut saw_identity = false;
+        for (ri, rule) in def.rules.iter().enumerate() {
             let holds = rule
                 .guard
                 .eval(&witness.theta, &self.session.terms, view.attrs())
@@ -299,6 +305,7 @@ impl<'a> Rewriter<'a> {
             if replacement == node
                 || self.term_of_new(graph, view, replacement) == view.term_of(node)
             {
+                saw_identity = true;
                 continue;
             }
             graph
@@ -306,9 +313,14 @@ impl<'a> Rewriter<'a> {
                 .map_err(|e| RewriteError::BuildFailed {
                     reason: e.to_string(),
                 })?;
-            return Ok(true);
+            cx.emit_rewrite_fired(&def.name, ri, node);
+            return Ok(FireResult::Fired);
         }
-        Ok(false)
+        Ok(FireResult::Rejected(if saw_identity {
+            RejectReason::IdentityReplacement
+        } else {
+            RejectReason::GuardsFailed
+        }))
     }
 
     /// Builds the RHS root. A rewrite replaces a subgraph by an
@@ -436,7 +448,7 @@ impl<'a> Rewriter<'a> {
     /// Finds all matches of one named pattern over the current graph
     /// *without rewriting* — the matching mode used by directed graph
     /// partitioning (§4.2) and by diagnostics.
-    pub fn find_matches(&mut self, graph: &Graph, pattern_name: &str) -> Vec<MatchReport> {
+    fn find_matches(&mut self, graph: &Graph, pattern_name: &str) -> Vec<MatchReport> {
         let view = TermView::build(
             graph,
             &mut self.session.syms,
@@ -475,6 +487,157 @@ impl<'a> Rewriter<'a> {
     }
 }
 
+/// The greedy fixpoint rewrite stage (paper §2.4), as a [`Pass`].
+///
+/// Owns its [`RuleSet`] and configuration; build one with the fluent
+/// constructors and hand it to a [`crate::Pipeline`]:
+///
+/// ```
+/// use pypm_engine::{Pipeline, RewritePass, Session, SweepPolicy};
+/// use pypm_dsl::LibraryConfig;
+/// use pypm_graph::Graph;
+///
+/// let mut session = Session::new();
+/// let rules = session.load_library(LibraryConfig::both());
+/// let mut graph = Graph::new();
+/// let report = Pipeline::new(&mut session)
+///     .with(RewritePass::new(rules).policy(SweepPolicy::ContinueSweep))
+///     .run(&mut graph)
+///     .unwrap();
+/// assert_eq!(report.passes().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RewritePass {
+    rules: RuleSet,
+    config: PassConfig,
+}
+
+impl RewritePass {
+    /// The pass name, as it appears in records, diagnostics and JSON.
+    pub const NAME: &'static str = "rewrite";
+
+    /// Creates the pass over an owned rule set with the default
+    /// configuration.
+    pub fn new(rules: RuleSet) -> Self {
+        RewritePass {
+            rules,
+            config: PassConfig::default(),
+        }
+    }
+
+    /// Overrides the whole pass configuration.
+    pub fn config(mut self, config: PassConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the mid-sweep scheduling policy.
+    pub fn policy(mut self, policy: SweepPolicy) -> Self {
+        self.config.sweep_policy = policy;
+        self
+    }
+
+    /// Overrides the per-attempt abstract-machine step budget.
+    pub fn machine_fuel(mut self, fuel: u64) -> Self {
+        self.config.machine_fuel = fuel;
+        self
+    }
+
+    /// Overrides the total-rewrite safety bound.
+    pub fn max_rewrites(mut self, max: usize) -> Self {
+        self.config.max_rewrites = max;
+        self
+    }
+
+    /// The rule set this pass drives.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+}
+
+impl Pass for RewritePass {
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+
+    fn run(
+        &mut self,
+        session: &mut Session,
+        graph: &mut Graph,
+        cx: &mut PipelineCx,
+    ) -> Result<PassOutcome, PassError> {
+        let stats = Driver::new(session, &self.rules, self.config).run(graph, cx)?;
+        Ok(PassOutcome::from_stats(stats))
+    }
+}
+
+/// Finds all matches of one named pattern over `graph` *without*
+/// rewriting — the matching mode used by directed graph partitioning
+/// (§4.2) and by diagnostics. Unknown pattern names yield no matches.
+pub fn find_matches(
+    session: &mut Session,
+    rules: &RuleSet,
+    graph: &Graph,
+    pattern_name: &str,
+) -> Vec<MatchReport> {
+    Driver::new(session, rules, PassConfig::default()).find_matches(graph, pattern_name)
+}
+
+/// The legacy rewrite engine entry point.
+///
+/// Deprecated: build a [`crate::Pipeline`] with a [`RewritePass`]
+/// instead — `Pipeline::new(&mut session).with(RewritePass::new(rules))
+/// .run(&mut graph)` — which adds per-pass instrumentation, observer
+/// hooks and JSON stats on top of the identical fixpoint loop (the
+/// counters in [`PassStats`] are byte-for-byte the same).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Pipeline::new(&mut session).with(RewritePass::new(rules)); \
+            see the migration table in the pypm-engine crate docs"
+)]
+#[derive(Debug)]
+pub struct Rewriter<'a> {
+    session: &'a mut Session,
+    rules: &'a RuleSet,
+    config: PassConfig,
+}
+
+#[allow(deprecated)]
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter for the given session and rule set.
+    pub fn new(session: &'a mut Session, rules: &'a RuleSet) -> Self {
+        Rewriter {
+            session,
+            rules,
+            config: PassConfig::default(),
+        }
+    }
+
+    /// Overrides the pass configuration.
+    pub fn with_config(mut self, config: PassConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs the pass to fixpoint, mutating `graph` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replacement-construction failure; matching
+    /// itself cannot fail (fuel exhaustion on a pathological recursive
+    /// pattern is treated as "no match at this node").
+    pub fn run(&mut self, graph: &mut Graph) -> Result<PassStats, RewriteError> {
+        let mut cx = PipelineCx::new();
+        Driver::new(self.session, self.rules, self.config).run(graph, &mut cx)
+    }
+
+    /// Finds all matches of one named pattern over the current graph
+    /// *without rewriting*; see the free [`find_matches`] function.
+    pub fn find_matches(&mut self, graph: &Graph, pattern_name: &str) -> Vec<MatchReport> {
+        Driver::new(self.session, self.rules, self.config).find_matches(graph, pattern_name)
+    }
+}
+
 /// Convenience: binds the substitution's entry for a named variable.
 pub fn binding_of(witness: &Witness, theta_name: &str, session: &Session) -> Option<TermId> {
     let theta: &Subst = &witness.theta;
@@ -486,7 +649,10 @@ pub fn binding_of(witness: &Witness, theta_name: &str, session: &Session) -> Opt
     None
 }
 
+// The unit tests drive the deprecated `Rewriter` shim on purpose: they
+// pin down the exact legacy behaviour the shim must preserve.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pypm_dsl::LibraryConfig;

@@ -1,3 +1,7 @@
+// Exercises the deprecated pre-Pipeline API on purpose: these suites
+// pin the behaviour the deprecated shims must preserve.
+#![allow(deprecated)]
+
 //! Property tests of the rewrite pass on randomly generated graphs: for
 //! any DAG of standard operators, the pass must terminate, preserve
 //! graph validity, preserve output metadata (rewrites are

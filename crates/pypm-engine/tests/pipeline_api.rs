@@ -1,0 +1,287 @@
+//! Integration tests of the pass-manager surface: pass sequencing,
+//! observer hooks, artifacts, diagnostics and the JSON report.
+
+use pypm_dsl::LibraryConfig;
+use pypm_engine::{
+    ExplainObserver, Partition, PartitionPass, Pass, PassError, PassOutcome, Pipeline, PipelineCx,
+    RejectReason, RewritePass, Session, SweepPolicy,
+};
+use pypm_graph::{DType, Graph, NodeId, TensorMeta};
+
+fn mat(s: &mut Session, g: &mut Graph, dims: &[i64]) -> NodeId {
+    g.input(&mut s.syms, TensorMeta::new(DType::F32, dims.to_vec()))
+}
+
+/// MatMul(a, Trans(b)) — the Fig. 1 subject; fires exactly one rewrite.
+fn fig1_graph(s: &mut Session, dtype: DType) -> Graph {
+    let mut g = Graph::new();
+    let a = g.input(&mut s.syms, TensorMeta::new(dtype, vec![64, 32]));
+    let b = g.input(&mut s.syms, TensorMeta::new(dtype, vec![16, 32]));
+    let (trans, matmul) = (s.ops.trans, s.ops.matmul);
+    let bt = g
+        .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+        .unwrap();
+    let mm = g
+        .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+        .unwrap();
+    g.mark_output(mm);
+    g
+}
+
+#[test]
+fn rewrite_pass_reports_stats_and_changes() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = fig1_graph(&mut s, DType::F32);
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .run(&mut g)
+        .unwrap();
+
+    assert_eq!(report.passes().len(), 1);
+    let rec = report.pass(RewritePass::NAME).unwrap();
+    assert!(rec.changed);
+    assert_eq!(rec.stats.rewrites_fired, 1);
+    assert!(rec.wall >= rec.stats.duration);
+    assert_eq!(report.total().rewrites_fired, 1);
+    assert_eq!(g.node(g.outputs()[0]).op, s.ops.cublas_mm_xyt_f32);
+}
+
+#[test]
+fn multi_pass_pipeline_runs_in_order_and_aggregates() {
+    let mut s = Session::new();
+    let epilog = s.load_library(LibraryConfig::epilog_only());
+    let fmha = s.load_library(LibraryConfig::fmha_only());
+    let mut g = fig1_graph(&mut s, DType::F32);
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(epilog))
+        .with(RewritePass::new(fmha))
+        .with(PartitionPass::default())
+        .run(&mut g)
+        .unwrap();
+
+    let names: Vec<&str> = report.passes().iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(names, ["rewrite", "rewrite", "partition"]);
+    let total = report.total();
+    assert_eq!(
+        total.sweeps,
+        report.passes().iter().map(|r| r.stats.sweeps).sum::<u64>()
+    );
+}
+
+#[test]
+fn observer_sees_pass_boundaries_and_fired_rewrites() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = fig1_graph(&mut s, DType::F32);
+    let explain = ExplainObserver::new().shared();
+    Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .observe(explain.clone())
+        .run(&mut g)
+        .unwrap();
+
+    let obs = explain.borrow();
+    assert_eq!(obs.passes(), ["rewrite"]);
+    assert_eq!(obs.fired().len(), 1);
+    let fired = &obs.fired()[0];
+    assert_eq!(fired.pattern, "MMxyT");
+    assert_eq!(fired.pass, "rewrite");
+    assert!(fired.sweep >= 1);
+    assert!(obs.summary().contains("MMxyT: 1 fired"));
+}
+
+#[test]
+fn observer_sees_guard_rejections() {
+    // f16 inputs: MMxyT matches structurally but both rule guards fail.
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = fig1_graph(&mut s, DType::F16);
+    let explain = ExplainObserver::for_pattern("MMxyT").shared();
+    Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .observe(explain.clone())
+        .run(&mut g)
+        .unwrap();
+
+    let obs = explain.borrow();
+    assert!(obs.fired().is_empty());
+    assert!(!obs.rejected().is_empty());
+    assert!(obs
+        .rejected()
+        .iter()
+        .all(|r| r.reason == RejectReason::GuardsFailed && r.pattern == "MMxyT"));
+}
+
+#[test]
+fn observer_sees_identity_rejections() {
+    // A single Relu matches ReluChain but its replacement is the
+    // identical subgraph — the match must be rejected as identity.
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = Graph::new();
+    let x = mat(&mut s, &mut g, &[4, 4]);
+    let relu = s.ops.relu;
+    let r = g
+        .op(&mut s.syms, &s.registry, relu, vec![x], vec![])
+        .unwrap();
+    g.mark_output(r);
+    let explain = ExplainObserver::new().shared();
+    Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .observe(explain.clone())
+        .run(&mut g)
+        .unwrap();
+
+    let obs = explain.borrow();
+    assert!(obs
+        .rejected()
+        .iter()
+        .any(|r| r.reason == RejectReason::IdentityReplacement));
+}
+
+#[test]
+fn partition_pass_publishes_artifact_and_note() {
+    let mut s = Session::new();
+    let mut g = Graph::new();
+    let a = mat(&mut s, &mut g, &[8, 8]);
+    let b = mat(&mut s, &mut g, &[8, 8]);
+    let (matmul, relu) = (s.ops.matmul, s.ops.relu);
+    let mm = g
+        .op(&mut s.syms, &s.registry, matmul, vec![a, b], vec![])
+        .unwrap();
+    let r = g
+        .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+        .unwrap();
+    g.mark_output(r);
+
+    let mut report = Pipeline::new(&mut s)
+        .with(PartitionPass::default())
+        .run(&mut g)
+        .unwrap();
+    let parts: &Vec<Partition> = report.artifact(PartitionPass::ARTIFACT).unwrap();
+    assert_eq!(parts.len(), 1);
+    assert_eq!(parts[0].size(), 2);
+    assert!(report
+        .diagnostics()
+        .iter()
+        .any(|d| d.pass == "partition" && d.message.contains("1 MatMulEpilog partitions")));
+    // Unchanged pass: the graph kept its nodes.
+    assert!(!report.pass(PartitionPass::NAME).unwrap().changed);
+    // take_artifact moves the value out.
+    let owned: Vec<Partition> = report.take_artifact(PartitionPass::ARTIFACT).unwrap();
+    assert_eq!(owned.len(), 1);
+    assert!(report
+        .artifact::<Vec<Partition>>(PartitionPass::ARTIFACT)
+        .is_none());
+}
+
+#[test]
+fn partition_pass_warns_on_unknown_pattern() {
+    let mut s = Session::new();
+    let mut g = Graph::new();
+    let a = mat(&mut s, &mut g, &[2, 2]);
+    g.mark_output(a);
+    let report = Pipeline::new(&mut s)
+        .with(PartitionPass::new("NoSuchPattern"))
+        .run(&mut g)
+        .unwrap();
+    let parts: &Vec<Partition> = report.artifact(PartitionPass::ARTIFACT).unwrap();
+    assert!(parts.is_empty());
+    assert!(report
+        .diagnostics()
+        .iter()
+        .any(|d| d.message.contains("NoSuchPattern")));
+}
+
+#[test]
+fn report_json_is_stable_and_parsable_shaped() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = fig1_graph(&mut s, DType::F32);
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .with(PartitionPass::default())
+        .run(&mut g)
+        .unwrap();
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""));
+    assert!(json.contains("\"name\": \"rewrite\""));
+    assert!(json.contains("\"name\": \"partition\""));
+    assert!(json.contains("\"rewrites_fired\": 1"));
+    assert!(json.contains("\"totals\""));
+    assert!(json.contains("\"diagnostics\""));
+    // Balanced braces/brackets — a cheap well-formedness check that
+    // catches broken escaping without a JSON parser dependency.
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(
+            json.matches(open).count(),
+            json.matches(close).count(),
+            "unbalanced {open}{close} in:\n{json}"
+        );
+    }
+}
+
+#[test]
+fn custom_passes_compose_with_builtins() {
+    /// A user-defined pass: counts live nodes into a diagnostic.
+    struct NodeCount;
+    impl Pass for NodeCount {
+        fn name(&self) -> &str {
+            "node-count"
+        }
+        fn run(
+            &mut self,
+            _session: &mut Session,
+            graph: &mut Graph,
+            cx: &mut PipelineCx,
+        ) -> Result<PassOutcome, PassError> {
+            cx.note(format!("{} live nodes", graph.live_count()));
+            cx.publish("node-count", graph.live_count());
+            Ok(PassOutcome::unchanged())
+        }
+    }
+
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let mut g = fig1_graph(&mut s, DType::F32);
+    let report = Pipeline::new(&mut s)
+        .with_boxed(Box::new(NodeCount))
+        .with(RewritePass::new(rules).policy(SweepPolicy::ContinueSweep))
+        .with(NodeCount)
+        .run(&mut g)
+        .unwrap();
+    // Second NodeCount overwrote the artifact with the post-rewrite count.
+    assert_eq!(*report.artifact::<usize>("node-count").unwrap(), 3);
+    assert_eq!(report.passes().len(), 3);
+}
+
+#[test]
+fn failing_pass_stops_the_pipeline_and_names_itself() {
+    struct Boom;
+    impl Pass for Boom {
+        fn name(&self) -> &str {
+            "boom"
+        }
+        fn run(
+            &mut self,
+            _session: &mut Session,
+            _graph: &mut Graph,
+            _cx: &mut PipelineCx,
+        ) -> Result<PassOutcome, PassError> {
+            Err(PassError::Failed {
+                reason: "intentional".into(),
+            })
+        }
+    }
+
+    let mut s = Session::new();
+    let mut g = Graph::new();
+    let err = Pipeline::new(&mut s)
+        .with(Boom)
+        .with(PartitionPass::default())
+        .run(&mut g)
+        .unwrap_err();
+    assert_eq!(err.pass, "boom");
+    assert!(err.to_string().contains("intentional"));
+}

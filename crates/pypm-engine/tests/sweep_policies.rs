@@ -1,3 +1,7 @@
+// Exercises the deprecated pre-Pipeline API on purpose: these suites
+// pin the behaviour the deprecated shims must preserve.
+#![allow(deprecated)]
+
 //! The two sweep policies must reach the same fixpoint on the library's
 //! rule sets (they may differ in traversal counts, which is the point of
 //! the scheduling ablation).

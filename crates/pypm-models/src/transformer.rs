@@ -247,6 +247,8 @@ pub fn hf_zoo() -> Vec<TransformerConfig> {
 }
 
 #[cfg(test)]
+// The tests drive the deprecated Rewriter/partition shims on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pypm_dsl::LibraryConfig;

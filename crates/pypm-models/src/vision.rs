@@ -277,6 +277,8 @@ pub fn tv_zoo() -> Vec<VisionConfig> {
 }
 
 #[cfg(test)]
+// The tests drive the deprecated Rewriter/partition shims on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pypm_dsl::LibraryConfig;

@@ -233,6 +233,8 @@ pub fn partitioned_graph_cost(
 }
 
 #[cfg(test)]
+// The tests drive the deprecated Rewriter/partition shims on purpose.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use pypm_dsl::LibraryConfig;

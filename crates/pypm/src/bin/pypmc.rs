@@ -2,20 +2,29 @@
 //!
 //! ```text
 //! pypmc list-models                         list both model zoos
-//! pypmc compile <model> [--config C] [--policy P] [--dot]
+//! pypmc compile <model> [--config C] [--policy P] [--stats-json FILE] [--dot]
 //!                                           compile one model and report
 //!                                           rewrite stats + simulated cost
 //! pypmc library [--format text|binary] [-o FILE]
 //!                                           dump the paper's pattern library
-//! pypmc partition <model>                   directed graph partitioning (§4.2)
+//! pypmc partition <model> [--pattern P]     directed graph partitioning (§4.2)
 //! pypmc explain <model> <pattern>           per-node match diagnostics
 //! ```
 //!
 //! Configurations `C`: `baseline`, `fmha`, `epilog`, `both` (default).
 //! Policies `P`: `restart` (paper-faithful, default), `continue`.
+//! `--stats-json` writes the pipeline report in the stable
+//! `pypm.pipeline.v1` schema.
+//!
+//! Unknown flags and stray positional arguments are rejected with exit
+//! code 2 and a usage line — every subcommand declares exactly what it
+//! accepts.
 
 use pypm::dsl::{binary, text, LibraryConfig};
-use pypm::engine::{partition, PassConfig, Rewriter, Session, SweepPolicy};
+use pypm::engine::{
+    explain_at, ExplainObserver, Partition, PartitionPass, Pipeline, RewritePass, Session,
+    SweepPolicy,
+};
 use pypm::graph::Graph;
 use pypm::perf::CostModel;
 use std::io::Write;
@@ -24,7 +33,7 @@ use std::process::exit;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("list-models") => list_models(),
+        Some("list-models") => list_models(&args[1..]),
         Some("compile") => compile(&args[1..]),
         Some("library") => library(&args[1..]),
         Some("partition") => run_partition(&args[1..]),
@@ -38,11 +47,83 @@ fn main() {
     exit(code);
 }
 
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// What one subcommand accepts: its usage line, the positional-argument
+/// count range, and its flag vocabulary.
+struct Spec {
+    usage: &'static str,
+    /// Inclusive (min, max) count of positional arguments.
+    positionals: (usize, usize),
+    /// Flags taking a value (`--flag VALUE`).
+    value_flags: &'static [&'static str],
+    /// Boolean flags.
+    bool_flags: &'static [&'static str],
+}
+
+/// A parsed command line: positionals in order, flags by name.
+struct Parsed {
+    positionals: Vec<String>,
+    values: Vec<(String, String)>,
+    bools: Vec<String>,
+}
+
+impl Parsed {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.bools.iter().any(|f| f == flag)
+    }
+}
+
+/// Parses `args` against `spec`. Unknown flags, missing flag values and
+/// out-of-range positional counts are errors — `pypmc compile bert
+/// --polcy continue` must fail loudly, not silently run the default
+/// policy.
+fn parse_args(spec: &Spec, args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positionals: Vec::new(),
+        values: Vec::new(),
+        bools: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with('-') && arg.len() > 1 {
+            if spec.value_flags.contains(&arg.as_str()) {
+                let Some(value) = it.next() else {
+                    return Err(format!("missing value for {arg}"));
+                };
+                parsed.values.push((arg.clone(), value.clone()));
+            } else if spec.bool_flags.contains(&arg.as_str()) {
+                parsed.bools.push(arg.clone());
+            } else {
+                return Err(format!("unknown flag {arg}"));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+    }
+    let (min, max) = spec.positionals;
+    let n = parsed.positionals.len();
+    if n < min {
+        return Err("missing required argument".to_owned());
+    }
+    if n > max {
+        return Err(format!("unexpected argument '{}'", parsed.positionals[max]));
+    }
+    Ok(parsed)
+}
+
+/// Parses or prints the error + usage line and returns exit code 2.
+fn parse_or_usage(spec: &Spec, args: &[String]) -> Result<Parsed, i32> {
+    parse_args(spec, args).map_err(|e| {
+        eprintln!("error: {e}");
+        eprintln!("usage: {}", spec.usage);
+        2
+    })
 }
 
 fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
@@ -55,7 +136,16 @@ fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
     None
 }
 
-fn list_models() -> i32 {
+fn list_models(args: &[String]) -> i32 {
+    let spec = Spec {
+        usage: "pypmc list-models",
+        positionals: (0, 0),
+        value_flags: &[],
+        bool_flags: &[],
+    };
+    if let Err(code) = parse_or_usage(&spec, args) {
+        return code;
+    }
     println!("HuggingFace-style transformers:");
     for c in pypm::models::hf_zoo() {
         println!(
@@ -77,11 +167,18 @@ fn list_models() -> i32 {
 }
 
 fn compile(args: &[String]) -> i32 {
-    let Some(model) = args.first() else {
-        eprintln!("usage: pypmc compile <model> [--config C] [--policy P] [--dot]");
-        return 2;
+    let spec = Spec {
+        usage: "pypmc compile <model> [--config C] [--policy P] [--stats-json FILE] [--dot]",
+        positionals: (1, 1),
+        value_flags: &["--config", "--policy", "--stats-json"],
+        bool_flags: &["--dot"],
     };
-    let lib = match flag_value(args, "--config").unwrap_or("both") {
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let model = &parsed.positionals[0];
+    let lib = match parsed.value("--config").unwrap_or("both") {
         "baseline" => LibraryConfig::none(),
         "fmha" => LibraryConfig::fmha_only(),
         "epilog" => LibraryConfig::epilog_only(),
@@ -92,7 +189,7 @@ fn compile(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let policy = match flag_value(args, "--policy").unwrap_or("restart") {
+    let policy = match parsed.value("--policy").unwrap_or("restart") {
         "restart" => SweepPolicy::RestartOnRewrite,
         "continue" => SweepPolicy::ContinueSweep,
         other => {
@@ -111,27 +208,20 @@ fn compile(args: &[String]) -> i32 {
     let before_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
 
     let rules = s.load_library(lib);
-    let stats = if rules.is_empty() {
-        Default::default()
-    } else {
-        match Rewriter::new(&mut s, &rules)
-            .with_config(PassConfig {
-                sweep_policy: policy,
-                ..Default::default()
-            })
-            .run(&mut g)
-        {
-            Ok(st) => st,
-            Err(e) => {
-                eprintln!("rewrite pass failed: {e}");
-                return 1;
-            }
+    let mut pipeline = Pipeline::new(&mut s);
+    if !rules.is_empty() {
+        pipeline = pipeline.with(RewritePass::new(rules).policy(policy));
+    }
+    let report = match pipeline.run(&mut g) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("rewrite pass failed: {e}");
+            return 1;
         }
     };
-    if let Err(e) = g.validate() {
-        eprintln!("internal error: invalid graph after pass: {e}");
-        return 1;
-    }
+    // The pipeline validates the graph after every mutating pass; the
+    // baseline (no-pass) graph is valid by construction.
+    let stats = report.total();
     let after_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
 
     println!("model      {model}");
@@ -151,16 +241,32 @@ fn compile(args: &[String]) -> i32 {
         "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",
         before_cost / after_cost
     );
-    if args.iter().any(|a| a == "--dot") {
+    if let Some(path) = parsed.value("--stats-json") {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            return 1;
+        }
+    }
+    if parsed.has("--dot") {
         println!("\n{}", g.to_dot(&s.syms));
     }
     0
 }
 
 fn library(args: &[String]) -> i32 {
+    let spec = Spec {
+        usage: "pypmc library [--format text|binary] [-o FILE]",
+        positionals: (0, 0),
+        value_flags: &["--format", "-o"],
+        bool_flags: &[],
+    };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
     let mut s = Session::new();
     let rules = s.load_library(LibraryConfig::all());
-    let format = flag_value(args, "--format").unwrap_or("text");
+    let format = parsed.value("--format").unwrap_or("text");
     let payload: Vec<u8> = match format {
         "text" => text::print_ruleset(&rules, &s.syms, &s.pats).into_bytes(),
         "binary" => binary::encode(&rules, &s.syms, &s.pats).to_vec(),
@@ -169,7 +275,7 @@ fn library(args: &[String]) -> i32 {
             return 2;
         }
     };
-    match flag_value(args, "-o") {
+    match parsed.value("-o") {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &payload) {
                 eprintln!("cannot write {path}: {e}");
@@ -185,12 +291,19 @@ fn library(args: &[String]) -> i32 {
 }
 
 fn run_explain(args: &[String]) -> i32 {
-    let (Some(model), Some(pattern)) = (args.first(), args.get(1)) else {
-        eprintln!("usage: pypmc explain <model> <pattern>");
-        return 2;
+    let spec = Spec {
+        usage: "pypmc explain <model> <pattern>",
+        positionals: (2, 2),
+        value_flags: &[],
+        bool_flags: &[],
     };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let (model, pattern) = (&parsed.positionals[0], &parsed.positionals[1]);
     let mut s = Session::new();
-    let Some(g) = build_model(&mut s, model) else {
+    let Some(mut g) = build_model(&mut s, model) else {
         eprintln!("unknown model {model}; try `pypmc list-models`");
         return 1;
     };
@@ -202,11 +315,13 @@ fn run_explain(args: &[String]) -> i32 {
         }
         return 1;
     }
+    // Static phase: machine-trace diagnostics for the pattern at every
+    // node of the untouched graph.
     let mut matched = 0u32;
     let mut failed = 0u32;
     let mut worst: Option<pypm::engine::Explanation> = None;
     for node in g.topo_order() {
-        if let Some(e) = pypm::engine::explain_match(&mut s, &rules, &g, node, pattern, 1_000_000) {
+        if let Some(e) = explain_at(&mut s, &rules, &g, node, pattern, 1_000_000) {
             if e.matched {
                 matched += 1;
                 println!("{e}");
@@ -226,28 +341,76 @@ most expensive failed attempt:
 {w}"
         );
     }
+    // Dynamic phase: observe the full compilation and report where the
+    // pattern actually fired or was rejected.
+    let explain = ExplainObserver::for_pattern(pattern.as_str()).shared();
+    let outcome = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .observe(explain.clone())
+        .run(&mut g);
+    if let Err(e) = outcome {
+        eprintln!("rewrite pass failed: {e}");
+        return 1;
+    }
+    let obs = explain.borrow();
+    println!("\nduring compilation (full library, restart policy):");
+    print!("{}", obs.summary());
     0
 }
 
 fn run_partition(args: &[String]) -> i32 {
-    let Some(model) = args.first() else {
-        eprintln!("usage: pypmc partition <model>");
-        return 2;
+    let spec = Spec {
+        usage: "pypmc partition <model> [--pattern P]",
+        positionals: (1, 1),
+        value_flags: &["--pattern"],
+        bool_flags: &[],
     };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let model = &parsed.positionals[0];
+    let pattern = parsed.value("--pattern").unwrap_or("MatMulEpilog");
     let mut s = Session::new();
-    let Some(g) = build_model(&mut s, model) else {
+    let Some(mut g) = build_model(&mut s, model) else {
         eprintln!("unknown model {model}; try `pypmc list-models`");
         return 1;
     };
     let rules = s.load_library(LibraryConfig::all());
-    let parts = partition(&mut s, &rules, &g, "MatMulEpilog");
+    if rules.find(pattern).is_none() {
+        eprintln!("unknown pattern {pattern}; library patterns:");
+        for def in &rules.patterns {
+            eprintln!("  {}", def.name);
+        }
+        return 1;
+    }
+    let report = match Pipeline::new(&mut s)
+        .with(PartitionPass::new(pattern).with_rules(rules))
+        .run(&mut g)
+    {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("partition pass failed: {e}");
+            return 1;
+        }
+    };
+    // Surface pass warnings (pypmc's loud-failure contract).
+    for d in report.diagnostics() {
+        if d.severity == pypm::engine::Severity::Warning {
+            eprintln!("warning: {}: {}", d.pass, d.message);
+        }
+    }
+    let Some(parts) = report.artifact::<Vec<Partition>>(PartitionPass::ARTIFACT) else {
+        eprintln!("internal error: partition pass published no artifact");
+        return 1;
+    };
     let cm = CostModel::new();
     println!(
-        "{model}: {} MatMulEpilog partitions over {} nodes",
+        "{model}: {} {pattern} partitions over {} nodes",
         parts.len(),
         g.live_count()
     );
-    for p in &parts {
+    for p in parts {
         let per_node: f64 = p
             .nodes
             .iter()

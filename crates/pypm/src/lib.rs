@@ -15,8 +15,11 @@
 //!
 //! ## Quickstart
 //!
+//! Compilations are driven by the engine's pass manager: build a
+//! [`engine::Pipeline`] over a [`engine::Session`], add passes, run.
+//!
 //! ```
-//! use pypm::engine::{Rewriter, Session};
+//! use pypm::engine::{Pipeline, RewritePass, Session};
 //! use pypm::dsl::LibraryConfig;
 //! use pypm::graph::{DType, Graph, TensorMeta};
 //!
@@ -33,10 +36,20 @@
 //!
 //! // Load the paper's pattern library and rewrite to fixpoint.
 //! let rules = s.load_library(LibraryConfig::all());
-//! let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
-//! assert_eq!(stats.rewrites_fired, 1);
+//! let report = Pipeline::new(&mut s)
+//!     .with(RewritePass::new(rules))
+//!     .run(&mut g)
+//!     .unwrap();
+//! assert_eq!(report.total().rewrites_fired, 1);
 //! assert_eq!(g.node(g.outputs()[0]).op, s.ops.cublas_mm_xyt_f32);
+//!
+//! // Per-pass instrumentation, diagnostics and artifacts ride along,
+//! // with a stable JSON rendering for external tooling.
+//! assert!(report.to_json().contains("pypm.pipeline.v1"));
 //! ```
+//!
+//! Migrating from the legacy `Rewriter`/`partition`/`explain_match`
+//! entry points? See the migration table in the [`engine`] crate docs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

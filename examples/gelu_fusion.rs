@@ -10,7 +10,7 @@
 //! Run with `cargo run --example gelu_fusion`.
 
 use pypm::dsl::LibraryConfig;
-use pypm::engine::{Rewriter, Session};
+use pypm::engine::{Pipeline, RewritePass, Session};
 use pypm::graph::{DType, Graph, NodeId, TensorMeta};
 
 /// Builds `expanded_gelu(MatMul(a, w))`, spelling the half as directed.
@@ -68,7 +68,11 @@ fn main() {
         let before = g.live_count();
 
         let rules = s.load_library(LibraryConfig::epilog_only());
-        let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+        let stats = Pipeline::new(&mut s)
+            .with(RewritePass::new(rules))
+            .run(&mut g)
+            .unwrap()
+            .total();
 
         let root = g.outputs()[0];
         println!(

@@ -9,7 +9,7 @@
 //! Run with `cargo run --example pattern_formats`.
 
 use pypm::dsl::{binary, text, LibraryConfig};
-use pypm::engine::{Rewriter, Session};
+use pypm::engine::{Pipeline, RewritePass, Session};
 use pypm::graph::{DType, Graph, TensorMeta};
 
 fn rewrites_with(session: &mut Session, rules: &pypm::dsl::RuleSet) -> u64 {
@@ -30,9 +30,11 @@ fn rewrites_with(session: &mut Session, rules: &pypm::dsl::RuleSet) -> u64 {
         )
         .unwrap();
     g.mark_output(mm);
-    Rewriter::new(session, rules)
+    Pipeline::new(session)
+        .with(RewritePass::new(rules.clone()))
         .run(&mut g)
         .unwrap()
+        .total()
         .rewrites_fired
 }
 

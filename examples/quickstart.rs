@@ -8,7 +8,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use pypm::dsl::LibraryConfig;
-use pypm::engine::{Rewriter, Session};
+use pypm::engine::{Pipeline, RewritePass, Session};
 use pypm::graph::{DType, Graph, TensorMeta};
 
 fn demo(dtype: DType) {
@@ -31,7 +31,11 @@ fn demo(dtype: DType) {
     println!("{}", g.to_dot(&s.syms));
 
     let rules = s.load_library(LibraryConfig::all());
-    let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .run(&mut g)
+        .unwrap();
+    let stats = report.total();
 
     println!("--- after ({stats}) ---");
     println!("{}", g.to_dot(&s.syms));

@@ -10,7 +10,7 @@
 
 use pypm::core::{Machine, Outcome};
 use pypm::dsl::LibraryConfig;
-use pypm::engine::{Rewriter, Session};
+use pypm::engine::{Pipeline, RewritePass, Session};
 use pypm::graph::{DType, Graph, TensorMeta, TermView};
 
 fn main() {
@@ -48,7 +48,11 @@ fn main() {
 
     // Then let the rewrite pass collapse it by idempotence.
     let before = g.live_count();
-    let stats = Rewriter::new(&mut s, &rules).run(&mut g).unwrap();
+    let stats = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .run(&mut g)
+        .unwrap()
+        .total();
     println!(
         "\nReluChain pass: {before} nodes -> {} nodes ({} rewrites)",
         g.live_count(),

@@ -5,7 +5,7 @@
 //! Run with `cargo run --example transformer_optimization [model-name]`.
 
 use pypm::dsl::LibraryConfig;
-use pypm::engine::{Rewriter, Session};
+use pypm::engine::{Pipeline, RewritePass, Session};
 use pypm::perf::CostModel;
 
 fn main() {
@@ -42,7 +42,11 @@ fn main() {
         let stats = if rules.is_empty() {
             Default::default()
         } else {
-            Rewriter::new(&mut s, &rules).run(&mut g).unwrap()
+            Pipeline::new(&mut s)
+                .with(RewritePass::new(rules))
+                .run(&mut g)
+                .unwrap()
+                .total()
         };
         let cost = CostModel::new().graph_cost(&g, &s.syms, &s.registry, &s.ops);
         let speedup = baseline.get_or_insert(cost);

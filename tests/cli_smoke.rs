@@ -43,3 +43,87 @@ fn compile_unknown_model_fails() {
     let out = pypmc(&["compile", "no-such-model"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn unknown_flags_are_rejected_with_usage() {
+    // The classic typo: `--polcy` must not silently run the default
+    // policy.
+    let out = pypmc(&["compile", "bert-tiny", "--polcy", "continue"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag --polcy"), "{err}");
+    assert!(err.contains("usage: pypmc compile"), "{err}");
+}
+
+#[test]
+fn stray_positionals_are_rejected_with_usage() {
+    for args in [
+        &["compile", "bert-tiny", "extra"][..],
+        &["list-models", "extra"][..],
+        &["explain", "bert-tiny", "MMxyT", "extra"][..],
+        &["partition", "bert-tiny", "extra"][..],
+    ] {
+        let out = pypmc(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("unexpected argument 'extra'"),
+            "{args:?}: {err}"
+        );
+        assert!(err.contains("usage:"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn flag_missing_value_is_rejected() {
+    let out = pypmc(&["compile", "bert-tiny", "--policy"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value for --policy"));
+}
+
+#[test]
+fn compile_stats_json_writes_pipeline_report() {
+    let dir = std::env::temp_dir().join("pypmc_stats_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("stats.json");
+    let out = pypmc(&[
+        "compile",
+        "bert-tiny",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""), "{json}");
+    assert!(json.contains("\"name\": \"rewrite\""), "{json}");
+    assert!(json.contains("\"rewrites_fired\""), "{json}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn partition_reports_regions() {
+    let out = pypmc(&["partition", "bert-tiny"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("MatMulEpilog partitions"), "{text}");
+    assert!(text.contains("frontier"), "{text}");
+}
+
+#[test]
+fn partition_unknown_pattern_fails_loudly() {
+    let out = pypmc(&["partition", "bert-tiny", "--pattern", "Bogus"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown pattern Bogus"), "{err}");
+    assert!(err.contains("MatMulEpilog"), "should list patterns: {err}");
+}
+
+#[test]
+fn explain_reports_static_and_dynamic_sections() {
+    let out = pypmc(&["explain", "bert-tiny", "MHA"]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("nodes matched"), "{text}");
+    assert!(text.contains("during compilation"), "{text}");
+    assert!(text.contains("rewrites fired"), "{text}");
+}

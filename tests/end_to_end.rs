@@ -1,3 +1,7 @@
+// Exercises the deprecated pre-Pipeline API on purpose: these suites
+// pin the behaviour the deprecated shims must preserve.
+#![allow(deprecated)]
+
 //! Cross-crate integration tests: the full compile pipeline (model zoo →
 //! rewrite pass → cost model) with the invariants every configuration
 //! must uphold.

@@ -1,0 +1,196 @@
+//! The pass-manager migration contract: a [`Pipeline`] driving one
+//! [`RewritePass`] must be *observationally identical* to the legacy
+//! `Rewriter::run` — byte-identical [`PassStats`] counters, the same
+//! final operator population, the same outputs — across the full model
+//! zoo, both sweep policies and every library configuration.
+//!
+//! The deprecated shim and the pass share one engine implementation, so
+//! this suite is what lets the legacy API be deleted eventually without
+//! a behaviour audit.
+
+#![allow(deprecated)]
+
+use pypm::dsl::LibraryConfig;
+use pypm::engine::{PassConfig, PassStats, Pipeline, RewritePass, Rewriter, Session, SweepPolicy};
+use pypm::graph::Graph;
+use std::collections::BTreeMap;
+
+type ConfigFn = fn() -> LibraryConfig;
+
+/// Library configurations under test (baseline loads no patterns and is
+/// covered by `empty_ruleset_matches_legacy` below).
+const CONFIGS: [(&str, ConfigFn); 4] = [
+    ("fmha", LibraryConfig::fmha_only),
+    ("epilog", LibraryConfig::epilog_only),
+    ("both", LibraryConfig::both),
+    ("all", LibraryConfig::all),
+];
+
+const POLICIES: [(&str, SweepPolicy); 2] = [
+    ("restart", SweepPolicy::RestartOnRewrite),
+    ("continue", SweepPolicy::ContinueSweep),
+];
+
+/// Everything we compare: the seven deterministic counters plus the
+/// final graph's shape.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    nodes_visited: u64,
+    match_attempts: u64,
+    matches_found: u64,
+    rewrites_fired: u64,
+    machine_steps: u64,
+    machine_backtracks: u64,
+    sweeps: u64,
+    live_nodes: usize,
+    /// Operator-name population of the final graph (multiset).
+    op_counts: BTreeMap<String, usize>,
+    /// Operator names of the graph outputs, in order.
+    output_ops: Vec<String>,
+}
+
+fn observe(stats: PassStats, session: &Session, graph: &Graph) -> Observation {
+    let mut op_counts: BTreeMap<String, usize> = BTreeMap::new();
+    for node in graph.topo_order() {
+        *op_counts
+            .entry(session.syms.op_name(graph.node(node).op).to_owned())
+            .or_default() += 1;
+    }
+    Observation {
+        nodes_visited: stats.nodes_visited,
+        match_attempts: stats.match_attempts,
+        matches_found: stats.matches_found,
+        rewrites_fired: stats.rewrites_fired,
+        machine_steps: stats.machine_steps,
+        machine_backtracks: stats.machine_backtracks,
+        sweeps: stats.sweeps,
+        live_nodes: graph.live_count(),
+        op_counts,
+        output_ops: graph
+            .outputs()
+            .iter()
+            .map(|&o| session.syms.op_name(graph.node(o).op).to_owned())
+            .collect(),
+    }
+}
+
+fn legacy(
+    build: &dyn Fn(&mut Session) -> Graph,
+    cfg: LibraryConfig,
+    policy: SweepPolicy,
+) -> Observation {
+    let mut s = Session::new();
+    let mut g = build(&mut s);
+    let rules = s.load_library(cfg);
+    let stats = Rewriter::new(&mut s, &rules)
+        .with_config(PassConfig {
+            sweep_policy: policy,
+            ..Default::default()
+        })
+        .run(&mut g)
+        .expect("legacy pass succeeds");
+    observe(stats, &s, &g)
+}
+
+fn pipeline(
+    build: &dyn Fn(&mut Session) -> Graph,
+    cfg: LibraryConfig,
+    policy: SweepPolicy,
+) -> Observation {
+    let mut s = Session::new();
+    let mut g = build(&mut s);
+    let rules = s.load_library(cfg);
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules).policy(policy))
+        .run(&mut g)
+        .expect("pipeline succeeds");
+    observe(report.total(), &s, &g)
+}
+
+fn assert_equivalent(name: &str, build: &dyn Fn(&mut Session) -> Graph) {
+    for (cname, cfg) in CONFIGS {
+        for (pname, policy) in POLICIES {
+            let old = legacy(build, cfg(), policy);
+            let new = pipeline(build, cfg(), policy);
+            assert_eq!(
+                old, new,
+                "{name}/{cname}/{pname}: Pipeline+RewritePass diverged from legacy Rewriter::run"
+            );
+        }
+    }
+}
+
+/// Every HuggingFace-zoo transformer, every configuration, both
+/// policies.
+#[test]
+fn hf_zoo_pipeline_matches_legacy() {
+    for cfg in pypm::models::hf_zoo() {
+        assert_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// Every TorchVision-zoo CNN, every configuration, both policies.
+#[test]
+fn tv_zoo_pipeline_matches_legacy() {
+    for cfg in pypm::models::tv_zoo() {
+        assert_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// The degenerate baseline: an empty rule set must also behave
+/// identically (one sweep, nothing fired).
+#[test]
+fn empty_ruleset_matches_legacy() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-tiny")
+        .unwrap();
+    for (_, policy) in POLICIES {
+        let old = legacy(&|s| cfg.build(s), LibraryConfig::none(), policy);
+        let new = pipeline(&|s| cfg.build(s), LibraryConfig::none(), policy);
+        assert_eq!(old, new);
+        assert_eq!(new.rewrites_fired, 0);
+        assert_eq!(new.sweeps, 1);
+    }
+}
+
+/// Non-default knobs flow through `RewritePass::config` identically.
+#[test]
+fn bounded_configs_match_legacy() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-small")
+        .unwrap();
+    for pass_config in [
+        PassConfig {
+            max_rewrites: 3,
+            ..Default::default()
+        },
+        PassConfig {
+            machine_fuel: 50,
+            ..Default::default()
+        },
+    ] {
+        let old = {
+            let mut s = Session::new();
+            let mut g = cfg.build(&mut s);
+            let rules = s.load_library(LibraryConfig::both());
+            let stats = Rewriter::new(&mut s, &rules)
+                .with_config(pass_config)
+                .run(&mut g)
+                .unwrap();
+            observe(stats, &s, &g)
+        };
+        let new = {
+            let mut s = Session::new();
+            let mut g = cfg.build(&mut s);
+            let rules = s.load_library(LibraryConfig::both());
+            let report = Pipeline::new(&mut s)
+                .with(RewritePass::new(rules).config(pass_config))
+                .run(&mut g)
+                .unwrap();
+            observe(report.total(), &s, &g)
+        };
+        assert_eq!(old, new, "config {pass_config:?}");
+    }
+}

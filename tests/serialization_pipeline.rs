@@ -1,3 +1,7 @@
+// Exercises the deprecated pre-Pipeline API on purpose: these suites
+// pin the behaviour the deprecated shims must preserve.
+#![allow(deprecated)]
+
 //! Integration tests of the frontend → serialize → backend pipeline
 //! (paper §2.4): a rule set authored in one process image must behave
 //! identically after a round trip through either portable format.

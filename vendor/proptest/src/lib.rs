@@ -145,7 +145,7 @@ pub mod strategy {
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait backing it.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait backing it.
 pub mod arbitrary {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
