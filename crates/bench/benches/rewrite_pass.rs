@@ -4,12 +4,12 @@
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{PartitionPass, Pipeline, RewritePass, Session};
+use pypm_engine::{PartitionPass, Pipeline, RewritePass, Session, SweepPolicy};
 
 fn bench_hf_pass(c: &mut Criterion) {
     let mut group = c.benchmark_group("hf_rewrite_pass");
     group.sample_size(10);
-    for model in ["bert-tiny", "bert-base", "gpt2"] {
+    for model in ["bert-tiny", "bert-small", "bert-base", "gpt2"] {
         let cfg = pypm_models::hf_zoo()
             .into_iter()
             .find(|m| m.name == model)
@@ -63,6 +63,35 @@ fn bench_tv_pass(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sweep_policies(c: &mut Criterion) {
+    // The scheduling ablation: restart (paper-faithful) vs continue vs
+    // the incremental dirty-node worklist, on the acceptance model.
+    let mut group = c.benchmark_group("sweep_policy");
+    group.sample_size(10);
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|m| m.name == "bert-small")
+        .unwrap();
+    for policy in SweepPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("bert-small", policy.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut s = Session::new();
+                    let mut g = cfg.build(&mut s);
+                    let rs = s.load_library(LibraryConfig::both());
+                    Pipeline::new(&mut s)
+                        .with(RewritePass::new(rs).policy(policy))
+                        .run(&mut g)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_partitioning(c: &mut Criterion) {
     // §4.2: directed graph partitioning over a transformer model.
     let mut group = c.benchmark_group("graph_partitioning");
@@ -85,7 +114,13 @@ fn bench_partitioning(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_hf_pass, bench_tv_pass, bench_partitioning);
+criterion_group!(
+    benches,
+    bench_hf_pass,
+    bench_tv_pass,
+    bench_sweep_policies,
+    bench_partitioning
+);
 
 fn main() {
     benches();

@@ -1,0 +1,342 @@
+//! `bench_compare` — the CI bench-regression gate.
+//!
+//! ```text
+//! bench_compare <baseline.json> <current.json> [--wall-tolerance F]
+//! ```
+//!
+//! Compares two `BENCH_rewrite_pass.json` documents (schema
+//! `pypm.bench.rewrite_pass.v2`, row-compatible with v1) and exits
+//! non-zero when the current run regressed against the checked-in
+//! baseline:
+//!
+//! * **Counter drift fails, always.** `mean_match_attempts`,
+//!   `mean_matches_found` and `mean_rewrites_fired` are deterministic
+//!   for a given engine — any difference for a (model, config, policy)
+//!   cell present in both documents means the rewrite behaviour changed
+//!   and the baseline must be regenerated deliberately (with the
+//!   change's justification in the PR).
+//! * **Wall-clock regressions beyond the tolerance fail.** Each cell's
+//!   wall-clock may regress up to `--wall-tolerance` (default 0.25 =
+//!   +25%); speedups always pass. The compared statistic is
+//!   `min_wall_ms` when both documents carry it (the best case of a
+//!   deterministic CPU-bound loop is insensitive to scheduler
+//!   interference), falling back to `mean_wall_ms` for v1 documents.
+//! * **Lost coverage fails.** A (model, config) row or a policy series
+//!   present in the baseline but missing from the current document
+//!   means the bench silently stopped measuring something.
+//!
+//! New rows/policies in the current document are reported but pass (the
+//! trajectory is allowed to grow).
+
+use bench::json::{self, Value};
+use std::collections::BTreeMap;
+use std::process::exit;
+
+/// The counters that must not drift at all.
+const EXACT_COUNTERS: [&str; 3] = [
+    "mean_match_attempts",
+    "mean_matches_found",
+    "mean_rewrites_fired",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            println!("bench-compare: OK");
+        }
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("bench-compare: FAIL: {f}");
+            }
+            exit(1);
+        }
+    }
+}
+
+/// One policy series' comparable numbers.
+#[derive(Debug, Clone, PartialEq)]
+struct Series {
+    /// Mean wall-clock (always present).
+    wall_ms: f64,
+    /// Min-of-runs wall-clock (v2 documents only).
+    min_wall_ms: Option<f64>,
+    counters: Vec<(String, f64)>,
+}
+
+/// (model, config) → policy name → series.
+type Table = BTreeMap<(String, String), BTreeMap<String, Series>>;
+
+fn run(args: &[String]) -> Result<String, Vec<String>> {
+    let usage = "usage: bench_compare <baseline.json> <current.json> [--wall-tolerance F]";
+    let mut paths = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--wall-tolerance" {
+            let v = it
+                .next()
+                .ok_or_else(|| vec!["missing value for --wall-tolerance".to_owned()])?;
+            tolerance = v
+                .parse()
+                .map_err(|_| vec![format!("bad --wall-tolerance {v}")])?;
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    if paths.len() != 2 {
+        return Err(vec![usage.to_owned()]);
+    }
+    let baseline = load_table(&paths[0]).map_err(|e| vec![e])?;
+    let current = load_table(&paths[1]).map_err(|e| vec![e])?;
+
+    let mut failures = Vec::new();
+    let mut lines = Vec::new();
+    let mut compared = 0usize;
+    for (cell, base_policies) in &baseline {
+        let Some(cur_policies) = current.get(cell) else {
+            failures.push(format!(
+                "{}/{}: row present in baseline but missing from current run",
+                cell.0, cell.1
+            ));
+            continue;
+        };
+        for (policy, base) in base_policies {
+            let Some(cur) = cur_policies.get(policy) else {
+                failures.push(format!(
+                    "{}/{}/{policy}: policy series lost since baseline",
+                    cell.0, cell.1
+                ));
+                continue;
+            };
+            compared += 1;
+            for ((name, base_v), (cur_name, cur_v)) in base.counters.iter().zip(&cur.counters) {
+                debug_assert_eq!(name, cur_name);
+                if base_v != cur_v {
+                    failures.push(format!(
+                        "{}/{}/{policy}: {name} drifted {base_v} -> {cur_v}",
+                        cell.0, cell.1
+                    ));
+                }
+            }
+            let (stat, base_wall, cur_wall) = match (base.min_wall_ms, cur.min_wall_ms) {
+                (Some(b), Some(c)) => ("min", b, c),
+                _ => ("mean", base.wall_ms, cur.wall_ms),
+            };
+            let ratio = if base_wall > 0.0 {
+                cur_wall / base_wall
+            } else {
+                1.0
+            };
+            if ratio > 1.0 + tolerance {
+                failures.push(format!(
+                    "{}/{}/{policy}: {stat} wall-clock regressed {base_wall:.3}ms -> {cur_wall:.3}ms ({:+.1}%, tolerance {:+.0}%)",
+                    cell.0,
+                    cell.1,
+                    (ratio - 1.0) * 100.0,
+                    tolerance * 100.0,
+                ));
+            } else {
+                lines.push(format!(
+                    "  {}/{}/{policy}: {stat} wall {base_wall:.3}ms -> {cur_wall:.3}ms ({:+.1}%), counters exact",
+                    cell.0,
+                    cell.1,
+                    (ratio - 1.0) * 100.0,
+                ));
+            }
+        }
+    }
+    for cell in current.keys() {
+        if !baseline.contains_key(cell) {
+            lines.push(format!(
+                "  {}/{}: new row (not in baseline), skipped",
+                cell.0, cell.1
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "bench-compare: {compared} policy series compared, wall tolerance {:+.0}%\n{}",
+            tolerance * 100.0,
+            lines.join("\n")
+        ))
+    } else {
+        Err(failures)
+    }
+}
+
+fn load_table(path: &str) -> Result<Table, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
+    if !schema.starts_with("pypm.bench.rewrite_pass.") {
+        return Err(format!("{path}: unexpected schema '{schema}'"));
+    }
+    let rows = doc
+        .get("rows")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{path}: no rows array"))?;
+    let mut table = Table::new();
+    for row in rows {
+        let model = row
+            .get("model")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: row without model"))?
+            .to_owned();
+        let config = row
+            .get("config")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: row without config"))?
+            .to_owned();
+        let mut policies = BTreeMap::new();
+        match row.get("policies") {
+            // v2: one series per policy.
+            Some(Value::Object(map)) => {
+                for (policy, series) in map {
+                    policies.insert(policy.clone(), read_series(path, series)?);
+                }
+            }
+            // v1 rows carry the restart numbers at the top level.
+            _ => {
+                policies.insert("restart".to_owned(), read_series(path, row)?);
+            }
+        }
+        table.insert((model, config), policies);
+    }
+    Ok(table)
+}
+
+fn read_series(path: &str, v: &Value) -> Result<Series, String> {
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: series without {key}"))
+    };
+    let mut counters = Vec::new();
+    for key in EXACT_COUNTERS {
+        counters.push((key.to_owned(), num(key)?));
+    }
+    // Prefer the noise-robust min-of-runs; v1 documents only have the
+    // mean. Comparing a min baseline against a mean current (or vice
+    // versa) would be apples-to-oranges, so the caller falls back to
+    // mean whenever either side lacks the min.
+    Ok(Series {
+        wall_ms: num("mean_wall_ms")?,
+        min_wall_ms: v.get("min_wall_ms").and_then(Value::as_f64),
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(wall: f64, attempts: f64) -> String {
+        format!(
+            r#"{{"schema": "pypm.bench.rewrite_pass.v2", "rows": [
+                {{"model": "m", "config": "both", "runs": 5,
+                  "mean_wall_ms": {wall}, "mean_match_attempts": {attempts},
+                  "mean_matches_found": 2.0, "mean_rewrites_fired": 2.0,
+                  "policies": {{"restart": {{"mean_wall_ms": {wall}, "min_wall_ms": {wall},
+                    "mean_match_attempts": {attempts}, "mean_matches_found": 2.0,
+                    "mean_rewrites_fired": 2.0, "mean_view_builds": 3.0,
+                    "mean_view_patches": 0.0, "mean_nodes_revisited": 9.0}}}}}}]}}"#
+        )
+    }
+
+    fn write(name: &str, content: &str) -> String {
+        let path =
+            std::env::temp_dir().join(format!("bench_compare_{name}_{}.json", std::process::id()));
+        std::fs::write(&path, content).unwrap();
+        path.to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let a = write("id_a", &doc(1.0, 100.0));
+        let b = write("id_b", &doc(1.0, 100.0));
+        assert!(run(&[a.clone(), b.clone()]).is_ok());
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn counter_drift_fails_even_when_faster() {
+        let a = write("drift_a", &doc(1.0, 100.0));
+        let b = write("drift_b", &doc(0.5, 99.0));
+        let err = run(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(
+            err[0].contains("mean_match_attempts drifted 100 -> 99"),
+            "{err:?}"
+        );
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn wall_regression_beyond_tolerance_fails() {
+        let a = write("wall_a", &doc(1.0, 100.0));
+        let b = write("wall_b", &doc(1.3, 100.0));
+        let err = run(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(err[0].contains("min wall-clock regressed"), "{err:?}");
+        // A wider tolerance lets the same pair pass.
+        assert!(run(&[
+            a.clone(),
+            b.clone(),
+            "--wall-tolerance".into(),
+            "0.5".into()
+        ])
+        .is_ok());
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn lost_rows_fail_new_rows_pass() {
+        let two_rows = doc(1.0, 100.0).replace(
+            r#""rows": ["#,
+            r#""rows": [
+                {"model": "extra", "config": "fmha", "runs": 5,
+                 "mean_wall_ms": 1.0, "mean_match_attempts": 5.0,
+                 "mean_matches_found": 1.0, "mean_rewrites_fired": 1.0},"#,
+        );
+        let one = write("lost_one", &doc(1.0, 100.0));
+        let two = write("lost_two", &two_rows);
+        // Baseline has two rows, current has one: coverage loss.
+        let err = run(&[two.clone(), one.clone()]).unwrap_err();
+        assert!(err[0].contains("missing from current run"), "{err:?}");
+        // Baseline has one row, current grew one: fine.
+        assert!(run(&[one.clone(), two.clone()]).is_ok());
+        std::fs::remove_file(one).ok();
+        std::fs::remove_file(two).ok();
+    }
+
+    #[test]
+    fn wall_statistic_falls_back_to_mean_when_min_is_one_sided() {
+        // Baseline without min_wall_ms vs current with it: comparing
+        // min-to-mean would be apples-to-oranges, so the mean is used
+        // (1.3 vs 1.0 mean still fails, naming the statistic).
+        let without_min = doc(1.3, 100.0).replace(r#", "min_wall_ms": 1.3"#, "");
+        let a = write("mixed_a", &without_min);
+        let b = write("mixed_b", &doc(1.0, 100.0));
+        let err = run(&[b.clone(), a.clone()]).unwrap_err();
+        assert!(err[0].contains("mean wall-clock regressed"), "{err:?}");
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn v1_rows_compare_as_restart_series() {
+        let v1 = r#"{"schema": "pypm.bench.rewrite_pass.v1", "rows": [
+            {"model": "m", "config": "both", "runs": 5, "mean_wall_ms": 1.0,
+             "mean_match_attempts": 100.0, "mean_matches_found": 2.0,
+             "mean_rewrites_fired": 2.0}]}"#;
+        let a = write("v1_a", v1);
+        let b = write("v1_b", &doc(1.1, 100.0));
+        // v1 baseline vs v2 current: restart series lines up.
+        assert!(run(&[a.clone(), b.clone()]).is_ok());
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+}

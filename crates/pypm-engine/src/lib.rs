@@ -16,10 +16,32 @@
 //!   abstract machine over graph term-views, with ordered guarded rule
 //!   firing and [`PassStats`] (the raw data behind the paper's
 //!   compile-time figures 12–13),
+//! * [`SweepPolicy`] — the pass's scheduler: restart (paper-faithful),
+//!   continue, or the incremental dirty-node worklist (see the table
+//!   below),
 //! * [`PartitionPass`] — directed graph partitioning (§4.2), published
 //!   as a pipeline artifact,
 //! * [`ExplainObserver`] / [`explain_at`] — live match/rewrite
 //!   narratives and per-node machine-trace diagnostics.
+//!
+//! ## Sweep policies
+//!
+//! All three schedulers reach the same fixpoint; restart and
+//! incremental are byte-identical down to node ids:
+//!
+//! | [`SweepPolicy`] | after a rewrite fires | matching cost | term-view cost |
+//! |---|---|---|---|
+//! | `RestartOnRewrite` (default) | rescan from the first node | O(graph × rewrites) visits | one [`pypm_graph::TermView::build`] per sweep |
+//! | `ContinueSweep` | patch the view, keep sweeping | one full sweep per fixpoint round | one [`pypm_graph::TermView::patch`] per rewrite |
+//! | `Incremental` | re-enqueue only the rewrite's cone of influence | O(initial graph + Σ cone sizes) | one build, then one patch per rewrite |
+//!
+//! The worklist invariants behind `Incremental` (why skipping clean
+//! nodes is sound, why the firing order matches restarting exactly) are
+//! documented on [`SweepPolicy::Incremental`] and proven empirically by
+//! the `incremental_equivalence` and `pass_properties` suites; the
+//! per-policy counters land in [`PassStats`] (`view_builds`,
+//! `view_patches`, `nodes_revisited`) and in the additive `incremental`
+//! block of [`PipelineReport::to_json`].
 //!
 //! ## Migrating from the legacy entry points
 //!

@@ -215,6 +215,9 @@ impl PipelineReport {
             total.machine_backtracks += s.machine_backtracks;
             total.sweeps += s.sweeps;
             total.duration += s.duration;
+            total.view_builds += s.view_builds;
+            total.view_patches += s.view_patches;
+            total.nodes_revisited += s.nodes_revisited;
         }
         total
     }
@@ -231,7 +234,9 @@ impl PipelineReport {
     ///       "name": "rewrite", "changed": true, "wall_ms": 1.5,
     ///       "duration_ms": 1.4, "nodes_visited": 10, "match_attempts": 9,
     ///       "matches_found": 2, "rewrites_fired": 1, "machine_steps": 40,
-    ///       "machine_backtracks": 3, "sweeps": 2
+    ///       "machine_backtracks": 3, "sweeps": 2,
+    ///       "incremental": {"view_builds": 2, "view_patches": 0,
+    ///                       "nodes_revisited": 4}
     ///     }
     ///   ],
     ///   "totals": { ...same counter fields, "wall_ms" summed... },
@@ -276,11 +281,16 @@ impl PipelineReport {
 }
 
 /// The shared counter fields of one [`PassStats`], as JSON key/values.
+/// The trailing `incremental` object is the schema's additive
+/// incremental-rewriting block (view maintenance and revisit counters;
+/// all zero for passes that never build a term view).
 fn stats_fields(s: &PassStats) -> String {
     format!(
         "\"duration_ms\": {:.6}, \"nodes_visited\": {}, \"match_attempts\": {}, \
          \"matches_found\": {}, \"rewrites_fired\": {}, \"machine_steps\": {}, \
-         \"machine_backtracks\": {}, \"sweeps\": {}",
+         \"machine_backtracks\": {}, \"sweeps\": {}, \
+         \"incremental\": {{\"view_builds\": {}, \"view_patches\": {}, \
+         \"nodes_revisited\": {}}}",
         s.duration.as_secs_f64() * 1e3,
         s.nodes_visited,
         s.match_attempts,
@@ -289,6 +299,9 @@ fn stats_fields(s: &PassStats) -> String {
         s.machine_steps,
         s.machine_backtracks,
         s.sweeps,
+        s.view_builds,
+        s.view_patches,
+        s.nodes_revisited,
     )
 }
 

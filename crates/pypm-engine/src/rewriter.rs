@@ -15,6 +15,14 @@
 //! full sweep finds nothing ("greedily rewriting all of the patterns it
 //! can match until no matches remain").
 //!
+//! Restarting is the paper's reference semantics but revisits the whole
+//! graph after every firing. [`SweepPolicy`] selects between that
+//! reference loop, a continue-in-place variant, and
+//! [`SweepPolicy::Incremental`] — a dirty-node worklist that repairs
+//! the term view with [`TermView::patch`] and re-examines only the cone
+//! of influence of each rewrite, while provably firing the identical
+//! rewrite sequence (the invariants are documented on the variant).
+//!
 //! [`PassStats`] records the counters behind the paper's compile-time
 //! figures (Figs. 12–13): wall-clock matching time, match attempts
 //! (including the "partial matches that don't end up actually matching"),
@@ -25,6 +33,7 @@ use crate::session::Session;
 use pypm_core::{Machine, Outcome, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
+use std::collections::HashSet;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -36,10 +45,57 @@ pub enum SweepPolicy {
     /// first-pattern-first-node match order at every step.
     #[default]
     RestartOnRewrite,
-    /// Rebuild the term view but continue the current sweep from the
+    /// Patch the term view and continue the current sweep from the
     /// next surviving node. Reaches the same fixpoint for the library's
     /// rule sets with fewer traversals; used by the scheduling ablation.
     ContinueSweep,
+    /// Incremental rewriting via a dirty-node worklist: after a rewrite
+    /// fires, only the cone of influence (the rewired users of the
+    /// replaced root, the freshly created replacement nodes, and their
+    /// transitive users whose terms actually change) is re-enqueued, and
+    /// the term view is repaired in place with [`TermView::patch`]
+    /// instead of rebuilt.
+    ///
+    /// Firing order is deterministic and *identical* to
+    /// [`SweepPolicy::RestartOnRewrite`]: candidates are visited in the
+    /// graph's topological order, patterns in rule-set order, and a node
+    /// outside the worklist cannot fire (its term — and therefore its
+    /// match and guard outcome — is unchanged since it was last
+    /// visited). The final graph is byte-identical to the restart
+    /// policy's; only traversal counters (`nodes_visited`,
+    /// `match_attempts`, `machine_steps`) shrink.
+    Incremental,
+}
+
+impl SweepPolicy {
+    /// Every policy, in ablation order (reference first).
+    pub const ALL: [SweepPolicy; 3] = [
+        SweepPolicy::RestartOnRewrite,
+        SweepPolicy::ContinueSweep,
+        SweepPolicy::Incremental,
+    ];
+
+    /// The policy's stable command-line / JSON-series name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepPolicy::RestartOnRewrite => "restart",
+            SweepPolicy::ContinueSweep => "continue",
+            SweepPolicy::Incremental => "incremental",
+        }
+    }
+
+    /// Parses a [`SweepPolicy::name`] back to the policy — the single
+    /// vocabulary shared by `pypmc compile --sweep-policy` and the
+    /// bench series.
+    pub fn parse(name: &str) -> Option<SweepPolicy> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for SweepPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Tuning knobs for the rewrite pass.
@@ -79,10 +135,18 @@ pub struct PassStats {
     pub machine_steps: u64,
     /// Machine backtracks across all attempts.
     pub machine_backtracks: u64,
-    /// Full sweeps over the graph.
+    /// Full sweeps over the graph (worklist rounds under
+    /// [`SweepPolicy::Incremental`]).
     pub sweeps: u64,
     /// Wall-clock time of the pass.
     pub duration: Duration,
+    /// Term views built from scratch ([`TermView::build`]).
+    pub view_builds: u64,
+    /// Term views repaired in place ([`TermView::patch`]).
+    pub view_patches: u64,
+    /// Visits to nodes already visited earlier in the pass — the
+    /// redundant work incremental scheduling exists to avoid.
+    pub nodes_revisited: u64,
 }
 
 impl fmt::Display for PassStats {
@@ -156,10 +220,25 @@ pub struct MatchReport {
 
 /// How an attempted firing of a matched pattern ended.
 enum FireResult {
-    /// The rule with this index fired and the graph was rewritten.
-    Fired,
+    /// The rule with this index fired and the graph was rewritten. The
+    /// payload is the user nodes rewired from the replaced root to the
+    /// replacement — the non-fresh half of the rewrite's dirty seed.
+    Fired {
+        /// Users whose inputs were redirected by the replacement.
+        rewired: Vec<NodeId>,
+    },
     /// No rule fired, for this reason.
     Rejected(RejectReason),
+}
+
+/// A fired rewrite as seen by a scheduler: the dirty seed
+/// [`Driver::repair_view`] feeds to [`TermView::invalidate`].
+struct Fired {
+    /// Users whose inputs were redirected to the replacement.
+    rewired: Vec<NodeId>,
+    /// [`Graph::allocated_count`] before the firing — everything at or
+    /// past this mark is a freshly created replacement node.
+    alloc_mark: usize,
 }
 
 /// The internal engine shared by [`RewritePass`] and the deprecated
@@ -184,6 +263,120 @@ impl<'a> Driver<'a> {
     fn run(&mut self, graph: &mut Graph, cx: &mut PipelineCx) -> Result<PassStats, RewriteError> {
         let start = Instant::now();
         let mut stats = PassStats::default();
+        match self.config.sweep_policy {
+            SweepPolicy::Incremental => self.run_worklist(graph, cx, &mut stats)?,
+            SweepPolicy::RestartOnRewrite | SweepPolicy::ContinueSweep => {
+                self.run_sweeps(graph, cx, &mut stats)?
+            }
+        }
+        // Identity-rewrite probes may have left unreferenced nodes.
+        graph.gc();
+        stats.duration = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Visits one node: counts the visit, tries every pattern in
+    /// rule-set order, and fires the first applicable rule. This is the
+    /// *shared* per-candidate step of both schedulers — keeping it in
+    /// one place is what lets the byte-identity contract between
+    /// [`SweepPolicy::RestartOnRewrite`] and
+    /// [`SweepPolicy::Incremental`] rest on scheduling alone.
+    ///
+    /// On a firing, the graph is already rewritten and collected; the
+    /// returned [`Fired`] carries the dirty seed for
+    /// [`Driver::repair_view`].
+    fn visit_node(
+        &mut self,
+        graph: &mut Graph,
+        view: &TermView,
+        node: NodeId,
+        visited_once: &mut HashSet<NodeId>,
+        stats: &mut PassStats,
+        cx: &mut PipelineCx,
+    ) -> Result<Option<Fired>, RewriteError> {
+        stats.nodes_visited += 1;
+        if !visited_once.insert(node) {
+            stats.nodes_revisited += 1;
+        }
+        let t = match view.term_of(node) {
+            Some(t) => t,
+            None => return Ok(None),
+        };
+        for (pi, def) in self.rules.patterns.iter().enumerate() {
+            if def.rules.is_empty() {
+                // Pattern-only definitions (e.g. PwSubgraph) are
+                // matched by find_matches/partitioning, not by the
+                // rewriting pass.
+                continue;
+            }
+            stats.match_attempts += 1;
+            let mut machine =
+                Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
+            let outcome = machine.run(def.pattern, t, self.config.machine_fuel);
+            let mstats = machine.stats();
+            stats.machine_steps += mstats.steps;
+            stats.machine_backtracks += mstats.backtracks;
+            let witness = match outcome {
+                Ok(Outcome::Success(w)) => w,
+                Ok(Outcome::Failure) | Err(_) => continue,
+            };
+            stats.matches_found += 1;
+            // "PyPM runs each of the corresponding rules one by one …
+            // The first rule whose assertions pass is fired."
+            let alloc_mark = graph.allocated_count();
+            match self.fire_first_rule(graph, view, node, pi, &witness, cx)? {
+                FireResult::Fired { rewired } => {
+                    stats.rewrites_fired += 1;
+                    graph.gc();
+                    return Ok(Some(Fired {
+                        rewired,
+                        alloc_mark,
+                    }));
+                }
+                FireResult::Rejected(reason) => {
+                    cx.emit_match_rejected(&def.name, node, reason);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Repairs the view after a fired rewrite: the rewired users plus
+    /// the freshly allocated replacement nodes seed the patch. Returns
+    /// the cone of influence for worklist re-enqueueing.
+    fn repair_view(
+        &mut self,
+        graph: &Graph,
+        view: &mut TermView,
+        fired: Fired,
+        stats: &mut PassStats,
+    ) -> Vec<NodeId> {
+        view.invalidate(
+            fired
+                .rewired
+                .into_iter()
+                .chain(graph.allocated_since(fired.alloc_mark)),
+        );
+        let cone = view.patch(
+            graph,
+            &mut self.session.syms,
+            &mut self.session.terms,
+            &self.session.registry,
+        );
+        stats.view_patches += 1;
+        cone
+    }
+
+    /// The sweeping scheduler behind [`SweepPolicy::RestartOnRewrite`]
+    /// and [`SweepPolicy::ContinueSweep`]: the paper's "repeatedly
+    /// traverses the graph" loop (§2.4).
+    fn run_sweeps(
+        &mut self,
+        graph: &mut Graph,
+        cx: &mut PipelineCx,
+        stats: &mut PassStats,
+    ) -> Result<(), RewriteError> {
+        let mut visited_once: HashSet<NodeId> = HashSet::new();
         'sweeps: loop {
             stats.sweeps += 1;
             cx.set_sweep(stats.sweeps);
@@ -193,6 +386,7 @@ impl<'a> Driver<'a> {
                 &mut self.session.terms,
                 &self.session.registry,
             );
+            stats.view_builds += 1;
             let order = graph.topo_order();
             let mut sweep_fired = false;
             for node in order {
@@ -201,65 +395,26 @@ impl<'a> Driver<'a> {
                     // (ContinueSweep policy).
                     continue;
                 }
-                stats.nodes_visited += 1;
-                let t = match view.term_of(node) {
-                    Some(t) => t,
-                    None => continue,
+                let Some(fired) =
+                    self.visit_node(graph, &view, node, &mut visited_once, stats, cx)?
+                else {
+                    continue;
                 };
-                for (pi, def) in self.rules.patterns.iter().enumerate() {
-                    if def.rules.is_empty() {
-                        // Pattern-only definitions (e.g. PwSubgraph) are
-                        // matched by find_matches/partitioning, not by the
-                        // rewriting pass.
-                        continue;
+                sweep_fired = true;
+                if stats.rewrites_fired as usize >= self.config.max_rewrites {
+                    break 'sweeps;
+                }
+                match self.config.sweep_policy {
+                    SweepPolicy::RestartOnRewrite => {
+                        // The term view is stale; restart.
+                        continue 'sweeps;
                     }
-                    stats.match_attempts += 1;
-                    let mut machine =
-                        Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
-                    let outcome = machine.run(def.pattern, t, self.config.machine_fuel);
-                    let mstats = machine.stats();
-                    stats.machine_steps += mstats.steps;
-                    stats.machine_backtracks += mstats.backtracks;
-                    let witness = match outcome {
-                        Ok(Outcome::Success(w)) => w,
-                        Ok(Outcome::Failure) | Err(_) => continue,
-                    };
-                    stats.matches_found += 1;
-                    // "PyPM runs each of the corresponding rules one by
-                    // one … The first rule whose assertions pass is
-                    // fired."
-                    let fired = match self.fire_first_rule(graph, &view, node, pi, &witness, cx)? {
-                        FireResult::Fired => true,
-                        FireResult::Rejected(reason) => {
-                            cx.emit_match_rejected(&def.name, node, reason);
-                            false
-                        }
-                    };
-                    if fired {
-                        stats.rewrites_fired += 1;
-                        sweep_fired = true;
-                        graph.gc();
-                        if stats.rewrites_fired as usize >= self.config.max_rewrites {
-                            break 'sweeps;
-                        }
-                        match self.config.sweep_policy {
-                            SweepPolicy::RestartOnRewrite => {
-                                // The term view is stale; restart.
-                                continue 'sweeps;
-                            }
-                            SweepPolicy::ContinueSweep => {
-                                // Refresh the view, keep the sweep
-                                // position (the just-rewritten node is
-                                // dead and will be skipped).
-                                view = TermView::build(
-                                    graph,
-                                    &mut self.session.syms,
-                                    &mut self.session.terms,
-                                    &self.session.registry,
-                                );
-                                break;
-                            }
-                        }
+                    SweepPolicy::ContinueSweep | SweepPolicy::Incremental => {
+                        // Repair the view in place (only the rewrite's
+                        // cone of influence is re-interned), keep the
+                        // sweep position (the just-rewritten node is
+                        // dead and will be skipped).
+                        self.repair_view(graph, &mut view, fired, stats);
                     }
                 }
             }
@@ -268,10 +423,97 @@ impl<'a> Driver<'a> {
                 break;
             }
         }
-        // Identity-rewrite probes may have left unreferenced nodes.
-        graph.gc();
-        stats.duration = start.elapsed();
-        Ok(stats)
+        Ok(())
+    }
+
+    /// The dirty-node worklist scheduler behind
+    /// [`SweepPolicy::Incremental`].
+    ///
+    /// Invariants that make this byte-identical to
+    /// [`SweepPolicy::RestartOnRewrite`]:
+    ///
+    /// 1. *Clean nodes cannot fire.* Whether a pattern matches at a node
+    ///    — and whether the matched rule's guards hold and its
+    ///    replacement is non-identity — depends only on the term rooted
+    ///    there plus the term-keyed attribute side tables. A node leaves
+    ///    the worklist only after a full pattern scan found nothing to
+    ///    fire, and re-enters it only if its term changes; therefore a
+    ///    node outside the worklist still has nothing to fire.
+    ///
+    ///    This additionally assumes the attribute tables are
+    ///    *deterministic per term* — true whenever nodes that view as
+    ///    the same term carry the same metadata and attributes.
+    ///    Attribute-carrying constants get value-specialized term
+    ///    symbols, and the library's compound attr-carrying kernels
+    ///    (e.g. `GemmEpilog`) derive their attrs from the matched
+    ///    subtree, so structurally equal subgraphs agree; a rule set
+    ///    violating this (two same-term nodes with different attrs
+    ///    whose first topo producer changes mid-pass) could flip a
+    ///    guard at a clean node that restarting would re-examine and
+    ///    this scheduler would not. The random-rule-subset byte-identity
+    ///    proptest (and its 4096-case nightly run) exists to catch any
+    ///    such divergence.
+    /// 2. *A rewrite dirties exactly its cone of influence.* Replacing a
+    ///    root changes the terms of the freshly created replacement
+    ///    nodes, the users rewired onto the replacement, and their
+    ///    transitive users — all strictly *after* the root in
+    ///    topological order. Nodes visited earlier in the current round
+    ///    keep their terms, so cleaning them as we pass is sound.
+    ///    [`TermView::patch`] computes the cone with early cut-off and
+    ///    the scheduler re-enqueues it.
+    /// 3. *Deterministic order.* Each round scans the graph's
+    ///    topological order and visits only worklist members, trying
+    ///    patterns in rule-set order; after a firing the round restarts.
+    ///    By (1) the first firing (node, pattern) pair in that filtered
+    ///    scan is the first firing pair of a full restart scan, so the
+    ///    rewrite sequence — and the final graph — is identical.
+    fn run_worklist(
+        &mut self,
+        graph: &mut Graph,
+        cx: &mut PipelineCx,
+        stats: &mut PassStats,
+    ) -> Result<(), RewriteError> {
+        let mut view = TermView::build(
+            graph,
+            &mut self.session.syms,
+            &mut self.session.terms,
+            &self.session.registry,
+        );
+        stats.view_builds += 1;
+        let mut dirty: HashSet<NodeId> = graph.topo_order().into_iter().collect();
+        let mut visited_once: HashSet<NodeId> = HashSet::new();
+        'rounds: loop {
+            stats.sweeps += 1;
+            cx.set_sweep(stats.sweeps);
+            let order = graph.topo_order();
+            for node in order {
+                // Only worklist members are candidates; visiting removes
+                // the node (it is re-enqueued if a later rewrite changes
+                // its term). Stale ids of collected nodes die here too.
+                if !dirty.remove(&node) {
+                    continue;
+                }
+                let Some(fired) =
+                    self.visit_node(graph, &view, node, &mut visited_once, stats, cx)?
+                else {
+                    continue;
+                };
+                if stats.rewrites_fired as usize >= self.config.max_rewrites {
+                    break 'rounds;
+                }
+                let cone = self.repair_view(graph, &mut view, fired, stats);
+                dirty.extend(cone);
+                // Restart the filtered scan so the next firing is the
+                // topologically first dirty candidate, mirroring the
+                // restart policy.
+                continue 'rounds;
+            }
+            // Every firing restarts the round, so completing the
+            // filtered scan means nothing fired: every worklist member
+            // was visited and cleaned — fixpoint reached.
+            break;
+        }
+        Ok(())
     }
 
     /// Attempts the matched pattern's rules in order; builds and splices
@@ -295,26 +537,29 @@ impl<'a> Driver<'a> {
             if !holds {
                 continue;
             }
-            let root_meta = graph.node(node).meta.clone();
-            let replacement = self.instantiate_root(graph, view, &rule.rhs, witness, root_meta)?;
             // Identity rewrites (replacement structurally equal to the
             // matched subgraph, e.g. collapsing a chain of one RELU to
             // one RELU) must not fire, or the pass would never reach a
-            // fixpoint. Compare *structurally*: freshly built nodes are
-            // new NodeIds but may denote the same term.
-            if replacement == node
-                || self.term_of_new(graph, view, replacement) == view.term_of(node)
-            {
+            // fixpoint. The check folds the RHS template to a *term*
+            // before any graph node is built: a rejected rule therefore
+            // allocates nothing, which keeps node-id allocation — and so
+            // the byte-identity of SweepPolicy::Incremental with
+            // RestartOnRewrite — independent of how often a scheduler
+            // revisits the rejected candidate.
+            if Some(self.term_of_rhs(&rule.rhs, witness)?) == view.term_of(node) {
                 saw_identity = true;
                 continue;
             }
-            graph
-                .replace(node, replacement)
-                .map_err(|e| RewriteError::BuildFailed {
-                    reason: e.to_string(),
-                })?;
+            let root_meta = graph.node(node).meta.clone();
+            let replacement = self.instantiate_root(graph, view, &rule.rhs, witness, root_meta)?;
+            let rewired =
+                graph
+                    .replace_traced(node, replacement)
+                    .map_err(|e| RewriteError::BuildFailed {
+                        reason: e.to_string(),
+                    })?;
             cx.emit_rewrite_fired(&def.name, ri, node);
-            return Ok(FireResult::Fired);
+            return Ok(FireResult::Fired { rewired });
         }
         Ok(FireResult::Rejected(if saw_identity {
             RejectReason::IdentityReplacement
@@ -369,18 +614,40 @@ impl<'a> Driver<'a> {
         }
     }
 
-    /// The term a (possibly freshly created) node denotes: reuses the
-    /// view for pre-existing nodes and folds new nodes structurally.
-    fn term_of_new(&mut self, graph: &Graph, view: &TermView, n: NodeId) -> Option<TermId> {
-        if let Some(t) = view.term_of(n) {
-            return Some(t);
+    /// The term the instantiated RHS template would denote, folded
+    /// structurally through the hash-consed term store *without*
+    /// touching the graph — exactly the term [`Driver::instantiate_root`]
+    /// would produce nodes for. Used by the identity check so that
+    /// rejected rules allocate no graph nodes.
+    fn term_of_rhs(&mut self, rhs: &Rhs, witness: &Witness) -> Result<TermId, RewriteError> {
+        match rhs {
+            Rhs::Var(x) => witness
+                .theta
+                .get(*x)
+                .ok_or_else(|| RewriteError::UnboundRhsVar {
+                    var: self.session.syms.var_name(*x).to_owned(),
+                }),
+            Rhs::App { op, args, .. } => {
+                let mut terms = Vec::with_capacity(args.len());
+                for a in args {
+                    terms.push(self.term_of_rhs(a, witness)?);
+                }
+                Ok(self.session.terms.app(*op, terms))
+            }
+            Rhs::FunApp(fv, args) => {
+                let op = witness
+                    .phi
+                    .get(*fv)
+                    .ok_or_else(|| RewriteError::UnboundRhsFunVar {
+                        fun_var: self.session.syms.fun_var_name(*fv).to_owned(),
+                    })?;
+                let mut terms = Vec::with_capacity(args.len());
+                for a in args {
+                    terms.push(self.term_of_rhs(a, witness)?);
+                }
+                Ok(self.session.terms.app(op, terms))
+            }
         }
-        let node = graph.node(n);
-        let mut args = Vec::with_capacity(node.inputs.len());
-        for &i in &node.inputs {
-            args.push(self.term_of_new(graph, view, i)?);
-        }
-        Some(self.session.terms.app(node.op, args))
     }
 
     /// Builds the RHS template into the graph, reusing matched subgraphs

@@ -81,15 +81,19 @@ proptest! {
         prop_assert_eq!(second.rewrites_fired, 0);
     }
 
-    /// Policy equivalence on random graphs: both sweep policies reach
-    /// graphs of identical size and output metadata (they may pick
+    /// Policy equivalence on random graphs: all three sweep policies
+    /// reach graphs of identical size and output metadata (they may pick
     /// different-but-equivalent fixpoints only if the rule set is
     /// non-confluent; the library's rules are confluent on this operator
     /// set, so the results must agree exactly in size).
     #[test]
     fn sweep_policies_agree_on_random_graphs(seed in any::<u64>(), size in 1usize..30) {
         let mut results = Vec::new();
-        for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::ContinueSweep] {
+        for policy in [
+            SweepPolicy::RestartOnRewrite,
+            SweepPolicy::ContinueSweep,
+            SweepPolicy::Incremental,
+        ] {
             let mut s = Session::new();
             let mut g = random_graph(&mut s, seed, size);
             let rules = s.load_library(LibraryConfig::both());
@@ -100,6 +104,58 @@ proptest! {
             results.push((stats.rewrites_fired, g.live_count()));
         }
         prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[0], results[2]);
+    }
+
+    /// The incremental worklist must be *byte-identical* to restarting —
+    /// same rewrite count, same node ids, same operator at every node —
+    /// on random graphs × random rule subsets. This is the divergence
+    /// hunt the nightly CI job runs at high case counts.
+    #[test]
+    fn incremental_is_byte_identical_on_random_rule_subsets(
+        seed in any::<u64>(),
+        size in 1usize..30,
+        mask in 1u32..u32::MAX,
+    ) {
+        let mut snapshots = Vec::new();
+        let mut attempts = Vec::new();
+        for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::Incremental] {
+            let mut s = Session::new();
+            let mut g = random_graph(&mut s, seed, size);
+            let mut rules = s.load_library(LibraryConfig::all());
+            // Keep pattern i iff bit i of the mask is set (definition
+            // order preserved — the order patterns are tried in).
+            let kept: Vec<_> = rules
+                .patterns
+                .drain(..)
+                .enumerate()
+                .filter(|(i, _)| mask >> (i % 32) & 1 == 1)
+                .map(|(_, p)| p)
+                .collect();
+            rules.patterns = kept;
+            let stats = Rewriter::new(&mut s, &rules)
+                .with_config(PassConfig { sweep_policy: policy, ..Default::default() })
+                .run(&mut g)
+                .unwrap();
+            g.validate().unwrap();
+            // Node-id-level snapshot: (id, op name, inputs) per
+            // reachable node plus outputs. Identical rewrite sequences
+            // allocate identical ids.
+            let snap: Vec<(NodeId, String, Vec<NodeId>)> = g
+                .topo_order()
+                .into_iter()
+                .map(|n| (n, s.syms.op_name(g.node(n).op).to_owned(), g.node(n).inputs.clone()))
+                .collect();
+            snapshots.push((stats.rewrites_fired, snap, g.outputs().to_vec()));
+            attempts.push(stats.match_attempts);
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        prop_assert!(
+            attempts[1] <= attempts[0],
+            "incremental tried more matches ({}) than restart ({})",
+            attempts[1],
+            attempts[0]
+        );
     }
 
     /// The pass never grows the graph: destructive fusion only.

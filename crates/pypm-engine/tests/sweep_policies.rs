@@ -36,10 +36,18 @@ fn policies_agree_on_transformers() {
             .find(|c| c.name == name)
             .unwrap();
         let restart = run_policy(SweepPolicy::RestartOnRewrite, |s| cfg.build(s));
-        let cont = run_policy(SweepPolicy::ContinueSweep, |s| cfg.build(s));
-        assert_eq!(restart.0, cont.0, "{name}: rewrite counts differ");
-        assert_eq!(restart.1, cont.1, "{name}: node counts differ");
-        assert!((restart.2 - cont.2).abs() < 1e-6, "{name}: costs differ");
+        for policy in [SweepPolicy::ContinueSweep, SweepPolicy::Incremental] {
+            let other = run_policy(policy, |s| cfg.build(s));
+            assert_eq!(
+                restart.0, other.0,
+                "{name}/{policy:?}: rewrite counts differ"
+            );
+            assert_eq!(restart.1, other.1, "{name}/{policy:?}: node counts differ");
+            assert!(
+                (restart.2 - other.2).abs() < 1e-6,
+                "{name}/{policy:?}: costs differ"
+            );
+        }
     }
 }
 
@@ -51,22 +59,29 @@ fn policies_agree_on_cnns() {
             .find(|c| c.name == name)
             .unwrap();
         let restart = run_policy(SweepPolicy::RestartOnRewrite, |s| cfg.build(s));
-        let cont = run_policy(SweepPolicy::ContinueSweep, |s| cfg.build(s));
-        assert_eq!(restart.0, cont.0, "{name}");
-        assert_eq!(restart.1, cont.1, "{name}");
+        for policy in [SweepPolicy::ContinueSweep, SweepPolicy::Incremental] {
+            let other = run_policy(policy, |s| cfg.build(s));
+            assert_eq!(restart.0, other.0, "{name}/{policy:?}");
+            assert_eq!(restart.1, other.1, "{name}/{policy:?}");
+        }
     }
 }
 
 #[test]
-fn continue_sweep_visits_fewer_nodes() {
-    // The whole point of the ablation: ContinueSweep avoids the
-    // quadratic restart cost on rewrite-heavy graphs.
+fn scheduling_ablation_orders_traversal_work() {
+    // The scheduling ablation in one assertion chain: restarting
+    // revisits the most nodes, continuing fewer, the dirty-node
+    // worklist the fewest.
     let cfg = pypm_models::hf_zoo()
         .into_iter()
         .find(|c| c.name == "bert-base")
         .unwrap();
     let mut visits = Vec::new();
-    for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::ContinueSweep] {
+    for policy in [
+        SweepPolicy::RestartOnRewrite,
+        SweepPolicy::ContinueSweep,
+        SweepPolicy::Incremental,
+    ] {
         let mut s = Session::new();
         let mut g = cfg.build(&mut s);
         let rules = s.load_library(LibraryConfig::both());
@@ -78,14 +93,48 @@ fn continue_sweep_visits_fewer_nodes() {
             .with_config(pc)
             .run(&mut g)
             .unwrap();
-        visits.push(stats.nodes_visited);
+        visits.push((stats.nodes_visited, stats.match_attempts));
     }
     assert!(
-        visits[1] < visits[0],
+        visits[1].0 < visits[0].0,
         "continue {} should visit fewer nodes than restart {}",
-        visits[1],
-        visits[0]
+        visits[1].0,
+        visits[0].0
     );
+    assert!(
+        visits[2].0 < visits[1].0,
+        "incremental {} should visit fewer nodes than continue {}",
+        visits[2].0,
+        visits[1].0
+    );
+    assert!(
+        visits[2].1 < visits[0].1,
+        "incremental {} should try fewer matches than restart {}",
+        visits[2].1,
+        visits[0].1
+    );
+}
+
+#[test]
+fn incremental_respects_max_rewrites() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::both());
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-base")
+        .unwrap();
+    let mut g = cfg.build(&mut s);
+    let pc = PassConfig {
+        max_rewrites: 3,
+        sweep_policy: SweepPolicy::Incremental,
+        ..Default::default()
+    };
+    let stats = Rewriter::new(&mut s, &rules)
+        .with_config(pc)
+        .run(&mut g)
+        .unwrap();
+    assert_eq!(stats.rewrites_fired, 3);
+    g.validate().unwrap();
 }
 
 #[test]

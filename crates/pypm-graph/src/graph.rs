@@ -387,6 +387,14 @@ impl Graph {
         false
     }
 
+    /// Node ids allocated at or after `mark`, a count previously read
+    /// from [`Graph::allocated_count`]. Rewrite drivers use this to
+    /// enumerate the nodes a replacement freshly created — part of the
+    /// dirty seed handed to [`crate::TermView::invalidate`].
+    pub fn allocated_since(&self, mark: usize) -> Vec<NodeId> {
+        (mark..self.nodes.len()).map(|i| NodeId(i as u32)).collect()
+    }
+
     /// Destructively replaces `root` with `replacement`: every user of
     /// `root` now reads `replacement`, and outputs are redirected. The
     /// subgraph exclusively feeding `root` becomes garbage; call
@@ -399,8 +407,26 @@ impl Graph {
     /// replacement itself — i.e. the rewrite would make `root`'s users
     /// feed themselves.
     pub fn replace(&mut self, root: NodeId, replacement: NodeId) -> Result<(), GraphError> {
+        self.replace_traced(root, replacement).map(|_| ())
+    }
+
+    /// Like [`Graph::replace`], but returns the ids of the user nodes
+    /// whose inputs were rewired from `root` to `replacement`, in
+    /// allocation order. Those users are exactly the nodes whose term
+    /// view changed besides the freshly created replacement subgraph —
+    /// the seed of the rewrite's cone of influence that incremental
+    /// rewriting feeds to [`crate::TermView::invalidate`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Graph::replace`].
+    pub fn replace_traced(
+        &mut self,
+        root: NodeId,
+        replacement: NodeId,
+    ) -> Result<Vec<NodeId>, GraphError> {
         if root == replacement {
-            return Ok(());
+            return Ok(Vec::new());
         }
         if !self.is_alive(root) || !self.is_alive(replacement) {
             return Err(GraphError::DeadInput { node: root });
@@ -417,14 +443,20 @@ impl Graph {
                 return Err(GraphError::WouldCycle { root, replacement });
             }
         }
-        for node in &mut self.nodes {
+        let mut rewired = Vec::new();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
             if !node.alive {
                 continue;
             }
+            let mut touched = false;
             for input in &mut node.inputs {
                 if *input == root {
                     *input = replacement;
+                    touched = true;
                 }
+            }
+            if touched {
+                rewired.push(NodeId(i as u32));
             }
         }
         // Avoid self-loops if the replacement read the root directly.
@@ -437,7 +469,7 @@ impl Graph {
             }
         }
         self.revision += 1;
-        Ok(())
+        Ok(rewired)
     }
 
     /// Collects nodes unreachable from the outputs. Returns the number of
@@ -639,6 +671,48 @@ mod tests {
                 .unwrap();
         f.g.replace(relu, gelu).unwrap();
         assert_eq!(f.g.node(user).inputs, vec![gelu, gelu]);
+    }
+
+    #[test]
+    fn replace_traced_reports_rewired_users_once() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let relu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        // Two users, one of which reads the root twice: each user is
+        // reported exactly once, in allocation order.
+        let twice =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![relu, relu], vec![])
+                .unwrap();
+        let once =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![relu], vec![])
+                .unwrap();
+        f.g.mark_output(twice);
+        f.g.mark_output(once);
+        let gelu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+                .unwrap();
+        let rewired = f.g.replace_traced(relu, gelu).unwrap();
+        assert_eq!(rewired, vec![twice, once]);
+        assert_eq!(f.g.node(twice).inputs, vec![gelu, gelu]);
+        // Replacing a node by itself rewires nothing.
+        assert_eq!(f.g.replace_traced(gelu, gelu).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn allocated_since_enumerates_new_nodes() {
+        let mut f = fx();
+        let a = mat(&mut f, 2, 2);
+        let mark = f.g.allocated_count();
+        assert_eq!(f.g.allocated_since(mark), vec![]);
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let s =
+            f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![r], vec![])
+                .unwrap();
+        assert_eq!(f.g.allocated_since(mark), vec![r, s]);
     }
 
     #[test]

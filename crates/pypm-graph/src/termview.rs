@@ -19,7 +19,7 @@ use crate::graph::{Graph, NodeId, NodeKind};
 use crate::ops::OpRegistry;
 use crate::tensor::TensorMeta;
 use pypm_core::{Attr, AttrInterp, Symbol, SymbolTable, TermId, TermStore};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Interned handles for the tensor-specific attributes PyPM exposes on
 /// every term (§2: "all terms … have the same set of tensor-specific
@@ -123,14 +123,28 @@ fn specialized_const(syms: &mut SymbolTable, op: Symbol, attrs: &[(Attr, i64)]) 
 
 /// A cached term view of a [`Graph`].
 ///
-/// The view is valid for the graph revision it was built against;
-/// [`TermView::build`] after a rewrite produces a fresh view.
+/// The view is valid for the graph revision it was built against. After
+/// a rewrite there are two ways to bring it up to date:
+///
+/// * [`TermView::build`] — recompute everything from scratch (the
+///   original behaviour), or
+/// * [`TermView::invalidate`] the rewrite's dirty seed (the rewired
+///   users of the replaced root plus the freshly created replacement
+///   nodes), then [`TermView::patch`] — re-intern terms only for the
+///   seed and its cone of influence (transitive users whose terms
+///   actually change, with early cut-off where a recomputed term is
+///   unchanged). Index maps and attribute side tables are refreshed with
+///   the exact first-producer-in-topo-order semantics of a fresh build,
+///   so a patched view is indistinguishable from a rebuilt one.
 #[derive(Debug, Clone)]
 pub struct TermView {
     revision: u64,
     term_of_node: HashMap<NodeId, TermId>,
     node_of_term: HashMap<TermId, NodeId>,
     attrs: GraphAttrInterp,
+    /// Nodes marked dirty by [`TermView::invalidate`], consumed by the
+    /// next [`TermView::patch`].
+    pending: HashSet<NodeId>,
 }
 
 impl TermView {
@@ -151,51 +165,147 @@ impl TermView {
                 handles: Some(handles),
                 ..GraphAttrInterp::default()
             },
+            pending: HashSet::new(),
         };
+        view.repair(graph, syms, terms, registry, None);
+        view
+    }
+
+    /// Marks nodes whose term may have changed (or that did not exist
+    /// when the view was built). A rewrite's seed is the user nodes
+    /// rewired by [`Graph::replace_traced`] plus the nodes the
+    /// replacement freshly allocated ([`Graph::allocated_since`]); the
+    /// next [`TermView::patch`] expands the seed to its cone of
+    /// influence. Ids that are dead or unreachable by patch time are
+    /// ignored.
+    pub fn invalidate(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.pending.extend(nodes);
+    }
+
+    /// Repairs the view after a graph mutation, re-interning terms only
+    /// for the invalidated seed and the nodes it transitively dirties
+    /// (users of a node whose term changed). Returns the cone of
+    /// influence: every node whose term differs from the pre-patch view
+    /// (including nodes new to the view), in topological order — the
+    /// candidates an incremental rewrite scheduler must re-enqueue.
+    ///
+    /// Equivalence contract: after `patch`, the view is byte-identical
+    /// to `TermView::build` on the current graph — same node↔term maps
+    /// (first producer wins), same attribute side tables.
+    ///
+    /// Cost: the expensive per-node work — hash-consing interning and
+    /// constant-symbol specialization — is confined to the cone; the
+    /// index maps and side tables are still refreshed with one linear
+    /// topological pass (cheap inserts, no re-interning) so the
+    /// first-producer semantics stay exactly build-equivalent. A fully
+    /// sublinear index refresh is possible but needs ordered
+    /// first-producer bookkeeping; see the ROADMAP scaling item.
+    pub fn patch(
+        &mut self,
+        graph: &Graph,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        registry: &OpRegistry,
+    ) -> Vec<NodeId> {
+        let seed = std::mem::take(&mut self.pending);
+        let old = std::mem::take(&mut self.term_of_node);
+        self.repair(graph, syms, terms, registry, Some((old, seed)))
+    }
+
+    /// The shared build/patch loop. With `reuse = Some((old, seed))`,
+    /// terms are re-interned only for nodes in the seed, nodes absent
+    /// from `old`, and nodes with a changed input term; all index maps
+    /// and side tables are rebuilt with fresh-build semantics either
+    /// way. Returns the nodes whose term changed relative to `old` (all
+    /// nodes when building from scratch).
+    fn repair(
+        &mut self,
+        graph: &Graph,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        registry: &OpRegistry,
+        reuse: Option<(HashMap<NodeId, TermId>, HashSet<NodeId>)>,
+    ) -> Vec<NodeId> {
+        self.revision = graph.revision();
+        self.node_of_term.clear();
+        self.attrs.meta.clear();
+        self.attrs.class_code.clear();
+        self.attrs.node_attrs.clear();
+        let mut cone = Vec::new();
         for n in graph.topo_order() {
             let node = graph.node(n);
-            let term = match node.kind {
-                NodeKind::Input | NodeKind::Opaque => {
-                    let c = node
-                        .term_const
-                        .expect("inputs and opaque nodes carry a term constant");
-                    terms.app0(c)
-                }
-                NodeKind::Op if node.inputs.is_empty() && !node.attrs.is_empty() => {
-                    // Attribute-carrying constants (e.g. ConstScalar with
-                    // value_milli): specialize the symbol per attribute
-                    // valuation so that distinct constants are distinct
-                    // terms while equal constants still share (needed for
-                    // nonlinear patterns and correct attribute lookup).
-                    let c = specialized_const(syms, node.op, &node.attrs);
-                    terms.app0(c)
-                }
-                NodeKind::Op => {
-                    let args: Vec<TermId> =
-                        node.inputs.iter().map(|i| view.term_of_node[i]).collect();
-                    terms.app(node.op, args)
+            // Decide whether this node's term must be re-interned: always
+            // when building from scratch; when patching, only for seed
+            // nodes, nodes the old view never saw, and nodes with an
+            // input inside the cone so far (terms are computed in
+            // topological order, so input verdicts are already known).
+            let reused = match &reuse {
+                None => None,
+                Some((old, seed)) => {
+                    let dirty = seed.contains(&n)
+                        || node
+                            .inputs
+                            .iter()
+                            .any(|i| self.term_of_node.get(i) != old.get(i));
+                    if dirty {
+                        None
+                    } else {
+                        old.get(&n).copied()
+                    }
                 }
             };
-            view.term_of_node.insert(n, term);
+            let term = match reused {
+                Some(t) => t,
+                None => match node.kind {
+                    NodeKind::Input | NodeKind::Opaque => {
+                        let c = node
+                            .term_const
+                            .expect("inputs and opaque nodes carry a term constant");
+                        terms.app0(c)
+                    }
+                    NodeKind::Op if node.inputs.is_empty() && !node.attrs.is_empty() => {
+                        // Attribute-carrying constants (e.g. ConstScalar with
+                        // value_milli): specialize the symbol per attribute
+                        // valuation so that distinct constants are distinct
+                        // terms while equal constants still share (needed for
+                        // nonlinear patterns and correct attribute lookup).
+                        let c = specialized_const(syms, node.op, &node.attrs);
+                        terms.app0(c)
+                    }
+                    NodeKind::Op => {
+                        let args: Vec<TermId> =
+                            node.inputs.iter().map(|i| self.term_of_node[i]).collect();
+                        terms.app(node.op, args)
+                    }
+                },
+            };
+            let changed = match &reuse {
+                None => true,
+                Some((old, _)) => old.get(&n) != Some(&term),
+            };
+            if changed {
+                cone.push(n);
+            }
+            self.term_of_node.insert(n, term);
             // First producer wins: any node with this term computes the
             // same value, so reusing the first is sound.
-            view.node_of_term.entry(term).or_insert(n);
-            view.attrs
+            self.node_of_term.entry(term).or_insert(n);
+            self.attrs
                 .meta
                 .entry(term)
                 .or_insert_with(|| node.meta.clone());
-            view.attrs
+            self.attrs
                 .class_code
                 .entry(term)
                 .or_insert_with(|| registry.class(node.op).code());
             if !node.attrs.is_empty() {
-                view.attrs
+                self.attrs
                     .node_attrs
                     .entry(term)
                     .or_insert_with(|| node.attrs.clone());
             }
         }
-        view
+        cone
     }
 
     /// The graph revision this view was built against.
@@ -368,6 +478,154 @@ mod tests {
             view.attrs().attr(&f.terms, t, f.ops.value_milli_attr),
             Some(500)
         );
+    }
+
+    /// A patched view must be indistinguishable from a fresh build:
+    /// same node→term map, same term→node (first-producer) map.
+    fn assert_patched_equals_rebuilt(f: &mut Fx, view: &TermView) {
+        let fresh = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_eq!(
+            view.term_of_node, fresh.term_of_node,
+            "patched term_of_node diverges from a fresh build"
+        );
+        assert_eq!(
+            view.node_of_term, fresh.node_of_term,
+            "patched node_of_term diverges from a fresh build"
+        );
+    }
+
+    #[test]
+    fn patch_updates_fan_out_users() {
+        // One producer feeding two users: replacing the producer must
+        // dirty both users (and the shared downstream add), and the cone
+        // must come back in topological order.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let u1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![r], vec![])
+                .unwrap();
+        let u2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![r], vec![])
+                .unwrap();
+        let add =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![u1, u2], vec![])
+                .unwrap();
+        f.g.mark_output(add);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+
+        let gelu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+                .unwrap();
+        let rewired = f.g.replace_traced(r, gelu).unwrap();
+        assert_eq!(rewired, vec![u1, u2]);
+        f.g.gc();
+
+        view.invalidate(rewired.into_iter().chain([gelu]));
+        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        // gelu is new, both users and the downstream add changed.
+        assert_eq!(cone, vec![gelu, u1, u2, add]);
+        assert_patched_equals_rebuilt(&mut f, &view);
+    }
+
+    #[test]
+    fn patch_drops_deleted_roots() {
+        // Replacing the tip of a chain orphans the old nodes; after gc +
+        // patch they must vanish from the view.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let r2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![r1], vec![])
+                .unwrap();
+        f.g.mark_output(r2);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert!(view.term_of(r1).is_some());
+
+        let fused =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let rewired = f.g.replace_traced(r2, fused).unwrap();
+        assert!(rewired.is_empty(), "the output root has no users");
+        f.g.gc();
+
+        view.invalidate([fused]);
+        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_eq!(cone, vec![fused]);
+        assert_eq!(view.term_of(r1), None);
+        assert_eq!(view.term_of(r2), None);
+        assert_patched_equals_rebuilt(&mut f, &view);
+    }
+
+    #[test]
+    fn patch_maps_newly_created_chains() {
+        // A replacement that is a whole chain of fresh nodes: every link
+        // must enter the view, and the early cut-off must keep clean
+        // siblings out of the cone.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let left =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let right =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![a], vec![])
+                .unwrap();
+        let add =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![left, right], vec![])
+                .unwrap();
+        f.g.mark_output(add);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+
+        let mark = f.g.allocated_count();
+        let c1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![a], vec![])
+                .unwrap();
+        let c2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![c1], vec![])
+                .unwrap();
+        let rewired = f.g.replace_traced(left, c2).unwrap();
+        assert_eq!(rewired, vec![add]);
+        assert_eq!(f.g.allocated_since(mark), vec![c1, c2]);
+        f.g.gc();
+
+        view.invalidate(rewired.into_iter().chain(f.g.allocated_since(mark)));
+        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_eq!(cone, vec![c1, c2, add]);
+        assert!(
+            !cone.contains(&right),
+            "clean sibling must stay out of the cone"
+        );
+        assert!(view.term_of(c1).is_some() && view.term_of(c2).is_some());
+        assert_patched_equals_rebuilt(&mut f, &view);
+    }
+
+    #[test]
+    fn patch_cuts_off_when_term_is_unchanged() {
+        // Invalidating a node whose recomputed term is identical (here:
+        // nothing actually changed) must produce an empty cone — users
+        // are never touched.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let t =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![r], vec![])
+                .unwrap();
+        f.g.mark_output(t);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        view.invalidate([r]);
+        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert!(cone.is_empty(), "unchanged term must cut the cone off");
+        assert_patched_equals_rebuilt(&mut f, &view);
     }
 
     #[test]

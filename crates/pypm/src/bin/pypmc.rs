@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! pypmc list-models                         list both model zoos
-//! pypmc compile <model> [--config C] [--policy P] [--stats-json FILE] [--dot]
+//! pypmc compile <model> [--config C] [--sweep-policy P] [--stats-json FILE] [--dot]
 //!                                           compile one model and report
 //!                                           rewrite stats + simulated cost
 //! pypmc library [--format text|binary] [-o FILE]
@@ -12,9 +12,12 @@
 //! ```
 //!
 //! Configurations `C`: `baseline`, `fmha`, `epilog`, `both` (default).
-//! Policies `P`: `restart` (paper-faithful, default), `continue`.
-//! `--stats-json` writes the pipeline report in the stable
-//! `pypm.pipeline.v1` schema.
+//! Sweep policies `P`: `restart` (paper-faithful, default), `continue`,
+//! `incremental` (dirty-node worklist; identical result, fewest match
+//! attempts). `--policy` is accepted as a deprecated alias of
+//! `--sweep-policy`. `--stats-json` writes the pipeline report in the
+//! stable `pypm.pipeline.v1` schema (including the additive
+//! `incremental` counter block).
 //!
 //! Unknown flags and stray positional arguments are rejected with exit
 //! code 2 and a usage line — every subcommand declares exactly what it
@@ -168,9 +171,9 @@ fn list_models(args: &[String]) -> i32 {
 
 fn compile(args: &[String]) -> i32 {
     let spec = Spec {
-        usage: "pypmc compile <model> [--config C] [--policy P] [--stats-json FILE] [--dot]",
+        usage: "pypmc compile <model> [--config C] [--sweep-policy P] [--stats-json FILE] [--dot]",
         positionals: (1, 1),
-        value_flags: &["--config", "--policy", "--stats-json"],
+        value_flags: &["--config", "--sweep-policy", "--policy", "--stats-json"],
         bool_flags: &["--dot"],
     };
     let parsed = match parse_or_usage(&spec, args) {
@@ -189,13 +192,16 @@ fn compile(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let policy = match parsed.value("--policy").unwrap_or("restart") {
-        "restart" => SweepPolicy::RestartOnRewrite,
-        "continue" => SweepPolicy::ContinueSweep,
-        other => {
-            eprintln!("unknown policy {other}");
-            return 2;
-        }
+    // `--policy` survives as an alias from before the incremental
+    // scheduler; `--sweep-policy` wins when both are given.
+    let policy_arg = parsed
+        .value("--sweep-policy")
+        .or_else(|| parsed.value("--policy"))
+        .unwrap_or("restart");
+    let Some(policy) = SweepPolicy::parse(policy_arg) else {
+        let vocabulary = SweepPolicy::ALL.map(SweepPolicy::name).join("|");
+        eprintln!("unknown sweep policy {policy_arg} (want {vocabulary})");
+        return 2;
     };
 
     let mut s = Session::new();
@@ -236,6 +242,10 @@ fn compile(args: &[String]) -> i32 {
         stats.machine_steps,
         stats.machine_backtracks,
         stats.sweeps
+    );
+    println!(
+        "term view  {} builds, {} patches, {} nodes revisited",
+        stats.view_builds, stats.view_patches, stats.nodes_revisited
     );
     println!(
         "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",

@@ -45,6 +45,52 @@ fn compile_unknown_model_fails() {
 }
 
 #[test]
+fn compile_accepts_every_sweep_policy() {
+    // All three schedulers reach the same fixpoint; the CLI reports the
+    // same rewrite count and final cost line for each.
+    let mut rewrite_lines = Vec::new();
+    for policy in ["restart", "continue", "incremental"] {
+        let out = pypmc(&["compile", "bert-tiny", "--sweep-policy", policy]);
+        assert!(out.status.success(), "{policy}: {out:?}");
+        let text = stdout(&out);
+        assert!(text.contains("term view"), "{policy}: {text}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rewrites"))
+            .expect("rewrites line")
+            .split('/')
+            .next()
+            .unwrap()
+            .trim()
+            .to_owned();
+        rewrite_lines.push(line);
+    }
+    assert_eq!(rewrite_lines[0], rewrite_lines[1]);
+    assert_eq!(rewrite_lines[0], rewrite_lines[2]);
+}
+
+#[test]
+fn compile_policy_alias_still_works() {
+    let out = pypmc(&["compile", "bert-tiny", "--policy", "incremental"]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn compile_unknown_sweep_policy_fails_loudly() {
+    let out = pypmc(&["compile", "bert-tiny", "--sweep-policy", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown sweep policy bogus"),
+        "should name the bad value: {err}"
+    );
+    assert!(
+        err.contains("restart|continue|incremental"),
+        "should list the vocabulary: {err}"
+    );
+}
+
+#[test]
 fn unknown_flags_are_rejected_with_usage() {
     // The classic typo: `--polcy` must not silently run the default
     // policy.
@@ -97,6 +143,8 @@ fn compile_stats_json_writes_pipeline_report() {
     assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""), "{json}");
     assert!(json.contains("\"name\": \"rewrite\""), "{json}");
     assert!(json.contains("\"rewrites_fired\""), "{json}");
+    // The additive incremental block rides along in every report.
+    assert!(json.contains("\"incremental\": {\"view_builds\""), "{json}");
     std::fs::remove_file(&path).ok();
 }
 

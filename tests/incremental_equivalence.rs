@@ -1,0 +1,211 @@
+//! The incremental-rewriting contract: [`SweepPolicy::Incremental`]
+//! must fire the *identical* rewrite sequence as the paper-faithful
+//! [`SweepPolicy::RestartOnRewrite`] — producing a byte-identical final
+//! graph (same node ids, same operator population, same outputs) — while
+//! strictly reducing the traversal work (`match_attempts`,
+//! `nodes_visited`) that restarting throws away.
+//!
+//! The worklist scheduler's correctness argument is local ("a clean
+//! node cannot fire because its term is unchanged"); this suite is the
+//! global check over the full model zoo, every library configuration,
+//! and an observer recording the exact (pattern, rule, node, …) firing
+//! sequence.
+
+use pypm::dsl::LibraryConfig;
+use pypm::engine::{
+    Observer, PassStats, Pipeline, RewriteFired, RewritePass, Session, SweepPolicy,
+};
+use pypm::graph::{Graph, NodeId};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+type ConfigFn = fn() -> LibraryConfig;
+
+const CONFIGS: [(&str, ConfigFn); 4] = [
+    ("fmha", LibraryConfig::fmha_only),
+    ("epilog", LibraryConfig::epilog_only),
+    ("both", LibraryConfig::both),
+    ("all", LibraryConfig::all),
+];
+
+/// Records the exact firing sequence: which pattern, which rule, at
+/// which node. Two policies that agree on this sequence applied the
+/// same graph mutations in the same order.
+#[derive(Default)]
+struct FiringLog {
+    fired: Vec<(String, usize, NodeId)>,
+}
+
+impl Observer for FiringLog {
+    fn on_rewrite_fired(&mut self, event: &RewriteFired) {
+        self.fired
+            .push((event.pattern.clone(), event.rule, event.node));
+    }
+}
+
+/// One policy's observable result: the firing sequence, the semantic
+/// counters, and the final graph down to node identities.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    fired: Vec<(String, usize, NodeId)>,
+    rewrites_fired: u64,
+    live_nodes: usize,
+    /// (node id, operator name, input ids) for every reachable node —
+    /// byte-identical graphs have byte-identical rows.
+    nodes: Vec<(NodeId, String, Vec<NodeId>)>,
+    output_ids: Vec<NodeId>,
+}
+
+fn run(
+    build: &dyn Fn(&mut Session) -> Graph,
+    cfg: LibraryConfig,
+    policy: SweepPolicy,
+) -> (Outcome, PassStats) {
+    let mut s = Session::new();
+    let mut g = build(&mut s);
+    let rules = s.load_library(cfg);
+    let log = Rc::new(RefCell::new(FiringLog::default()));
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules).policy(policy))
+        .observe(log.clone())
+        .run(&mut g)
+        .expect("pass succeeds");
+    let stats = report.total();
+    let nodes = g
+        .topo_order()
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                s.syms.op_name(g.node(n).op).to_owned(),
+                g.node(n).inputs.clone(),
+            )
+        })
+        .collect();
+    let outcome = Outcome {
+        fired: std::mem::take(&mut log.borrow_mut().fired),
+        rewrites_fired: stats.rewrites_fired,
+        live_nodes: g.live_count(),
+        nodes,
+        output_ids: g.outputs().to_vec(),
+    };
+    (outcome, stats)
+}
+
+fn assert_incremental_equivalent(name: &str, build: &dyn Fn(&mut Session) -> Graph) {
+    for (cname, cfg) in CONFIGS {
+        let (restart, restart_stats) = run(build, cfg(), SweepPolicy::RestartOnRewrite);
+        let (incremental, inc_stats) = run(build, cfg(), SweepPolicy::Incremental);
+        assert_eq!(
+            restart, incremental,
+            "{name}/{cname}: Incremental diverged from RestartOnRewrite"
+        );
+        // The worklist must never do *more* matching work than
+        // restarting, and must patch instead of rebuild.
+        assert!(
+            inc_stats.match_attempts <= restart_stats.match_attempts,
+            "{name}/{cname}: incremental tried {} matches, restart {}",
+            inc_stats.match_attempts,
+            restart_stats.match_attempts,
+        );
+        assert!(
+            inc_stats.nodes_visited <= restart_stats.nodes_visited,
+            "{name}/{cname}: incremental visited more nodes than restart"
+        );
+        // Restart re-finds every rejected match on every later sweep;
+        // the worklist finds each at most once per term change.
+        assert!(
+            inc_stats.matches_found <= restart_stats.matches_found,
+            "{name}/{cname}: incremental found more matches than restart"
+        );
+        assert_eq!(
+            inc_stats.view_builds, 1,
+            "{name}/{cname}: incremental must build the view exactly once"
+        );
+        assert_eq!(
+            inc_stats.view_patches, inc_stats.rewrites_fired,
+            "{name}/{cname}: one view patch per fired rewrite"
+        );
+    }
+}
+
+/// Every HuggingFace-zoo transformer, every configuration.
+#[test]
+fn hf_zoo_incremental_matches_restart() {
+    for cfg in pypm::models::hf_zoo() {
+        assert_incremental_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// Every TorchVision-zoo CNN, every configuration.
+#[test]
+fn tv_zoo_incremental_matches_restart() {
+    for cfg in pypm::models::tv_zoo() {
+        assert_incremental_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// On a rewrite-heavy transformer the worklist must deliver a real
+/// reduction, not a tie: ≥30% fewer matches tried on bert-small (the
+/// acceptance bar the BENCH trajectory tracks).
+#[test]
+fn incremental_cuts_matches_tried_on_bert_small() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-small")
+        .unwrap();
+    let (_, restart) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::both(),
+        SweepPolicy::RestartOnRewrite,
+    );
+    let (_, inc) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::both(),
+        SweepPolicy::Incremental,
+    );
+    assert!(restart.rewrites_fired > 0, "model must actually rewrite");
+    let reduction = 1.0 - inc.match_attempts as f64 / restart.match_attempts as f64;
+    assert!(
+        reduction >= 0.30,
+        "expected ≥30% fewer matches tried, got {:.1}% ({} vs {})",
+        reduction * 100.0,
+        inc.match_attempts,
+        restart.match_attempts,
+    );
+    assert!(
+        inc.nodes_revisited < restart.nodes_revisited,
+        "worklist should revisit fewer nodes ({} vs {})",
+        inc.nodes_revisited,
+        restart.nodes_revisited,
+    );
+}
+
+/// The op population argument in one place: restart and incremental
+/// leave the same multiset of operators for a model whose rewrites
+/// cascade (GELU expansion into epilog fusion).
+#[test]
+fn op_population_identical_after_cascades() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-tiny")
+        .unwrap();
+    let mut pops: Vec<BTreeMap<String, usize>> = Vec::new();
+    for policy in [SweepPolicy::RestartOnRewrite, SweepPolicy::Incremental] {
+        let mut s = Session::new();
+        let mut g = cfg.build(&mut s);
+        let rules = s.load_library(LibraryConfig::all());
+        Pipeline::new(&mut s)
+            .with(RewritePass::new(rules).policy(policy))
+            .run(&mut g)
+            .unwrap();
+        let mut pop = BTreeMap::new();
+        for n in g.topo_order() {
+            *pop.entry(s.syms.op_name(g.node(n).op).to_owned())
+                .or_default() += 1;
+        }
+        pops.push(pop);
+    }
+    assert_eq!(pops[0], pops[1]);
+}

@@ -26,13 +26,14 @@ const CONFIGS: [(&str, ConfigFn); 4] = [
     ("all", LibraryConfig::all),
 ];
 
-const POLICIES: [(&str, SweepPolicy); 2] = [
+const POLICIES: [(&str, SweepPolicy); 3] = [
     ("restart", SweepPolicy::RestartOnRewrite),
     ("continue", SweepPolicy::ContinueSweep),
+    ("incremental", SweepPolicy::Incremental),
 ];
 
-/// Everything we compare: the seven deterministic counters plus the
-/// final graph's shape.
+/// Everything we compare: the deterministic counters (including the
+/// incremental view-maintenance counters) plus the final graph's shape.
 #[derive(Debug, PartialEq, Eq)]
 struct Observation {
     nodes_visited: u64,
@@ -42,6 +43,9 @@ struct Observation {
     machine_steps: u64,
     machine_backtracks: u64,
     sweeps: u64,
+    view_builds: u64,
+    view_patches: u64,
+    nodes_revisited: u64,
     live_nodes: usize,
     /// Operator-name population of the final graph (multiset).
     op_counts: BTreeMap<String, usize>,
@@ -64,6 +68,9 @@ fn observe(stats: PassStats, session: &Session, graph: &Graph) -> Observation {
         machine_steps: stats.machine_steps,
         machine_backtracks: stats.machine_backtracks,
         sweeps: stats.sweeps,
+        view_builds: stats.view_builds,
+        view_patches: stats.view_patches,
+        nodes_revisited: stats.nodes_revisited,
         live_nodes: graph.live_count(),
         op_counts,
         output_ops: graph
