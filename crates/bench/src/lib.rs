@@ -13,7 +13,9 @@
 #![warn(missing_docs)]
 
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{PassStats, Pipeline, PipelineReport, RewritePass, Session, SweepPolicy};
+use pypm_engine::{
+    ParallelConfig, PassStats, Pipeline, PipelineReport, RewritePass, Session, SweepPolicy,
+};
 use pypm_graph::Graph;
 use pypm_perf::CostModel;
 
@@ -25,6 +27,11 @@ pub const CONFIG_NAMES: [&str; 4] = ["baseline", "fmha", "epilog", "both"];
 /// The sweep-policy series every `BENCH_rewrite_pass.json` row tracks,
 /// in schema order (`SweepPolicy::ALL`, by its stable names).
 pub const POLICY_NAMES: [&str; 3] = ["restart", "continue", "incremental"];
+
+/// The worker counts every policy series is measured at (schema v3's
+/// per-jobs sub-series). `1` is the serial reference; `4` exercises the
+/// sharded parallel match phase.
+pub const JOBS_SERIES: [usize; 2] = [1, 4];
 
 /// Resolves a policy series name to the engine policy.
 pub fn policy(name: &str) -> SweepPolicy {
@@ -180,17 +187,38 @@ pub fn histogram(title: &str, values: &[f64]) -> String {
     s
 }
 
+/// One (policy, jobs) cell's aggregated numbers: means over `runs`
+/// pipeline runs at one worker count.
+#[derive(Debug, Clone)]
+pub struct JobsSeries {
+    /// Worker count (see [`JOBS_SERIES`]).
+    pub jobs: usize,
+    /// Mean pipeline wall-clock, ms.
+    pub mean_wall_ms: f64,
+    /// Minimum pipeline wall-clock across the runs, ms.
+    pub min_wall_ms: f64,
+    /// Mean pattern match attempts.
+    pub mean_match_attempts: f64,
+    /// Mean successful matches.
+    pub mean_matches_found: f64,
+    /// Mean rewrites fired.
+    pub mean_rewrites_fired: f64,
+}
+
 /// One sweep policy's aggregated series within a
-/// [`PassBenchRow`]: means over `runs` pipeline runs.
+/// [`PassBenchRow`]: means over `runs` pipeline runs. The top-level
+/// fields carry the serial (`jobs = 1`) numbers — the v2 schema's
+/// meaning — and [`PolicySeries::jobs_series`] adds one sub-series per
+/// worker count (schema v3).
 #[derive(Debug, Clone)]
 pub struct PolicySeries {
     /// Policy series name (see [`POLICY_NAMES`]).
     pub policy: &'static str,
-    /// Mean pipeline wall-clock, ms.
+    /// Mean pipeline wall-clock, ms (serial).
     pub mean_wall_ms: f64,
-    /// Minimum pipeline wall-clock across the runs, ms. The best case
-    /// of a deterministic CPU-bound loop is insensitive to scheduler
-    /// interference, so this — not the mean — is what the
+    /// Minimum pipeline wall-clock across the runs, ms (serial). The
+    /// best case of a deterministic CPU-bound loop is insensitive to
+    /// scheduler interference, so this — not the mean — is what the
     /// `bench_compare` wall gate compares across machines.
     pub min_wall_ms: f64,
     /// Mean pattern match attempts ("matches tried", including the
@@ -206,6 +234,10 @@ pub struct PolicySeries {
     pub mean_view_patches: f64,
     /// Mean re-visits of already-visited nodes.
     pub mean_nodes_revisited: f64,
+    /// Per-jobs sub-series in [`JOBS_SERIES`] order. The semantic
+    /// counters must agree across all entries (parallel-vs-serial drift
+    /// is a `bench_compare` failure); wall-clock is the payoff.
+    pub jobs_series: Vec<JobsSeries>,
 }
 
 /// One aggregated row of the `BENCH_rewrite_pass.json` trajectory: a
@@ -248,46 +280,64 @@ pub fn rewrite_pass_row(
     build: impl Fn(&mut Session) -> Graph,
 ) -> PassBenchRow {
     assert!(runs > 0, "need at least one run");
+    let n = runs as f64;
     let mut policies = Vec::with_capacity(SweepPolicy::ALL.len());
     let mut last: Option<PipelineReport> = None;
     for sweep in SweepPolicy::ALL {
         let pname = sweep.name();
-        let mut wall_ms = 0.0;
-        let mut min_wall_ms = f64::INFINITY;
-        let mut totals = PassStats::default();
-        for _ in 0..runs {
-            let mut session = Session::new();
-            let mut graph = build(&mut session);
-            let rules = session.load_library(lib);
-            let report = Pipeline::new(&mut session)
-                .with(RewritePass::new(rules).policy(sweep))
-                .run(&mut graph)
-                .expect("rewrite pass succeeds");
-            let total = report.total();
-            let run_ms = total.duration.as_secs_f64() * 1e3;
-            wall_ms += run_ms;
-            min_wall_ms = min_wall_ms.min(run_ms);
-            totals.match_attempts += total.match_attempts;
-            totals.matches_found += total.matches_found;
-            totals.rewrites_fired += total.rewrites_fired;
-            totals.view_builds += total.view_builds;
-            totals.view_patches += total.view_patches;
-            totals.nodes_revisited += total.nodes_revisited;
-            if pname == "restart" {
-                last = Some(report);
+        let mut jobs_series = Vec::with_capacity(JOBS_SERIES.len());
+        let mut serial_totals = PassStats::default();
+        for jobs in JOBS_SERIES {
+            let mut wall_ms = 0.0;
+            let mut min_wall_ms = f64::INFINITY;
+            let mut totals = PassStats::default();
+            for _ in 0..runs {
+                let mut session = Session::new();
+                let mut graph = build(&mut session);
+                let rules = session.load_library(lib);
+                let report = Pipeline::new(&mut session)
+                    .with(RewritePass::new(rules).policy(sweep))
+                    .parallelism(ParallelConfig::with_jobs(jobs))
+                    .run(&mut graph)
+                    .expect("rewrite pass succeeds");
+                let total = report.total();
+                let run_ms = total.duration.as_secs_f64() * 1e3;
+                wall_ms += run_ms;
+                min_wall_ms = min_wall_ms.min(run_ms);
+                totals.match_attempts += total.match_attempts;
+                totals.matches_found += total.matches_found;
+                totals.rewrites_fired += total.rewrites_fired;
+                totals.view_builds += total.view_builds;
+                totals.view_patches += total.view_patches;
+                totals.nodes_revisited += total.nodes_revisited;
+                if pname == "restart" && jobs == 1 {
+                    last = Some(report);
+                }
             }
+            if jobs == 1 {
+                serial_totals = totals.clone();
+            }
+            jobs_series.push(JobsSeries {
+                jobs,
+                mean_wall_ms: wall_ms / n,
+                min_wall_ms,
+                mean_match_attempts: totals.match_attempts as f64 / n,
+                mean_matches_found: totals.matches_found as f64 / n,
+                mean_rewrites_fired: totals.rewrites_fired as f64 / n,
+            });
         }
-        let n = runs as f64;
+        let serial = &jobs_series[0];
         policies.push(PolicySeries {
             policy: pname,
-            mean_wall_ms: wall_ms / n,
-            min_wall_ms,
-            mean_match_attempts: totals.match_attempts as f64 / n,
-            mean_matches_found: totals.matches_found as f64 / n,
-            mean_rewrites_fired: totals.rewrites_fired as f64 / n,
-            mean_view_builds: totals.view_builds as f64 / n,
-            mean_view_patches: totals.view_patches as f64 / n,
-            mean_nodes_revisited: totals.nodes_revisited as f64 / n,
+            mean_wall_ms: serial.mean_wall_ms,
+            min_wall_ms: serial.min_wall_ms,
+            mean_match_attempts: serial.mean_match_attempts,
+            mean_matches_found: serial.mean_matches_found,
+            mean_rewrites_fired: serial.mean_rewrites_fired,
+            mean_view_builds: serial_totals.view_builds as f64 / n,
+            mean_view_patches: serial_totals.view_patches as f64 / n,
+            mean_nodes_revisited: serial_totals.nodes_revisited as f64 / n,
+            jobs_series,
         });
     }
     let restart = &policies[0];
@@ -305,11 +355,13 @@ pub fn rewrite_pass_row(
 }
 
 /// Renders the `BENCH_rewrite_pass.json` document (schema
-/// `pypm.bench.rewrite_pass.v2` — v1 plus the per-policy `policies`
-/// object; the top-level `mean_*` fields still carry the restart
-/// series) from aggregated rows.
+/// `pypm.bench.rewrite_pass.v3` — v2 plus a per-jobs `jobs` object in
+/// every policy series; the policy-level `mean_*` fields still carry
+/// the serial numbers and the top-level `mean_*` fields the restart
+/// series, so v1/v2 consumers keep reading the paper-faithful values)
+/// from aggregated rows.
 pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v2\",\n  \"rows\": [");
+    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v3\",\n  \"rows\": [");
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -339,7 +391,7 @@ pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
                  \"mean_match_attempts\": {:.1}, \
                  \"mean_matches_found\": {:.1}, \"mean_rewrites_fired\": {:.1}, \
                  \"mean_view_builds\": {:.1}, \"mean_view_patches\": {:.1}, \
-                 \"mean_nodes_revisited\": {:.1}}}",
+                 \"mean_nodes_revisited\": {:.1}, \"jobs\": {{",
                 esc(p.policy),
                 p.mean_wall_ms,
                 p.min_wall_ms,
@@ -350,6 +402,23 @@ pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
                 p.mean_view_patches,
                 p.mean_nodes_revisited,
             ));
+            for (k, js) in p.jobs_series.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "\"{}\": {{\"mean_wall_ms\": {:.6}, \"min_wall_ms\": {:.6}, \
+                     \"mean_match_attempts\": {:.1}, \"mean_matches_found\": {:.1}, \
+                     \"mean_rewrites_fired\": {:.1}}}",
+                    js.jobs,
+                    js.mean_wall_ms,
+                    js.min_wall_ms,
+                    js.mean_match_attempts,
+                    js.mean_matches_found,
+                    js.mean_rewrites_fired,
+                ));
+            }
+            out.push_str("}}");
         }
         out.push_str(&format!(
             "}}, \"last_report\": {}}}",
@@ -500,12 +569,33 @@ mod tests {
         assert_eq!(incremental.mean_view_builds, 1.0);
         for p in &row.policies {
             assert!(p.min_wall_ms > 0.0 && p.min_wall_ms <= p.mean_wall_ms);
+            // One sub-series per worker count, and no parallel-vs-serial
+            // counter drift within the policy.
+            assert_eq!(
+                p.jobs_series.iter().map(|j| j.jobs).collect::<Vec<_>>(),
+                JOBS_SERIES
+            );
+            for js in &p.jobs_series {
+                assert_eq!(
+                    js.mean_match_attempts, p.mean_match_attempts,
+                    "{}",
+                    p.policy
+                );
+                assert_eq!(js.mean_matches_found, p.mean_matches_found, "{}", p.policy);
+                assert_eq!(
+                    js.mean_rewrites_fired, p.mean_rewrites_fired,
+                    "{}",
+                    p.policy
+                );
+            }
         }
         let json = rows_to_json(std::slice::from_ref(&row));
-        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v2\""));
+        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v3\""));
         assert!(json.contains("\"model\": \"bert-tiny\""));
         assert!(json.contains("\"policies\": {\"restart\""));
         assert!(json.contains("\"incremental\": {\"mean_wall_ms\""));
+        assert!(json.contains("\"jobs\": {\"1\": {\"mean_wall_ms\""));
+        assert!(json.contains("\"4\": {\"mean_wall_ms\""));
         assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""));
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(json.matches(open).count(), json.matches(close).count());
@@ -515,7 +605,7 @@ mod tests {
         let doc = json::parse(&json).expect("bench JSON parses");
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
-            Some("pypm.bench.rewrite_pass.v2")
+            Some("pypm.bench.rewrite_pass.v3")
         );
         assert_eq!(
             doc.get("rows")

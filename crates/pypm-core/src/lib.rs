@@ -77,7 +77,7 @@ pub mod testing;
 pub use attr::{AttrInterp, NoAttrs, StructuralAttrInterp, TableAttrInterp};
 pub use guard::{Expr, Guard, GuardValue};
 pub use machine::{Action, Machine, MachineError, MachineStats, Outcome, RuleName};
-pub use pattern::{Pattern, PatternError, PatternId, PatternStore};
+pub use pattern::{Pattern, PatternError, PatternId, PatternStore, RootFilter};
 pub use subst::{FunSubst, Subst, Witness};
 pub use symbol::{Attr, FunVar, PatName, Symbol, SymbolTable, Var};
 pub use term::{ArityError, TermId, TermStore};

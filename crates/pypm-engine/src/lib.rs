@@ -40,8 +40,36 @@
 //! documented on [`SweepPolicy::Incremental`] and proven empirically by
 //! the `incremental_equivalence` and `pass_properties` suites; the
 //! per-policy counters land in [`PassStats`] (`view_builds`,
-//! `view_patches`, `nodes_revisited`) and in the additive `incremental`
-//! block of [`PipelineReport::to_json`].
+//! `view_patches`, `nodes_revisited`, `nodes_reindexed`) and in the
+//! additive `incremental` block of [`PipelineReport::to_json`].
+//!
+//! ## Parallel matching (threading)
+//!
+//! Orthogonal to the sweep policy, the match phase shards across worker
+//! threads: `Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(n))`
+//! fans every scan round's `(node × pattern)` probes over `n`
+//! `std::thread::scope` workers with static contiguous chunking (no
+//! work stealing), each collecting outcomes into a local buffer.
+//!
+//! **Commit stays serial — that is the point.** Workers only
+//! *discover*: they share the frozen [`pypm_graph::TermView`] and
+//! [`pypm_core::TermStore`] read-only (each worker clones the one store
+//! a machine run mutates, the [`pypm_core::PatternStore`]), and the
+//! merged buffers feed a probe cache keyed by `(pattern, term)`. The
+//! unchanged serial fixpoint loop then consumes cached outcomes in its
+//! canonical (topo-order, rule-priority) order and performs every guard
+//! evaluation, identity rejection and graph mutation single-threaded.
+//! Firing sequences, final graphs and all [`PassStats`] counters are
+//! therefore **byte-identical to `jobs = 1`** under all three sweep
+//! policies — `tests/parallel_equivalence.rs` (crate `pypm`) proves it
+//! zoo-wide. Because the cache key is the term, rewrites invalidate by
+//! construction (changed nodes get fresh terms) and unchanged probes
+//! are memoized across sweeps; like `Incremental`, this relies on
+//! attribute tables being deterministic per term. The speculative-work
+//! counters land in [`ParallelStats`] and the additive `parallel` block
+//! of [`PipelineReport::to_json`]; the shard scheduler lives in
+//! [`shard`], its chunking utilities in
+//! [`pypm_perf::parallel`].
 //!
 //! ## Migrating from the legacy entry points
 //!
@@ -71,6 +99,7 @@ pub mod pass;
 pub mod pipeline;
 pub mod rewriter;
 pub mod session;
+pub mod shard;
 
 pub use explain::{explain_at, ExplainObserver, Explanation};
 pub use partition::{Partition, PartitionPass};
@@ -83,6 +112,7 @@ pub use rewriter::{
     find_matches, MatchReport, PassConfig, PassStats, RewriteError, RewritePass, SweepPolicy,
 };
 pub use session::Session;
+pub use shard::{ParallelConfig, ParallelStats};
 
 #[allow(deprecated)]
 pub use explain::explain_match;

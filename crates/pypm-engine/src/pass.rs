@@ -17,6 +17,7 @@
 
 use crate::rewriter::{PassStats, RewriteError};
 use crate::session::Session;
+use crate::shard::ParallelConfig;
 use pypm_graph::{Graph, NodeId};
 use std::any::Any;
 use std::cell::RefCell;
@@ -50,7 +51,7 @@ pub trait Pass {
 }
 
 /// What a pass did to the graph, plus its instrumentation counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PassOutcome {
     /// Whether the pass mutated the graph.
     pub changed: bool,
@@ -285,6 +286,7 @@ pub struct PipelineCx {
     artifacts: BTreeMap<String, Box<dyn Any>>,
     current: String,
     current_sweep: u64,
+    parallel: ParallelConfig,
 }
 
 impl fmt::Debug for PipelineCx {
@@ -295,6 +297,7 @@ impl fmt::Debug for PipelineCx {
             .field("observers", &self.observers.len())
             .field("artifacts", &self.artifacts.keys().collect::<Vec<_>>())
             .field("current", &self.current)
+            .field("parallel", &self.parallel)
             .finish()
     }
 }
@@ -314,6 +317,18 @@ impl PipelineCx {
     /// this to skip building event payloads nobody will see.
     pub fn has_observers(&self) -> bool {
         !self.observers.is_empty()
+    }
+
+    /// The parallel match-phase configuration passes should honour
+    /// (set once per pipeline via [`crate::Pipeline::parallelism`];
+    /// defaults to serial).
+    pub fn parallel(&self) -> ParallelConfig {
+        self.parallel
+    }
+
+    /// Sets the parallel match-phase configuration.
+    pub(crate) fn set_parallel(&mut self, parallel: ParallelConfig) {
+        self.parallel = parallel;
     }
 
     /// Emits an informational diagnostic attributed to the running pass.

@@ -107,6 +107,16 @@ impl<'s> Pipeline<'s> {
         self
     }
 
+    /// Selects the parallel match-phase configuration for every pass in
+    /// the pipeline (default: serial). With `jobs > 1`,
+    /// [`crate::RewritePass`] fans candidate discovery across that many
+    /// shard workers while committing rewrites serially — byte-identical
+    /// results, lower wall-clock; see the [`crate::shard`] module docs.
+    pub fn parallelism(mut self, parallel: crate::shard::ParallelConfig) -> Self {
+        self.cx.set_parallel(parallel);
+        self
+    }
+
     /// Disables (or re-enables) graph validation after each mutating
     /// pass. Validation is on by default.
     pub fn validate_after_each(mut self, validate: bool) -> Self {
@@ -218,6 +228,23 @@ impl PipelineReport {
             total.view_builds += s.view_builds;
             total.view_patches += s.view_patches;
             total.nodes_revisited += s.nodes_revisited;
+            total.nodes_reindexed += s.nodes_reindexed;
+            total.parallel.jobs = total.parallel.jobs.max(s.parallel.jobs);
+            total.parallel.warm_batches += s.parallel.warm_batches;
+            total.parallel.probes_executed += s.parallel.probes_executed;
+            total.parallel.probes_filtered += s.parallel.probes_filtered;
+            total.parallel.probes_reused += s.parallel.probes_reused;
+            total.parallel.probes_inline += s.parallel.probes_inline;
+            total.parallel.warm_wall += s.parallel.warm_wall;
+            if total.parallel.probes_by_shard.len() < s.parallel.probes_by_shard.len() {
+                total
+                    .parallel
+                    .probes_by_shard
+                    .resize(s.parallel.probes_by_shard.len(), 0);
+            }
+            for (shard, probes) in s.parallel.probes_by_shard.iter().enumerate() {
+                total.parallel.probes_by_shard[shard] += probes;
+            }
         }
         total
     }
@@ -236,7 +263,11 @@ impl PipelineReport {
     ///       "matches_found": 2, "rewrites_fired": 1, "machine_steps": 40,
     ///       "machine_backtracks": 3, "sweeps": 2,
     ///       "incremental": {"view_builds": 2, "view_patches": 0,
-    ///                       "nodes_revisited": 4}
+    ///                       "nodes_revisited": 4, "nodes_reindexed": 0},
+    ///       "parallel": {"jobs": 1, "warm_batches": 0,
+    ///                    "probes_executed": 0, "probes_filtered": 0,
+    ///                    "probes_reused": 0, "probes_inline": 0,
+    ///                    "warm_wall_ms": 0.0, "probes_by_shard": []}
     ///     }
     ///   ],
     ///   "totals": { ...same counter fields, "wall_ms" summed... },
@@ -281,16 +312,29 @@ impl PipelineReport {
 }
 
 /// The shared counter fields of one [`PassStats`], as JSON key/values.
-/// The trailing `incremental` object is the schema's additive
-/// incremental-rewriting block (view maintenance and revisit counters;
-/// all zero for passes that never build a term view).
+/// The trailing `incremental` and `parallel` objects are the schema's
+/// additive blocks: incremental-rewriting view maintenance (all zero
+/// for passes that never build a term view) and the parallel
+/// match-phase counters (`jobs` records the configured worker count;
+/// everything else is zero under `jobs = 1`).
 fn stats_fields(s: &PassStats) -> String {
+    let shards = s
+        .parallel
+        .probes_by_shard
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
     format!(
         "\"duration_ms\": {:.6}, \"nodes_visited\": {}, \"match_attempts\": {}, \
          \"matches_found\": {}, \"rewrites_fired\": {}, \"machine_steps\": {}, \
          \"machine_backtracks\": {}, \"sweeps\": {}, \
          \"incremental\": {{\"view_builds\": {}, \"view_patches\": {}, \
-         \"nodes_revisited\": {}}}",
+         \"nodes_revisited\": {}, \"nodes_reindexed\": {}}}, \
+         \"parallel\": {{\"jobs\": {}, \"warm_batches\": {}, \
+         \"probes_executed\": {}, \"probes_filtered\": {}, \
+         \"probes_reused\": {}, \"probes_inline\": {}, \
+         \"warm_wall_ms\": {:.6}, \"probes_by_shard\": [{}]}}",
         s.duration.as_secs_f64() * 1e3,
         s.nodes_visited,
         s.match_attempts,
@@ -302,6 +346,15 @@ fn stats_fields(s: &PassStats) -> String {
         s.view_builds,
         s.view_patches,
         s.nodes_revisited,
+        s.nodes_reindexed,
+        s.parallel.jobs,
+        s.parallel.warm_batches,
+        s.parallel.probes_executed,
+        s.parallel.probes_filtered,
+        s.parallel.probes_reused,
+        s.parallel.probes_inline,
+        s.parallel.warm_wall.as_secs_f64() * 1e3,
+        shards,
     )
 }
 

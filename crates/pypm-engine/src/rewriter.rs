@@ -23,6 +23,15 @@
 //! of influence of each rewrite, while provably firing the identical
 //! rewrite sequence (the invariants are documented on the variant).
 //!
+//! Orthogonally to the sweep policy, the match phase can run **in
+//! parallel**: with [`ParallelConfig`] `jobs > 1` (plumbed through
+//! [`crate::PipelineCx`], see [`crate::Pipeline::parallelism`]), each
+//! scan round's candidate probes are fanned across shard workers and
+//! memoized, and the serial scan consumes the memoized outcomes in its
+//! canonical order — firing sequences, final graphs and every counter
+//! stay byte-identical to `jobs = 1`. The [`crate::shard`] module
+//! documents the discover-parallel / commit-serial contract.
+//!
 //! [`PassStats`] records the counters behind the paper's compile-time
 //! figures (Figs. 12–13): wall-clock matching time, match attempts
 //! (including the "partial matches that don't end up actually matching"),
@@ -30,7 +39,8 @@
 
 use crate::pass::{Pass, PassError, PassOutcome, PipelineCx, RejectReason};
 use crate::session::Session;
-use pypm_core::{Machine, Outcome, Subst, TermId, Witness};
+use crate::shard::{warm_probes, ParallelConfig, ParallelStats, ProbeCache, ProbeKey, ProbeResult};
+use pypm_core::{Machine, Outcome, RootFilter, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
 use std::collections::HashSet;
@@ -121,7 +131,7 @@ impl Default for PassConfig {
 }
 
 /// Counters for one pass (the paper's compile-time cost metrics).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PassStats {
     /// Node visits across all sweeps.
     pub nodes_visited: u64,
@@ -147,6 +157,16 @@ pub struct PassStats {
     /// Visits to nodes already visited earlier in the pass — the
     /// redundant work incremental scheduling exists to avoid.
     pub nodes_revisited: u64,
+    /// Nodes walked by [`TermView::patch`]'s linear index refresh,
+    /// summed over all patches — the measured baseline for the
+    /// sublinear-index follow-up on the ROADMAP (zero under
+    /// [`SweepPolicy::RestartOnRewrite`], which rebuilds instead of
+    /// patching).
+    pub nodes_reindexed: u64,
+    /// Parallel match-phase counters (`jobs` records the configured
+    /// worker count; everything else is zero when `jobs = 1`); see
+    /// [`ParallelStats`] and the [`crate::shard`] module docs.
+    pub parallel: ParallelStats,
 }
 
 impl fmt::Display for PassStats {
@@ -242,11 +262,22 @@ struct Fired {
 }
 
 /// The internal engine shared by [`RewritePass`] and the deprecated
-/// [`Rewriter`] shim: the paper's greedy fixpoint loop.
+/// [`Rewriter`] shim: the paper's greedy fixpoint loop, optionally
+/// preceded by sharded parallel candidate discovery (see
+/// [`crate::shard`]).
 struct Driver<'a> {
     session: &'a mut Session,
     rules: &'a RuleSet,
     config: PassConfig,
+    parallel: ParallelConfig,
+    /// Memoized probe outcomes, keyed by (pattern index, term). Only
+    /// populated when `parallel.is_parallel()`; a term key can never go
+    /// stale because rewrites give every changed node a fresh term.
+    cache: ProbeCache,
+    /// Per-pattern root-operator indexes (parallel mode only), aligned
+    /// with `rules.patterns`; a rejected head operator is a guaranteed
+    /// machine failure resolved without a machine run.
+    filters: Vec<RootFilter>,
 }
 
 impl<'a> Driver<'a> {
@@ -255,7 +286,24 @@ impl<'a> Driver<'a> {
             session,
             rules,
             config,
+            parallel: ParallelConfig::serial(),
+            cache: ProbeCache::new(),
+            filters: Vec::new(),
         }
+    }
+
+    /// Selects the parallel match-phase configuration.
+    fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+        self.parallel = parallel;
+        if self.parallel.is_parallel() {
+            self.filters = self
+                .rules
+                .patterns
+                .iter()
+                .map(|def| self.session.pats.root_filter(def.pattern))
+                .collect();
+        }
+        self
     }
 
     /// Runs the pass to fixpoint, mutating `graph` in place and
@@ -263,6 +311,10 @@ impl<'a> Driver<'a> {
     fn run(&mut self, graph: &mut Graph, cx: &mut PipelineCx) -> Result<PassStats, RewriteError> {
         let start = Instant::now();
         let mut stats = PassStats::default();
+        stats.parallel.jobs = self.parallel.jobs as u64;
+        if self.parallel.is_parallel() {
+            stats.parallel.probes_by_shard = vec![0; self.parallel.jobs];
+        }
         match self.config.sweep_policy {
             SweepPolicy::Incremental => self.run_worklist(graph, cx, &mut stats)?,
             SweepPolicy::RestartOnRewrite | SweepPolicy::ContinueSweep => {
@@ -273,6 +325,98 @@ impl<'a> Driver<'a> {
         graph.gc();
         stats.duration = start.elapsed();
         Ok(stats)
+    }
+
+    /// The parallel discovery phase of one scan round: collects the
+    /// round's candidate probes — `candidates` in the exact order the
+    /// serial scan will visit them, every rule-bearing pattern per
+    /// candidate — and fans the uncached ones across the shard workers.
+    /// A no-op under `jobs = 1`.
+    fn warm_round(&mut self, candidates: &[NodeId], view: &TermView, stats: &mut PassStats) {
+        if !self.parallel.is_parallel() {
+            return;
+        }
+        let mut todo: Vec<ProbeKey> = Vec::new();
+        let mut queued: HashSet<ProbeKey> = HashSet::new();
+        for &node in candidates {
+            let Some(t) = view.term_of(node) else {
+                continue;
+            };
+            let op = self.session.terms.op(t);
+            for (pi, def) in self.rules.patterns.iter().enumerate() {
+                if def.rules.is_empty() {
+                    continue;
+                }
+                // Root-operator index first: guaranteed head-mismatch
+                // failures are never queued (nor cached — the consume
+                // path re-derives them from the same filter for the
+                // cost of a linear scan over a handful of symbols).
+                if !self.filters[pi].admits(op) {
+                    continue;
+                }
+                let key = (pi, t);
+                if !self.cache.contains_key(&key) && queued.insert(key) {
+                    // Distinct nodes can share a term; queue each
+                    // (pattern, term) probe once.
+                    todo.push(key);
+                }
+            }
+        }
+        warm_probes(
+            self.parallel,
+            self.rules,
+            &mut self.session.pats,
+            &self.session.terms,
+            view.attrs(),
+            self.config.machine_fuel,
+            &todo,
+            &mut self.cache,
+            &mut stats.parallel,
+        );
+    }
+
+    /// Probes one (pattern, term) candidate: consumes the memoized
+    /// outcome when the parallel match phase is on (falling back to an
+    /// inline machine run on a miss), or runs the machine directly in
+    /// serial mode. Counter accounting is identical on every path —
+    /// cached probes replay the [`pypm_core::MachineStats`] a serial
+    /// run of the same probe would have produced.
+    fn probe(
+        &mut self,
+        pi: usize,
+        t: TermId,
+        op: pypm_core::Symbol,
+        view: &TermView,
+        stats: &mut PassStats,
+    ) -> Option<Witness> {
+        if self.parallel.is_parallel() {
+            // Root-operator index: a rejected head operator is a
+            // guaranteed machine failure — no cache entry, no machine.
+            if !self.filters[pi].admits(op) {
+                stats.parallel.probes_filtered += 1;
+                return None;
+            }
+            if let Some(cached) = self.cache.get(&(pi, t)) {
+                stats.machine_steps += cached.steps;
+                stats.machine_backtracks += cached.backtracks;
+                stats.parallel.probes_reused += 1;
+                return cached.witness.clone();
+            }
+        }
+        let mut machine = Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
+        let outcome = machine.run(self.rules.patterns[pi].pattern, t, self.config.machine_fuel);
+        let result = ProbeResult::from_run(outcome, machine.stats());
+        stats.machine_steps += result.steps;
+        stats.machine_backtracks += result.backtracks;
+        if self.parallel.is_parallel() {
+            stats.parallel.probes_inline += 1;
+            let witness = result.witness.clone();
+            self.cache.insert((pi, t), result);
+            witness
+        } else {
+            // Serial hot path: the witness moves out, no clone.
+            result.witness
+        }
     }
 
     /// Visits one node: counts the visit, tries every pattern in
@@ -302,7 +446,9 @@ impl<'a> Driver<'a> {
             Some(t) => t,
             None => return Ok(None),
         };
-        for (pi, def) in self.rules.patterns.iter().enumerate() {
+        let rules = self.rules;
+        let op = self.session.terms.op(t);
+        for (pi, def) in rules.patterns.iter().enumerate() {
             if def.rules.is_empty() {
                 // Pattern-only definitions (e.g. PwSubgraph) are
                 // matched by find_matches/partitioning, not by the
@@ -310,15 +456,8 @@ impl<'a> Driver<'a> {
                 continue;
             }
             stats.match_attempts += 1;
-            let mut machine =
-                Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
-            let outcome = machine.run(def.pattern, t, self.config.machine_fuel);
-            let mstats = machine.stats();
-            stats.machine_steps += mstats.steps;
-            stats.machine_backtracks += mstats.backtracks;
-            let witness = match outcome {
-                Ok(Outcome::Success(w)) => w,
-                Ok(Outcome::Failure) | Err(_) => continue,
+            let Some(witness) = self.probe(pi, t, op, view, stats) else {
+                continue;
             };
             stats.matches_found += 1;
             // "PyPM runs each of the corresponding rules one by one …
@@ -364,6 +503,7 @@ impl<'a> Driver<'a> {
             &self.session.registry,
         );
         stats.view_patches += 1;
+        stats.nodes_reindexed += view.last_patch_reindexed();
         cone
     }
 
@@ -388,6 +528,11 @@ impl<'a> Driver<'a> {
             );
             stats.view_builds += 1;
             let order = graph.topo_order();
+            // Parallel discovery: probe this sweep's candidates across
+            // the shard workers before the serial scan consumes them.
+            // The probe cache persists across sweeps (terms are
+            // hash-consed), so a restart sweep mostly re-warms nothing.
+            self.warm_round(&order, &view, stats);
             let mut sweep_fired = false;
             for node in order {
                 if !graph.is_alive(node) {
@@ -486,6 +631,16 @@ impl<'a> Driver<'a> {
             stats.sweeps += 1;
             cx.set_sweep(stats.sweeps);
             let order = graph.topo_order();
+            // Parallel discovery over this round's dirty candidates
+            // only — the worklist is the natural shard queue.
+            if self.parallel.is_parallel() {
+                let candidates: Vec<NodeId> = order
+                    .iter()
+                    .copied()
+                    .filter(|n| dirty.contains(n))
+                    .collect();
+                self.warm_round(&candidates, &view, stats);
+            }
             for node in order {
                 // Only worklist members are candidates; visiting removes
                 // the node (it is re-enqueued if a later rewrite changes
@@ -833,7 +988,9 @@ impl Pass for RewritePass {
         graph: &mut Graph,
         cx: &mut PipelineCx,
     ) -> Result<PassOutcome, PassError> {
-        let stats = Driver::new(session, &self.rules, self.config).run(graph, cx)?;
+        let stats = Driver::new(session, &self.rules, self.config)
+            .with_parallel(cx.parallel())
+            .run(graph, cx)?;
         Ok(PassOutcome::from_stats(stats))
     }
 }

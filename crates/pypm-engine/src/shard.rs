@@ -1,0 +1,409 @@
+//! The parallel match phase: sharded candidate discovery with a
+//! deterministic serial commit.
+//!
+//! The rewrite pass is match-dominated — every `(node × pattern)` probe
+//! drives the CorePyPM abstract machine, and probes are independent of
+//! one another. This module fans them across worker threads while
+//! keeping the pass's observable behaviour **byte-identical** to a
+//! serial run:
+//!
+//! 1. **Discover in parallel.** At the start of every scan round the
+//!    driver collects the candidate probes the round may consume, in
+//!    the exact topo-order × rule-priority order the serial scan visits
+//!    them. The warm phase cuts that list into contiguous static
+//!    chunks (no work stealing — see
+//!    [`pypm_perf::parallel::shard_ranges`]), runs one
+//!    `std::thread::scope` worker per chunk, and each worker probes its
+//!    candidates into a **local buffer**: shared `&TermStore` /
+//!    `&GraphAttrInterp` reads, plus a worker-local clone of the
+//!    [`PatternStore`] (the one store a machine run mutates, via
+//!    μ-unfolding — see the thread-safety notes on
+//!    [`pypm_core::Machine`]).
+//! 2. **Merge deterministically.** Buffers are merged in shard order —
+//!    which *is* candidate order, because the chunks are contiguous —
+//!    into a probe cache keyed by `(pattern index, term)`. Outcomes are
+//!    deterministic per key, and the pre-shard candidate list is
+//!    deduplicated, so every key has exactly one producer.
+//! 3. **Commit serially.** The unchanged serial fixpoint loop then
+//!    *consumes* cached outcomes in the canonical (topo-order,
+//!    rule-priority) order: guard evaluation, identity rejection and
+//!    replacement construction all stay single-threaded, so firing
+//!    sequences, final graphs and every *semantic* counter
+//!    (`nodes_visited`, `match_attempts`, `matches_found`,
+//!    `rewrites_fired`, `sweeps`, view maintenance) are identical to
+//!    `jobs = 1` under all three [`crate::SweepPolicy`]s.
+//!
+//! Invalidation is by construction: the cache key is the *term*, and a
+//! rewrite gives every node in its cone of influence a fresh term, so
+//! stale entries can never be consumed — a changed candidate misses the
+//! cache and is re-probed (inline, or by the next round's warm phase)
+//! exactly as `ContinueSweep`/`Incremental` re-examine their cones.
+//!
+//! Two properties make the phase cheaper than the serial matcher even
+//! before any thread is spawned:
+//!
+//! * **Cross-round memoization.** Terms are hash-consed, so a restart
+//!   sweep re-visits mostly unchanged terms and pays one hash lookup
+//!   where the serial pass re-runs the machine.
+//! * **Root-operator indexing.** Each pattern's conservative
+//!   [`pypm_core::RootFilter`] resolves guaranteed head-mismatch
+//!   failures without a machine run — the classic root-op index of
+//!   e-graph and pattern-driver engines, sound because a rejected head
+//!   operator conflicts on every branch of the pattern.
+//!
+//! Both are *work* optimizations, so the machine-work diagnostics
+//! (`machine_steps`, `machine_backtracks`) report the smaller amount of
+//! work actually done under `jobs > 1` — they are the measurement of
+//! the optimization, not part of the byte-identity contract. Every
+//! counter the bench gate pins (`match_attempts`, `matches_found`,
+//! `rewrites_fired`) stays exact. Like
+//! [`crate::SweepPolicy::Incremental`], cross-round reuse relies on the
+//! attribute tables being deterministic per term (structurally equal
+//! subgraphs carry equal metadata) — the invariant documented on that
+//! variant and hunted by the nightly randomized divergence suites.
+
+use pypm_core::{Machine, Outcome, PatternStore, TermId, TermStore, Witness};
+use pypm_dsl::RuleSet;
+use pypm_graph::GraphAttrInterp;
+use pypm_perf::parallel::{available_jobs, shard_ranges};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Worker configuration for the parallel match phase, plumbed through
+/// [`crate::PipelineCx`] (see [`crate::Pipeline::parallelism`]) down to
+/// every [`crate::RewritePass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker-thread count for candidate discovery. `1` (the default)
+    /// runs the classic fully serial pass — no speculation, no cache.
+    pub jobs: usize,
+}
+
+impl ParallelConfig {
+    /// The serial configuration: one job, no parallel match phase.
+    pub fn serial() -> Self {
+        ParallelConfig { jobs: 1 }
+    }
+
+    /// One worker per available hardware thread
+    /// ([`pypm_perf::parallel::available_jobs`]).
+    pub fn auto() -> Self {
+        ParallelConfig {
+            jobs: available_jobs(),
+        }
+    }
+
+    /// An explicit worker count (clamped to at least 1).
+    pub fn with_jobs(jobs: usize) -> Self {
+        ParallelConfig { jobs: jobs.max(1) }
+    }
+
+    /// Whether the parallel match phase (and its probe cache) is on.
+    pub fn is_parallel(&self) -> bool {
+        self.jobs > 1
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+/// Counters of the parallel match phase, reported additively alongside
+/// the classic [`crate::PassStats`] fields. `jobs` always records the
+/// configured worker count (so a serial run reports `jobs: 1`); every
+/// other field stays zero under `jobs = 1`.
+///
+/// Every probe the serial commit scan consumes is resolved one of
+/// three ways, so
+/// `probes_filtered + probes_reused + probes_inline == match_attempts`;
+/// `probes_executed` is the speculative machine work the warm phases
+/// performed, split per shard in [`ParallelStats::probes_by_shard`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParallelStats {
+    /// Configured worker count (`jobs` of [`ParallelConfig`]).
+    pub jobs: u64,
+    /// Warm phases run (one per scan round with uncached candidates).
+    pub warm_batches: u64,
+    /// Probes executed (machine runs) by warm-phase workers.
+    pub probes_executed: u64,
+    /// Consumed probes resolved by the root-operator index
+    /// ([`pypm_core::RootFilter`]) — guaranteed head-mismatch failures
+    /// that run no machine at all.
+    pub probes_filtered: u64,
+    /// Consumed probes served from the memoized cache.
+    pub probes_reused: u64,
+    /// Consumed probes that missed the cache and ran a machine inline
+    /// (candidates whose term appeared mid-round, after the warm
+    /// phase).
+    pub probes_inline: u64,
+    /// Per-shard machine-run counts, indexed by shard; sums to
+    /// `probes_executed`. Length is the configured job count (trailing
+    /// shards stay 0 when a round had too few candidates to fan out).
+    pub probes_by_shard: Vec<u64>,
+    /// Wall-clock spent inside warm phases (threads spawned to joined).
+    pub warm_wall: Duration,
+}
+
+/// One memoized probe: the machine outcome for a `(pattern, term)`
+/// pair, plus the counters a serial run of that probe would have added.
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeResult {
+    /// The witness on success, `None` on failure/fuel exhaustion.
+    pub witness: Option<Witness>,
+    /// Machine transitions the probe took.
+    pub steps: u64,
+    /// Machine backtracks the probe took.
+    pub backtracks: u64,
+}
+
+impl ProbeResult {
+    /// The single outcome→result mapping shared by the warm-phase
+    /// workers and the driver's inline-miss path. Keeping it in one
+    /// place is what makes warm-probed and inline-probed candidates
+    /// structurally incapable of diverging (fuel exhaustion counts as
+    /// "no match", exactly like the serial scan).
+    pub(crate) fn from_run(
+        outcome: Result<Outcome, pypm_core::MachineError>,
+        stats: pypm_core::MachineStats,
+    ) -> ProbeResult {
+        ProbeResult {
+            witness: match outcome {
+                Ok(Outcome::Success(w)) => Some(w),
+                Ok(Outcome::Failure) | Err(_) => None,
+            },
+            steps: stats.steps,
+            backtracks: stats.backtracks,
+        }
+    }
+}
+
+/// Probe-cache key: pattern index in the rule set × matched term.
+pub(crate) type ProbeKey = (usize, TermId);
+
+/// The probe cache one pass run accumulates.
+pub(crate) type ProbeCache = HashMap<ProbeKey, ProbeResult>;
+
+/// Don't spawn a worker for fewer probes than this — on a loaded (or
+/// single-core) host a thread spawn costs as much as hundreds of
+/// machine runs, so small rounds probe on the calling thread and only
+/// genuinely large rounds fan out.
+const MIN_PROBES_PER_SHARD: usize = 256;
+
+/// The warm phase: probes `todo` (deduplicated, in candidate order)
+/// across `cfg.jobs` workers and merges the buffered results into
+/// `cache` in shard order. See the module docs for the determinism
+/// argument.
+// A free function taking each store separately, rather than a struct,
+// because the borrows come from *different* owners in the driver
+// (session fields, the pass config, and the stats block).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn warm_probes(
+    cfg: ParallelConfig,
+    rules: &RuleSet,
+    pats: &mut PatternStore,
+    terms: &TermStore,
+    attrs: &GraphAttrInterp,
+    fuel: u64,
+    todo: &[ProbeKey],
+    cache: &mut ProbeCache,
+    stats: &mut ParallelStats,
+) {
+    if todo.is_empty() {
+        return;
+    }
+    if stats.probes_by_shard.len() < cfg.jobs {
+        stats.probes_by_shard.resize(cfg.jobs, 0);
+    }
+    stats.warm_batches += 1;
+    let clock = Instant::now();
+    let ranges = shard_ranges(todo.len(), cfg.jobs, MIN_PROBES_PER_SHARD);
+    // One machine per shard, re-loaded per probe: amortizes the
+    // state-vector allocations across the whole chunk.
+    let run_shard =
+        |shard_pats: &mut PatternStore, chunk: &[ProbeKey]| -> Vec<(ProbeKey, ProbeResult)> {
+            let mut machine = Machine::new(shard_pats, terms, attrs);
+            chunk
+                .iter()
+                .map(|&key| {
+                    let (pi, t) = key;
+                    machine.load(rules.patterns[pi].pattern, t);
+                    let outcome = machine.resume(fuel);
+                    let mstats = machine.stats();
+                    (key, ProbeResult::from_run(outcome, mstats))
+                })
+                .collect()
+        };
+    let buffers: Vec<Vec<(ProbeKey, ProbeResult)>> = if ranges.len() == 1 {
+        // One shard's worth of work: probe on the calling thread with
+        // the session's own pattern store — no clone, no spawn.
+        vec![run_shard(pats, &todo[ranges[0].clone()])]
+    } else {
+        // Worker-local pattern stores: μ-unfolding interns patterns,
+        // and clones are cheap next to the probes they serve. Shard 0
+        // runs on the calling thread, overlapping the spawned workers;
+        // buffers are collected back in shard order.
+        let mut worker_pats: Vec<PatternStore> = ranges[1..].iter().map(|_| pats.clone()).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = ranges[1..]
+                .iter()
+                .zip(worker_pats.iter_mut())
+                .map(|(r, local_pats)| {
+                    let chunk = &todo[r.clone()];
+                    scope.spawn(move || run_shard(local_pats, chunk))
+                })
+                .collect();
+            let mut buffers = vec![run_shard(pats, &todo[ranges[0].clone()])];
+            buffers.extend(
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("shard worker panicked")),
+            );
+            buffers
+        })
+    };
+    // Merge in shard order — candidate order, since chunks are
+    // contiguous. Keys are unique (deduplicated upstream), so the
+    // merge order only matters for determinism of iteration-free maps,
+    // which a keyed HashMap gives us for free; ordering is preserved
+    // where it matters, in the serial commit scan.
+    for (shard, buffer) in buffers.into_iter().enumerate() {
+        let probes = buffer.len() as u64;
+        stats.probes_by_shard[shard] += probes;
+        stats.probes_executed += probes;
+        cache.extend(buffer);
+    }
+    stats.warm_wall += clock.elapsed();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use pypm_dsl::LibraryConfig;
+    use pypm_graph::{DType, Graph, TensorMeta, TermView};
+
+    #[test]
+    fn parallel_config_defaults_and_clamps() {
+        assert_eq!(ParallelConfig::default(), ParallelConfig::serial());
+        assert!(!ParallelConfig::serial().is_parallel());
+        assert_eq!(ParallelConfig::with_jobs(0).jobs, 1);
+        assert!(ParallelConfig::with_jobs(2).is_parallel());
+        assert!(ParallelConfig::auto().jobs >= 1);
+    }
+
+    /// Warm-phase outcomes must agree with a direct serial machine run,
+    /// probe for probe, and account every probe to a shard.
+    #[test]
+    fn warm_probes_match_serial_probes() {
+        let mut s = Session::new();
+        let rules = s.load_library(LibraryConfig::both());
+        let mut g = Graph::new();
+        // Wide enough that the candidate list exceeds the per-shard
+        // grain and the warm phase genuinely spawns worker threads.
+        let trans = s.ops.trans;
+        let matmul = s.ops.matmul;
+        let relu = s.ops.relu;
+        for _ in 0..64 {
+            let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let bt = g
+                .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+                .unwrap();
+            let mm = g
+                .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+                .unwrap();
+            let act = g
+                .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+                .unwrap();
+            g.mark_output(act);
+        }
+        let view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+
+        // Every (pattern, term) candidate of the graph, deduplicated.
+        let mut todo: Vec<ProbeKey> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for node in g.topo_order() {
+            let t = view.term_of(node).unwrap();
+            for (pi, def) in rules.patterns.iter().enumerate() {
+                if !def.rules.is_empty() && seen.insert((pi, t)) {
+                    todo.push((pi, t));
+                }
+            }
+        }
+
+        let mut cache = ProbeCache::new();
+        let mut stats = ParallelStats::default();
+        warm_probes(
+            ParallelConfig::with_jobs(4),
+            &rules,
+            &mut s.pats,
+            &s.terms,
+            view.attrs(),
+            1_000_000,
+            &todo,
+            &mut cache,
+            &mut stats,
+        );
+        assert_eq!(cache.len(), todo.len());
+        assert_eq!(stats.probes_executed, todo.len() as u64);
+        assert_eq!(
+            stats.probes_by_shard.iter().sum::<u64>(),
+            stats.probes_executed
+        );
+        assert_eq!(stats.warm_batches, 1);
+        assert!(
+            stats.probes_by_shard.iter().filter(|&&p| p > 0).count() > 1,
+            "large candidate list must fan out across shards: {:?}",
+            stats.probes_by_shard
+        );
+
+        for &(pi, t) in &todo {
+            let cached = &cache[&(pi, t)];
+            let mut machine = Machine::new(&mut s.pats, &s.terms, view.attrs());
+            let outcome = machine.run(rules.patterns[pi].pattern, t, 1_000_000);
+            let mstats = machine.stats();
+            assert_eq!(
+                cached.steps, mstats.steps,
+                "steps diverged for ({pi}, {t:?})"
+            );
+            assert_eq!(cached.backtracks, mstats.backtracks);
+            let serial_witness = match outcome {
+                Ok(Outcome::Success(w)) => Some(w),
+                _ => None,
+            };
+            match (&cached.witness, &serial_witness) {
+                (None, None) => {}
+                (Some(cw), Some(sw)) => {
+                    assert_eq!(cw.theta, sw.theta, "theta diverged for ({pi}, {t:?})");
+                    assert_eq!(cw.phi, sw.phi, "phi diverged for ({pi}, {t:?})");
+                }
+                other => panic!("outcome diverged for ({pi}, {t:?}): {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn warm_probes_is_a_no_op_on_an_empty_candidate_list() {
+        let mut s = Session::new();
+        let rules = s.load_library(LibraryConfig::both());
+        let mut cache = ProbeCache::new();
+        let mut stats = ParallelStats::default();
+        let g = Graph::new();
+        let view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+        warm_probes(
+            ParallelConfig::with_jobs(8),
+            &rules,
+            &mut s.pats,
+            &s.terms,
+            view.attrs(),
+            1_000,
+            &[],
+            &mut cache,
+            &mut stats,
+        );
+        assert!(cache.is_empty());
+        assert_eq!(stats, ParallelStats::default());
+    }
+}

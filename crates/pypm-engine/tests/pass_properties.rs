@@ -9,7 +9,9 @@
 
 use proptest::prelude::*;
 use pypm_dsl::LibraryConfig;
-use pypm_engine::{PassConfig, Rewriter, Session, SweepPolicy};
+use pypm_engine::{
+    ParallelConfig, PassConfig, Pipeline, RewritePass, Rewriter, Session, SweepPolicy,
+};
 use pypm_graph::{DType, Graph, NodeId, TensorMeta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -156,6 +158,57 @@ proptest! {
             attempts[1],
             attempts[0]
         );
+    }
+
+    /// The parallel match phase must be byte-identical to the serial
+    /// pass on random graphs × random rule subsets × random worker
+    /// counts × every sweep policy — the jobs half of the nightly
+    /// divergence hunt (the scheduler is exercised for real: worker
+    /// counts beyond the host's cores are valid and must not diverge).
+    #[test]
+    fn parallel_is_byte_identical_on_random_rule_subsets(
+        seed in any::<u64>(),
+        size in 1usize..30,
+        mask in 1u32..u32::MAX,
+        jobs in 2usize..9,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = SweepPolicy::ALL[policy_idx];
+        let mut snapshots = Vec::new();
+        for jobs in [1usize, jobs] {
+            let mut s = Session::new();
+            let mut g = random_graph(&mut s, seed, size);
+            let mut rules = s.load_library(LibraryConfig::all());
+            let kept: Vec<_> = rules
+                .patterns
+                .drain(..)
+                .enumerate()
+                .filter(|(i, _)| mask >> (i % 32) & 1 == 1)
+                .map(|(_, p)| p)
+                .collect();
+            rules.patterns = kept;
+            let report = Pipeline::new(&mut s)
+                .with(RewritePass::new(rules).policy(policy))
+                .parallelism(ParallelConfig::with_jobs(jobs))
+                .run(&mut g)
+                .unwrap();
+            let stats = report.total();
+            g.validate().unwrap();
+            let snap: Vec<(NodeId, String, Vec<NodeId>)> = g
+                .topo_order()
+                .into_iter()
+                .map(|n| (n, s.syms.op_name(g.node(n).op).to_owned(), g.node(n).inputs.clone()))
+                .collect();
+            snapshots.push((
+                stats.rewrites_fired,
+                stats.match_attempts,
+                stats.matches_found,
+                stats.sweeps,
+                snap,
+                g.outputs().to_vec(),
+            ));
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
     }
 
     /// The pass never grows the graph: destructive fusion only.

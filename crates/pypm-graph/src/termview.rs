@@ -145,6 +145,9 @@ pub struct TermView {
     /// Nodes marked dirty by [`TermView::invalidate`], consumed by the
     /// next [`TermView::patch`].
     pending: HashSet<NodeId>,
+    /// Nodes walked by the last [`TermView::patch`]'s linear index
+    /// refresh (see [`TermView::last_patch_reindexed`]).
+    last_patch_reindexed: u64,
 }
 
 impl TermView {
@@ -166,6 +169,7 @@ impl TermView {
                 ..GraphAttrInterp::default()
             },
             pending: HashSet::new(),
+            last_patch_reindexed: 0,
         };
         view.repair(graph, syms, terms, registry, None);
         view
@@ -232,7 +236,9 @@ impl TermView {
         self.attrs.class_code.clear();
         self.attrs.node_attrs.clear();
         let mut cone = Vec::new();
+        let mut walked = 0u64;
         for n in graph.topo_order() {
+            walked += 1;
             let node = graph.node(n);
             // Decide whether this node's term must be re-interned: always
             // when building from scratch; when patching, only for seed
@@ -305,7 +311,22 @@ impl TermView {
                     .or_insert_with(|| node.attrs.clone());
             }
         }
+        if reuse.is_some() {
+            self.last_patch_reindexed = walked;
+        }
         cone
+    }
+
+    /// How many nodes the last [`TermView::patch`] walked while
+    /// refreshing the index maps and side tables.
+    ///
+    /// Re-interning is confined to the cone of influence, but the index
+    /// refresh is still one linear topological pass over the whole
+    /// graph (cheap inserts, no hash-consing) — this counter is the
+    /// measured baseline for the sublinear-index follow-up on the
+    /// ROADMAP. Zero until the first patch.
+    pub fn last_patch_reindexed(&self) -> u64 {
+        self.last_patch_reindexed
     }
 
     /// The graph revision this view was built against.
@@ -338,6 +359,16 @@ impl TermView {
         self.term_of_node.is_empty()
     }
 }
+
+// The parallel match phase (pypm-engine's shard scheduler) shares one
+// frozen view across worker threads; this is the compile-time proof
+// that `&TermView` — and the attribute interpretation guards evaluate
+// against — can cross thread boundaries.
+const _: fn() = || {
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<TermView>();
+    assert_sync::<GraphAttrInterp>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -626,6 +657,33 @@ mod tests {
         let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         assert!(cone.is_empty(), "unchanged term must cut the cone off");
         assert_patched_equals_rebuilt(&mut f, &view);
+    }
+
+    #[test]
+    fn patch_reports_linear_reindex_count() {
+        // The index refresh walks the whole live graph once per patch;
+        // the counter records exactly that and is zero before any patch.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let t =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![r], vec![])
+                .unwrap();
+        f.g.mark_output(t);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_eq!(view.last_patch_reindexed(), 0);
+
+        let gelu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+                .unwrap();
+        let rewired = f.g.replace_traced(r, gelu).unwrap();
+        f.g.gc();
+        view.invalidate(rewired.into_iter().chain([gelu]));
+        view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        assert_eq!(view.last_patch_reindexed() as usize, f.g.live_count());
     }
 
     #[test]

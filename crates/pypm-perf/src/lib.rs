@@ -15,9 +15,16 @@
 //! kernels for exactly those savings, so relative speedups have the same
 //! *shape* (who wins, and roughly by how much) as the hardware numbers,
 //! without pretending to reproduce absolute milliseconds.
+//!
+//! Beyond the cost model, this crate is also the home of the
+//! [`parallel`] utilities — worker-count resolution and static shard
+//! chunking — that back the rewrite engine's parallel match phase
+//! (`pypm-engine`'s shard scheduler).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod parallel;
 
 use pypm_core::SymbolTable;
 use pypm_graph::{Graph, NodeId, NodeKind, OpClass, OpRegistry, StdOps};

@@ -1,0 +1,141 @@
+//! Shard-scheduling utilities for the parallel match phase.
+//!
+//! The rewrite engine's shard scheduler (`pypm-engine/src/shard.rs`)
+//! fans candidate probes over `std::thread::scope` workers with
+//! **static contiguous chunking** — no work stealing, no queues, no
+//! external crates. This module is the home of the policy-free pieces:
+//! how many workers to use and how to cut a candidate list into
+//! shards.
+//!
+//! Thread affinity: pinning shards to cores would need OS-specific
+//! syscalls (and `unsafe`, which this crate forbids); the utilities
+//! here instead keep shards *contiguous* so each worker walks a dense
+//! index range — the cache-friendly half of affinity that is portable.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// The default worker count: the machine's available parallelism, as
+/// reported by the OS (1 when the query fails).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses a job count from user input (CLI flag or environment): a
+/// positive decimal integer.
+///
+/// # Errors
+///
+/// Rejects `0`, non-numeric input and overflow with a human-readable
+/// reason (the CLI surfaces it verbatim at exit code 2).
+pub fn parse_jobs(s: &str) -> Result<usize, String> {
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err("job count must be at least 1".to_owned()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("'{s}' is not a positive integer")),
+    }
+}
+
+/// Reads a job count override from the environment variable `var`.
+/// `Ok(None)` when unset; set-but-invalid values are errors (a typo'd
+/// `PYPM_JOBS=fuor` must fail loudly, not silently run the default).
+///
+/// # Errors
+///
+/// Propagates [`parse_jobs`] failures, naming the variable.
+pub fn jobs_from_env(var: &str) -> Result<Option<usize>, String> {
+    match std::env::var(var) {
+        Err(std::env::VarError::NotPresent) => Ok(None),
+        Err(std::env::VarError::NotUnicode(raw)) => Err(format!(
+            "invalid {var}={}: not valid unicode",
+            raw.to_string_lossy()
+        )),
+        Ok(value) => parse_jobs(&value)
+            .map(Some)
+            .map_err(|e| format!("invalid {var}={value}: {e}")),
+    }
+}
+
+/// Cuts `len` items into at most `shards` contiguous, near-equal
+/// ranges (sizes differ by at most one), merging down when there is
+/// too little work to go around: the shard count is also capped at
+/// `len / min_per_shard` (rounded up), so no worker is spawned for a
+/// handful of probes. Deterministic in all inputs; the concatenation
+/// of the ranges is exactly `0..len` in order — the property the
+/// serial commit step's merge relies on.
+pub fn shard_ranges(len: usize, shards: usize, min_per_shard: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let shards = shards
+        .max(1)
+        .min(len.div_ceil(min_per_shard.max(1)))
+        .min(len);
+    let base = len / shards;
+    let extra = len % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("four").is_err());
+        assert!(parse_jobs("").is_err());
+    }
+
+    #[test]
+    fn shard_ranges_tile_the_input_exactly() {
+        for (len, shards, min) in [(0, 4, 1), (1, 4, 1), (10, 3, 1), (100, 7, 16), (5, 8, 2)] {
+            let ranges = shard_ranges(len, shards, min);
+            let mut expect = 0;
+            for r in &ranges {
+                assert_eq!(r.start, expect, "ranges must be contiguous in order");
+                assert!(r.end > r.start, "no empty shards");
+                expect = r.end;
+            }
+            assert_eq!(expect, len, "ranges must cover 0..len");
+            assert!(ranges.len() <= shards.max(1));
+        }
+    }
+
+    #[test]
+    fn shard_ranges_respect_the_minimum_grain() {
+        // 10 items at min grain 4 never split into more than
+        // ceil(10/4) = 3 shards; a handful of items never fans out.
+        assert_eq!(shard_ranges(10, 8, 4).len(), 3);
+        assert_eq!(shard_ranges(3, 8, 4).len(), 1);
+        assert_eq!(shard_ranges(4, 8, 4).len(), 1);
+        assert_eq!(shard_ranges(64, 4, 16).len(), 4);
+    }
+
+    #[test]
+    fn shard_ranges_are_near_equal() {
+        let ranges = shard_ranges(101, 4, 1);
+        assert_eq!(ranges.len(), 4);
+        let sizes: Vec<usize> = ranges.iter().map(Range::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 101);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pypmc list-models                         list both model zoos
-//! pypmc compile <model> [--config C] [--sweep-policy P] [--stats-json FILE] [--dot]
+//! pypmc compile <model> [--config C] [--sweep-policy P] [--jobs N]
+//!                       [--stats-json FILE] [--dot]
 //!                                           compile one model and report
 //!                                           rewrite stats + simulated cost
 //! pypmc library [--format text|binary] [-o FILE]
@@ -15,9 +16,14 @@
 //! Sweep policies `P`: `restart` (paper-faithful, default), `continue`,
 //! `incremental` (dirty-node worklist; identical result, fewest match
 //! attempts). `--policy` is accepted as a deprecated alias of
-//! `--sweep-policy`. `--stats-json` writes the pipeline report in the
-//! stable `pypm.pipeline.v1` schema (including the additive
-//! `incremental` counter block).
+//! `--sweep-policy`. `--jobs N` selects the parallel match phase's
+//! worker count (sharded discovery, serial commit — byte-identical
+//! results); the default is the machine's available parallelism,
+//! overridable with the `PYPM_JOBS` environment variable (the explicit
+//! flag wins). `--jobs 0` and non-numeric values are rejected with exit
+//! code 2. `--stats-json` writes the pipeline report in the stable
+//! `pypm.pipeline.v1` schema (including the additive `incremental` and
+//! `parallel` counter blocks).
 //!
 //! Unknown flags and stray positional arguments are rejected with exit
 //! code 2 and a usage line — every subcommand declares exactly what it
@@ -25,8 +31,8 @@
 
 use pypm::dsl::{binary, text, LibraryConfig};
 use pypm::engine::{
-    explain_at, ExplainObserver, Partition, PartitionPass, Pipeline, RewritePass, Session,
-    SweepPolicy,
+    explain_at, ExplainObserver, ParallelConfig, Partition, PartitionPass, Pipeline, RewritePass,
+    Session, SweepPolicy,
 };
 use pypm::graph::Graph;
 use pypm::perf::CostModel;
@@ -171,9 +177,16 @@ fn list_models(args: &[String]) -> i32 {
 
 fn compile(args: &[String]) -> i32 {
     let spec = Spec {
-        usage: "pypmc compile <model> [--config C] [--sweep-policy P] [--stats-json FILE] [--dot]",
+        usage: "pypmc compile <model> [--config C] [--sweep-policy P] [--jobs N] \
+                [--stats-json FILE] [--dot]",
         positionals: (1, 1),
-        value_flags: &["--config", "--sweep-policy", "--policy", "--stats-json"],
+        value_flags: &[
+            "--config",
+            "--sweep-policy",
+            "--policy",
+            "--jobs",
+            "--stats-json",
+        ],
         bool_flags: &["--dot"],
     };
     let parsed = match parse_or_usage(&spec, args) {
@@ -203,6 +216,28 @@ fn compile(args: &[String]) -> i32 {
         eprintln!("unknown sweep policy {policy_arg} (want {vocabulary})");
         return 2;
     };
+    // Worker count: explicit --jobs wins, then the PYPM_JOBS override,
+    // then the machine's available parallelism. Invalid values (0,
+    // non-numeric) fail loudly on either path.
+    let jobs = match parsed.value("--jobs") {
+        Some(v) => match pypm::perf::parallel::parse_jobs(v) {
+            Ok(jobs) => jobs,
+            Err(e) => {
+                eprintln!("error: invalid --jobs {v}: {e}");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
+            }
+        },
+        None => match pypm::perf::parallel::jobs_from_env("PYPM_JOBS") {
+            Ok(Some(jobs)) => jobs,
+            Ok(None) => pypm::perf::parallel::available_jobs(),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
+            }
+        },
+    };
 
     let mut s = Session::new();
     let Some(mut g) = build_model(&mut s, model) else {
@@ -214,7 +249,7 @@ fn compile(args: &[String]) -> i32 {
     let before_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
 
     let rules = s.load_library(lib);
-    let mut pipeline = Pipeline::new(&mut s);
+    let mut pipeline = Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(jobs));
     if !rules.is_empty() {
         pipeline = pipeline.with(RewritePass::new(rules).policy(policy));
     }
@@ -244,9 +279,20 @@ fn compile(args: &[String]) -> i32 {
         stats.sweeps
     );
     println!(
-        "term view  {} builds, {} patches, {} nodes revisited",
-        stats.view_builds, stats.view_patches, stats.nodes_revisited
+        "term view  {} builds, {} patches, {} nodes revisited, {} reindexed",
+        stats.view_builds, stats.view_patches, stats.nodes_revisited, stats.nodes_reindexed
     );
+    if jobs > 1 {
+        println!(
+            "parallel   {jobs} jobs, {} probes executed / {} filtered / {} reused / {} inline",
+            stats.parallel.probes_executed,
+            stats.parallel.probes_filtered,
+            stats.parallel.probes_reused,
+            stats.parallel.probes_inline
+        );
+    } else {
+        println!("parallel   1 job (serial match phase)");
+    }
     println!(
         "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",
         before_cost / after_cost

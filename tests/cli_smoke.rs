@@ -75,6 +75,79 @@ fn compile_policy_alias_still_works() {
     assert!(out.status.success(), "{out:?}");
 }
 
+/// Spawns pypmc with an explicit `PYPM_JOBS` state: `Some(v)` sets it,
+/// `None` guarantees it is unset (the ambient CI matrix leg exports it).
+fn pypmc_with_jobs_env(args: &[&str], jobs_env: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pypmc"));
+    cmd.args(args);
+    match jobs_env {
+        Some(v) => cmd.env("PYPM_JOBS", v),
+        None => cmd.env_remove("PYPM_JOBS"),
+    };
+    cmd.output().expect("failed to spawn pypmc")
+}
+
+#[test]
+fn compile_jobs_flag_reports_parallel_stats() {
+    // All job counts compile to the same result; the report names the
+    // worker count and the probe accounting.
+    let mut rewrite_lines = Vec::new();
+    for jobs in ["1", "2", "4"] {
+        let out = pypmc(&["compile", "bert-tiny", "--jobs", jobs]);
+        assert!(out.status.success(), "--jobs {jobs}: {out:?}");
+        let text = stdout(&out);
+        assert!(text.contains("parallel"), "--jobs {jobs}: {text}");
+        if jobs == "1" {
+            assert!(text.contains("1 job (serial match phase)"), "{text}");
+        } else {
+            assert!(text.contains(&format!("{jobs} jobs")), "{text}");
+            assert!(text.contains("probes executed"), "{text}");
+        }
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rewrites"))
+            .expect("rewrites line")
+            .to_owned();
+        rewrite_lines.push(line);
+    }
+    assert_eq!(rewrite_lines[0], rewrite_lines[1]);
+    assert_eq!(rewrite_lines[0], rewrite_lines[2]);
+}
+
+#[test]
+fn compile_jobs_zero_and_garbage_are_rejected() {
+    for bad in ["0", "four", "-3", ""] {
+        let out = pypmc(&["compile", "bert-tiny", "--jobs", bad]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {bad:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("invalid --jobs"), "--jobs {bad:?}: {err}");
+        assert!(err.contains("usage: pypmc compile"), "{err}");
+    }
+}
+
+#[test]
+fn compile_jobs_env_override_and_flag_precedence() {
+    // PYPM_JOBS selects the worker count when no flag is given…
+    let out = pypmc_with_jobs_env(&["compile", "bert-tiny"], Some("3"));
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("3 jobs"), "{}", stdout(&out));
+    // …the explicit flag wins over the environment…
+    let out = pypmc_with_jobs_env(&["compile", "bert-tiny", "--jobs", "2"], Some("3"));
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("2 jobs"), "{}", stdout(&out));
+    // …a set-but-broken override fails loudly (exit 2, naming it)…
+    let out = pypmc_with_jobs_env(&["compile", "bert-tiny"], Some("fuor"));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid PYPM_JOBS=fuor"),
+        "{out:?}"
+    );
+    // …and with neither, the default resolves to some positive count.
+    let out = pypmc_with_jobs_env(&["compile", "bert-tiny"], None);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("parallel"), "{}", stdout(&out));
+}
+
 #[test]
 fn compile_unknown_sweep_policy_fails_loudly() {
     let out = pypmc(&["compile", "bert-tiny", "--sweep-policy", "bogus"]);
@@ -143,8 +216,12 @@ fn compile_stats_json_writes_pipeline_report() {
     assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""), "{json}");
     assert!(json.contains("\"name\": \"rewrite\""), "{json}");
     assert!(json.contains("\"rewrites_fired\""), "{json}");
-    // The additive incremental block rides along in every report.
+    // The additive incremental and parallel blocks ride along in every
+    // report.
     assert!(json.contains("\"incremental\": {\"view_builds\""), "{json}");
+    assert!(json.contains("\"nodes_reindexed\""), "{json}");
+    assert!(json.contains("\"parallel\": {\"jobs\""), "{json}");
+    assert!(json.contains("\"probes_by_shard\""), "{json}");
     std::fs::remove_file(&path).ok();
 }
 

@@ -1,0 +1,232 @@
+//! The parallel-matching contract: a [`RewritePass`] run with `jobs > 1`
+//! (sharded candidate discovery, serial commit — see the
+//! `pypm_engine::shard` module docs) must be **byte-identical** to the
+//! fully serial `jobs = 1` run — same firing sequence, same final graph
+//! down to node ids, and the same value for every semantic counter
+//! (`match_attempts`, `matches_found`, `machine_steps`, …) — under all
+//! three sweep policies, across the full model zoo.
+//!
+//! The correctness argument is local (probe outcomes are deterministic
+//! per `(pattern, term)`, and the serial commit scan consumes them in
+//! its canonical order); this suite is the global check.
+//!
+//! Set `PYPM_JOBS=<n>` to add an extra job count to every comparison —
+//! the CI matrix leg uses it to sweep job counts without code changes.
+
+use pypm::dsl::LibraryConfig;
+use pypm::engine::{
+    Observer, ParallelConfig, PassStats, Pipeline, RewriteFired, RewritePass, Session, SweepPolicy,
+};
+use pypm::graph::{Graph, NodeId};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// The job counts every comparison sweeps (1 is the serial reference).
+fn job_counts() -> Vec<usize> {
+    let mut jobs = vec![1usize, 2, 8];
+    if let Ok(Some(extra)) = pypm::perf::parallel::jobs_from_env("PYPM_JOBS") {
+        if !jobs.contains(&extra) {
+            jobs.push(extra);
+        }
+    }
+    jobs
+}
+
+/// Records the exact firing sequence: which pattern, which rule, at
+/// which node.
+#[derive(Default)]
+struct FiringLog {
+    fired: Vec<(String, usize, NodeId)>,
+}
+
+impl Observer for FiringLog {
+    fn on_rewrite_fired(&mut self, event: &RewriteFired) {
+        self.fired
+            .push((event.pattern.clone(), event.rule, event.node));
+    }
+}
+
+/// One run's observable result: the firing sequence, the final graph
+/// down to node identities, and every semantic counter.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    fired: Vec<(String, usize, NodeId)>,
+    nodes: Vec<(NodeId, String, Vec<NodeId>)>,
+    output_ids: Vec<NodeId>,
+    live_nodes: usize,
+    // The full semantic counter set. Wall-clock, the speculative
+    // parallel block, and the machine-*work* diagnostics
+    // (`machine_steps`/`machine_backtracks`, which shrink under the
+    // root-operator index) are the only things allowed to differ
+    // between job counts.
+    nodes_visited: u64,
+    match_attempts: u64,
+    matches_found: u64,
+    rewrites_fired: u64,
+    sweeps: u64,
+    view_builds: u64,
+    view_patches: u64,
+    nodes_revisited: u64,
+    nodes_reindexed: u64,
+}
+
+fn run(
+    build: &dyn Fn(&mut Session) -> Graph,
+    cfg: LibraryConfig,
+    policy: SweepPolicy,
+    jobs: usize,
+) -> (Outcome, PassStats) {
+    let mut s = Session::new();
+    let mut g = build(&mut s);
+    let rules = s.load_library(cfg);
+    let log = Rc::new(RefCell::new(FiringLog::default()));
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules).policy(policy))
+        .parallelism(ParallelConfig::with_jobs(jobs))
+        .observe(log.clone())
+        .run(&mut g)
+        .expect("pass succeeds");
+    let stats = report.total();
+    let nodes = g
+        .topo_order()
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                s.syms.op_name(g.node(n).op).to_owned(),
+                g.node(n).inputs.clone(),
+            )
+        })
+        .collect();
+    let outcome = Outcome {
+        fired: std::mem::take(&mut log.borrow_mut().fired),
+        nodes,
+        output_ids: g.outputs().to_vec(),
+        live_nodes: g.live_count(),
+        nodes_visited: stats.nodes_visited,
+        match_attempts: stats.match_attempts,
+        matches_found: stats.matches_found,
+        rewrites_fired: stats.rewrites_fired,
+        sweeps: stats.sweeps,
+        view_builds: stats.view_builds,
+        view_patches: stats.view_patches,
+        nodes_revisited: stats.nodes_revisited,
+        nodes_reindexed: stats.nodes_reindexed,
+    };
+    (outcome, stats)
+}
+
+fn assert_parallel_equivalent(name: &str, build: &dyn Fn(&mut Session) -> Graph) {
+    for (cname, cfg) in [
+        ("both", LibraryConfig::both as fn() -> LibraryConfig),
+        ("all", LibraryConfig::all),
+    ] {
+        for policy in SweepPolicy::ALL {
+            let (serial, serial_stats) = run(build, cfg(), policy, 1);
+            for jobs in job_counts().into_iter().filter(|&j| j > 1) {
+                let (parallel, pstats) = run(build, cfg(), policy, jobs);
+                assert_eq!(
+                    serial, parallel,
+                    "{name}/{cname}/{policy}: jobs={jobs} diverged from serial"
+                );
+                // Machine-work diagnostics may only shrink (filtered
+                // probes run no machine), never grow.
+                assert!(
+                    pstats.machine_steps <= serial_stats.machine_steps,
+                    "{name}/{cname}/{policy}: jobs={jobs} did more machine work"
+                );
+                // The parallel block must actually account the probes:
+                // everything the commit scan consumed was either warmed
+                // or probed inline, and per-shard counts sum up.
+                assert_eq!(pstats.parallel.jobs as usize, jobs);
+                assert_eq!(
+                    pstats.parallel.probes_filtered
+                        + pstats.parallel.probes_reused
+                        + pstats.parallel.probes_inline,
+                    pstats.match_attempts,
+                    "{name}/{cname}/{policy}: consumed probes must equal match attempts"
+                );
+                assert_eq!(
+                    pstats.parallel.probes_by_shard.iter().sum::<u64>(),
+                    pstats.parallel.probes_executed,
+                    "{name}/{cname}/{policy}: shard counts must sum to probes executed"
+                );
+                assert_eq!(pstats.parallel.probes_by_shard.len(), jobs);
+            }
+        }
+    }
+}
+
+/// Every HuggingFace-zoo transformer.
+#[test]
+fn hf_zoo_parallel_matches_serial() {
+    for cfg in pypm::models::hf_zoo() {
+        assert_parallel_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// Every TorchVision-zoo CNN.
+#[test]
+fn tv_zoo_parallel_matches_serial() {
+    for cfg in pypm::models::tv_zoo() {
+        assert_parallel_equivalent(cfg.name, &|s| cfg.build(s));
+    }
+}
+
+/// The memoization claim behind the perf win: on a rewrite-heavy model
+/// under the restart policy, the warm phases execute far fewer machine
+/// runs than the serial pass (which re-probes every sweep), while the
+/// consumed-probe counters stay identical.
+#[test]
+fn parallel_restart_memoizes_probes_on_bert_small() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-small")
+        .unwrap();
+    let (_, serial) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::both(),
+        SweepPolicy::RestartOnRewrite,
+        1,
+    );
+    let (_, parallel) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::both(),
+        SweepPolicy::RestartOnRewrite,
+        4,
+    );
+    assert!(serial.rewrites_fired > 0, "model must actually rewrite");
+    assert_eq!(serial.match_attempts, parallel.match_attempts);
+    let speculative = parallel.parallel.probes_executed + parallel.parallel.probes_inline;
+    assert!(
+        speculative * 2 < serial.match_attempts,
+        "expected ≥2× fewer machine runs via memoization: {} executed vs {} serial attempts",
+        speculative,
+        serial.match_attempts,
+    );
+    assert!(parallel.parallel.warm_batches >= 1);
+}
+
+/// `ParallelConfig::auto` resolves to the machine's parallelism and
+/// stays byte-identical too (smoke-level: one model, one policy).
+#[test]
+fn auto_parallelism_is_equivalent_on_bert_tiny() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-tiny")
+        .unwrap();
+    let (serial, _) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::all(),
+        SweepPolicy::Incremental,
+        1,
+    );
+    let auto = ParallelConfig::auto().jobs.max(2);
+    let (parallel, _) = run(
+        &|s| cfg.build(s),
+        LibraryConfig::all(),
+        SweepPolicy::Incremental,
+        auto,
+    );
+    assert_eq!(serial, parallel);
+}
