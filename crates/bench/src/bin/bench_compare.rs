@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Compares two `BENCH_rewrite_pass.json` documents (schema
-//! `pypm.bench.rewrite_pass.v3`, row-compatible with v2 and v1) and
+//! `pypm.bench.rewrite_pass.v4`, row-compatible with v3, v2 and v1) and
 //! exits non-zero when the current run regressed against the checked-in
 //! baseline:
 //!
@@ -40,12 +40,17 @@ use bench::json::{self, Value};
 use std::collections::BTreeMap;
 use std::process::exit;
 
-/// The counters that must not drift at all.
+/// The counters that must not drift at all, present in every schema.
 const EXACT_COUNTERS: [&str; 3] = [
     "mean_match_attempts",
     "mean_matches_found",
     "mean_rewrites_fired",
 ];
+
+/// Deterministic counters newer schemas added (v4:
+/// `mean_nodes_reindexed`). Compared exactly whenever both documents
+/// carry them; absent from older baselines without failing the gate.
+const OPTIONAL_EXACT_COUNTERS: [&str; 1] = ["mean_nodes_reindexed"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +76,16 @@ struct Series {
     /// Min-of-runs wall-clock (v2 documents only).
     min_wall_ms: Option<f64>,
     counters: Vec<(String, f64)>,
+}
+
+impl Series {
+    /// Counter value by name, if this series carries it.
+    fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
 }
 
 /// (model, config) → policy name → series.
@@ -112,8 +127,14 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
             let Some(base) = policies.get(base_name) else {
                 continue;
             };
-            for ((cname, cur_v), (_, base_v)) in series.counters.iter().zip(&base.counters) {
-                if cur_v != base_v {
+            // Name-based lookup: the serial policy series carries more
+            // counters (e.g. v4's mean_nodes_reindexed) than the jobs
+            // sub-series; only the shared ones are comparable.
+            for (cname, cur_v) in &series.counters {
+                let Some(base_v) = base.counter(cname) else {
+                    continue;
+                };
+                if *cur_v != base_v {
                     failures.push(format!(
                         "{}/{}/{base_name}: jobs={jobs} {cname} drifted from serial \
                          ({base_v} -> {cur_v}) — parallel match phase broke byte-identity",
@@ -141,9 +162,17 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
                 continue;
             };
             compared += 1;
-            for ((name, base_v), (cur_name, cur_v)) in base.counters.iter().zip(&cur.counters) {
-                debug_assert_eq!(name, cur_name);
-                if base_v != cur_v {
+            // Name-based: a v4 current compared against a v3 baseline
+            // only gates the counters both documents measure.
+            for (name, base_v) in &base.counters {
+                let Some(cur_v) = cur.counter(name) else {
+                    failures.push(format!(
+                        "{}/{}/{policy}: counter {name} lost since baseline",
+                        cell.0, cell.1
+                    ));
+                    continue;
+                };
+                if *base_v != cur_v {
                     failures.push(format!(
                         "{}/{}/{policy}: {name} drifted {base_v} -> {cur_v}",
                         cell.0, cell.1
@@ -259,6 +288,11 @@ fn read_series(path: &str, v: &Value) -> Result<Series, String> {
     let mut counters = Vec::new();
     for key in EXACT_COUNTERS {
         counters.push((key.to_owned(), num(key)?));
+    }
+    for key in OPTIONAL_EXACT_COUNTERS {
+        if let Some(value) = v.get(key).and_then(Value::as_f64) {
+            counters.push((key.to_owned(), value));
+        }
     }
     // Prefer the noise-robust min-of-runs; v1 documents only have the
     // mean. Comparing a min baseline against a mean current (or vice

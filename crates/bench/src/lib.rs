@@ -17,7 +17,9 @@ use pypm_engine::{
     ParallelConfig, PassStats, Pipeline, PipelineReport, RewritePass, Session, SweepPolicy,
 };
 use pypm_graph::Graph;
+use pypm_perf::pool::WorkerPool;
 use pypm_perf::CostModel;
+use std::sync::Arc;
 
 pub mod json;
 
@@ -234,6 +236,10 @@ pub struct PolicySeries {
     pub mean_view_patches: f64,
     /// Mean re-visits of already-visited nodes.
     pub mean_nodes_revisited: f64,
+    /// Mean nodes whose term a view patch recomputed (schema v4): the
+    /// sublinear index-maintenance payoff — O(cone) per rewrite where
+    /// the pre-v4 engine paid one linear pass over the live graph.
+    pub mean_nodes_reindexed: f64,
     /// Per-jobs sub-series in [`JOBS_SERIES`] order. The semantic
     /// counters must agree across all entries (parallel-vs-serial drift
     /// is a `bench_compare` failure); wall-clock is the payoff.
@@ -291,15 +297,22 @@ pub fn rewrite_pass_row(
             let mut wall_ms = 0.0;
             let mut min_wall_ms = f64::INFINITY;
             let mut totals = PassStats::default();
+            // One persistent pool per (policy, jobs) cell, shared by
+            // every run via `Pipeline::with_pool`: the measured wall is
+            // the warm steady state a long-lived compiler service sees,
+            // not `runs` repetitions of thread startup.
+            let pool = (jobs > 1).then(|| Arc::new(WorkerPool::new(jobs - 1)));
             for _ in 0..runs {
                 let mut session = Session::new();
                 let mut graph = build(&mut session);
                 let rules = session.load_library(lib);
-                let report = Pipeline::new(&mut session)
+                let mut pipeline = Pipeline::new(&mut session)
                     .with(RewritePass::new(rules).policy(sweep))
-                    .parallelism(ParallelConfig::with_jobs(jobs))
-                    .run(&mut graph)
-                    .expect("rewrite pass succeeds");
+                    .parallelism(ParallelConfig::with_jobs(jobs));
+                if let Some(pool) = &pool {
+                    pipeline = pipeline.with_pool(Arc::clone(pool));
+                }
+                let report = pipeline.run(&mut graph).expect("rewrite pass succeeds");
                 let total = report.total();
                 let run_ms = total.duration.as_secs_f64() * 1e3;
                 wall_ms += run_ms;
@@ -310,6 +323,7 @@ pub fn rewrite_pass_row(
                 totals.view_builds += total.view_builds;
                 totals.view_patches += total.view_patches;
                 totals.nodes_revisited += total.nodes_revisited;
+                totals.nodes_reindexed += total.nodes_reindexed;
                 if pname == "restart" && jobs == 1 {
                     last = Some(report);
                 }
@@ -337,6 +351,7 @@ pub fn rewrite_pass_row(
             mean_view_builds: serial_totals.view_builds as f64 / n,
             mean_view_patches: serial_totals.view_patches as f64 / n,
             mean_nodes_revisited: serial_totals.nodes_revisited as f64 / n,
+            mean_nodes_reindexed: serial_totals.nodes_reindexed as f64 / n,
             jobs_series,
         });
     }
@@ -355,13 +370,14 @@ pub fn rewrite_pass_row(
 }
 
 /// Renders the `BENCH_rewrite_pass.json` document (schema
-/// `pypm.bench.rewrite_pass.v3` — v2 plus a per-jobs `jobs` object in
-/// every policy series; the policy-level `mean_*` fields still carry
-/// the serial numbers and the top-level `mean_*` fields the restart
-/// series, so v1/v2 consumers keep reading the paper-faithful values)
-/// from aggregated rows.
+/// `pypm.bench.rewrite_pass.v4` — v3 plus `mean_nodes_reindexed` in
+/// every policy series, measured against a warm per-cell worker pool;
+/// the policy-level `mean_*` fields still carry the serial numbers and
+/// the top-level `mean_*` fields the restart series, so v1/v2/v3
+/// consumers keep reading the paper-faithful values) from aggregated
+/// rows.
 pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v3\",\n  \"rows\": [");
+    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v4\",\n  \"rows\": [");
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -391,7 +407,8 @@ pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
                  \"mean_match_attempts\": {:.1}, \
                  \"mean_matches_found\": {:.1}, \"mean_rewrites_fired\": {:.1}, \
                  \"mean_view_builds\": {:.1}, \"mean_view_patches\": {:.1}, \
-                 \"mean_nodes_revisited\": {:.1}, \"jobs\": {{",
+                 \"mean_nodes_revisited\": {:.1}, \"mean_nodes_reindexed\": {:.1}, \
+                 \"jobs\": {{",
                 esc(p.policy),
                 p.mean_wall_ms,
                 p.min_wall_ms,
@@ -401,6 +418,7 @@ pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
                 p.mean_view_builds,
                 p.mean_view_patches,
                 p.mean_nodes_revisited,
+                p.mean_nodes_reindexed,
             ));
             for (k, js) in p.jobs_series.iter().enumerate() {
                 if k > 0 {
@@ -477,10 +495,13 @@ pub fn rewrite_pass_rows(runs: usize) -> Vec<PassBenchRow> {
 /// Propagates the filesystem write failure.
 pub fn emit_rewrite_pass_json() -> std::io::Result<String> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_rewrite_pass.json");
-    // 20 runs per (model, config, policy) cell: the cells are sub-5ms,
-    // so this stays ~2s total while keeping the mean steady enough for
-    // the bench_compare wall gate's ±25% band on shared runners.
-    let rows = rewrite_pass_rows(20);
+    // 48 runs per (model, config, policy, jobs) cell. The gate
+    // compares best-of-N `min_wall_ms`, and on sub-0.1ms cells the
+    // emit-to-emit noise of min-of-20 measured at ~50% on shared
+    // runners — best-of-48 pins the deterministic best case tightly
+    // enough for the ±25% band while keeping the whole emit in the
+    // seconds range.
+    let rows = rewrite_pass_rows(48);
     std::fs::write(path, rows_to_json(&rows))?;
     Ok(path.to_owned())
 }
@@ -567,6 +588,17 @@ mod tests {
         assert_eq!(restart.mean_rewrites_fired, incremental.mean_rewrites_fired);
         assert!(incremental.mean_match_attempts <= restart.mean_match_attempts);
         assert_eq!(incremental.mean_view_builds, 1.0);
+        // v4: every policy patches (one patch per rewrite), and the
+        // sublinear maintenance reports the recomputed cones.
+        assert_eq!(
+            incremental.mean_view_patches,
+            incremental.mean_rewrites_fired
+        );
+        assert!(incremental.mean_nodes_reindexed > 0.0);
+        assert_eq!(
+            restart.mean_nodes_reindexed, incremental.mean_nodes_reindexed,
+            "identical rewrites patch identical cones under every policy"
+        );
         for p in &row.policies {
             assert!(p.min_wall_ms > 0.0 && p.min_wall_ms <= p.mean_wall_ms);
             // One sub-series per worker count, and no parallel-vs-serial
@@ -590,10 +622,11 @@ mod tests {
             }
         }
         let json = rows_to_json(std::slice::from_ref(&row));
-        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v3\""));
+        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v4\""));
         assert!(json.contains("\"model\": \"bert-tiny\""));
         assert!(json.contains("\"policies\": {\"restart\""));
         assert!(json.contains("\"incremental\": {\"mean_wall_ms\""));
+        assert!(json.contains("\"mean_nodes_reindexed\""));
         assert!(json.contains("\"jobs\": {\"1\": {\"mean_wall_ms\""));
         assert!(json.contains("\"4\": {\"mean_wall_ms\""));
         assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""));
@@ -605,7 +638,7 @@ mod tests {
         let doc = json::parse(&json).expect("bench JSON parses");
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
-            Some("pypm.bench.rewrite_pass.v3")
+            Some("pypm.bench.rewrite_pass.v4")
         );
         assert_eq!(
             doc.get("rows")

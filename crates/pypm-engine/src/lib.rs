@@ -31,9 +31,22 @@
 //!
 //! | [`SweepPolicy`] | after a rewrite fires | matching cost | term-view cost |
 //! |---|---|---|---|
-//! | `RestartOnRewrite` (default) | rescan from the first node | O(graph × rewrites) visits | one [`pypm_graph::TermView::build`] per sweep |
-//! | `ContinueSweep` | patch the view, keep sweeping | one full sweep per fixpoint round | one [`pypm_graph::TermView::patch`] per rewrite |
-//! | `Incremental` | re-enqueue only the rewrite's cone of influence | O(initial graph + Σ cone sizes) | one build, then one patch per rewrite |
+//! | `RestartOnRewrite` (default) | rescan from the first node | O(graph × rewrites) visits | one build, then one O(cone) marking [`pypm_graph::TermView::patch`] per rewrite |
+//! | `ContinueSweep` | patch the view, keep sweeping | one full sweep per fixpoint round | one build, then one O(cone) marking patch per rewrite |
+//! | `Incremental` | re-enqueue only the rewrite's cone of influence | O(initial graph + Σ cone sizes) | one build, then one O(cone) marking patch per rewrite |
+//!
+//! All three policies share the same sublinear view maintenance now:
+//! one [`pypm_graph::TermView::build`], then **lazy in-place patches**
+//! — a patch marks the rewrite's cone stale (a pointer walk over the
+//! graph's incrementally maintained reverse adjacency) and drops the
+//! marked nodes from the ordered first-producer index; terms recompute
+//! on demand when the scheduler next visits a node
+//! ([`pypm_graph::TermView::term_of_repaired`]), so nodes dirtied by
+//! several consecutive rewrites recompute once. A fully repaired view
+//! is contractually indistinguishable from a rebuild, which is why
+//! even the paper-faithful restart *scan* no longer pays a per-sweep
+//! rebuild. The recomputes are measured by the `nodes_reindexed`
+//! counter — ~14× below the old linear-refresh floor on bert-small.
 //!
 //! The worklist invariants behind `Incremental` (why skipping clean
 //! nodes is sound, why the firing order matches restarting exactly) are
@@ -45,31 +58,52 @@
 //!
 //! ## Parallel matching (threading)
 //!
-//! Orthogonal to the sweep policy, the match phase shards across worker
-//! threads: `Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(n))`
-//! fans every scan round's `(node × pattern)` probes over `n`
-//! `std::thread::scope` workers with static contiguous chunking (no
-//! work stealing), each collecting outcomes into a local buffer.
+//! Orthogonal to the sweep policy, the match phase shards across a
+//! **persistent worker pool**:
+//! `Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(n))`
+//! fans every scan round's `(node × pattern)` probes over `n` shards
+//! with static contiguous chunking (no work stealing). Shard 0 probes
+//! on the calling thread; the rest are submitted to a
+//! [`pypm_perf::pool::WorkerPool`] whose threads are spawned once per
+//! run and stay warm across rounds, sweeps, passes, and — under
+//! [`Pipeline::run_batch`] — every graph of a batched compilation
+//! (`pool_rounds` / `pool_spawn_reuse` / `batch_graphs` measure the
+//! reuse). A pool can even outlive pipelines: share one with
+//! [`Pipeline::with_pool`]. Serial runs (`jobs = 1`) never construct a
+//! pool at all, and rounds below the dispatch grain probe inline.
 //!
 //! **Commit stays serial — that is the point.** Workers only
-//! *discover*: they share the frozen [`pypm_graph::TermView`] and
-//! [`pypm_core::TermStore`] read-only (each worker clones the one store
-//! a machine run mutates, the [`pypm_core::PatternStore`]), and the
-//! merged buffers feed a probe cache keyed by `(pattern, term)`. The
-//! unchanged serial fixpoint loop then consumes cached outcomes in its
-//! canonical (topo-order, rule-priority) order and performs every guard
+//! *discover*: they share the frozen [`pypm_graph::TermView`]'s
+//! attribute tables and the [`pypm_core::TermStore`] read-only behind
+//! `Arc`s for the duration of one batch (the collect barrier returns
+//! ownership; each worker clones the one store a machine run mutates,
+//! the [`pypm_core::PatternStore`]), and the buffers merge in shard
+//! order into a probe cache keyed by `(pattern, term)`. The unchanged
+//! serial fixpoint loop then consumes cached outcomes in its canonical
+//! (topo-order, rule-priority) order and performs every guard
 //! evaluation, identity rejection and graph mutation single-threaded.
 //! Firing sequences, final graphs and all [`PassStats`] counters are
 //! therefore **byte-identical to `jobs = 1`** under all three sweep
-//! policies — `tests/parallel_equivalence.rs` (crate `pypm`) proves it
-//! zoo-wide. Because the cache key is the term, rewrites invalidate by
-//! construction (changed nodes get fresh terms) and unchanged probes
-//! are memoized across sweeps; like `Incremental`, this relies on
-//! attribute tables being deterministic per term. The speculative-work
-//! counters land in [`ParallelStats`] and the additive `parallel` block
-//! of [`PipelineReport::to_json`]; the shard scheduler lives in
-//! [`shard`], its chunking utilities in
-//! [`pypm_perf::parallel`].
+//! policies and any batch size — `tests/parallel_equivalence.rs`
+//! (crate `pypm`) proves it zoo-wide, and the batch proptest in
+//! `pass_properties.rs` randomizes batch size alongside jobs. Because
+//! the cache key is the term, rewrites invalidate by construction
+//! (changed nodes get fresh terms) and unchanged probes are memoized
+//! across sweeps; like `Incremental`, this relies on attribute tables
+//! being deterministic per term. One deliberate trade-off: warm phases
+//! skip candidates whose term is awaiting lazy repair (they probe
+//! inline at visit time, after the same on-demand repair a serial run
+//! performs) — this keeps `nodes_reindexed` byte-identical across job
+//! counts, at the cost of less speculation under
+//! [`SweepPolicy::Incremental`], whose post-rewrite worklists are
+//! mostly stale; the restart policy, whose rounds rescan everything,
+//! keeps nearly all of its warm coverage. A worker panic surfaces as a
+//! clean [`RewriteError::WorkerPanicked`] (never a hang; the pool
+//! survives).
+//! The speculative-work counters land in [`ParallelStats`] and the
+//! additive `parallel` block of [`PipelineReport::to_json`]; the shard
+//! scheduler lives in [`shard`], its chunking utilities in
+//! [`pypm_perf::parallel`], the pool in [`pypm_perf::pool`].
 //!
 //! ## Migrating from the legacy entry points
 //!

@@ -19,11 +19,13 @@ use crate::rewriter::{PassStats, RewriteError};
 use crate::session::Session;
 use crate::shard::ParallelConfig;
 use pypm_graph::{Graph, NodeId};
+use pypm_perf::pool::WorkerPool;
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One compilation stage, run by a [`crate::Pipeline`].
@@ -278,7 +280,6 @@ pub(crate) type PipelineParts = (
 /// Shared state threaded through every pass of a pipeline run:
 /// diagnostics, per-pass records, published artifacts, and the
 /// registered [`Observer`]s.
-#[derive(Default)]
 pub struct PipelineCx {
     diagnostics: Vec<Diagnostic>,
     records: Vec<PassRecord>,
@@ -287,6 +288,33 @@ pub struct PipelineCx {
     current: String,
     current_sweep: u64,
     parallel: ParallelConfig,
+    /// The persistent worker pool parallel passes submit to. Owned by
+    /// the pipeline run (created once, before the first pass) so the
+    /// threads stay warm across rounds, sweeps, passes and — under
+    /// [`crate::Pipeline::run_batch`] — whole graphs; `None` for serial
+    /// runs, which never construct a pool. An externally shared pool
+    /// ([`crate::Pipeline::with_pool`]) lands here too.
+    pool: Option<Arc<WorkerPool>>,
+    /// Graphs compiled by the owning run (1 for `Pipeline::run`, the
+    /// batch length for `Pipeline::run_batch`); surfaces as the
+    /// `batch_graphs` counter.
+    batch_graphs: u64,
+}
+
+impl Default for PipelineCx {
+    fn default() -> Self {
+        PipelineCx {
+            diagnostics: Vec::new(),
+            records: Vec::new(),
+            observers: Vec::new(),
+            artifacts: BTreeMap::new(),
+            current: String::new(),
+            current_sweep: 0,
+            parallel: ParallelConfig::default(),
+            pool: None,
+            batch_graphs: 1,
+        }
+    }
 }
 
 impl fmt::Debug for PipelineCx {
@@ -329,6 +357,28 @@ impl PipelineCx {
     /// Sets the parallel match-phase configuration.
     pub(crate) fn set_parallel(&mut self, parallel: ParallelConfig) {
         self.parallel = parallel;
+    }
+
+    /// The persistent worker pool for parallel match phases, if one is
+    /// installed (always, once the pipeline runs with `jobs > 1`).
+    pub fn pool(&self) -> Option<Arc<WorkerPool>> {
+        self.pool.clone()
+    }
+
+    /// Installs the worker pool this run's passes share.
+    pub(crate) fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// Number of graphs the owning run compiles (1 for a plain
+    /// [`crate::Pipeline::run`]).
+    pub fn batch_graphs(&self) -> u64 {
+        self.batch_graphs
+    }
+
+    /// Records the batch size of the owning run.
+    pub(crate) fn set_batch_graphs(&mut self, graphs: u64) {
+        self.batch_graphs = graphs.max(1);
     }
 
     /// Emits an informational diagnostic attributed to the running pass.
@@ -433,9 +483,16 @@ impl PipelineCx {
         self.records.push(record);
     }
 
-    /// Decomposes the context into the parts a
-    /// [`crate::PipelineReport`] keeps.
-    pub(crate) fn into_parts(self) -> PipelineParts {
-        (self.records, self.diagnostics, self.artifacts)
+    /// Drains the per-graph parts (records, diagnostics, artifacts)
+    /// while keeping the run-scoped state — observers, parallel config
+    /// and the warm worker pool — in place. This is what lets
+    /// [`crate::Pipeline::run_batch`] emit one report per graph over a
+    /// single long-lived context.
+    pub(crate) fn take_parts(&mut self) -> PipelineParts {
+        (
+            std::mem::take(&mut self.records),
+            std::mem::take(&mut self.diagnostics),
+            std::mem::take(&mut self.artifacts),
+        )
     }
 }

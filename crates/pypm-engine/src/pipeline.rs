@@ -32,9 +32,11 @@ use crate::pass::{Diagnostic, Observer, Pass, PassError, PassRecord, PipelineCx}
 use crate::rewriter::PassStats;
 use crate::session::Session;
 use pypm_graph::Graph;
+use pypm_perf::pool::WorkerPool;
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A failure in one pass of a pipeline run.
@@ -124,12 +126,100 @@ impl<'s> Pipeline<'s> {
         self
     }
 
+    /// Shares an existing persistent [`WorkerPool`] with this pipeline
+    /// instead of letting the run construct its own. Because a
+    /// [`Pipeline`] is consumed per run, this is how worker threads
+    /// stay warm *across* pipeline runs:
+    ///
+    /// ```
+    /// use pypm_engine::{ParallelConfig, Pipeline, RewritePass, Session};
+    /// use pypm_perf::pool::WorkerPool;
+    /// use pypm_dsl::LibraryConfig;
+    /// use pypm_graph::Graph;
+    /// use std::sync::Arc;
+    ///
+    /// let pool = Arc::new(WorkerPool::new(3));
+    /// for _ in 0..2 {
+    ///     let mut s = Session::new();
+    ///     let rules = s.load_library(LibraryConfig::both());
+    ///     let mut g = Graph::new();
+    ///     Pipeline::new(&mut s)
+    ///         .with(RewritePass::new(rules))
+    ///         .parallelism(ParallelConfig::with_jobs(4))
+    ///         .with_pool(Arc::clone(&pool))
+    ///         .run(&mut g)
+    ///         .unwrap();
+    /// }
+    /// ```
+    pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
+        self.cx.set_pool(pool);
+        self
+    }
+
+    /// Installs the run-scoped worker pool: created here, once, when
+    /// the run is parallel and no shared pool was provided — so serial
+    /// runs never construct a pool (zero thread startup), and parallel
+    /// runs keep one warm set of threads for their whole lifetime. The
+    /// pool gets `jobs - 1` threads because shard 0 of every warm
+    /// phase runs on the calling thread.
+    fn ensure_pool(&mut self) {
+        let cfg = self.cx.parallel();
+        if cfg.is_parallel() && self.cx.pool().is_none() {
+            self.cx.set_pool(Arc::new(WorkerPool::new(cfg.jobs - 1)));
+        }
+    }
+
     /// Runs every pass in order over `graph`.
     ///
     /// # Errors
     ///
     /// Stops at the first failing pass, naming it in the error.
     pub fn run(mut self, graph: &mut Graph) -> Result<PipelineReport, PipelineError> {
+        self.cx.set_batch_graphs(1);
+        self.ensure_pool();
+        self.run_one(graph)?;
+        let (passes, diagnostics, artifacts) = self.cx.take_parts();
+        Ok(PipelineReport {
+            passes,
+            diagnostics,
+            artifacts,
+        })
+    }
+
+    /// Runs every pass in order over each graph of a batch, reusing the
+    /// session stores, the passes, and — in parallel mode — one warm
+    /// [`WorkerPool`] across all of them. Returns one
+    /// [`PipelineReport`] per graph, in input order; each report's
+    /// `batch_graphs` counter records the batch size.
+    ///
+    /// Batching changes throughput, never results: each graph's firing
+    /// sequence, final form and semantic counters are byte-identical to
+    /// a standalone [`Pipeline::run`] over the same session state
+    /// (`tests/parallel_equivalence.rs` and the batch proptest in
+    /// `pass_properties.rs` prove it).
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing pass of the first failing graph.
+    pub fn run_batch(mut self, graphs: &mut [Graph]) -> Result<Vec<PipelineReport>, PipelineError> {
+        self.cx.set_batch_graphs(graphs.len() as u64);
+        self.ensure_pool();
+        let mut reports = Vec::with_capacity(graphs.len());
+        for graph in graphs {
+            self.run_one(graph)?;
+            let (passes, diagnostics, artifacts) = self.cx.take_parts();
+            reports.push(PipelineReport {
+                passes,
+                diagnostics,
+                artifacts,
+            });
+        }
+        Ok(reports)
+    }
+
+    /// One graph through every pass — the shared core of
+    /// [`Pipeline::run`] and [`Pipeline::run_batch`].
+    fn run_one(&mut self, graph: &mut Graph) -> Result<(), PipelineError> {
         for pass in &mut self.passes {
             let name = pass.name().to_owned();
             self.cx.begin_pass(&name, graph);
@@ -150,12 +240,7 @@ impl<'s> Pipeline<'s> {
             }
             self.cx.finish_pass(outcome, started.elapsed());
         }
-        let (passes, diagnostics, artifacts) = self.cx.into_parts();
-        Ok(PipelineReport {
-            passes,
-            diagnostics,
-            artifacts,
-        })
+        Ok(())
     }
 }
 
@@ -230,7 +315,10 @@ impl PipelineReport {
             total.nodes_revisited += s.nodes_revisited;
             total.nodes_reindexed += s.nodes_reindexed;
             total.parallel.jobs = total.parallel.jobs.max(s.parallel.jobs);
+            total.parallel.batch_graphs = total.parallel.batch_graphs.max(s.parallel.batch_graphs);
             total.parallel.warm_batches += s.parallel.warm_batches;
+            total.parallel.pool_rounds += s.parallel.pool_rounds;
+            total.parallel.pool_spawn_reuse += s.parallel.pool_spawn_reuse;
             total.parallel.probes_executed += s.parallel.probes_executed;
             total.parallel.probes_filtered += s.parallel.probes_filtered;
             total.parallel.probes_reused += s.parallel.probes_reused;
@@ -264,7 +352,8 @@ impl PipelineReport {
     ///       "machine_backtracks": 3, "sweeps": 2,
     ///       "incremental": {"view_builds": 2, "view_patches": 0,
     ///                       "nodes_revisited": 4, "nodes_reindexed": 0},
-    ///       "parallel": {"jobs": 1, "warm_batches": 0,
+    ///       "parallel": {"jobs": 1, "batch_graphs": 1, "warm_batches": 0,
+    ///                    "pool_rounds": 0, "pool_spawn_reuse": 0,
     ///                    "probes_executed": 0, "probes_filtered": 0,
     ///                    "probes_reused": 0, "probes_inline": 0,
     ///                    "warm_wall_ms": 0.0, "probes_by_shard": []}
@@ -315,8 +404,9 @@ impl PipelineReport {
 /// The trailing `incremental` and `parallel` objects are the schema's
 /// additive blocks: incremental-rewriting view maintenance (all zero
 /// for passes that never build a term view) and the parallel
-/// match-phase counters (`jobs` records the configured worker count;
-/// everything else is zero under `jobs = 1`).
+/// match-phase counters (`jobs` records the configured worker count
+/// and `batch_graphs` the owning run's batch size; everything else is
+/// zero under `jobs = 1`).
 fn stats_fields(s: &PassStats) -> String {
     let shards = s
         .parallel
@@ -331,7 +421,8 @@ fn stats_fields(s: &PassStats) -> String {
          \"machine_backtracks\": {}, \"sweeps\": {}, \
          \"incremental\": {{\"view_builds\": {}, \"view_patches\": {}, \
          \"nodes_revisited\": {}, \"nodes_reindexed\": {}}}, \
-         \"parallel\": {{\"jobs\": {}, \"warm_batches\": {}, \
+         \"parallel\": {{\"jobs\": {}, \"batch_graphs\": {}, \"warm_batches\": {}, \
+         \"pool_rounds\": {}, \"pool_spawn_reuse\": {}, \
          \"probes_executed\": {}, \"probes_filtered\": {}, \
          \"probes_reused\": {}, \"probes_inline\": {}, \
          \"warm_wall_ms\": {:.6}, \"probes_by_shard\": [{}]}}",
@@ -348,7 +439,10 @@ fn stats_fields(s: &PassStats) -> String {
         s.nodes_revisited,
         s.nodes_reindexed,
         s.parallel.jobs,
+        s.parallel.batch_graphs,
         s.parallel.warm_batches,
+        s.parallel.pool_rounds,
+        s.parallel.pool_spawn_reuse,
         s.parallel.probes_executed,
         s.parallel.probes_filtered,
         s.parallel.probes_reused,

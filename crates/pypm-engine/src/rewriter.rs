@@ -40,11 +40,13 @@
 use crate::pass::{Pass, PassError, PassOutcome, PipelineCx, RejectReason};
 use crate::session::Session;
 use crate::shard::{warm_probes, ParallelConfig, ParallelStats, ProbeCache, ProbeKey, ProbeResult};
-use pypm_core::{Machine, Outcome, RootFilter, Subst, TermId, Witness};
+use pypm_core::{Machine, Outcome, PatternId, RootFilter, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
+use pypm_perf::pool::WorkerPool;
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What the pass does after a rewrite fires mid-sweep.
@@ -157,11 +159,15 @@ pub struct PassStats {
     /// Visits to nodes already visited earlier in the pass — the
     /// redundant work incremental scheduling exists to avoid.
     pub nodes_revisited: u64,
-    /// Nodes walked by [`TermView::patch`]'s linear index refresh,
-    /// summed over all patches — the measured baseline for the
-    /// sublinear-index follow-up on the ROADMAP (zero under
-    /// [`SweepPolicy::RestartOnRewrite`], which rebuilds instead of
-    /// patching).
+    /// Terms the view's lazy repair recomputed over the whole pass
+    /// ([`TermView::terms_recomputed`]). A patch only *marks* a
+    /// rewrite's cone of influence; terms recompute on demand at the
+    /// next visit, so nodes dirtied by several consecutive rewrites
+    /// recompute once — the pre-sublinear design walked the whole live
+    /// graph per patch, the baseline the bench trajectory's ≥5×
+    /// reduction is measured against. Identical under restart and
+    /// incremental scheduling (same visits, same fires); continue
+    /// differs slightly (different visit order between fires).
     pub nodes_reindexed: u64,
     /// Parallel match-phase counters (`jobs` records the configured
     /// worker count; everything else is zero when `jobs = 1`); see
@@ -205,6 +211,14 @@ pub enum RewriteError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A parallel match worker panicked. The worker pool survives (the
+    /// panic is caught at the task boundary — see
+    /// [`pypm_perf::pool::PoolError`]); the pass is aborted with this
+    /// clean error instead of hanging or poisoning the pipeline.
+    WorkerPanicked {
+        /// The panic message.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -218,6 +232,9 @@ impl fmt::Display for RewriteError {
             }
             RewriteError::NoNodeForTerm => write!(f, "matched term has no graph node"),
             RewriteError::BuildFailed { reason } => write!(f, "replacement build failed: {reason}"),
+            RewriteError::WorkerPanicked { reason } => {
+                write!(f, "parallel match worker panicked: {reason}")
+            }
         }
     }
 }
@@ -259,6 +276,10 @@ struct Fired {
     /// [`Graph::allocated_count`] before the firing — everything at or
     /// past this mark is a freshly created replacement node.
     alloc_mark: usize,
+    /// Nodes the post-rewrite [`Graph::gc`] collected — the dead half
+    /// of the dirty seed, which incremental view maintenance must drop
+    /// from its index maps.
+    collected: Vec<NodeId>,
 }
 
 /// The internal engine shared by [`RewritePass`] and the deprecated
@@ -270,6 +291,15 @@ struct Driver<'a> {
     rules: &'a RuleSet,
     config: PassConfig,
     parallel: ParallelConfig,
+    /// The persistent worker pool warm phases submit to. `None` in
+    /// serial mode — a `--jobs 1` run never constructs (or touches) a
+    /// pool. Shared (`Arc`) so one pool outlives passes, graphs of a
+    /// batched run, and even whole pipelines (see
+    /// [`crate::Pipeline::with_pool`]).
+    pool: Option<Arc<WorkerPool>>,
+    /// `rules.patterns[i].pattern` per index — the tiny handle table
+    /// warm-phase worker tasks clone instead of the rule set.
+    pattern_ids: Vec<PatternId>,
     /// Memoized probe outcomes, keyed by (pattern index, term). Only
     /// populated when `parallel.is_parallel()`; a term key can never go
     /// stale because rewrites give every changed node a fresh term.
@@ -287,15 +317,20 @@ impl<'a> Driver<'a> {
             rules,
             config,
             parallel: ParallelConfig::serial(),
+            pool: None,
+            pattern_ids: Vec::new(),
             cache: ProbeCache::new(),
             filters: Vec::new(),
         }
     }
 
-    /// Selects the parallel match-phase configuration.
-    fn with_parallel(mut self, parallel: ParallelConfig) -> Self {
+    /// Selects the parallel match-phase configuration and the pool the
+    /// warm phases run on.
+    fn with_parallel(mut self, parallel: ParallelConfig, pool: Option<Arc<WorkerPool>>) -> Self {
         self.parallel = parallel;
         if self.parallel.is_parallel() {
+            self.pool = pool;
+            self.pattern_ids = self.rules.patterns.iter().map(|d| d.pattern).collect();
             self.filters = self
                 .rules
                 .patterns
@@ -312,6 +347,7 @@ impl<'a> Driver<'a> {
         let start = Instant::now();
         let mut stats = PassStats::default();
         stats.parallel.jobs = self.parallel.jobs as u64;
+        stats.parallel.batch_graphs = cx.batch_graphs();
         if self.parallel.is_parallel() {
             stats.parallel.probes_by_shard = vec![0; self.parallel.jobs];
         }
@@ -330,15 +366,26 @@ impl<'a> Driver<'a> {
     /// The parallel discovery phase of one scan round: collects the
     /// round's candidate probes — `candidates` in the exact order the
     /// serial scan will visit them, every rule-bearing pattern per
-    /// candidate — and fans the uncached ones across the shard workers.
+    /// candidate — and fans the uncached ones across the pool workers.
     /// A no-op under `jobs = 1`.
-    fn warm_round(&mut self, candidates: &[NodeId], view: &TermView, stats: &mut PassStats) {
+    fn warm_round(
+        &mut self,
+        candidates: &[NodeId],
+        view: &TermView,
+        stats: &mut PassStats,
+    ) -> Result<(), RewriteError> {
         if !self.parallel.is_parallel() {
-            return;
+            return Ok(());
         }
         let mut todo: Vec<ProbeKey> = Vec::new();
         let mut queued: HashSet<ProbeKey> = HashSet::new();
         for &node in candidates {
+            // Stale candidates report no term and are skipped here on
+            // purpose: eagerly repairing them for speculation would
+            // undo the lazy view maintenance (their probes run inline
+            // at visit time instead, after the on-demand repair — the
+            // same repairs a serial run performs, keeping
+            // `nodes_reindexed` byte-identical across job counts).
             let Some(t) = view.term_of(node) else {
                 continue;
             };
@@ -362,17 +409,25 @@ impl<'a> Driver<'a> {
                 }
             }
         }
+        // The attrs handle is dropped again before this round's commit
+        // scan can patch the view, so view maintenance never pays a
+        // copy-on-write.
+        let attrs = view.attrs_shared();
         warm_probes(
             self.parallel,
-            self.rules,
+            self.pool.as_deref(),
+            &self.pattern_ids,
             &mut self.session.pats,
-            &self.session.terms,
-            view.attrs(),
+            &mut self.session.terms,
+            &attrs,
             self.config.machine_fuel,
             &todo,
             &mut self.cache,
             &mut stats.parallel,
-        );
+        )
+        .map_err(|e| RewriteError::WorkerPanicked {
+            reason: e.to_string(),
+        })
     }
 
     /// Probes one (pattern, term) candidate: consumes the memoized
@@ -432,7 +487,7 @@ impl<'a> Driver<'a> {
     fn visit_node(
         &mut self,
         graph: &mut Graph,
-        view: &TermView,
+        view: &mut TermView,
         node: NodeId,
         visited_once: &mut HashSet<NodeId>,
         stats: &mut PassStats,
@@ -442,7 +497,16 @@ impl<'a> Driver<'a> {
         if !visited_once.insert(node) {
             stats.nodes_revisited += 1;
         }
-        let t = match view.term_of(node) {
+        // Lazy view maintenance: a node dirtied by earlier rewrites is
+        // repaired here, at visit time — nodes re-dirtied before their
+        // next visit are recomputed once, not once per rewrite.
+        let t = match view.term_of_repaired(
+            graph,
+            &mut self.session.syms,
+            &mut self.session.terms,
+            &self.session.registry,
+            node,
+        ) {
             Some(t) => t,
             None => return Ok(None),
         };
@@ -466,10 +530,11 @@ impl<'a> Driver<'a> {
             match self.fire_first_rule(graph, view, node, pi, &witness, cx)? {
                 FireResult::Fired { rewired } => {
                     stats.rewrites_fired += 1;
-                    graph.gc();
+                    let collected = graph.gc();
                     return Ok(Some(Fired {
                         rewired,
                         alloc_mark,
+                        collected,
                     }));
                 }
                 FireResult::Rejected(reason) => {
@@ -480,9 +545,13 @@ impl<'a> Driver<'a> {
         Ok(None)
     }
 
-    /// Repairs the view after a fired rewrite: the rewired users plus
-    /// the freshly allocated replacement nodes seed the patch. Returns
-    /// the cone of influence for worklist re-enqueueing.
+    /// Repairs the view's bookkeeping after a fired rewrite: the
+    /// rewired users, the freshly allocated replacement nodes, and the
+    /// gc-collected dead nodes seed the patch (the dead ids let the
+    /// sublinear index maintenance drop entries without scanning for
+    /// liveness). The patch only *marks* the cone — terms recompute
+    /// lazily at the next visit. Returns the marked cone for worklist
+    /// re-enqueueing.
     fn repair_view(
         &mut self,
         graph: &Graph,
@@ -494,22 +563,28 @@ impl<'a> Driver<'a> {
             fired
                 .rewired
                 .into_iter()
-                .chain(graph.allocated_since(fired.alloc_mark)),
+                .chain(graph.allocated_since(fired.alloc_mark))
+                .chain(fired.collected),
         );
-        let cone = view.patch(
-            graph,
-            &mut self.session.syms,
-            &mut self.session.terms,
-            &self.session.registry,
-        );
+        let cone = view.patch(graph);
         stats.view_patches += 1;
-        stats.nodes_reindexed += view.last_patch_reindexed();
         cone
     }
 
     /// The sweeping scheduler behind [`SweepPolicy::RestartOnRewrite`]
     /// and [`SweepPolicy::ContinueSweep`]: the paper's "repeatedly
     /// traverses the graph" loop (§2.4).
+    ///
+    /// The term view is built once and then *repaired in place* after
+    /// every firing, under both policies: a repaired view is
+    /// contractually indistinguishable from a rebuild (the equivalence
+    /// the `termview` suites prove), and with lazy sublinear
+    /// maintenance a patch is an O(cone) marking walk with terms
+    /// recomputed on demand at visit time — under the restart policy
+    /// the old design paid one full O(graph) rebuild per rewrite, the
+    /// dominant view cost of the whole pass. What "restart" still
+    /// means is the *scan*: after a firing the traversal starts over
+    /// from the first node, exactly the paper's reference loop.
     fn run_sweeps(
         &mut self,
         graph: &mut Graph,
@@ -517,22 +592,22 @@ impl<'a> Driver<'a> {
         stats: &mut PassStats,
     ) -> Result<(), RewriteError> {
         let mut visited_once: HashSet<NodeId> = HashSet::new();
+        let mut view = TermView::build(
+            graph,
+            &mut self.session.syms,
+            &mut self.session.terms,
+            &self.session.registry,
+        );
+        stats.view_builds += 1;
         'sweeps: loop {
             stats.sweeps += 1;
             cx.set_sweep(stats.sweeps);
-            let mut view = TermView::build(
-                graph,
-                &mut self.session.syms,
-                &mut self.session.terms,
-                &self.session.registry,
-            );
-            stats.view_builds += 1;
             let order = graph.topo_order();
             // Parallel discovery: probe this sweep's candidates across
-            // the shard workers before the serial scan consumes them.
+            // the pool workers before the serial scan consumes them.
             // The probe cache persists across sweeps (terms are
             // hash-consed), so a restart sweep mostly re-warms nothing.
-            self.warm_round(&order, &view, stats);
+            self.warm_round(&order, &view, stats)?;
             let mut sweep_fired = false;
             for node in order {
                 if !graph.is_alive(node) {
@@ -541,25 +616,25 @@ impl<'a> Driver<'a> {
                     continue;
                 }
                 let Some(fired) =
-                    self.visit_node(graph, &view, node, &mut visited_once, stats, cx)?
+                    self.visit_node(graph, &mut view, node, &mut visited_once, stats, cx)?
                 else {
                     continue;
                 };
                 sweep_fired = true;
+                // Repair the view in place: only the rewrite's cone of
+                // influence is re-interned and re-indexed.
+                self.repair_view(graph, &mut view, fired, stats);
                 if stats.rewrites_fired as usize >= self.config.max_rewrites {
                     break 'sweeps;
                 }
                 match self.config.sweep_policy {
                     SweepPolicy::RestartOnRewrite => {
-                        // The term view is stale; restart.
+                        // Restart the scan from the first node.
                         continue 'sweeps;
                     }
                     SweepPolicy::ContinueSweep | SweepPolicy::Incremental => {
-                        // Repair the view in place (only the rewrite's
-                        // cone of influence is re-interned), keep the
-                        // sweep position (the just-rewritten node is
-                        // dead and will be skipped).
-                        self.repair_view(graph, &mut view, fired, stats);
+                        // Keep the sweep position (the just-rewritten
+                        // node is dead and will be skipped).
                     }
                 }
             }
@@ -568,6 +643,7 @@ impl<'a> Driver<'a> {
                 break;
             }
         }
+        stats.nodes_reindexed += view.terms_recomputed();
         Ok(())
     }
 
@@ -639,7 +715,7 @@ impl<'a> Driver<'a> {
                     .copied()
                     .filter(|n| dirty.contains(n))
                     .collect();
-                self.warm_round(&candidates, &view, stats);
+                self.warm_round(&candidates, &view, stats)?;
             }
             for node in order {
                 // Only worklist members are candidates; visiting removes
@@ -649,15 +725,19 @@ impl<'a> Driver<'a> {
                     continue;
                 }
                 let Some(fired) =
-                    self.visit_node(graph, &view, node, &mut visited_once, stats, cx)?
+                    self.visit_node(graph, &mut view, node, &mut visited_once, stats, cx)?
                 else {
                     continue;
                 };
+                // Repair before the rewrite-cap check, exactly like
+                // run_sweeps, so `view_patches == rewrites_fired` holds
+                // under every scheduler even when the cap cuts the pass
+                // short.
+                let cone = self.repair_view(graph, &mut view, fired, stats);
+                dirty.extend(cone);
                 if stats.rewrites_fired as usize >= self.config.max_rewrites {
                     break 'rounds;
                 }
-                let cone = self.repair_view(graph, &mut view, fired, stats);
-                dirty.extend(cone);
                 // Restart the filtered scan so the next firing is the
                 // topologically first dirty candidate, mirroring the
                 // restart policy.
@@ -668,6 +748,7 @@ impl<'a> Driver<'a> {
             // was visited and cleaned — fixpoint reached.
             break;
         }
+        stats.nodes_reindexed += view.terms_recomputed();
         Ok(())
     }
 
@@ -989,7 +1070,7 @@ impl Pass for RewritePass {
         cx: &mut PipelineCx,
     ) -> Result<PassOutcome, PassError> {
         let stats = Driver::new(session, &self.rules, self.config)
-            .with_parallel(cx.parallel())
+            .with_parallel(cx.parallel(), cx.pool())
             .run(graph, cx)?;
         Ok(PassOutcome::from_stats(stats))
     }

@@ -7,18 +7,23 @@
 //! keeping the pass's observable behaviour **byte-identical** to a
 //! serial run:
 //!
-//! 1. **Discover in parallel.** At the start of every scan round the
-//!    driver collects the candidate probes the round may consume, in
-//!    the exact topo-order × rule-priority order the serial scan visits
-//!    them. The warm phase cuts that list into contiguous static
-//!    chunks (no work stealing — see
-//!    [`pypm_perf::parallel::shard_ranges`]), runs one
-//!    `std::thread::scope` worker per chunk, and each worker probes its
-//!    candidates into a **local buffer**: shared `&TermStore` /
-//!    `&GraphAttrInterp` reads, plus a worker-local clone of the
-//!    [`PatternStore`] (the one store a machine run mutates, via
+//! 1. **Discover in parallel, on warm threads.** At the start of every
+//!    scan round the driver collects the candidate probes the round may
+//!    consume, in the exact topo-order × rule-priority order the serial
+//!    scan visits them. The warm phase cuts that list into contiguous
+//!    static chunks (no work stealing — see
+//!    [`pypm_perf::parallel::shard_ranges`]) and submits one task per
+//!    chunk to the **persistent** [`pypm_perf::pool::WorkerPool`]
+//!    (threads spawned once, reused across rounds, sweeps, passes and
+//!    batched graphs — the `pool_rounds`/`pool_spawn_reuse` counters
+//!    measure the reuse). Each worker probes its candidates into a
+//!    **local buffer**: an `Arc`-shared `TermStore` /
+//!    `GraphAttrInterp` (read-only for the batch's duration; the
+//!    collect barrier returns ownership), plus a worker-local clone of
+//!    the [`PatternStore`] (the one store a machine run mutates, via
 //!    μ-unfolding — see the thread-safety notes on
-//!    [`pypm_core::Machine`]).
+//!    [`pypm_core::Machine`]). Shard 0 runs on the calling thread,
+//!    overlapping the pool.
 //! 2. **Merge deterministically.** Buffers are merged in shard order —
 //!    which *is* candidate order, because the chunks are contiguous —
 //!    into a probe cache keyed by `(pattern index, term)`. Outcomes are
@@ -62,11 +67,12 @@
 //! subgraphs carry equal metadata) — the invariant documented on that
 //! variant and hunted by the nightly randomized divergence suites.
 
-use pypm_core::{Machine, Outcome, PatternStore, TermId, TermStore, Witness};
-use pypm_dsl::RuleSet;
+use pypm_core::{Machine, Outcome, PatternId, PatternStore, TermId, TermStore, Witness};
 use pypm_graph::GraphAttrInterp;
 use pypm_perf::parallel::{available_jobs, shard_ranges};
+use pypm_perf::pool::{PoolError, WorkerPool};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Worker configuration for the parallel match phase, plumbed through
@@ -112,8 +118,9 @@ impl Default for ParallelConfig {
 
 /// Counters of the parallel match phase, reported additively alongside
 /// the classic [`crate::PassStats`] fields. `jobs` always records the
-/// configured worker count (so a serial run reports `jobs: 1`); every
-/// other field stays zero under `jobs = 1`.
+/// configured worker count and `batch_graphs` the size of the owning
+/// run (so a serial single-graph run reports `jobs: 1, batch_graphs:
+/// 1`); every other field stays zero under `jobs = 1`.
 ///
 /// Every probe the serial commit scan consumes is resolved one of
 /// three ways, so
@@ -126,6 +133,19 @@ pub struct ParallelStats {
     pub jobs: u64,
     /// Warm phases run (one per scan round with uncached candidates).
     pub warm_batches: u64,
+    /// Warm phases dispatched through the persistent
+    /// [`pypm_perf::pool::WorkerPool`] (rounds large enough to fan
+    /// out; smaller rounds probe inline on the calling thread).
+    pub pool_rounds: u64,
+    /// Pool rounds that found the workers already warm — the pool had
+    /// run at least one batch before (earlier rounds, earlier passes,
+    /// or earlier graphs of a batched run). The first-ever round of a
+    /// fresh pool is the only cold one, so over one pool's lifetime
+    /// `pool_spawn_reuse == pool_rounds - 1`.
+    pub pool_spawn_reuse: u64,
+    /// Graphs compiled by the owning [`crate::Pipeline::run`] /
+    /// [`crate::Pipeline::run_batch`] invocation (1 for a plain `run`).
+    pub batch_graphs: u64,
     /// Probes executed (machine runs) by warm-phase workers.
     pub probes_executed: u64,
     /// Consumed probes resolved by the root-operator index
@@ -142,7 +162,7 @@ pub struct ParallelStats {
     /// `probes_executed`. Length is the configured job count (trailing
     /// shards stay 0 when a round had too few candidates to fan out).
     pub probes_by_shard: Vec<u64>,
-    /// Wall-clock spent inside warm phases (threads spawned to joined).
+    /// Wall-clock spent inside warm phases (submit to merge).
     pub warm_wall: Duration,
 }
 
@@ -185,33 +205,76 @@ pub(crate) type ProbeKey = (usize, TermId);
 /// The probe cache one pass run accumulates.
 pub(crate) type ProbeCache = HashMap<ProbeKey, ProbeResult>;
 
-/// Don't spawn a worker for fewer probes than this — on a loaded (or
-/// single-core) host a thread spawn costs as much as hundreds of
-/// machine runs, so small rounds probe on the calling thread and only
-/// genuinely large rounds fan out.
-const MIN_PROBES_PER_SHARD: usize = 256;
+/// Don't dispatch a pool task for fewer probes than this — below it,
+/// the per-task cost (pattern-store clone + two channel transfers)
+/// rivals the probes themselves, so tiny rounds probe on the calling
+/// thread. The pre-pool scoped-thread design needed a grain of 256
+/// (a thread *spawn* costs hundreds of machine runs); warm pool
+/// dispatch is ~µs, which is what lets real zoo rounds (~30–250
+/// probes after root filtering) actually fan out.
+const MIN_PROBES_PER_SHARD: usize = 32;
+
+/// One shard's probes, run to a local buffer. One machine per shard,
+/// re-loaded per probe: amortizes the state-vector allocations across
+/// the whole chunk. This is the single probe loop shared by the inline
+/// (calling-thread) path and the pool workers, so the two cannot
+/// diverge.
+fn run_shard(
+    patterns: &[PatternId],
+    pats: &mut PatternStore,
+    terms: &TermStore,
+    attrs: &GraphAttrInterp,
+    fuel: u64,
+    chunk: &[ProbeKey],
+) -> Vec<(ProbeKey, ProbeResult)> {
+    let mut machine = Machine::new(pats, terms, attrs);
+    chunk
+        .iter()
+        .map(|&key| {
+            let (pi, t) = key;
+            machine.load(patterns[pi], t);
+            let outcome = machine.resume(fuel);
+            let mstats = machine.stats();
+            (key, ProbeResult::from_run(outcome, mstats))
+        })
+        .collect()
+}
 
 /// The warm phase: probes `todo` (deduplicated, in candidate order)
-/// across `cfg.jobs` workers and merges the buffered results into
-/// `cache` in shard order. See the module docs for the determinism
+/// across the persistent pool's workers and merges the buffered results
+/// into `cache` in shard order. See the module docs for the determinism
 /// argument.
+///
+/// `patterns` maps each rule-set pattern index to its [`PatternId`]
+/// (tiny, cloned into each worker task). `terms` is temporarily moved
+/// into an [`Arc`] so the long-lived workers can share it without
+/// lifetimes — the batch collect is a barrier, so the store is always
+/// recovered (and writable again) before this function returns.
+/// Rounds too small to fan out probe inline on the calling thread and
+/// never touch the pool.
+///
+/// # Errors
+///
+/// A panic inside a pool worker surfaces as [`PoolError`]; the pool
+/// itself stays usable.
 // A free function taking each store separately, rather than a struct,
 // because the borrows come from *different* owners in the driver
 // (session fields, the pass config, and the stats block).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn warm_probes(
     cfg: ParallelConfig,
-    rules: &RuleSet,
+    pool: Option<&WorkerPool>,
+    patterns: &[PatternId],
     pats: &mut PatternStore,
-    terms: &TermStore,
-    attrs: &GraphAttrInterp,
+    terms: &mut TermStore,
+    attrs: &Arc<GraphAttrInterp>,
     fuel: u64,
     todo: &[ProbeKey],
     cache: &mut ProbeCache,
     stats: &mut ParallelStats,
-) {
+) -> Result<(), PoolError> {
     if todo.is_empty() {
-        return;
+        return Ok(());
     }
     if stats.probes_by_shard.len() < cfg.jobs {
         stats.probes_by_shard.resize(cfg.jobs, 0);
@@ -219,49 +282,68 @@ pub(crate) fn warm_probes(
     stats.warm_batches += 1;
     let clock = Instant::now();
     let ranges = shard_ranges(todo.len(), cfg.jobs, MIN_PROBES_PER_SHARD);
-    // One machine per shard, re-loaded per probe: amortizes the
-    // state-vector allocations across the whole chunk.
-    let run_shard =
-        |shard_pats: &mut PatternStore, chunk: &[ProbeKey]| -> Vec<(ProbeKey, ProbeResult)> {
-            let mut machine = Machine::new(shard_pats, terms, attrs);
-            chunk
+    let pool = match pool {
+        // One shard's worth of work (or no pool): probe on the calling
+        // thread with the session's own stores — no clone, no channel.
+        _ if ranges.len() == 1 => None,
+        None => None,
+        Some(pool) => Some(pool),
+    };
+    let buffers: Vec<Vec<(ProbeKey, ProbeResult)>> = match pool {
+        None => ranges
+            .iter()
+            .map(|r| run_shard(patterns, pats, terms, attrs, fuel, &todo[r.clone()]))
+            .collect(),
+        Some(pool) => {
+            if pool.batches_run() > 0 {
+                stats.pool_spawn_reuse += 1;
+            }
+            stats.pool_rounds += 1;
+            // Lend the term store to the workers: moved into an Arc for
+            // the duration of the batch, recovered right after the
+            // collect barrier. Worker-local pattern stores are clones
+            // (μ-unfolding interns patterns; cloning is cheap next to
+            // the probes a chunk serves).
+            let shared_terms = Arc::new(std::mem::take(terms));
+            let tasks: Vec<_> = ranges[1..]
                 .iter()
-                .map(|&key| {
-                    let (pi, t) = key;
-                    machine.load(rules.patterns[pi].pattern, t);
-                    let outcome = machine.resume(fuel);
-                    let mstats = machine.stats();
-                    (key, ProbeResult::from_run(outcome, mstats))
-                })
-                .collect()
-        };
-    let buffers: Vec<Vec<(ProbeKey, ProbeResult)>> = if ranges.len() == 1 {
-        // One shard's worth of work: probe on the calling thread with
-        // the session's own pattern store — no clone, no spawn.
-        vec![run_shard(pats, &todo[ranges[0].clone()])]
-    } else {
-        // Worker-local pattern stores: μ-unfolding interns patterns,
-        // and clones are cheap next to the probes they serve. Shard 0
-        // runs on the calling thread, overlapping the spawned workers;
-        // buffers are collected back in shard order.
-        let mut worker_pats: Vec<PatternStore> = ranges[1..].iter().map(|_| pats.clone()).collect();
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = ranges[1..]
-                .iter()
-                .zip(worker_pats.iter_mut())
-                .map(|(r, local_pats)| {
-                    let chunk = &todo[r.clone()];
-                    scope.spawn(move || run_shard(local_pats, chunk))
+                .map(|r| {
+                    let chunk: Vec<ProbeKey> = todo[r.clone()].to_vec();
+                    let patterns = patterns.to_vec();
+                    let mut worker_pats = pats.clone();
+                    let worker_terms = Arc::clone(&shared_terms);
+                    let worker_attrs = Arc::clone(attrs);
+                    move || {
+                        run_shard(
+                            &patterns,
+                            &mut worker_pats,
+                            &worker_terms,
+                            &worker_attrs,
+                            fuel,
+                            &chunk,
+                        )
+                    }
                 })
                 .collect();
-            let mut buffers = vec![run_shard(pats, &todo[ranges[0].clone()])];
-            buffers.extend(
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("shard worker panicked")),
+            let batch = pool.submit(tasks);
+            // Shard 0 runs on the calling thread, overlapping the pool
+            // workers; buffers come back in shard order regardless of
+            // completion order.
+            let first = run_shard(
+                patterns,
+                pats,
+                &shared_terms,
+                attrs,
+                fuel,
+                &todo[ranges[0].clone()],
             );
+            let rest = batch.collect();
+            *terms = Arc::try_unwrap(shared_terms)
+                .expect("batch collect is a barrier; no worker holds the term store");
+            let mut buffers = vec![first];
+            buffers.extend(rest?);
             buffers
-        })
+        }
     };
     // Merge in shard order — candidate order, since chunks are
     // contiguous. Keys are unique (deduplicated upstream), so the
@@ -275,6 +357,7 @@ pub(crate) fn warm_probes(
         cache.extend(buffer);
     }
     stats.warm_wall += clock.elapsed();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -333,19 +416,24 @@ mod tests {
             }
         }
 
+        let patterns: Vec<_> = rules.patterns.iter().map(|d| d.pattern).collect();
+        let pool = WorkerPool::new(3);
         let mut cache = ProbeCache::new();
         let mut stats = ParallelStats::default();
+        let attrs = view.attrs_shared();
         warm_probes(
             ParallelConfig::with_jobs(4),
-            &rules,
+            Some(&pool),
+            &patterns,
             &mut s.pats,
-            &s.terms,
-            view.attrs(),
+            &mut s.terms,
+            &attrs,
             1_000_000,
             &todo,
             &mut cache,
             &mut stats,
-        );
+        )
+        .unwrap();
         assert_eq!(cache.len(), todo.len());
         assert_eq!(stats.probes_executed, todo.len() as u64);
         assert_eq!(
@@ -353,11 +441,15 @@ mod tests {
             stats.probes_executed
         );
         assert_eq!(stats.warm_batches, 1);
+        assert_eq!(stats.pool_rounds, 1, "a large round must use the pool");
+        assert_eq!(stats.pool_spawn_reuse, 0, "first-ever batch is cold");
         assert!(
             stats.probes_by_shard.iter().filter(|&&p| p > 0).count() > 1,
             "large candidate list must fan out across shards: {:?}",
             stats.probes_by_shard
         );
+        // The term store came back from the workers intact and usable.
+        assert!(!s.terms.is_empty());
 
         for &(pi, t) in &todo {
             let cached = &cache[&(pi, t)];
@@ -388,22 +480,68 @@ mod tests {
     fn warm_probes_is_a_no_op_on_an_empty_candidate_list() {
         let mut s = Session::new();
         let rules = s.load_library(LibraryConfig::both());
+        let patterns: Vec<_> = rules.patterns.iter().map(|d| d.pattern).collect();
         let mut cache = ProbeCache::new();
         let mut stats = ParallelStats::default();
         let g = Graph::new();
         let view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+        let attrs = view.attrs_shared();
         warm_probes(
             ParallelConfig::with_jobs(8),
-            &rules,
+            None,
+            &patterns,
             &mut s.pats,
-            &s.terms,
-            view.attrs(),
+            &mut s.terms,
+            &attrs,
             1_000,
             &[],
             &mut cache,
             &mut stats,
-        );
+        )
+        .unwrap();
         assert!(cache.is_empty());
         assert_eq!(stats, ParallelStats::default());
+    }
+
+    /// Small rounds must not pay the pool: they probe inline on the
+    /// calling thread even when a pool is available.
+    #[test]
+    fn small_rounds_probe_inline_without_the_pool() {
+        let mut s = Session::new();
+        let rules = s.load_library(LibraryConfig::both());
+        let patterns: Vec<_> = rules.patterns.iter().map(|d| d.pattern).collect();
+        let mut g = Graph::new();
+        let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![4, 4]));
+        let relu = s.ops.relu;
+        let r = g
+            .op(&mut s.syms, &s.registry, relu, vec![a], vec![])
+            .unwrap();
+        g.mark_output(r);
+        let view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+        let t = view.term_of(r).unwrap();
+        let todo: Vec<ProbeKey> = (0..rules.patterns.len())
+            .filter(|&pi| !rules.patterns[pi].rules.is_empty())
+            .map(|pi| (pi, t))
+            .collect();
+        let pool = WorkerPool::new(2);
+        let mut cache = ProbeCache::new();
+        let mut stats = ParallelStats::default();
+        let attrs = view.attrs_shared();
+        warm_probes(
+            ParallelConfig::with_jobs(4),
+            Some(&pool),
+            &patterns,
+            &mut s.pats,
+            &mut s.terms,
+            &attrs,
+            1_000_000,
+            &todo,
+            &mut cache,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(cache.len(), todo.len());
+        assert_eq!(stats.pool_rounds, 0, "handful of probes: no fan-out");
+        assert_eq!(pool.batches_run(), 0, "the pool never saw the round");
     }
 }

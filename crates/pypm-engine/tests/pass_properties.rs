@@ -211,6 +211,69 @@ proptest! {
         prop_assert_eq!(&snapshots[0], &snapshots[1]);
     }
 
+    /// Batch compilation is invisible in the results: a
+    /// `Pipeline::run_batch` over random graphs — at a random batch
+    /// size, worker count and sweep policy, sharing one session and
+    /// one warm worker pool — must produce, per graph, exactly what
+    /// sequential `Pipeline::run` calls over an identically seeded
+    /// session produce. The nightly CI job reruns this at high case
+    /// counts, randomizing batch size alongside jobs.
+    #[test]
+    fn batch_compile_is_byte_identical_to_sequential_runs(
+        seed in any::<u64>(),
+        sizes in prop::collection::vec(1usize..20, 1..4),
+        jobs in 1usize..6,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = SweepPolicy::ALL[policy_idx];
+        let snapshot = |s: &Session, g: &Graph| -> Vec<(NodeId, String, Vec<NodeId>)> {
+            g.topo_order()
+                .into_iter()
+                .map(|n| (n, s.syms.op_name(g.node(n).op).to_owned(), g.node(n).inputs.clone()))
+                .collect()
+        };
+        // Sequential reference: graphs built up front (same
+        // symbol-interning order as the batch), then one run each.
+        let mut s_seq = Session::new();
+        let mut seq_graphs: Vec<Graph> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| random_graph(&mut s_seq, seed.wrapping_add(i as u64), size))
+            .collect();
+        let mut seq = Vec::new();
+        for g in &mut seq_graphs {
+            let rules = s_seq.load_library(LibraryConfig::both());
+            let report = Pipeline::new(&mut s_seq)
+                .with(RewritePass::new(rules).policy(policy))
+                .parallelism(ParallelConfig::with_jobs(jobs))
+                .run(g)
+                .unwrap();
+            let t = report.total();
+            seq.push((snapshot(&s_seq, g), t.rewrites_fired, t.match_attempts, t.sweeps));
+        }
+        // Batched: identical seeds, one run_batch.
+        let mut s_batch = Session::new();
+        let mut graphs: Vec<Graph> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| random_graph(&mut s_batch, seed.wrapping_add(i as u64), size))
+            .collect();
+        let rules = s_batch.load_library(LibraryConfig::both());
+        let reports = Pipeline::new(&mut s_batch)
+            .with(RewritePass::new(rules).policy(policy))
+            .parallelism(ParallelConfig::with_jobs(jobs))
+            .run_batch(&mut graphs)
+            .unwrap();
+        prop_assert_eq!(reports.len(), sizes.len());
+        for (i, (report, g)) in reports.iter().zip(&graphs).enumerate() {
+            g.validate().unwrap();
+            let t = report.total();
+            prop_assert_eq!(t.parallel.batch_graphs, sizes.len() as u64);
+            let got = (snapshot(&s_batch, g), t.rewrites_fired, t.match_attempts, t.sweeps);
+            prop_assert_eq!(&seq[i], &got, "graph {} diverged under batching", i);
+        }
+    }
+
     /// The pass never grows the graph: destructive fusion only.
     #[test]
     fn pass_never_grows_the_graph(seed in any::<u64>(), size in 1usize..35) {

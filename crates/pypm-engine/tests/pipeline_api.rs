@@ -285,3 +285,113 @@ fn failing_pass_stops_the_pipeline_and_names_itself() {
     assert_eq!(err.pass, "boom");
     assert!(err.to_string().contains("intentional"));
 }
+
+#[test]
+fn run_batch_reports_one_report_per_graph_with_artifacts() {
+    let mut s = Session::new();
+    let mut graphs = vec![
+        fig1_graph(&mut s, DType::F32),
+        fig1_graph(&mut s, DType::F32),
+    ];
+    let rules = s.load_library(LibraryConfig::all());
+    let partition_rules = rules.clone();
+    let reports = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .with(PartitionPass::new("MatMulEpilog").with_rules(partition_rules))
+        .run_batch(&mut graphs)
+        .unwrap();
+    assert_eq!(reports.len(), 2);
+    for report in &reports {
+        // Both passes ran for every graph, each graph got its own
+        // records, artifacts and counters.
+        assert_eq!(report.passes().len(), 2);
+        let total = report.total();
+        assert_eq!(total.rewrites_fired, 1);
+        assert_eq!(total.parallel.batch_graphs, 2);
+        assert!(report
+            .artifact::<Vec<Partition>>(PartitionPass::ARTIFACT)
+            .is_some());
+        assert!(report.to_json().contains("\"batch_graphs\": 2"));
+    }
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let mut s = Session::new();
+    let rules = s.load_library(LibraryConfig::all());
+    let reports = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .run_batch(&mut [])
+        .unwrap();
+    assert!(reports.is_empty());
+}
+
+#[test]
+fn shared_pool_is_reused_across_pipeline_runs() {
+    use pypm_engine::ParallelConfig;
+    use pypm_perf::pool::WorkerPool;
+    use std::sync::Arc;
+
+    // A graph wide enough that warm rounds exceed the pool dispatch
+    // grain: many independent MatMul(a, Trans(b)) islands.
+    let wide = |s: &mut Session| -> Graph {
+        let mut g = Graph::new();
+        for _ in 0..48 {
+            let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let (trans, matmul, relu) = (s.ops.trans, s.ops.matmul, s.ops.relu);
+            let bt = g
+                .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+                .unwrap();
+            let mm = g
+                .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+                .unwrap();
+            let act = g
+                .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+                .unwrap();
+            g.mark_output(act);
+        }
+        g
+    };
+
+    let pool = Arc::new(WorkerPool::new(3));
+    let mut fired = Vec::new();
+    let mut pooled_rounds = 0;
+    for _ in 0..2 {
+        let mut s = Session::new();
+        let mut g = wide(&mut s);
+        let rules = s.load_library(LibraryConfig::all());
+        let report = Pipeline::new(&mut s)
+            .with(RewritePass::new(rules))
+            .parallelism(ParallelConfig::with_jobs(4))
+            .with_pool(Arc::clone(&pool))
+            .run(&mut g)
+            .unwrap();
+        let total = report.total();
+        fired.push(total.rewrites_fired);
+        pooled_rounds += total.parallel.pool_rounds;
+    }
+    assert_eq!(fired[0], fired[1], "pool reuse must not change results");
+    assert!(pooled_rounds >= 2, "both runs must actually use the pool");
+    assert_eq!(
+        pool.batches_run(),
+        pooled_rounds,
+        "every pooled round went through the one shared pool"
+    );
+    // The second run's first pooled round found warm threads: reuse
+    // crosses Pipeline::run boundaries.
+    let mut s = Session::new();
+    let mut g = wide(&mut s);
+    let rules = s.load_library(LibraryConfig::all());
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules))
+        .parallelism(ParallelConfig::with_jobs(4))
+        .with_pool(Arc::clone(&pool))
+        .run(&mut g)
+        .unwrap();
+    let total = report.total();
+    assert_eq!(
+        total.parallel.pool_spawn_reuse, total.parallel.pool_rounds,
+        "a pre-warmed pool makes every round a reuse"
+    );
+}

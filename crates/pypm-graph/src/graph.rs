@@ -102,6 +102,17 @@ pub enum GraphError {
         /// Inputs supplied.
         got: usize,
     },
+    /// The incrementally maintained reverse adjacency disagrees with a
+    /// node's inputs — an internal invariant violation surfaced by
+    /// [`Graph::validate`] (the index backs
+    /// [`Graph::users_of`]-driven cone expansion, so drift here would
+    /// silently corrupt incremental term-view maintenance).
+    UsersIndexMismatch {
+        /// The node whose input edge is miscounted.
+        node: NodeId,
+        /// The input whose user list disagrees.
+        input: NodeId,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -115,6 +126,10 @@ impl fmt::Display for GraphError {
             GraphError::Arity { op, expected, got } => {
                 write!(f, "operator {op} expects {expected} inputs, got {got}")
             }
+            GraphError::UsersIndexMismatch { node, input } => write!(
+                f,
+                "users index out of sync: edge {input:?} -> {node:?} miscounted"
+            ),
         }
     }
 }
@@ -145,6 +160,13 @@ impl std::error::Error for GraphError {}
 pub struct Graph {
     nodes: Vec<Node>,
     outputs: Vec<NodeId>,
+    /// Reverse adjacency, maintained incrementally: `users[i]` lists the
+    /// live nodes reading node `i`, once per edge (a node reading an
+    /// input twice appears twice). Kept up to date by every mutation so
+    /// [`Graph::users_of`] is O(1) — the lookup incremental term-view
+    /// patching ([`crate::TermView::patch`]) uses to walk a rewrite's
+    /// cone of influence without touching the rest of the graph.
+    users: Vec<Vec<NodeId>>,
     /// Monotone revision counter, bumped on every mutation; term views use
     /// it to invalidate caches.
     revision: u64,
@@ -170,6 +192,7 @@ impl Graph {
             kind: NodeKind::Input,
             alive: true,
         });
+        self.users.push(Vec::new());
         self.revision += 1;
         id
     }
@@ -263,6 +286,9 @@ impl Graph {
         kind: NodeKind,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
+        for &i in &inputs {
+            self.users[i.index()].push(id);
+        }
         self.nodes.push(Node {
             op,
             term_const: None,
@@ -272,6 +298,7 @@ impl Graph {
             kind,
             alive: true,
         });
+        self.users.push(Vec::new());
         self.revision += 1;
         id
     }
@@ -351,18 +378,28 @@ impl Graph {
         order
     }
 
-    /// Users of each live node (computed on demand).
+    /// Users of each live node, as a map (one entry per node with at
+    /// least one user, one element per edge). A view over the
+    /// incrementally maintained reverse adjacency — the single source
+    /// of truth [`Graph::users_of`] reads directly.
     pub fn users(&self) -> HashMap<NodeId, Vec<NodeId>> {
-        let mut users: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.alive {
-                continue;
-            }
-            for &input in &node.inputs {
-                users.entry(input).or_default().push(NodeId(i as u32));
-            }
-        }
-        users
+        self.users
+            .iter()
+            .enumerate()
+            .filter(|(_, users)| !users.is_empty())
+            .map(|(i, users)| (NodeId(i as u32), users.clone()))
+            .collect()
+    }
+
+    /// The live nodes reading `n`, once per edge (a user reading `n`
+    /// twice appears twice), from the incrementally maintained reverse
+    /// adjacency — O(1), no graph walk. Dead nodes have no users.
+    ///
+    /// This is the lookup [`crate::TermView::patch`] uses to expand a
+    /// rewrite's dirty seed to its cone of influence in O(cone) instead
+    /// of one linear pass per rewrite.
+    pub fn users_of(&self, n: NodeId) -> &[NodeId] {
+        self.users.get(n.index()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether `ancestor` is reachable from `n` by following inputs.
@@ -459,6 +496,10 @@ impl Graph {
                 rewired.push(NodeId(i as u32));
             }
         }
+        // Every entry of the root's user list is an edge that was just
+        // rewired; move them all onto the replacement.
+        let moved = std::mem::take(&mut self.users[root.index()]);
+        self.users[replacement.index()].extend(moved);
         // Avoid self-loops if the replacement read the root directly.
         for input in &mut self.nodes[replacement.index()].inputs.clone() {
             debug_assert_ne!(*input, replacement, "replacement reads itself");
@@ -472,9 +513,11 @@ impl Graph {
         Ok(rewired)
     }
 
-    /// Collects nodes unreachable from the outputs. Returns the number of
-    /// nodes freed.
-    pub fn gc(&mut self) -> usize {
+    /// Collects nodes unreachable from the outputs. Returns the ids of
+    /// the nodes freed, in ascending id order — the "dead" half of the
+    /// dirty seed incremental term-view maintenance needs
+    /// ([`crate::TermView::invalidate`] accepts them directly).
+    pub fn gc(&mut self) -> Vec<NodeId> {
         let mut reachable = vec![false; self.nodes.len()];
         let mut stack: Vec<NodeId> = self.outputs.clone();
         while let Some(n) = stack.pop() {
@@ -484,14 +527,23 @@ impl Graph {
             reachable[n.index()] = true;
             stack.extend(self.nodes[n.index()].inputs.iter().copied());
         }
-        let mut freed = 0;
+        let mut freed = Vec::new();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if node.alive && !reachable[i] {
                 node.alive = false;
-                freed += 1;
+                freed.push(NodeId(i as u32));
             }
         }
-        if freed > 0 {
+        // Unlink the dead nodes from the reverse adjacency: a dead
+        // node's users are all dead too (anyone reading it would have
+        // kept it reachable), so clearing both directions is exact.
+        for &d in &freed {
+            for &i in &self.nodes[d.index()].inputs {
+                self.users[i.index()].retain(|&u| u != d);
+            }
+            self.users[d.index()].clear();
+        }
+        if !freed.is_empty() {
             self.revision += 1;
         }
         freed
@@ -515,6 +567,21 @@ impl Graph {
                     return Err(GraphError::WouldCycle {
                         root: NodeId(i as u32),
                         replacement: input,
+                    });
+                }
+                // Reverse-adjacency consistency: every edge must appear
+                // in the incrementally maintained user list with the
+                // same multiplicity, or users_of-driven cone expansion
+                // would silently miss nodes.
+                let fwd = node.inputs.iter().filter(|&&x| x == input).count();
+                let rev = self.users[input.index()]
+                    .iter()
+                    .filter(|&&u| u == NodeId(i as u32))
+                    .count();
+                if fwd != rev {
+                    return Err(GraphError::UsersIndexMismatch {
+                        node: NodeId(i as u32),
+                        input,
                     });
                 }
             }
@@ -648,7 +715,7 @@ mod tests {
         f.g.replace(relu2, fused).unwrap();
         assert_eq!(f.g.outputs(), &[fused]);
         let freed = f.g.gc();
-        assert_eq!(freed, 2); // relu1 and relu2
+        assert_eq!(freed, vec![relu1, relu2]);
         assert!(!f.g.is_alive(relu1));
         assert!(!f.g.is_alive(relu2));
         assert!(f.g.is_alive(a));
@@ -727,8 +794,38 @@ mod tests {
                 .unwrap();
         f.g.mark_output(r);
         f.g.mark_output(s);
-        assert_eq!(f.g.gc(), 0);
+        assert_eq!(f.g.gc(), vec![]);
         assert!(f.g.is_alive(r) && f.g.is_alive(s));
+    }
+
+    #[test]
+    fn users_index_tracks_mutations() {
+        let mut f = fx();
+        let a = mat(&mut f, 4, 4);
+        let relu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        // One user reading the node twice: two edges, two entries.
+        let twice =
+            f.g.op(&mut f.syms, &f.reg, f.ops.add, vec![relu, relu], vec![])
+                .unwrap();
+        f.g.mark_output(twice);
+        assert_eq!(f.g.users_of(a), &[relu]);
+        assert_eq!(f.g.users_of(relu), &[twice, twice]);
+        assert_eq!(f.g.users_of(twice), &[] as &[NodeId]);
+
+        // Replacement moves all edges to the replacement node.
+        let gelu =
+            f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
+                .unwrap();
+        f.g.replace(relu, gelu).unwrap();
+        assert_eq!(f.g.users_of(gelu), &[twice, twice]);
+        // GC clears both directions for the dead node.
+        let freed = f.g.gc();
+        assert_eq!(freed, vec![relu]);
+        assert_eq!(f.g.users_of(relu), &[] as &[NodeId]);
+        assert!(f.g.users_of(a).iter().all(|&u| u == gelu));
+        f.g.validate().unwrap();
     }
 
     #[test]

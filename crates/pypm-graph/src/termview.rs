@@ -20,6 +20,66 @@ use crate::ops::OpRegistry;
 use crate::tensor::TensorMeta;
 use pypm_core::{Attr, AttrInterp, Symbol, SymbolTable, TermId, TermStore};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The ordered producer set of one term, id-sorted so the canonical
+/// producer (the first element) is deterministic and O(1) to read.
+/// Nearly every term has exactly one live producer — hash-consing only
+/// merges *structurally equal* subgraphs — so the single-producer case
+/// is stored inline, with no heap allocation: [`TermView::build`] runs
+/// it once per node per build and the allocation showed up on the
+/// rewrite-pass bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Producers {
+    /// Exactly one live producer.
+    One(NodeId),
+    /// Two or more live producers, ascending by id.
+    Many(Vec<NodeId>),
+}
+
+impl Producers {
+    /// The canonical (lowest-id) producer.
+    fn first(&self) -> NodeId {
+        match self {
+            Producers::One(n) => *n,
+            Producers::Many(v) => v[0],
+        }
+    }
+
+    /// Adds a producer, keeping the ascending order.
+    fn insert(&mut self, n: NodeId) {
+        match self {
+            Producers::One(m) if *m == n => {}
+            Producers::One(m) => {
+                let mut v = vec![*m, n];
+                v.sort_unstable();
+                *self = Producers::Many(v);
+            }
+            Producers::Many(v) => {
+                if let Err(at) = v.binary_search(&n) {
+                    v.insert(at, n);
+                }
+            }
+        }
+    }
+
+    /// Removes a producer; returns `true` when the set became empty
+    /// (the caller then drops the term's entries entirely).
+    fn remove(&mut self, n: NodeId) -> bool {
+        match self {
+            Producers::One(m) => *m == n,
+            Producers::Many(v) => {
+                if let Ok(at) = v.binary_search(&n) {
+                    v.remove(at);
+                }
+                if v.len() == 1 {
+                    *self = Producers::One(v[0]);
+                }
+                false
+            }
+        }
+    }
+}
 
 /// Interned handles for the tensor-specific attributes PyPM exposes on
 /// every term (§2: "all terms … have the same set of tensor-specific
@@ -129,25 +189,64 @@ fn specialized_const(syms: &mut SymbolTable, op: Symbol, attrs: &[(Attr, i64)]) 
 /// * [`TermView::build`] — recompute everything from scratch (the
 ///   original behaviour), or
 /// * [`TermView::invalidate`] the rewrite's dirty seed (the rewired
-///   users of the replaced root plus the freshly created replacement
-///   nodes), then [`TermView::patch`] — re-intern terms only for the
-///   seed and its cone of influence (transitive users whose terms
-///   actually change, with early cut-off where a recomputed term is
-///   unchanged). Index maps and attribute side tables are refreshed with
-///   the exact first-producer-in-topo-order semantics of a fresh build,
-///   so a patched view is indistinguishable from a rebuilt one.
+///   users of the replaced root, the freshly created replacement nodes,
+///   and the ids [`Graph::gc`] collected), then [`TermView::patch`] —
+///   **mark** the seed's cone of influence stale (its transitive users,
+///   discovered through [`Graph::users_of`]; a cheap pointer walk, no
+///   interning) and drop the stale nodes from the index maps. Terms
+///   are then recomputed **lazily**, on demand, by
+///   [`TermView::term_of_repaired`] when the rewrite scheduler
+///   actually visits a node.
+///
+/// Laziness is what makes the maintenance *sublinear in practice*, not
+/// just per-patch: a rewrite near the inputs dirties everything
+/// downstream, and the next rewrite usually dirties most of it again
+/// before the scheduler ever looks at it. Eager patching recomputes
+/// those nodes once per upstream rewrite; lazy repair recomputes each
+/// node at most once per *visit*, so consecutive rewrites coalesce.
+/// [`TermView::terms_recomputed`] counts the recomputes (the engine's
+/// `nodes_reindexed` counter).
+///
+/// Index maps and attribute side tables are maintained incrementally
+/// via ordered first-producer bookkeeping (every term keeps its live
+/// producers in an ordered set). Marking *removes* a stale node from
+/// the index before its new term is known, so [`TermView::node_of`]
+/// can never serve a stale mapping; repair re-inserts it. A view with
+/// no stale nodes (see [`TermView::repair_all`]) is indistinguishable
+/// from a fresh [`TermView::build`].
+///
+/// Canonical producer: when several live nodes view as the same term,
+/// [`TermView::node_of`] returns the one with the lowest [`NodeId`] —
+/// the earliest-allocated producer. Any live producer computes the same
+/// value (that is what sharing a term means), and the lowest id is the
+/// one ordering that build and patch can agree on without a graph walk,
+/// which is what makes the bookkeeping sublinear.
 #[derive(Debug, Clone)]
 pub struct TermView {
     revision: u64,
+    /// node → term for **clean** nodes only; a stale node has no entry
+    /// until it is repaired.
     term_of_node: HashMap<NodeId, TermId>,
-    node_of_term: HashMap<TermId, NodeId>,
-    attrs: GraphAttrInterp,
+    /// Ordered first-producer bookkeeping: every live producer of a
+    /// term, ordered by node id ([`Producers`]). The canonical producer
+    /// is the first element; erasing or adding a producer is
+    /// O(log |producers|). Stale nodes are absent.
+    producers: HashMap<TermId, Producers>,
+    /// Attribute side tables, shared with parallel match workers
+    /// through [`TermView::attrs_shared`]. Mutations go through
+    /// [`Arc::make_mut`], which stays in place (no copy) as long as no
+    /// worker handle is outstanding — the engine drops worker handles
+    /// before patching.
+    attrs: Arc<GraphAttrInterp>,
     /// Nodes marked dirty by [`TermView::invalidate`], consumed by the
     /// next [`TermView::patch`].
     pending: HashSet<NodeId>,
-    /// Nodes walked by the last [`TermView::patch`]'s linear index
-    /// refresh (see [`TermView::last_patch_reindexed`]).
-    last_patch_reindexed: u64,
+    /// Nodes awaiting on-demand repair — marked by [`TermView::patch`],
+    /// already removed from the clean maps.
+    stale: HashSet<NodeId>,
+    /// Terms recomputed by on-demand repair over the view's lifetime
+    /// (see [`TermView::terms_recomputed`]).
+    recomputed: u64,
 }
 
 impl TermView {
@@ -163,170 +262,259 @@ impl TermView {
         let mut view = TermView {
             revision: graph.revision(),
             term_of_node: HashMap::new(),
-            node_of_term: HashMap::new(),
-            attrs: GraphAttrInterp {
+            producers: HashMap::new(),
+            attrs: Arc::new(GraphAttrInterp {
                 handles: Some(handles),
                 ..GraphAttrInterp::default()
-            },
+            }),
             pending: HashSet::new(),
-            last_patch_reindexed: 0,
+            stale: HashSet::new(),
+            recomputed: 0,
         };
-        view.repair(graph, syms, terms, registry, None);
+        for n in graph.topo_order() {
+            let term = Self::term_for(graph, n, syms, terms, &view.term_of_node);
+            view.record(graph, registry, n, term);
+        }
         view
     }
 
-    /// Marks nodes whose term may have changed (or that did not exist
-    /// when the view was built). A rewrite's seed is the user nodes
-    /// rewired by [`Graph::replace_traced`] plus the nodes the
-    /// replacement freshly allocated ([`Graph::allocated_since`]); the
-    /// next [`TermView::patch`] expands the seed to its cone of
-    /// influence. Ids that are dead or unreachable by patch time are
-    /// ignored.
+    /// Marks nodes whose term may have changed, that did not exist when
+    /// the view was built, or that died. A rewrite's seed is the user
+    /// nodes rewired by [`Graph::replace_traced`], the nodes the
+    /// replacement freshly allocated ([`Graph::allocated_since`]), and
+    /// the ids the post-rewrite [`Graph::gc`] collected (the next
+    /// [`TermView::patch`] drops those from the view). The patch then
+    /// expands the live seed to its cone of influence.
     pub fn invalidate(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
         self.pending.extend(nodes);
     }
 
-    /// Repairs the view after a graph mutation, re-interning terms only
-    /// for the invalidated seed and the nodes it transitively dirties
-    /// (users of a node whose term changed). Returns the cone of
-    /// influence: every node whose term differs from the pre-patch view
-    /// (including nodes new to the view), in topological order — the
+    /// Repairs the view's *bookkeeping* after a graph mutation: drops
+    /// dead invalidated nodes, marks the live seed and its transitive
+    /// users (via [`Graph::users_of`]) stale, and removes every marked
+    /// node from the index maps so no stale mapping can be served.
+    /// Returns the marked cone, in ascending node-id order — the
     /// candidates an incremental rewrite scheduler must re-enqueue.
     ///
-    /// Equivalence contract: after `patch`, the view is byte-identical
-    /// to `TermView::build` on the current graph — same node↔term maps
-    /// (first producer wins), same attribute side tables.
+    /// No term is interned here — marking is a pointer walk over the
+    /// cone. The actual recomputation happens lazily in
+    /// [`TermView::term_of_repaired`] when a marked node is next
+    /// looked at, so nodes dirtied by several consecutive rewrites are
+    /// recomputed once, not once per rewrite.
     ///
-    /// Cost: the expensive per-node work — hash-consing interning and
-    /// constant-symbol specialization — is confined to the cone; the
-    /// index maps and side tables are still refreshed with one linear
-    /// topological pass (cheap inserts, no re-interning) so the
-    /// first-producer semantics stay exactly build-equivalent. A fully
-    /// sublinear index refresh is possible but needs ordered
-    /// first-producer bookkeeping; see the ROADMAP scaling item.
-    pub fn patch(
-        &mut self,
-        graph: &Graph,
-        syms: &mut SymbolTable,
-        terms: &mut TermStore,
-        registry: &OpRegistry,
-    ) -> Vec<NodeId> {
-        let seed = std::mem::take(&mut self.pending);
-        let old = std::mem::take(&mut self.term_of_node);
-        self.repair(graph, syms, terms, registry, Some((old, seed)))
-    }
-
-    /// The shared build/patch loop. With `reuse = Some((old, seed))`,
-    /// terms are re-interned only for nodes in the seed, nodes absent
-    /// from `old`, and nodes with a changed input term; all index maps
-    /// and side tables are rebuilt with fresh-build semantics either
-    /// way. Returns the nodes whose term changed relative to `old` (all
-    /// nodes when building from scratch).
-    fn repair(
-        &mut self,
-        graph: &Graph,
-        syms: &mut SymbolTable,
-        terms: &mut TermStore,
-        registry: &OpRegistry,
-        reuse: Option<(HashMap<NodeId, TermId>, HashSet<NodeId>)>,
-    ) -> Vec<NodeId> {
+    /// Equivalence contract: once every stale node has been repaired
+    /// (e.g. after [`TermView::repair_all`]), the view is
+    /// indistinguishable from `TermView::build` on the current graph —
+    /// same node→term map, same canonical producer (lowest-node-id,
+    /// see the type docs) for every term, equal-valued attribute side
+    /// tables.
+    ///
+    /// Like [`Self::invalidate`] documents, the caller must invalidate
+    /// the ids `Graph::gc` collected: patch discovers deadness only for
+    /// invalidated ids (checking liveness for the whole view would be
+    /// the linear walk this method exists to avoid).
+    pub fn patch(&mut self, graph: &Graph) -> Vec<NodeId> {
         self.revision = graph.revision();
-        self.node_of_term.clear();
-        self.attrs.meta.clear();
-        self.attrs.class_code.clear();
-        self.attrs.node_attrs.clear();
-        let mut cone = Vec::new();
-        let mut walked = 0u64;
-        for n in graph.topo_order() {
-            walked += 1;
-            let node = graph.node(n);
-            // Decide whether this node's term must be re-interned: always
-            // when building from scratch; when patching, only for seed
-            // nodes, nodes the old view never saw, and nodes with an
-            // input inside the cone so far (terms are computed in
-            // topological order, so input verdicts are already known).
-            let reused = match &reuse {
-                None => None,
-                Some((old, seed)) => {
-                    let dirty = seed.contains(&n)
-                        || node
-                            .inputs
-                            .iter()
-                            .any(|i| self.term_of_node.get(i) != old.get(i));
-                    if dirty {
-                        None
-                    } else {
-                        old.get(&n).copied()
-                    }
+        let seed = std::mem::take(&mut self.pending);
+        let mut queue: Vec<NodeId> = Vec::new();
+        for n in seed {
+            if graph.is_alive(n) {
+                queue.push(n);
+            } else {
+                // Dead: gone from the clean maps, gone from the stale
+                // set — exactly like a fresh build would not see it.
+                self.stale.remove(&n);
+                self.erase(n);
+            }
+        }
+        let mut marked: Vec<NodeId> = Vec::new();
+        while let Some(n) = queue.pop() {
+            if !self.stale.insert(n) {
+                continue;
+            }
+            // The old term leaves the index *now*, so node_of can never
+            // serve a mapping for a node whose term is in question.
+            self.erase(n);
+            marked.push(n);
+            for &u in graph.users_of(n) {
+                if !self.stale.contains(&u) {
+                    queue.push(u);
                 }
-            };
-            let term = match reused {
-                Some(t) => t,
-                None => match node.kind {
-                    NodeKind::Input | NodeKind::Opaque => {
-                        let c = node
-                            .term_const
-                            .expect("inputs and opaque nodes carry a term constant");
-                        terms.app0(c)
-                    }
-                    NodeKind::Op if node.inputs.is_empty() && !node.attrs.is_empty() => {
-                        // Attribute-carrying constants (e.g. ConstScalar with
-                        // value_milli): specialize the symbol per attribute
-                        // valuation so that distinct constants are distinct
-                        // terms while equal constants still share (needed for
-                        // nonlinear patterns and correct attribute lookup).
-                        let c = specialized_const(syms, node.op, &node.attrs);
-                        terms.app0(c)
-                    }
-                    NodeKind::Op => {
-                        let args: Vec<TermId> =
-                            node.inputs.iter().map(|i| self.term_of_node[i]).collect();
-                        terms.app(node.op, args)
-                    }
-                },
-            };
-            let changed = match &reuse {
-                None => true,
-                Some((old, _)) => old.get(&n) != Some(&term),
-            };
-            if changed {
-                cone.push(n);
-            }
-            self.term_of_node.insert(n, term);
-            // First producer wins: any node with this term computes the
-            // same value, so reusing the first is sound.
-            self.node_of_term.entry(term).or_insert(n);
-            self.attrs
-                .meta
-                .entry(term)
-                .or_insert_with(|| node.meta.clone());
-            self.attrs
-                .class_code
-                .entry(term)
-                .or_insert_with(|| registry.class(node.op).code());
-            if !node.attrs.is_empty() {
-                self.attrs
-                    .node_attrs
-                    .entry(term)
-                    .or_insert_with(|| node.attrs.clone());
             }
         }
-        if reuse.is_some() {
-            self.last_patch_reindexed = walked;
-        }
-        cone
+        marked.sort_unstable();
+        marked
     }
 
-    /// How many nodes the last [`TermView::patch`] walked while
-    /// refreshing the index maps and side tables.
+    /// The term rooted at `n`, repairing it first if a patch marked it
+    /// stale (recursively repairing stale inputs, memoized — each stale
+    /// node is recomputed once). Returns `None` for nodes the view has
+    /// never seen and that are not marked (dead or unreachable ids).
     ///
-    /// Re-interning is confined to the cone of influence, but the index
-    /// refresh is still one linear topological pass over the whole
-    /// graph (cheap inserts, no hash-consing) — this counter is the
-    /// measured baseline for the sublinear-index follow-up on the
-    /// ROADMAP. Zero until the first patch.
-    pub fn last_patch_reindexed(&self) -> u64 {
-        self.last_patch_reindexed
+    /// This is the lookup the rewrite scheduler uses at every visit;
+    /// the read-only [`TermView::term_of`] deliberately returns `None`
+    /// for stale nodes so no stale term can leak into matching.
+    pub fn term_of_repaired(
+        &mut self,
+        graph: &Graph,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        registry: &OpRegistry,
+        n: NodeId,
+    ) -> Option<TermId> {
+        if let Some(&t) = self.term_of_node.get(&n) {
+            return Some(t);
+        }
+        if !self.stale.contains(&n) {
+            return None;
+        }
+        // Iterative input-first DFS over the stale region: rewiring
+        // points users at later-allocated replacement nodes, so node
+        // ids carry no topological order we could lean on.
+        let mut stack = vec![n];
+        while let Some(&top) = stack.last() {
+            let mut deferred = false;
+            for &i in &graph.node(top).inputs {
+                if self.stale.contains(&i) && !stack.contains(&i) {
+                    stack.push(i);
+                    deferred = true;
+                }
+            }
+            if deferred {
+                continue;
+            }
+            stack.pop();
+            if !self.stale.remove(&top) {
+                // Repaired by a sibling branch of this very DFS.
+                continue;
+            }
+            let term = Self::term_for(graph, top, syms, terms, &self.term_of_node);
+            self.recomputed += 1;
+            self.record(graph, registry, top, term);
+        }
+        self.term_of_node.get(&n).copied()
+    }
+
+    /// Repairs every stale node reachable from the graph outputs,
+    /// leaving the view equal to a fresh [`TermView::build`]. Useful
+    /// when a caller wants an eagerly consistent view (tests, external
+    /// consumers); the rewrite scheduler itself never needs it.
+    pub fn repair_all(
+        &mut self,
+        graph: &Graph,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        registry: &OpRegistry,
+    ) {
+        for n in graph.topo_order() {
+            self.term_of_repaired(graph, syms, terms, registry, n);
+        }
+        // Stale ids that are dead or unreachable by now can never be
+        // repaired (or observed); drop them.
+        self.stale.retain(|&n| graph.is_alive(n));
+    }
+
+    /// The term denoted by one node, computed from its kind and its
+    /// inputs' already-known terms. Shared by [`TermView::build`]'s
+    /// linear walk and [`TermView::patch`]'s cone worklist so the two
+    /// paths cannot diverge.
+    fn term_for(
+        graph: &Graph,
+        n: NodeId,
+        syms: &mut SymbolTable,
+        terms: &mut TermStore,
+        term_of_node: &HashMap<NodeId, TermId>,
+    ) -> TermId {
+        let node = graph.node(n);
+        match node.kind {
+            NodeKind::Input | NodeKind::Opaque => {
+                let c = node
+                    .term_const
+                    .expect("inputs and opaque nodes carry a term constant");
+                terms.app0(c)
+            }
+            NodeKind::Op if node.inputs.is_empty() && !node.attrs.is_empty() => {
+                // Attribute-carrying constants (e.g. ConstScalar with
+                // value_milli): specialize the symbol per attribute
+                // valuation so that distinct constants are distinct
+                // terms while equal constants still share (needed for
+                // nonlinear patterns and correct attribute lookup).
+                let c = specialized_const(syms, node.op, &node.attrs);
+                terms.app0(c)
+            }
+            NodeKind::Op => {
+                let args: Vec<TermId> = node
+                    .inputs
+                    .iter()
+                    .map(|i| {
+                        *term_of_node
+                            .get(i)
+                            .expect("inputs resolve before their users (build walks topo order; patch defers to pending inputs)")
+                    })
+                    .collect();
+                terms.app(node.op, args)
+            }
+        }
+    }
+
+    /// Registers `n` as a producer of `term`, maintaining the ordered
+    /// producer set and — when the term gains its first producer — the
+    /// attribute side tables. Values are identical across producers of
+    /// one term (the determinism invariant the engine documents on
+    /// `SweepPolicy::Incremental`), so tables need no refresh when a
+    /// second producer arrives.
+    fn record(&mut self, graph: &Graph, registry: &OpRegistry, n: NodeId, term: TermId) {
+        self.term_of_node.insert(n, term);
+        let mut first = false;
+        self.producers
+            .entry(term)
+            .and_modify(|set| set.insert(n))
+            .or_insert_with(|| {
+                first = true;
+                Producers::One(n)
+            });
+        if first {
+            let node = graph.node(n);
+            let attrs = Arc::make_mut(&mut self.attrs);
+            attrs.meta.insert(term, node.meta.clone());
+            attrs
+                .class_code
+                .insert(term, registry.class(node.op).code());
+            if !node.attrs.is_empty() {
+                attrs.node_attrs.insert(term, node.attrs.clone());
+            }
+        }
+    }
+
+    /// Removes `n` from the view: its node→term entry, its slot in the
+    /// term's producer set, and — when the last producer disappears —
+    /// the term's attribute side-table entries.
+    fn erase(&mut self, n: NodeId) {
+        let Some(term) = self.term_of_node.remove(&n) else {
+            return;
+        };
+        if let Some(set) = self.producers.get_mut(&term) {
+            if set.remove(n) {
+                self.producers.remove(&term);
+                let attrs = Arc::make_mut(&mut self.attrs);
+                attrs.meta.remove(&term);
+                attrs.class_code.remove(&term);
+                attrs.node_attrs.remove(&term);
+            }
+        }
+    }
+
+    /// How many terms on-demand repair has recomputed over this view's
+    /// lifetime (the engine's `nodes_reindexed` counter: PassStats →
+    /// pipeline JSON → bench schema v4).
+    ///
+    /// The pre-sublinear design re-walked the whole live graph once per
+    /// patch; eager O(cone) patching would recompute every dirtied node
+    /// once per upstream rewrite; lazy repair recomputes each node at
+    /// most once per visit, so this is the tightest of the three. Zero
+    /// until the first repair.
+    pub fn terms_recomputed(&self) -> u64 {
+        self.recomputed
     }
 
     /// The graph revision this view was built against.
@@ -334,22 +522,35 @@ impl TermView {
         self.revision
     }
 
-    /// The term rooted at a node, if the node is reachable.
+    /// The term rooted at a node, if the node is reachable **and
+    /// clean**. A node marked stale by [`TermView::patch`] reports
+    /// `None` here until [`TermView::term_of_repaired`] recomputes it —
+    /// a stale term must never leak into matching.
     pub fn term_of(&self, n: NodeId) -> Option<TermId> {
         self.term_of_node.get(&n).copied()
     }
 
-    /// A node producing the given term, if any.
+    /// The canonical node producing the given term, if any: the live
+    /// producer with the lowest [`NodeId`] (see the type docs).
     pub fn node_of(&self, t: TermId) -> Option<NodeId> {
-        self.node_of_term.get(&t).copied()
+        self.producers.get(&t).map(Producers::first)
     }
 
     /// The attribute interpretation for guard evaluation.
     pub fn attrs(&self) -> &GraphAttrInterp {
-        &self.attrs
+        self.attrs.as_ref()
     }
 
-    /// Number of viewed nodes.
+    /// A shared handle on the attribute interpretation, for handing to
+    /// long-lived parallel match workers without cloning the tables.
+    /// Callers must drop worker handles before [`TermView::patch`] runs,
+    /// or the next mutation pays a copy-on-write of the whole table
+    /// (correct, but linear).
+    pub fn attrs_shared(&self) -> Arc<GraphAttrInterp> {
+        Arc::clone(&self.attrs)
+    }
+
+    /// Number of clean (repaired) viewed nodes.
     pub fn len(&self) -> usize {
         self.term_of_node.len()
     }
@@ -511,25 +712,29 @@ mod tests {
         );
     }
 
-    /// A patched view must be indistinguishable from a fresh build:
-    /// same node→term map, same term→node (first-producer) map.
-    fn assert_patched_equals_rebuilt(f: &mut Fx, view: &TermView) {
+    /// After repairing every stale node, a patched view must be
+    /// indistinguishable from a fresh build: same node→term map, same
+    /// producer sets (hence the same canonical producer per term).
+    fn assert_patched_equals_rebuilt(f: &mut Fx, view: &mut TermView) {
+        view.repair_all(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         let fresh = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
         assert_eq!(
             view.term_of_node, fresh.term_of_node,
             "patched term_of_node diverges from a fresh build"
         );
         assert_eq!(
-            view.node_of_term, fresh.node_of_term,
-            "patched node_of_term diverges from a fresh build"
+            view.producers, fresh.producers,
+            "patched producer bookkeeping diverges from a fresh build"
         );
+        assert!(view.stale.is_empty(), "repair_all leaves no stale node");
     }
 
     #[test]
-    fn patch_updates_fan_out_users() {
+    fn patch_marks_fan_out_users_and_repairs_on_demand() {
         // One producer feeding two users: replacing the producer must
-        // dirty both users (and the shared downstream add), and the cone
-        // must come back in topological order.
+        // mark both users (and the shared downstream add) stale, hide
+        // their terms until repaired, and come back in ascending id
+        // order.
         let mut f = fx();
         let a =
             f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
@@ -553,13 +758,28 @@ mod tests {
                 .unwrap();
         let rewired = f.g.replace_traced(r, gelu).unwrap();
         assert_eq!(rewired, vec![u1, u2]);
-        f.g.gc();
+        let collected = f.g.gc();
+        assert_eq!(collected, vec![r]);
 
-        view.invalidate(rewired.into_iter().chain([gelu]));
-        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
-        // gelu is new, both users and the downstream add changed.
-        assert_eq!(cone, vec![gelu, u1, u2, add]);
-        assert_patched_equals_rebuilt(&mut f, &view);
+        view.invalidate(rewired.into_iter().chain([gelu]).chain(collected));
+        let cone = view.patch(&f.g);
+        // gelu is new, both users and the downstream add are marked.
+        assert_eq!(cone, vec![u1, u2, add, gelu]);
+        // Stale terms never leak: term_of hides them until repair.
+        assert_eq!(view.term_of(u1), None);
+        assert_eq!(view.term_of(a), view.term_of(a), "clean node stays");
+        assert!(view.term_of(a).is_some());
+        // On-demand repair of the deepest node repairs its stale
+        // inputs too, and nothing else.
+        let t_add = view
+            .term_of_repaired(&f.g, &mut f.syms, &mut f.terms, &f.reg, add)
+            .unwrap();
+        assert_eq!(view.terms_recomputed(), 4, "gelu, u1, u2, add");
+        assert_eq!(view.node_of(t_add), Some(add));
+        assert!(view.term_of(u1).is_some(), "input repaired on the way");
+        assert_patched_equals_rebuilt(&mut f, &mut view);
+        // Everything was already repaired: no further recomputes.
+        assert_eq!(view.terms_recomputed(), 4);
     }
 
     #[test]
@@ -584,14 +804,16 @@ mod tests {
                 .unwrap();
         let rewired = f.g.replace_traced(r2, fused).unwrap();
         assert!(rewired.is_empty(), "the output root has no users");
-        f.g.gc();
+        let collected = f.g.gc();
+        assert_eq!(collected, vec![r1, r2]);
 
-        view.invalidate([fused]);
-        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        view.invalidate([fused].into_iter().chain(collected));
+        let cone = view.patch(&f.g);
         assert_eq!(cone, vec![fused]);
         assert_eq!(view.term_of(r1), None);
         assert_eq!(view.term_of(r2), None);
-        assert_patched_equals_rebuilt(&mut f, &view);
+        assert_patched_equals_rebuilt(&mut f, &mut view);
+        assert_eq!(view.term_of(r1), None, "dead nodes stay gone");
     }
 
     #[test]
@@ -624,24 +846,30 @@ mod tests {
         let rewired = f.g.replace_traced(left, c2).unwrap();
         assert_eq!(rewired, vec![add]);
         assert_eq!(f.g.allocated_since(mark), vec![c1, c2]);
-        f.g.gc();
+        let collected = f.g.gc();
+        assert_eq!(collected, vec![left]);
 
-        view.invalidate(rewired.into_iter().chain(f.g.allocated_since(mark)));
-        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
-        assert_eq!(cone, vec![c1, c2, add]);
+        view.invalidate(
+            rewired
+                .into_iter()
+                .chain(f.g.allocated_since(mark))
+                .chain(collected),
+        );
+        let cone = view.patch(&f.g);
+        assert_eq!(cone, vec![add, c1, c2]);
         assert!(
             !cone.contains(&right),
             "clean sibling must stay out of the cone"
         );
+        assert_patched_equals_rebuilt(&mut f, &mut view);
         assert!(view.term_of(c1).is_some() && view.term_of(c2).is_some());
-        assert_patched_equals_rebuilt(&mut f, &view);
     }
 
     #[test]
-    fn patch_cuts_off_when_term_is_unchanged() {
-        // Invalidating a node whose recomputed term is identical (here:
-        // nothing actually changed) must produce an empty cone — users
-        // are never touched.
+    fn repairing_an_unchanged_mark_is_cheap_and_exact() {
+        // Invalidating a node whose recomputed term is identical marks
+        // it (and its users — marking cannot know), but repair finds
+        // the same terms and the view converges back to build-equality.
         let mut f = fx();
         let a =
             f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
@@ -653,19 +881,33 @@ mod tests {
                 .unwrap();
         f.g.mark_output(t);
         let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let (t_r, t_t) = (view.term_of(r).unwrap(), view.term_of(t).unwrap());
         view.invalidate([r]);
-        let cone = view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
-        assert!(cone.is_empty(), "unchanged term must cut the cone off");
-        assert_patched_equals_rebuilt(&mut f, &view);
+        let cone = view.patch(&f.g);
+        assert_eq!(cone, vec![r, t], "marking propagates to users");
+        assert_patched_equals_rebuilt(&mut f, &mut view);
+        assert_eq!(view.term_of(r), Some(t_r), "terms did not change");
+        assert_eq!(view.term_of(t), Some(t_t));
     }
 
     #[test]
-    fn patch_reports_linear_reindex_count() {
-        // The index refresh walks the whole live graph once per patch;
-        // the counter records exactly that and is zero before any patch.
+    fn lazy_repair_coalesces_consecutive_patches() {
+        // The headline of lazy maintenance: a node dirtied by several
+        // patches before anyone looks at it is recomputed ONCE. Chain
+        // a -> r -> t; invalidate r twice (two "rewrites") with no
+        // lookup in between, then repair: t recomputes once, not twice.
         let mut f = fx();
         let a =
             f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        // Clean bystander chains a patch must never touch.
+        for _ in 0..16 {
+            let x =
+                f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+            let s =
+                f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![x], vec![])
+                    .unwrap();
+            f.g.mark_output(s);
+        }
         let r =
             f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
                 .unwrap();
@@ -674,16 +916,64 @@ mod tests {
                 .unwrap();
         f.g.mark_output(t);
         let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
-        assert_eq!(view.last_patch_reindexed(), 0);
+        assert_eq!(view.terms_recomputed(), 0);
 
-        let gelu =
+        view.invalidate([r]);
+        view.patch(&f.g);
+        view.invalidate([r]);
+        view.patch(&f.g);
+        assert_eq!(view.terms_recomputed(), 0, "marking interns nothing");
+        view.repair_all(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        // Exactly r and its user t, once each — not twice, and not the
+        // 33 clean bystander nodes.
+        assert_eq!(view.terms_recomputed(), 2);
+        assert!((view.terms_recomputed() as usize) < f.g.live_count());
+        assert_patched_equals_rebuilt(&mut f, &mut view);
+    }
+
+    #[test]
+    fn canonical_producer_is_lowest_id_and_survives_death() {
+        // Two live producers of the same term: node_of returns the
+        // lower id; when that producer dies, the survivor takes over.
+        let mut f = fx();
+        let a =
+            f.g.input(&mut f.syms, TensorMeta::new(DType::F32, vec![2, 2]));
+        let r1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let r2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.relu, vec![a], vec![])
+                .unwrap();
+        let t1 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.tanh, vec![r1], vec![])
+                .unwrap();
+        let t2 =
+            f.g.op(&mut f.syms, &f.reg, f.ops.sigmoid, vec![r2], vec![])
+                .unwrap();
+        f.g.mark_output(t1);
+        f.g.mark_output(t2);
+        let mut view = TermView::build(&f.g, &mut f.syms, &mut f.terms, &f.reg);
+        let shared = view.term_of(r1).unwrap();
+        assert_eq!(view.term_of(r2), Some(shared), "relu(a) twice: one term");
+        assert_eq!(view.node_of(shared), Some(r1), "lowest id wins");
+
+        // Kill the canonical producer: replace t1 (r1's only user) by a
+        // node reading `a` directly.
+        let g1 =
             f.g.op(&mut f.syms, &f.reg, f.ops.gelu, vec![a], vec![])
                 .unwrap();
-        let rewired = f.g.replace_traced(r, gelu).unwrap();
-        f.g.gc();
-        view.invalidate(rewired.into_iter().chain([gelu]));
-        view.patch(&f.g, &mut f.syms, &mut f.terms, &f.reg);
-        assert_eq!(view.last_patch_reindexed() as usize, f.g.live_count());
+        let rewired = f.g.replace_traced(t1, g1).unwrap();
+        let collected = f.g.gc();
+        assert!(collected.contains(&r1));
+        view.invalidate(rewired.into_iter().chain([g1]).chain(collected));
+        let cone = view.patch(&f.g);
+        assert_eq!(cone, vec![g1]);
+        assert_eq!(
+            view.node_of(shared),
+            Some(r2),
+            "surviving producer takes over"
+        );
+        assert_patched_equals_rebuilt(&mut f, &mut view);
     }
 
     #[test]

@@ -1,0 +1,355 @@
+//! A persistent worker pool for the parallel match phase.
+//!
+//! PR 4's shard scheduler paid one `std::thread::scope` spawn/join per
+//! scan round — measurable (`warm_wall_ms`) on multi-round passes. This
+//! pool keeps a fixed set of worker threads alive across rounds,
+//! sweeps, passes, and whole batched compilations; a round becomes one
+//! [`WorkerPool::submit`] + [`Batch::collect`] round-trip over
+//! `std::sync::mpsc` channels (no external crates, no unsafe).
+//!
+//! Design, in the order the determinism argument needs it:
+//!
+//! 1. **Single job queue, many consumers.** Tasks flow through one
+//!    channel whose receiver the workers share behind a mutex (the
+//!    classic std-only pool: pickup is serialized, execution is not).
+//!    Which worker runs which task is scheduler-dependent — and
+//!    irrelevant, because results carry their submission index.
+//! 2. **Index-ordered collection.** [`Batch::collect`] places every
+//!    result at its task's submission index, so the caller sees exactly
+//!    the order it submitted — the shard-ordered merge the engine's
+//!    byte-identity contract relies on, independent of completion
+//!    order.
+//! 3. **Panics surface as errors, workers survive.** Each task runs
+//!    under `catch_unwind`; a panicking task reports
+//!    [`PoolError::TaskPanicked`] from `collect` (no hang, no poisoned
+//!    pool) and the worker thread returns to the queue.
+//! 4. **Drop joins.** Dropping the pool closes the job channel and
+//!    joins every worker — no leaked threads under `cargo test`.
+//!
+//! The pool is deliberately policy-free: it knows nothing about
+//! patterns, probes or shards. The engine decides chunking (see
+//! [`crate::parallel::shard_ranges`]) and what a task captures.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work, pre-wired to report its own result.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a batch failed to collect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task panicked; the payload's message (when it was a string).
+    /// The worker that ran it survived and the pool stays usable.
+    TaskPanicked {
+        /// The panic message, or a placeholder for non-string payloads.
+        message: String,
+    },
+    /// A worker died without reporting (the pool was torn down while a
+    /// batch was outstanding).
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::TaskPanicked { message } => {
+                write!(f, "worker task panicked: {message}")
+            }
+            PoolError::Disconnected => write!(f, "worker pool disconnected mid-batch"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// A fixed set of long-lived worker threads executing submitted batches.
+///
+/// # Examples
+///
+/// ```
+/// use pypm_perf::pool::WorkerPool;
+///
+/// let pool = WorkerPool::new(3);
+/// let batch = pool.submit((0..8).map(|i| move || i * i).collect());
+/// assert_eq!(batch.collect().unwrap(), vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// assert_eq!(pool.batches_run(), 1);
+/// // Dropping the pool joins every worker.
+/// ```
+pub struct WorkerPool {
+    /// Job entrance; `None` only during teardown (dropping it is what
+    /// tells workers to exit).
+    submit: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Batches ever submitted — the warm/cold signal behind the
+    /// engine's `pool_spawn_reuse` counter.
+    batches: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("batches_run", &self.batches_run())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped to at least 1). The
+    /// threads are created here, once, and live until the pool drops —
+    /// submitting work never spawns.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (submit, jobs) = channel::<Job>();
+        let jobs = Arc::new(Mutex::new(jobs));
+        let workers = (0..threads)
+            .map(|i| {
+                let jobs = Arc::clone(&jobs);
+                std::thread::Builder::new()
+                    .name(format!("pypm-pool-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for pickup; run outside it.
+                        // A panicking task cannot poison this mutex (the
+                        // job itself is wrapped in catch_unwind), but be
+                        // robust anyway.
+                        let job = jobs.lock().unwrap_or_else(PoisonError::into_inner).recv();
+                        match job {
+                            Ok(job) => job(),
+                            // Channel closed: the pool is dropping.
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            submit: Some(submit),
+            workers,
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Batches submitted over the pool's lifetime. A caller observing a
+    /// non-zero count before its own submit knows the threads were
+    /// already warm (the engine's `pool_spawn_reuse` signal).
+    pub fn batches_run(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Submits one batch of tasks and returns immediately; results
+    /// arrive through the returned [`Batch`]. The caller may do its own
+    /// work (e.g. probe shard 0 inline) between `submit` and
+    /// [`Batch::collect`] — that overlap is the point.
+    pub fn submit<T, F>(&self, tasks: Vec<F>) -> Batch<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        let (report, results) = channel::<(usize, std::thread::Result<T>)>();
+        let pending = tasks.len();
+        let submit = self
+            .submit
+            .as_ref()
+            .expect("pool submit channel lives until drop");
+        for (index, task) in tasks.into_iter().enumerate() {
+            let report = report.clone();
+            let job: Job = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                // The batch may have been dropped without collecting;
+                // that is the receiver's choice, not an error here.
+                let _ = report.send((index, outcome));
+            });
+            submit
+                .send(job)
+                .expect("pool workers live until the pool drops");
+        }
+        Batch { results, pending }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel is the shutdown signal…
+        self.submit.take();
+        // …and join makes it synchronous: after drop, no pool thread is
+        // left running.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// An in-flight batch: collect to get every task's result back in
+/// submission order.
+#[must_use = "collect the batch or its results are lost"]
+pub struct Batch<T> {
+    results: Receiver<(usize, std::thread::Result<T>)>,
+    pending: usize,
+}
+
+impl<T> Batch<T> {
+    /// Blocks until every task reported, then returns the results in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::TaskPanicked`] if any task panicked (all other
+    /// tasks are still drained first, so the pool is clean afterwards);
+    /// [`PoolError::Disconnected`] if the pool died mid-batch.
+    pub fn collect(self) -> Result<Vec<T>, PoolError> {
+        let mut slots: Vec<Option<T>> =
+            std::iter::repeat_with(|| None).take(self.pending).collect();
+        let mut panicked: Option<String> = None;
+        for _ in 0..self.pending {
+            match self.results.recv() {
+                Ok((index, Ok(value))) => slots[index] = Some(value),
+                Ok((_, Err(payload))) => {
+                    panicked.get_or_insert_with(|| panic_message(payload.as_ref()));
+                }
+                Err(_) => return Err(PoolError::Disconnected),
+            }
+        }
+        if let Some(message) = panicked {
+            return Err(PoolError::TaskPanicked { message });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every index reported exactly once"))
+            .collect())
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let pool = WorkerPool::new(4);
+        // Later tasks sleep less, so completion order inverts
+        // submission order — collect must re-establish it.
+        let tasks: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_micros((16 - i) * 100));
+                    i * 2
+                }
+            })
+            .collect();
+        let out = pool.submit(tasks).collect().unwrap();
+        assert_eq!(out, (0..16u64).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threads_persist_across_batches() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        assert_eq!(pool.batches_run(), 0);
+        for round in 1..=3u64 {
+            let out = pool
+                .submit((0..4usize).map(|i| move || i).collect())
+                .collect()
+                .unwrap();
+            assert_eq!(out, vec![0, 1, 2, 3]);
+            assert_eq!(pool.batches_run(), round);
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let pool = WorkerPool::new(1);
+        let out: Vec<u8> = pool.submit(Vec::<fn() -> u8>::new()).collect().unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.submit(vec![|| 7]).collect().unwrap();
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn panic_in_task_is_a_clean_error_and_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+            Box::new(|| 1),
+            Box::new(|| panic!("boom in worker")),
+            Box::new(|| 3),
+        ];
+        let err = pool.submit(tasks).collect().unwrap_err();
+        match err {
+            PoolError::TaskPanicked { message } => {
+                assert!(message.contains("boom in worker"), "{message}")
+            }
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+        // The pool is still fully usable: same workers, next batch OK.
+        let out = pool
+            .submit((0..8usize).map(|i| move || i + 1).collect())
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        // Every worker must have fully exited by the time drop returns:
+        // submit slow tasks, drop immediately, and verify the work
+        // still completed (join waited for it, nothing was leaked or
+        // aborted mid-flight).
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(3);
+        let batch = pool.submit(
+            (0..6usize)
+                .map(|_| {
+                    let done = Arc::clone(&done);
+                    move || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect(),
+        );
+        batch.collect().unwrap();
+        drop(pool);
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn more_tasks_than_threads_all_complete() {
+        let pool = WorkerPool::new(2);
+        let out = pool
+            .submit((0..64usize).map(|i| move || i % 7).collect())
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 64);
+        for (i, v) in out.into_iter().enumerate() {
+            assert_eq!(v, i % 7);
+        }
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! pypmc list-models                         list both model zoos
-//! pypmc compile <model> [--config C] [--sweep-policy P] [--jobs N]
-//!                       [--stats-json FILE] [--dot]
-//!                                           compile one model and report
-//!                                           rewrite stats + simulated cost
+//! pypmc compile <model>... [--config C] [--sweep-policy P] [--jobs N]
+//!                          [--stats-json FILE] [--dot]
+//!                                           compile one or more models and
+//!                                           report rewrite stats + simulated
+//!                                           cost per model
 //! pypmc library [--format text|binary] [-o FILE]
 //!                                           dump the paper's pattern library
 //! pypmc partition <model> [--pattern P]     directed graph partitioning (§4.2)
@@ -21,9 +22,14 @@
 //! results); the default is the machine's available parallelism,
 //! overridable with the `PYPM_JOBS` environment variable (the explicit
 //! flag wins). `--jobs 0` and non-numeric values are rejected with exit
-//! code 2. `--stats-json` writes the pipeline report in the stable
-//! `pypm.pipeline.v1` schema (including the additive `incremental` and
-//! `parallel` counter blocks).
+//! code 2. `--jobs 1` runs the pure serial path: no worker pool is
+//! constructed, no thread starts. With several models, the whole batch
+//! compiles through one `Pipeline::run_batch` — shared session stores,
+//! one warm worker pool across all graphs. `--stats-json` writes the
+//! pipeline report in the stable `pypm.pipeline.v1` schema (including
+//! the additive `incremental` and `parallel` counter blocks); for a
+//! batch it writes a `pypm.batch.v1` document wrapping one report per
+//! model.
 //!
 //! Unknown flags and stray positional arguments are rejected with exit
 //! code 2 and a usage line — every subcommand declares exactly what it
@@ -177,9 +183,9 @@ fn list_models(args: &[String]) -> i32 {
 
 fn compile(args: &[String]) -> i32 {
     let spec = Spec {
-        usage: "pypmc compile <model> [--config C] [--sweep-policy P] [--jobs N] \
+        usage: "pypmc compile <model>... [--config C] [--sweep-policy P] [--jobs N] \
                 [--stats-json FILE] [--dot]",
-        positionals: (1, 1),
+        positionals: (1, usize::MAX),
         value_flags: &[
             "--config",
             "--sweep-policy",
@@ -193,7 +199,7 @@ fn compile(args: &[String]) -> i32 {
         Ok(p) => p,
         Err(code) => return code,
     };
-    let model = &parsed.positionals[0];
+    let models = &parsed.positionals;
     let lib = match parsed.value("--config").unwrap_or("both") {
         "baseline" => LibraryConfig::none(),
         "fmha" => LibraryConfig::fmha_only(),
@@ -239,74 +245,126 @@ fn compile(args: &[String]) -> i32 {
         },
     };
 
+    // One session for the whole batch: shared symbol/term/pattern
+    // stores, and (with jobs > 1) one warm worker pool across every
+    // graph — the Pipeline::run_batch entry point.
     let mut s = Session::new();
-    let Some(mut g) = build_model(&mut s, model) else {
-        eprintln!("unknown model {model}; try `pypmc list-models`");
-        return 1;
-    };
+    let mut graphs = Vec::with_capacity(models.len());
+    for model in models {
+        let Some(g) = build_model(&mut s, model) else {
+            eprintln!("unknown model {model}; try `pypmc list-models`");
+            return 1;
+        };
+        graphs.push(g);
+    }
     let cm = CostModel::new();
-    let before_nodes = g.live_count();
-    let before_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
+    let before: Vec<(usize, f64)> = graphs
+        .iter()
+        .map(|g| {
+            (
+                g.live_count(),
+                cm.graph_cost(g, &s.syms, &s.registry, &s.ops),
+            )
+        })
+        .collect();
 
     let rules = s.load_library(lib);
     let mut pipeline = Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(jobs));
     if !rules.is_empty() {
         pipeline = pipeline.with(RewritePass::new(rules).policy(policy));
     }
-    let report = match pipeline.run(&mut g) {
-        Ok(report) => report,
+    let reports = match pipeline.run_batch(&mut graphs) {
+        Ok(reports) => reports,
         Err(e) => {
             eprintln!("rewrite pass failed: {e}");
             return 1;
         }
     };
-    // The pipeline validates the graph after every mutating pass; the
-    // baseline (no-pass) graph is valid by construction.
-    let stats = report.total();
-    let after_cost = cm.graph_cost(&g, &s.syms, &s.registry, &s.ops);
-
-    println!("model      {model}");
-    println!("nodes      {before_nodes} -> {}", g.live_count());
-    println!(
-        "rewrites   {} fired / {} matches / {} attempts",
-        stats.rewrites_fired, stats.matches_found, stats.match_attempts
-    );
-    println!(
-        "matcher    {:.2} ms, {} machine steps, {} backtracks, {} sweeps",
-        stats.duration.as_secs_f64() * 1e3,
-        stats.machine_steps,
-        stats.machine_backtracks,
-        stats.sweeps
-    );
-    println!(
-        "term view  {} builds, {} patches, {} nodes revisited, {} reindexed",
-        stats.view_builds, stats.view_patches, stats.nodes_revisited, stats.nodes_reindexed
-    );
-    if jobs > 1 {
+    // The pipeline validates each graph after every mutating pass; the
+    // baseline (no-pass) graphs are valid by construction.
+    for (i, (model, g)) in models.iter().zip(&graphs).enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let stats = reports[i].total();
+        let (before_nodes, before_cost) = before[i];
+        let after_cost = cm.graph_cost(g, &s.syms, &s.registry, &s.ops);
+        println!("model      {model}");
+        println!("nodes      {before_nodes} -> {}", g.live_count());
         println!(
-            "parallel   {jobs} jobs, {} probes executed / {} filtered / {} reused / {} inline",
-            stats.parallel.probes_executed,
-            stats.parallel.probes_filtered,
-            stats.parallel.probes_reused,
-            stats.parallel.probes_inline
+            "rewrites   {} fired / {} matches / {} attempts",
+            stats.rewrites_fired, stats.matches_found, stats.match_attempts
         );
-    } else {
-        println!("parallel   1 job (serial match phase)");
+        println!(
+            "matcher    {:.2} ms, {} machine steps, {} backtracks, {} sweeps",
+            stats.duration.as_secs_f64() * 1e3,
+            stats.machine_steps,
+            stats.machine_backtracks,
+            stats.sweeps
+        );
+        println!(
+            "term view  {} builds, {} patches, {} nodes revisited, {} reindexed",
+            stats.view_builds, stats.view_patches, stats.nodes_revisited, stats.nodes_reindexed
+        );
+        if jobs > 1 {
+            println!(
+                "parallel   {jobs} jobs, {} probes executed / {} filtered / {} reused / {} inline",
+                stats.parallel.probes_executed,
+                stats.parallel.probes_filtered,
+                stats.parallel.probes_reused,
+                stats.parallel.probes_inline
+            );
+            println!(
+                "pool       {} rounds, {} warm reuses, batch of {}",
+                stats.parallel.pool_rounds,
+                stats.parallel.pool_spawn_reuse,
+                stats.parallel.batch_graphs
+            );
+        } else {
+            println!("parallel   1 job (serial match phase, no pool)");
+        }
+        println!(
+            "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",
+            before_cost / after_cost
+        );
     }
-    println!(
-        "inference  {before_cost:.1} µs -> {after_cost:.1} µs ({:.3}x)",
-        before_cost / after_cost
-    );
     if let Some(path) = parsed.value("--stats-json") {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
+        let payload = if models.len() == 1 {
+            reports[0].to_json()
+        } else {
+            batch_json(models, &reports)
+        };
+        if let Err(e) = std::fs::write(path, payload) {
             eprintln!("cannot write {path}: {e}");
             return 1;
         }
     }
     if parsed.has("--dot") {
-        println!("\n{}", g.to_dot(&s.syms));
+        for g in &graphs {
+            println!("\n{}", g.to_dot(&s.syms));
+        }
     }
     0
+}
+
+/// Renders a batch compile's reports as one `pypm.batch.v1` document:
+/// each model's full `pypm.pipeline.v1` report, in input order. A
+/// single-model compile keeps emitting the bare pipeline report, so
+/// existing consumers see no change.
+fn batch_json(models: &[String], reports: &[pypm::engine::PipelineReport]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pypm.batch.v1\",\n  \"graphs\": [");
+    for (i, (model, report)) in models.iter().zip(reports).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let escaped = model.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "\n    {{\"model\": \"{escaped}\", \"report\": {}}}",
+            report.to_json().trim_end()
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 fn library(args: &[String]) -> i32 {

@@ -98,10 +98,14 @@ fn compile_jobs_flag_reports_parallel_stats() {
         let text = stdout(&out);
         assert!(text.contains("parallel"), "--jobs {jobs}: {text}");
         if jobs == "1" {
-            assert!(text.contains("1 job (serial match phase)"), "{text}");
+            assert!(
+                text.contains("1 job (serial match phase, no pool)"),
+                "{text}"
+            );
         } else {
             assert!(text.contains(&format!("{jobs} jobs")), "{text}");
             assert!(text.contains("probes executed"), "{text}");
+            assert!(text.contains("pool"), "{text}");
         }
         let line = text
             .lines()
@@ -176,8 +180,9 @@ fn unknown_flags_are_rejected_with_usage() {
 
 #[test]
 fn stray_positionals_are_rejected_with_usage() {
+    // `compile` is absent on purpose: it now takes a whole batch of
+    // models (see the batch tests below).
     for args in [
-        &["compile", "bert-tiny", "extra"][..],
         &["list-models", "extra"][..],
         &["explain", "bert-tiny", "MMxyT", "extra"][..],
         &["partition", "bert-tiny", "extra"][..],
@@ -191,6 +196,99 @@ fn stray_positionals_are_rejected_with_usage() {
         );
         assert!(err.contains("usage:"), "{args:?}: {err}");
     }
+}
+
+#[test]
+fn batch_compile_reports_every_model_and_matches_individual_runs() {
+    // One invocation, three graphs: per-model blocks in input order,
+    // and each model's rewrite line byte-identical to its standalone
+    // compile (batching shares stores + pool but never changes
+    // results).
+    let batch = pypmc(&["compile", "bert-tiny", "vgg11", "bert-tiny", "--jobs", "4"]);
+    assert!(batch.status.success(), "{batch:?}");
+    let text = stdout(&batch);
+    assert_eq!(text.matches("model      bert-tiny").count(), 2, "{text}");
+    assert_eq!(text.matches("model      vgg11").count(), 1, "{text}");
+    assert_eq!(text.matches("batch of 3").count(), 3, "{text}");
+    let batch_rewrites: Vec<&str> = text.lines().filter(|l| l.starts_with("rewrites")).collect();
+    assert_eq!(batch_rewrites.len(), 3, "{text}");
+    for (i, model) in ["bert-tiny", "vgg11"].into_iter().enumerate() {
+        let solo = pypmc(&["compile", model, "--jobs", "4"]);
+        assert!(solo.status.success(), "{solo:?}");
+        let solo_text = stdout(&solo);
+        let solo_rewrites = solo_text
+            .lines()
+            .find(|l| l.starts_with("rewrites"))
+            .expect("rewrites line");
+        assert_eq!(batch_rewrites[i], solo_rewrites, "{model}");
+    }
+    // Unknown models fail the whole batch before compiling anything.
+    let bad = pypmc(&["compile", "bert-tiny", "no-such-model"]);
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+}
+
+#[test]
+fn batch_compile_stats_json_wraps_per_model_reports() {
+    let dir = std::env::temp_dir().join("pypmc_batch_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch.json");
+    let out = pypmc(&[
+        "compile",
+        "bert-tiny",
+        "vgg11",
+        "--jobs",
+        "2",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let json = std::fs::read_to_string(&path).unwrap();
+    assert!(json.contains("\"schema\": \"pypm.batch.v1\""), "{json}");
+    assert!(json.contains("\"model\": \"bert-tiny\""), "{json}");
+    assert!(json.contains("\"model\": \"vgg11\""), "{json}");
+    assert_eq!(json.matches("\"schema\": \"pypm.pipeline.v1\"").count(), 2);
+    assert!(json.contains("\"batch_graphs\": 2"), "{json}");
+    for (open, close) in [('{', '}'), ('[', ']')] {
+        assert_eq!(json.matches(open).count(), json.matches(close).count());
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serial_compile_bypasses_the_pool_entirely() {
+    // --jobs 1 is the pure serial path: no pool is constructed, no
+    // probe is cached or run inline — the parallel block stays zero.
+    let dir = std::env::temp_dir().join("pypmc_serial_json_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("serial.json");
+    let out = pypmc(&[
+        "compile",
+        "bert-small",
+        "--jobs",
+        "1",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        stdout(&out).contains("1 job (serial match phase, no pool)"),
+        "{}",
+        stdout(&out)
+    );
+    let json = std::fs::read_to_string(&path).unwrap();
+    for zeroed in [
+        "\"probes_inline\": 0",
+        "\"probes_executed\": 0",
+        "\"probes_reused\": 0",
+        "\"pool_rounds\": 0",
+        "\"pool_spawn_reuse\": 0",
+        "\"warm_batches\": 0",
+    ] {
+        assert!(json.contains(zeroed), "missing {zeroed}:\n{json}");
+    }
+    assert!(json.contains("\"jobs\": 1"), "{json}");
+    assert!(json.contains("\"batch_graphs\": 1"), "{json}");
+    std::fs::remove_file(&path).ok();
 }
 
 #[test]

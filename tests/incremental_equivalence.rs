@@ -182,6 +182,41 @@ fn incremental_cuts_matches_tried_on_bert_small() {
     );
 }
 
+/// The sublinear index-maintenance acceptance bar: on bert-small, the
+/// nodes a patch reindexes must be at least 5× below the pre-sublinear
+/// design's floor of one linear pass over the live graph per rewrite.
+#[test]
+fn sublinear_reindex_cuts_nodes_reindexed_on_bert_small() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-small")
+        .unwrap();
+    let mut s = Session::new();
+    let mut g = cfg.build(&mut s);
+    let rules = s.load_library(LibraryConfig::both());
+    let report = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules).policy(SweepPolicy::Incremental))
+        .run(&mut g)
+        .expect("pass succeeds");
+    let stats = report.total();
+    assert!(stats.rewrites_fired > 0, "model must actually rewrite");
+    assert_eq!(
+        stats.view_patches, stats.rewrites_fired,
+        "one patch per fired rewrite"
+    );
+    assert!(stats.nodes_reindexed > 0, "patches must report their cones");
+    // The old design walked every live node once per patch. Live count
+    // only shrinks during the pass, so `patches × final live count` is
+    // a *lower bound* on what it would have reindexed here.
+    let old_floor = stats.view_patches * g.live_count() as u64;
+    assert!(
+        stats.nodes_reindexed * 5 <= old_floor,
+        "expected ≥5× fewer nodes reindexed: {} cones vs ≥{} linear",
+        stats.nodes_reindexed,
+        old_floor,
+    );
+}
+
 /// The op population argument in one place: restart and incremental
 /// leave the same multiset of operators for a model whose rewrites
 /// cascade (GELU expansion into epilog fusion).

@@ -207,6 +207,109 @@ fn parallel_restart_memoizes_probes_on_bert_small() {
     assert!(parallel.parallel.warm_batches >= 1);
 }
 
+/// Batch compilation must be invisible in the results: running a batch
+/// of graphs through one `Pipeline::run_batch` (shared session stores,
+/// one warm worker pool across all graphs) yields, per graph, exactly
+/// the outcome of sequential standalone `Pipeline::run` calls over the
+/// same session — at every job count and under every sweep policy.
+#[test]
+fn run_batch_is_byte_identical_to_sequential_runs() {
+    let models = ["bert-tiny", "vgg11", "bert-tiny"];
+    let build = |name: &str, s: &mut Session| -> Graph {
+        if let Some(cfg) = pypm::models::hf_zoo().into_iter().find(|c| c.name == name) {
+            cfg.build(s)
+        } else {
+            pypm::models::tv_zoo()
+                .into_iter()
+                .find(|c| c.name == name)
+                .unwrap()
+                .build(s)
+        }
+    };
+    let snapshot = |s: &Session, g: &Graph| -> Vec<(NodeId, String, Vec<NodeId>)> {
+        g.topo_order()
+            .into_iter()
+            .map(|n| {
+                (
+                    n,
+                    s.syms.op_name(g.node(n).op).to_owned(),
+                    g.node(n).inputs.clone(),
+                )
+            })
+            .collect()
+    };
+    for policy in SweepPolicy::ALL {
+        for jobs in [1usize, 2, 8] {
+            // Sequential reference: one session, graphs built up front
+            // (matching the batch path's symbol-interning order), one
+            // Pipeline::run per graph.
+            let mut s_seq = Session::new();
+            let mut seq_graphs: Vec<Graph> = models.iter().map(|m| build(m, &mut s_seq)).collect();
+            let mut seq = Vec::new();
+            for g in &mut seq_graphs {
+                let rules = s_seq.load_library(LibraryConfig::both());
+                let report = Pipeline::new(&mut s_seq)
+                    .with(RewritePass::new(rules).policy(policy))
+                    .parallelism(ParallelConfig::with_jobs(jobs))
+                    .run(g)
+                    .expect("sequential run succeeds");
+                let t = report.total();
+                seq.push((
+                    snapshot(&s_seq, g),
+                    t.rewrites_fired,
+                    t.match_attempts,
+                    t.matches_found,
+                    t.sweeps,
+                ));
+            }
+            // Batched: same graphs, one run_batch, one shared pool.
+            let mut s_batch = Session::new();
+            let mut graphs: Vec<Graph> = models.iter().map(|m| build(m, &mut s_batch)).collect();
+            let rules = s_batch.load_library(LibraryConfig::both());
+            let reports = Pipeline::new(&mut s_batch)
+                .with(RewritePass::new(rules).policy(policy))
+                .parallelism(ParallelConfig::with_jobs(jobs))
+                .run_batch(&mut graphs)
+                .expect("batch run succeeds");
+            assert_eq!(reports.len(), models.len());
+            let mut total_pool_rounds = 0;
+            let mut total_reuse = 0;
+            for (i, (report, g)) in reports.iter().zip(&graphs).enumerate() {
+                let t = report.total();
+                assert_eq!(
+                    t.parallel.batch_graphs,
+                    models.len() as u64,
+                    "{policy}/jobs={jobs}: batch size surfaces in every report"
+                );
+                let got = (
+                    snapshot(&s_batch, g),
+                    t.rewrites_fired,
+                    t.match_attempts,
+                    t.matches_found,
+                    t.sweeps,
+                );
+                assert_eq!(
+                    seq[i], got,
+                    "{policy}/jobs={jobs}: graph {i} diverged under batching"
+                );
+                total_pool_rounds += t.parallel.pool_rounds;
+                total_reuse += t.parallel.pool_spawn_reuse;
+            }
+            // Pool accounting: only the very first pooled round of the
+            // run is cold; every later one reuses warm threads.
+            if total_pool_rounds > 0 {
+                assert_eq!(
+                    total_reuse,
+                    total_pool_rounds - 1,
+                    "{policy}/jobs={jobs}: all but the first pool round reuse warm threads"
+                );
+            } else {
+                assert_eq!(total_reuse, 0);
+            }
+        }
+    }
+}
+
 /// `ParallelConfig::auto` resolves to the machine's parallelism and
 /// stays byte-identical too (smoke-level: one model, one policy).
 #[test]

@@ -192,12 +192,44 @@ pub mod arbitrary {
     }
 }
 
+/// Collection strategies (upstream `proptest::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from a range
+    /// and whose elements come from an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors with lengths in `size` — the upstream
+    /// `proptest::collection::vec` entry point (range sizes only).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
 /// The glob-import surface mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Alias letting `prop::collection::vec(..)` resolve as upstream.
+    pub use crate as prop;
 }
 
 /// Declares deterministic property tests.
