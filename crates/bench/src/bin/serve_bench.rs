@@ -1,0 +1,216 @@
+//! `serve_bench` — the load generator for `pypmc serve`.
+//!
+//! Boots an in-process [`pypm::serve::Server`], drives it with
+//! concurrent clients, and emits the serve latency series —
+//! requests/sec plus p50/p99 — into `crates/bench/BENCH_serve.json`
+//! (schema `pypm.bench.serve.v1`), alongside the existing
+//! `BENCH_rewrite_pass.json` series. Every successful response is also
+//! checked for counter equivalence against the first one: a load bench
+//! that silently serves wrong answers measures nothing.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin serve_bench -- \
+//!     [--clients N] [--requests N] [--model M] [--jobs N] \
+//!     [--workers N] [--queue N] [--out FILE]
+//! ```
+//!
+//! Overloaded responses (admission control pushing back) are retried
+//! and counted separately; only successful compiles enter the latency
+//! series.
+
+use pypm::serve::{Client, ServeConfig, Server, STATUS_OK, STATUS_OVERLOADED};
+use std::time::{Duration, Instant};
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    model: String,
+    jobs: usize,
+    workers: usize,
+    queue: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 12,
+        model: "bert-small".to_owned(),
+        jobs: 4,
+        workers: 2,
+        queue: 16,
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_serve.json").to_owned(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}");
+            std::process::exit(2);
+        });
+        let numeric = |v: &str| {
+            v.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("invalid {flag} {v}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--clients" => args.clients = numeric(&value).max(1),
+            "--requests" => args.requests = numeric(&value).max(1),
+            "--model" => args.model = value,
+            "--jobs" => args.jobs = numeric(&value).max(1),
+            "--workers" => args.workers = numeric(&value).max(1),
+            "--queue" => args.queue = numeric(&value),
+            "--out" => args.out = value,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Masks the volatile fields (wall clocks, warm-pool reuse) of a
+/// `pypm.pipeline.v1` document so responses can be compared for
+/// counter equivalence.
+fn mask_volatile(json: &str) -> String {
+    let fields = [
+        "\"wall_ms\": ",
+        "\"duration_ms\": ",
+        "\"warm_wall_ms\": ",
+        "\"pool_spawn_reuse\": ",
+    ];
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    loop {
+        let next = fields
+            .iter()
+            .filter_map(|f| rest.find(f).map(|p| (*f, p)))
+            .min_by_key(|&(_, p)| p);
+        let Some((field, pos)) = next else { break };
+        let value_start = pos + field.len();
+        out.push_str(&rest[..value_start]);
+        out.push('_');
+        let tail = &rest[value_start..];
+        let value_len = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        rest = &tail[value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
+}
+
+fn main() {
+    let args = parse_args();
+    let server = Server::bind(ServeConfig {
+        jobs: args.jobs,
+        workers: args.workers,
+        queue_depth: args.queue,
+        ..ServeConfig::default()
+    })
+    .expect("bind on an ephemeral port");
+    let addr = server.addr();
+    let line = format!("compile {} jobs={}", args.model, args.jobs);
+
+    // The equivalence reference: one warm-up request, outside the
+    // measured window.
+    let reference = {
+        let mut c = Client::connect(addr).expect("connect");
+        let (status, body) = c.request(&line).expect("warm-up request");
+        assert_eq!(status, STATUS_OK, "warm-up failed: {body}");
+        mask_volatile(&body)
+    };
+
+    let clock = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let line = line.clone();
+            let reference = reference.clone();
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut overloaded = 0u64;
+                for _ in 0..requests {
+                    loop {
+                        let t = Instant::now();
+                        let (status, body) = c.request(&line).expect("request");
+                        match status {
+                            STATUS_OK => {
+                                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                                assert_eq!(
+                                    mask_volatile(&body),
+                                    reference,
+                                    "served counters diverged under load"
+                                );
+                                break;
+                            }
+                            STATUS_OVERLOADED => {
+                                overloaded += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            other => panic!("unexpected status {other}: {body}"),
+                        }
+                    }
+                }
+                (latencies_ms, overloaded)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::with_capacity(args.clients * args.requests);
+    let mut overloaded = 0u64;
+    for h in handles {
+        let (lat, ov) = h.join().expect("client thread");
+        latencies_ms.extend(lat);
+        overloaded += ov;
+    }
+    let wall_s = clock.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let ok = latencies_ms.len();
+    let requests_per_sec = ok as f64 / wall_s;
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+    let mean = latencies_ms.iter().sum::<f64>() / ok.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"schema\": \"pypm.bench.serve.v1\",\n  \"model\": \"{}\",\n  \
+         \"jobs\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"ok\": {},\n  \
+         \"overload_rejections\": {},\n  \"wall_s\": {:.6},\n  \
+         \"requests_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.6}, \
+         \"p99\": {:.6}, \"mean\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}},\n  \
+         \"counters_equivalent\": true\n}}\n",
+        args.model,
+        args.jobs,
+        args.workers,
+        args.queue,
+        args.clients,
+        args.requests,
+        ok,
+        overloaded,
+        wall_s,
+        requests_per_sec,
+        p50,
+        p99,
+        mean,
+        latencies_ms.first().copied().unwrap_or(0.0),
+        latencies_ms.last().copied().unwrap_or(0.0),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    println!(
+        "{} clients x {} requests of {}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, \
+         {} overload rejections -> {}",
+        args.clients, args.requests, args.model, requests_per_sec, p50, p99, overloaded, args.out
+    );
+}

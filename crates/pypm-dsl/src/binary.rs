@@ -30,6 +30,13 @@ use std::fmt;
 
 const MAGIC: &[u8; 6] = b"PYPMB1";
 
+/// Maximum nesting depth [`decode`] accepts for patterns, guards,
+/// expressions and rhs trees. The library's deepest pattern is a
+/// handful of levels; 200 leaves generous headroom while keeping a
+/// crafted `[tag, tag, tag, …]` frame from recursing once per input
+/// byte and overflowing the stack (an abort no caller can catch).
+pub const MAX_DEPTH: u32 = 200;
+
 /// Errors from decoding a pattern binary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BinError {
@@ -58,6 +65,16 @@ pub enum BinError {
         /// Human-readable description.
         what: String,
     },
+    /// Structurally absurd input that no encoder produces: nesting
+    /// deeper than [`MAX_DEPTH`] or a count field claiming more
+    /// elements than the remaining payload could possibly encode.
+    /// Decoding rejects these up front so a hostile or corrupted frame
+    /// can neither overflow the stack nor trigger a giant allocation —
+    /// a long-lived server must survive garbage bytes.
+    Malformed {
+        /// Human-readable description.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for BinError {
@@ -69,6 +86,7 @@ impl fmt::Display for BinError {
             BinError::BadString => write!(f, "invalid utf-8 in pattern binary"),
             BinError::UnknownOp { name } => write!(f, "undeclared operator {name}"),
             BinError::Inconsistent { what } => write!(f, "inconsistent pattern binary: {what}"),
+            BinError::Malformed { what } => write!(f, "malformed pattern binary: {what}"),
         }
     }
 }
@@ -368,7 +386,7 @@ pub fn decode(
     }
     data.advance(MAGIC.len());
 
-    let op_count = get_u32(&mut data)?;
+    let op_count = get_count(&mut data)?;
     for _ in 0..op_count {
         let name = get_str(&mut data)?;
         let arity = get_u32(&mut data)? as usize;
@@ -388,29 +406,29 @@ pub fn decode(
         }
     }
 
-    let pat_count = get_u32(&mut data)?;
+    let pat_count = get_count(&mut data)?;
     let mut rs = RuleSet::new();
     for _ in 0..pat_count {
         let name = get_str(&mut data)?;
-        let n_params = get_u32(&mut data)?;
-        let mut params = Vec::with_capacity(n_params as usize);
+        let n_params = get_count(&mut data)?;
+        let mut params = Vec::with_capacity(n_params);
         for _ in 0..n_params {
             let pn = get_str(&mut data)?;
             params.push(syms.var(&pn));
         }
-        let n_fparams = get_u32(&mut data)?;
-        let mut fun_params = Vec::with_capacity(n_fparams as usize);
+        let n_fparams = get_count(&mut data)?;
+        let mut fun_params = Vec::with_capacity(n_fparams);
         for _ in 0..n_fparams {
             let fp = get_str(&mut data)?;
             fun_params.push(syms.fun_var(&fp));
         }
-        let pattern = get_pattern(&mut data, syms, pats)?;
-        let n_rules = get_u32(&mut data)?;
-        let mut rules = Vec::with_capacity(n_rules as usize);
+        let pattern = get_pattern(&mut data, syms, pats, 0)?;
+        let n_rules = get_count(&mut data)?;
+        let mut rules = Vec::with_capacity(n_rules);
         for _ in 0..n_rules {
             let rname = get_str(&mut data)?;
-            let guard = get_guard(&mut data, syms)?;
-            let rhs = get_rhs(&mut data, syms)?;
+            let guard = get_guard(&mut data, syms, 0)?;
+            let rhs = get_rhs(&mut data, syms, 0)?;
             rules.push(RuleDef {
                 name: rname,
                 guard,
@@ -433,6 +451,28 @@ fn get_u32(data: &mut Bytes) -> Result<u32, BinError> {
         return Err(BinError::Truncated);
     }
     Ok(data.get_u32_le())
+}
+
+/// Reads an element count and validates it against the bytes actually
+/// left: every encodable element occupies at least one byte, so a count
+/// exceeding `data.remaining()` is provably truncated (or a corrupted
+/// length field). Checking *before* `Vec::with_capacity` keeps a
+/// byte-flipped count from requesting a multi-gigabyte allocation.
+fn get_count(data: &mut Bytes) -> Result<usize, BinError> {
+    let n = get_u32(data)? as usize;
+    if n > data.remaining() {
+        return Err(BinError::Truncated);
+    }
+    Ok(n)
+}
+
+/// Bumps the recursion depth, rejecting trees deeper than
+/// [`MAX_DEPTH`].
+fn descend(depth: u32, what: &'static str) -> Result<u32, BinError> {
+    if depth >= MAX_DEPTH {
+        return Err(BinError::Malformed { what });
+    }
+    Ok(depth + 1)
 }
 
 fn get_i64(data: &mut Bytes) -> Result<i64, BinError> {
@@ -463,7 +503,9 @@ fn get_pattern(
     data: &mut Bytes,
     syms: &mut SymbolTable,
     pats: &mut PatternStore,
+    depth: u32,
 ) -> Result<PatternId, BinError> {
+    let depth = descend(depth, "pattern")?;
     let tag = get_u8(data)?;
     Ok(match tag {
         0 => {
@@ -473,10 +515,10 @@ fn get_pattern(
         }
         1 => {
             let name = get_str(data)?;
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
-                args.push(get_pattern(data, syms, pats)?);
+                args.push(get_pattern(data, syms, pats, depth)?);
             }
             let op = syms.find_op(&name).ok_or(BinError::UnknownOp { name })?;
             pats.app(op, args)
@@ -484,32 +526,32 @@ fn get_pattern(
         2 => {
             let name = get_str(data)?;
             let fv = syms.fun_var(&name);
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
-                args.push(get_pattern(data, syms, pats)?);
+                args.push(get_pattern(data, syms, pats, depth)?);
             }
             pats.fun_app(fv, args)
         }
         3 => {
-            let l = get_pattern(data, syms, pats)?;
-            let r = get_pattern(data, syms, pats)?;
+            let l = get_pattern(data, syms, pats, depth)?;
+            let r = get_pattern(data, syms, pats, depth)?;
             pats.alt(l, r)
         }
         4 => {
-            let inner = get_pattern(data, syms, pats)?;
-            let g = get_guard(data, syms)?;
+            let inner = get_pattern(data, syms, pats, depth)?;
+            let g = get_guard(data, syms, depth)?;
             pats.guarded(inner, g)
         }
         5 => {
             let x = get_str(data)?;
             let v = syms.var(&x);
-            let inner = get_pattern(data, syms, pats)?;
+            let inner = get_pattern(data, syms, pats, depth)?;
             pats.exists(v, inner)
         }
         6 => {
-            let main = get_pattern(data, syms, pats)?;
-            let constraint = get_pattern(data, syms, pats)?;
+            let main = get_pattern(data, syms, pats, depth)?;
+            let constraint = get_pattern(data, syms, pats, depth)?;
             let x = get_str(data)?;
             let v = syms.var(&x);
             pats.match_constr(main, constraint, v)
@@ -517,19 +559,19 @@ fn get_pattern(
         7 => {
             let name = get_str(data)?;
             let pn = syms.pat_name(&name);
-            let n = get_u32(data)?;
-            let mut params = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut params = Vec::with_capacity(n);
             for _ in 0..n {
                 let s = get_str(data)?;
                 params.push(syms.var(&s));
             }
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
                 let s = get_str(data)?;
                 args.push(syms.var(&s));
             }
-            let body = get_pattern(data, syms, pats)?;
+            let body = get_pattern(data, syms, pats, depth)?;
             if params.len() != args.len() {
                 return Err(BinError::Inconsistent {
                     what: format!(
@@ -545,8 +587,8 @@ fn get_pattern(
         8 => {
             let name = get_str(data)?;
             let pn = syms.pat_name(&name);
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
                 let s = get_str(data)?;
                 args.push(syms.var(&s));
@@ -566,25 +608,27 @@ fn get_owned_name(syms: &SymbolTable, pn: pypm_core::PatName) -> String {
     syms.pat_name_text(pn).to_owned()
 }
 
-fn get_guard(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Guard, BinError> {
+fn get_guard(data: &mut Bytes, syms: &mut SymbolTable, depth: u32) -> Result<Guard, BinError> {
+    let depth = descend(depth, "guard")?;
     let tag = get_u8(data)?;
     Ok(match tag {
-        0 => Guard::Eq(get_expr(data, syms)?, get_expr(data, syms)?),
-        1 => Guard::Lt(get_expr(data, syms)?, get_expr(data, syms)?),
+        0 => Guard::Eq(get_expr(data, syms, depth)?, get_expr(data, syms, depth)?),
+        1 => Guard::Lt(get_expr(data, syms, depth)?, get_expr(data, syms, depth)?),
         2 => Guard::And(
-            Box::new(get_guard(data, syms)?),
-            Box::new(get_guard(data, syms)?),
+            Box::new(get_guard(data, syms, depth)?),
+            Box::new(get_guard(data, syms, depth)?),
         ),
         3 => Guard::Or(
-            Box::new(get_guard(data, syms)?),
-            Box::new(get_guard(data, syms)?),
+            Box::new(get_guard(data, syms, depth)?),
+            Box::new(get_guard(data, syms, depth)?),
         ),
-        4 => Guard::Not(Box::new(get_guard(data, syms)?)),
+        4 => Guard::Not(Box::new(get_guard(data, syms, depth)?)),
         tag => return Err(BinError::BadTag { what: "guard", tag }),
     })
 }
 
-fn get_expr(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Expr, BinError> {
+fn get_expr(data: &mut Bytes, syms: &mut SymbolTable, depth: u32) -> Result<Expr, BinError> {
+    let depth = descend(depth, "expr")?;
     let tag = get_u8(data)?;
     Ok(match tag {
         0 => Expr::Const(get_i64(data)?),
@@ -593,14 +637,15 @@ fn get_expr(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Expr, BinError> 
             let a = get_str(data)?;
             Expr::var_attr(syms.var(&v), syms.attr(&a))
         }
-        2 => get_expr(data, syms)?.add(get_expr(data, syms)?),
-        3 => get_expr(data, syms)?.sub(get_expr(data, syms)?),
-        4 => get_expr(data, syms)?.mul(get_expr(data, syms)?),
+        2 => get_expr(data, syms, depth)?.add(get_expr(data, syms, depth)?),
+        3 => get_expr(data, syms, depth)?.sub(get_expr(data, syms, depth)?),
+        4 => get_expr(data, syms, depth)?.mul(get_expr(data, syms, depth)?),
         tag => return Err(BinError::BadTag { what: "expr", tag }),
     })
 }
 
-fn get_rhs(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Rhs, BinError> {
+fn get_rhs(data: &mut Bytes, syms: &mut SymbolTable, depth: u32) -> Result<Rhs, BinError> {
+    let depth = descend(depth, "rhs")?;
     let tag = get_u8(data)?;
     Ok(match tag {
         0 => {
@@ -609,13 +654,13 @@ fn get_rhs(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Rhs, BinError> {
         }
         1 => {
             let name = get_str(data)?;
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
-                args.push(get_rhs(data, syms)?);
+                args.push(get_rhs(data, syms, depth)?);
             }
-            let n_attrs = get_u32(data)?;
-            let mut attrs = Vec::with_capacity(n_attrs as usize);
+            let n_attrs = get_count(data)?;
+            let mut attrs = Vec::with_capacity(n_attrs);
             for _ in 0..n_attrs {
                 let a = get_str(data)?;
                 let v = get_i64(data)?;
@@ -630,10 +675,10 @@ fn get_rhs(data: &mut Bytes, syms: &mut SymbolTable) -> Result<Rhs, BinError> {
         2 => {
             let name = get_str(data)?;
             let fv = syms.fun_var(&name);
-            let n = get_u32(data)?;
-            let mut args = Vec::with_capacity(n as usize);
+            let n = get_count(data)?;
+            let mut args = Vec::with_capacity(n);
             for _ in 0..n {
-                args.push(get_rhs(data, syms)?);
+                args.push(get_rhs(data, syms, depth)?);
             }
             Rhs::FunApp(fv, args)
         }
@@ -730,6 +775,101 @@ mod tests {
             let mut pats2 = PatternStore::new();
             let r = decode(bin.slice(..cut), &mut syms2, &mut pats2);
             assert!(r.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    /// A frame that claims billions of elements must fail with
+    /// `Truncated` *before* any allocation sized by the claim — the
+    /// byte-flipped-length attack a serve loop must shrug off.
+    #[test]
+    fn absurd_count_claims_are_truncated_not_allocated() {
+        // Truncated operator table: count says u32::MAX, zero entries.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(u32::MAX);
+        let mut syms = SymbolTable::new();
+        let mut pats = PatternStore::new();
+        assert!(matches!(
+            decode(buf.freeze(), &mut syms, &mut pats),
+            Err(BinError::Truncated)
+        ));
+
+        // A valid encoding with its pattern-count field inflated.
+        let mut fe = Frontend::new();
+        let relu = fe.syms.op("Relu", 1);
+        fe.pattern("P", |p| {
+            let x = p.param("x");
+            let px = p.v(x);
+            p.op(relu, vec![px])
+        });
+        let (syms, pats, rs) = fe.serialize().unwrap();
+        let bin = encode(&rs, &syms, &pats);
+        let mut bytes = bin.to_vec();
+        // Layout: magic, op count (Relu), "Relu" + arity, pattern count.
+        let pat_count_at = MAGIC.len() + 4 + (4 + 4) + 4;
+        bytes[pat_count_at..pat_count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut syms2 = SymbolTable::new();
+        let mut pats2 = PatternStore::new();
+        assert!(matches!(
+            decode(Bytes::from(bytes), &mut syms2, &mut pats2),
+            Err(BinError::Truncated)
+        ));
+    }
+
+    /// A crafted frame of nested guard tags recurses once per byte; the
+    /// depth limit must reject it as `Malformed` instead of overflowing
+    /// the stack (which aborts the process — fatal for a server).
+    #[test]
+    fn deeply_nested_pattern_is_malformed_not_a_crash() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(0); // operator table: empty
+        buf.put_u32_le(1); // one pattern
+        put_str(&mut buf, "Hostile");
+        buf.put_u32_le(0); // no params
+        buf.put_u32_le(0); // no fun params
+                           // Pattern tree: tag 4 (Guard) nested far past MAX_DEPTH.
+        for _ in 0..(MAX_DEPTH * 4) {
+            buf.put_u8(4);
+        }
+        let mut syms = SymbolTable::new();
+        let mut pats = PatternStore::new();
+        assert!(matches!(
+            decode(buf.freeze(), &mut syms, &mut pats),
+            Err(BinError::Malformed { what: "pattern" })
+        ));
+    }
+
+    /// Flipping any single byte of a valid encoding must decode to
+    /// `Ok` or a clean `Err` — never a panic. (The proptest in
+    /// `tests/format_properties.rs` fuzzes this much deeper.)
+    #[test]
+    fn single_byte_flips_never_panic() {
+        let mut fe = Frontend::new();
+        let matmul = fe.syms.op("MatMul", 2);
+        let trans = fe.syms.op("Trans", 1);
+        let rank = fe.syms.attr("rank");
+        fe.pattern("MMxyT", |p| {
+            let x = p.param("x");
+            let y = p.param("y");
+            let rx = p.attr(x, rank);
+            p.assert_(rx.eq(Expr::Const(2)));
+            let py = p.v(y);
+            let yt = p.op(trans, vec![py]);
+            let px = p.v(x);
+            p.op(matmul, vec![px, yt])
+        });
+        let (syms, pats, rs) = fe.serialize().unwrap();
+        let bin = encode(&rs, &syms, &pats);
+        for i in 0..bin.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bytes = bin.to_vec();
+                bytes[i] ^= flip;
+                let mut syms2 = SymbolTable::new();
+                let mut pats2 = PatternStore::new();
+                // Ok or Err both fine; what this pins is "no panic".
+                let _ = decode(Bytes::from(bytes), &mut syms2, &mut pats2);
+            }
         }
     }
 

@@ -93,6 +93,35 @@ proptest! {
         let _ = binary::decode(blob.slice(..cut), &mut syms2, &mut pats2);
     }
 
+    /// Corrupting a valid binary — random byte flips, possibly many of
+    /// them, optionally combined with truncation — never panics the
+    /// decoder: every path out is `Ok` or a clean `BinError`. This is
+    /// the decode-hardening contract a long-lived `pypmc serve` loop
+    /// relies on to survive garbage frames.
+    #[test]
+    fn corruption_never_panics(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<u32>(), 1..16),
+        cut_ppm in 500_000u32..1_000_000,
+    ) {
+        let (syms, pats, rs) = random_ruleset(seed, 4);
+        let blob = binary::encode(&rs, &syms, &pats);
+        let cut = (blob.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        let mut bytes = blob.slice(..cut).to_vec();
+        if !bytes.is_empty() {
+            for &flip in &flips {
+                // Low bits choose the position, high bits the xor mask
+                // (forced nonzero so every flip really corrupts).
+                let at = (flip as usize >> 8) % bytes.len();
+                let mask = (flip as u8) | 1;
+                bytes[at] ^= mask;
+            }
+        }
+        let mut syms2 = SymbolTable::new();
+        let mut pats2 = PatternStore::new();
+        let _ = binary::decode(bytes::Bytes::from(bytes), &mut syms2, &mut pats2);
+    }
+
     /// Decoded rule sets still satisfy the structural and scoping
     /// validators.
     #[test]

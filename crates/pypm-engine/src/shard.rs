@@ -72,8 +72,86 @@ use pypm_graph::GraphAttrInterp;
 use pypm_perf::parallel::{available_jobs, shard_ranges};
 use pypm_perf::pool::{PoolError, WorkerPool};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Test-only fault injection: when armed, the next pool task of a warm
+/// phase panics instead of probing. See [`inject_worker_panic_once`].
+static INJECT_WORKER_PANIC: AtomicBool = AtomicBool::new(false);
+
+/// Arms a one-shot panic in the next warm-phase pool task. The flag is
+/// consumed by whichever worker observes it first, so exactly one task
+/// of the next pooled round fails with [`PoolError::TaskPanicked`].
+///
+/// This exists to let regression tests drive the error paths of the
+/// term-store loan (un-restorable stores would poison a long-lived
+/// session) without reaching into engine internals. Not part of the
+/// public API.
+#[doc(hidden)]
+pub fn inject_worker_panic_once() {
+    INJECT_WORKER_PANIC.store(true, Ordering::SeqCst);
+}
+
+/// RAII loan of the session's [`TermStore`] to pool workers.
+///
+/// The store is moved into an [`Arc`] for the duration of one batch so
+/// the long-lived workers can share it without lifetimes. On the happy
+/// path the collect barrier guarantees every worker clone is dropped
+/// before the loan ends, and `Drop` moves the store straight back. On
+/// *error* paths — a task panic, a disconnected pool whose queue still
+/// holds clones — `Drop` still restores the slot unconditionally:
+/// it briefly waits for stray clones to die, then falls back to cloning
+/// the contents. Either way the slot never stays defaulted, which is
+/// what keeps a long-lived server's `PipelineCx` usable after a failed
+/// round.
+struct TermStoreLoan<'a> {
+    slot: &'a mut TermStore,
+    shared: Option<Arc<TermStore>>,
+}
+
+impl<'a> TermStoreLoan<'a> {
+    fn new(slot: &'a mut TermStore) -> Self {
+        let shared = Arc::new(std::mem::take(slot));
+        TermStoreLoan {
+            slot,
+            shared: Some(shared),
+        }
+    }
+
+    /// A worker's handle on the loaned store.
+    fn share(&self) -> Arc<TermStore> {
+        Arc::clone(self.shared.as_ref().expect("live until drop"))
+    }
+
+    /// The loaned store, for calling-thread (shard 0) probing.
+    fn store(&self) -> &TermStore {
+        self.shared.as_ref().expect("live until drop")
+    }
+}
+
+impl Drop for TermStoreLoan<'_> {
+    fn drop(&mut self) {
+        let mut shared = self.shared.take().expect("taken exactly once, here");
+        // Zero iterations on the happy path: after a collect barrier we
+        // hold the only Arc. After an early error (pool disconnect with
+        // queued tasks) a worker may still be dropping its clone; give
+        // it a moment before paying for a deep clone.
+        for _ in 0..1024 {
+            match Arc::try_unwrap(shared) {
+                Ok(store) => {
+                    *self.slot = store;
+                    return;
+                }
+                Err(still_shared) => {
+                    shared = still_shared;
+                    std::thread::yield_now();
+                }
+            }
+        }
+        *self.slot = (*shared).clone();
+    }
+}
 
 /// Worker configuration for the parallel match phase, plumbed through
 /// [`crate::PipelineCx`] (see [`crate::Pipeline::parallelism`]) down to
@@ -300,20 +378,25 @@ pub(crate) fn warm_probes(
             }
             stats.pool_rounds += 1;
             // Lend the term store to the workers: moved into an Arc for
-            // the duration of the batch, recovered right after the
-            // collect barrier. Worker-local pattern stores are clones
-            // (μ-unfolding interns patterns; cloning is cheap next to
-            // the probes a chunk serves).
-            let shared_terms = Arc::new(std::mem::take(terms));
+            // the duration of the batch, restored by the loan's drop
+            // guard on *every* exit path — the collect barrier is the
+            // fast path, but a task panic or pool disconnect must not
+            // leave the slot defaulted. Worker-local pattern stores are
+            // clones (μ-unfolding interns patterns; cloning is cheap
+            // next to the probes a chunk serves).
+            let loan = TermStoreLoan::new(terms);
             let tasks: Vec<_> = ranges[1..]
                 .iter()
                 .map(|r| {
                     let chunk: Vec<ProbeKey> = todo[r.clone()].to_vec();
                     let patterns = patterns.to_vec();
                     let mut worker_pats = pats.clone();
-                    let worker_terms = Arc::clone(&shared_terms);
+                    let worker_terms = loan.share();
                     let worker_attrs = Arc::clone(attrs);
                     move || {
+                        if INJECT_WORKER_PANIC.swap(false, Ordering::SeqCst) {
+                            panic!("injected warm-phase worker panic (test hook)");
+                        }
                         run_shard(
                             &patterns,
                             &mut worker_pats,
@@ -332,14 +415,13 @@ pub(crate) fn warm_probes(
             let first = run_shard(
                 patterns,
                 pats,
-                &shared_terms,
+                loan.store(),
                 attrs,
                 fuel,
                 &todo[ranges[0].clone()],
             );
             let rest = batch.collect();
-            *terms = Arc::try_unwrap(shared_terms)
-                .expect("batch collect is a barrier; no worker holds the term store");
+            drop(loan);
             let mut buffers = vec![first];
             buffers.extend(rest?);
             buffers
@@ -501,6 +583,130 @@ mod tests {
         .unwrap();
         assert!(cache.is_empty());
         assert_eq!(stats, ParallelStats::default());
+    }
+
+    /// Builds a session plus a candidate list wide enough that the
+    /// warm phase genuinely fans out over a pool. Shared by the
+    /// panic-recovery regressions.
+    fn wide_candidate_fixture() -> (Session, Vec<PatternId>, Vec<ProbeKey>, Arc<GraphAttrInterp>) {
+        let mut s = Session::new();
+        let rules = s.load_library(LibraryConfig::both());
+        let mut g = Graph::new();
+        let trans = s.ops.trans;
+        let matmul = s.ops.matmul;
+        let relu = s.ops.relu;
+        for _ in 0..64 {
+            let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![8, 8]));
+            let bt = g
+                .op(&mut s.syms, &s.registry, trans, vec![b], vec![])
+                .unwrap();
+            let mm = g
+                .op(&mut s.syms, &s.registry, matmul, vec![a, bt], vec![])
+                .unwrap();
+            let act = g
+                .op(&mut s.syms, &s.registry, relu, vec![mm], vec![])
+                .unwrap();
+            g.mark_output(act);
+        }
+        let view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+        let mut todo: Vec<ProbeKey> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for node in g.topo_order() {
+            let t = view.term_of(node).unwrap();
+            for (pi, def) in rules.patterns.iter().enumerate() {
+                if !def.rules.is_empty() && seen.insert((pi, t)) {
+                    todo.push((pi, t));
+                }
+            }
+        }
+        let patterns: Vec<_> = rules.patterns.iter().map(|d| d.pattern).collect();
+        let attrs = view.attrs_shared();
+        (s, patterns, todo, attrs)
+    }
+
+    /// The regression for the take→`Arc`→restore bug: a worker panic
+    /// must surface as a clean [`PoolError`] *and* leave the session's
+    /// term store restored — and the very next round over the same
+    /// session and pool must succeed. (Before the loan guard, the
+    /// error path left the store defaulted, poisoning every subsequent
+    /// run in a long-lived process.)
+    #[test]
+    fn worker_panic_restores_the_term_store_and_the_next_round_works() {
+        let (mut s, patterns, todo, attrs) = wide_candidate_fixture();
+        let pool = WorkerPool::new(3);
+        let terms_before = s.terms.len();
+        assert!(terms_before > 0);
+
+        let mut cache = ProbeCache::new();
+        let mut stats = ParallelStats::default();
+        inject_worker_panic_once();
+        let err = warm_probes(
+            ParallelConfig::with_jobs(4),
+            Some(&pool),
+            &patterns,
+            &mut s.pats,
+            &mut s.terms,
+            &attrs,
+            1_000_000,
+            &todo,
+            &mut cache,
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PoolError::TaskPanicked { .. }), "{err:?}");
+        assert_eq!(
+            s.terms.len(),
+            terms_before,
+            "the loan guard must restore the term store on the error path"
+        );
+
+        let mut cache = ProbeCache::new();
+        let mut stats = ParallelStats::default();
+        warm_probes(
+            ParallelConfig::with_jobs(4),
+            Some(&pool),
+            &patterns,
+            &mut s.pats,
+            &mut s.terms,
+            &attrs,
+            1_000_000,
+            &todo,
+            &mut cache,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(cache.len(), todo.len(), "the pool must stay usable");
+    }
+
+    /// When a stray worker clone outlives the batch (a disconnected
+    /// pool's queue, in real life), the loan's drop guard falls back to
+    /// cloning the contents out — the slot is never left defaulted.
+    #[test]
+    fn loan_drop_clones_out_when_a_worker_clone_lingers() {
+        let mut s = Session::new();
+        let mut g = Graph::new();
+        let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![4, 4]));
+        let relu = s.ops.relu;
+        let r = g
+            .op(&mut s.syms, &s.registry, relu, vec![a], vec![])
+            .unwrap();
+        g.mark_output(r);
+        let _view = TermView::build(&g, &mut s.syms, &mut s.terms, &s.registry);
+        let before = s.terms.len();
+        assert!(before > 0);
+
+        let lingering = {
+            let loan = TermStoreLoan::new(&mut s.terms);
+            loan.share()
+            // loan drops here with the clone still alive
+        };
+        assert_eq!(
+            s.terms.len(),
+            before,
+            "clone fallback must restore the contents"
+        );
+        assert_eq!(lingering.len(), before);
     }
 
     /// Small rounds must not pay the pool: they probe inline on the

@@ -39,8 +39,10 @@ pub fn parse_jobs(s: &str) -> Result<usize, String> {
 }
 
 /// Reads a job count override from the environment variable `var`.
-/// `Ok(None)` when unset; set-but-invalid values are errors (a typo'd
-/// `PYPM_JOBS=fuor` must fail loudly, not silently run the default).
+/// `Ok(None)` when unset — or set to the empty (or all-whitespace)
+/// string, the conventional shell idiom for "unset" (`PYPM_JOBS= cmd`).
+/// Other invalid values are errors (a typo'd `PYPM_JOBS=fuor` must
+/// fail loudly, not silently run the default).
 ///
 /// # Errors
 ///
@@ -52,6 +54,7 @@ pub fn jobs_from_env(var: &str) -> Result<Option<usize>, String> {
             "invalid {var}={}: not valid unicode",
             raw.to_string_lossy()
         )),
+        Ok(value) if value.trim().is_empty() => Ok(None),
         Ok(value) => parse_jobs(&value)
             .map(Some)
             .map_err(|e| format!("invalid {var}={value}: {e}")),
@@ -103,6 +106,21 @@ mod tests {
         assert!(parse_jobs("-2").is_err());
         assert!(parse_jobs("four").is_err());
         assert!(parse_jobs("").is_err());
+    }
+
+    #[test]
+    fn jobs_from_env_treats_empty_values_as_unset() {
+        // Env mutation: each case uses its own variable name, so the
+        // test stays correct even if the suite runs multi-threaded.
+        std::env::set_var("PYPM_TEST_JOBS_EMPTY", "");
+        assert_eq!(jobs_from_env("PYPM_TEST_JOBS_EMPTY"), Ok(None));
+        std::env::set_var("PYPM_TEST_JOBS_BLANK", "  ");
+        assert_eq!(jobs_from_env("PYPM_TEST_JOBS_BLANK"), Ok(None));
+        assert_eq!(jobs_from_env("PYPM_TEST_JOBS_UNSET"), Ok(None));
+        std::env::set_var("PYPM_TEST_JOBS_VALID", "3");
+        assert_eq!(jobs_from_env("PYPM_TEST_JOBS_VALID"), Ok(Some(3)));
+        std::env::set_var("PYPM_TEST_JOBS_TYPO", "fuor");
+        assert!(jobs_from_env("PYPM_TEST_JOBS_TYPO").is_err());
     }
 
     #[test]

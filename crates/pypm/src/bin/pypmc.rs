@@ -7,6 +7,10 @@
 //!                                           compile one or more models and
 //!                                           report rewrite stats + simulated
 //!                                           cost per model
+//! pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]
+//!                                           long-lived compile session server
+//!                                           (see the `pypm::serve` docs for
+//!                                           the framed TCP protocol)
 //! pypmc library [--format text|binary] [-o FILE]
 //!                                           dump the paper's pattern library
 //! pypmc partition <model> [--pattern P]     directed graph partitioning (§4.2)
@@ -50,11 +54,12 @@ fn main() {
     let code = match args.first().map(String::as_str) {
         Some("list-models") => list_models(&args[1..]),
         Some("compile") => compile(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("library") => library(&args[1..]),
         Some("partition") => run_partition(&args[1..]),
         Some("explain") => run_explain(&args[1..]),
         _ => {
-            eprintln!("usage: pypmc <list-models|compile|library|partition|explain> [...]");
+            eprintln!("usage: pypmc <list-models|compile|serve|library|partition|explain> [...]");
             eprintln!("see the module docs (`cargo doc -p pypm`) for details");
             2
         }
@@ -142,13 +147,7 @@ fn parse_or_usage(spec: &Spec, args: &[String]) -> Result<Parsed, i32> {
 }
 
 fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
-    if let Some(cfg) = pypm::models::hf_zoo().into_iter().find(|c| c.name == name) {
-        return Some(cfg.build(session));
-    }
-    if let Some(cfg) = pypm::models::tv_zoo().into_iter().find(|c| c.name == name) {
-        return Some(cfg.build(session));
-    }
-    None
+    pypm::build_model(session, name)
 }
 
 fn list_models(args: &[String]) -> i32 {
@@ -365,6 +364,80 @@ fn batch_json(models: &[String], reports: &[pypm::engine::PipelineReport]) -> St
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+fn serve(args: &[String]) -> i32 {
+    let spec = Spec {
+        usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]",
+        positionals: (0, 0),
+        value_flags: &["--addr", "--jobs", "--workers", "--queue"],
+        bool_flags: &[],
+    };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let mut config = pypm::serve::ServeConfig::default();
+    if let Some(addr) = parsed.value("--addr") {
+        config.addr = addr.to_owned();
+    }
+    // Same resolution order as `compile`: flag, then PYPM_JOBS, then
+    // the machine's parallelism (the ServeConfig default).
+    match parsed.value("--jobs") {
+        Some(v) => match pypm::perf::parallel::parse_jobs(v) {
+            Ok(jobs) => config.jobs = jobs,
+            Err(e) => {
+                eprintln!("error: invalid --jobs {v}: {e}");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
+            }
+        },
+        None => match pypm::perf::parallel::jobs_from_env("PYPM_JOBS") {
+            Ok(Some(jobs)) => config.jobs = jobs,
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
+            }
+        },
+    }
+    for (flag, slot) in [
+        ("--workers", &mut config.workers as &mut usize),
+        ("--queue", &mut config.queue_depth),
+    ] {
+        if let Some(v) = parsed.value(flag) {
+            match v.parse::<usize>() {
+                Ok(n) => *slot = n,
+                Err(_) => {
+                    eprintln!("error: invalid {flag} {v}: not a non-negative integer");
+                    eprintln!("usage: {}", spec.usage);
+                    return 2;
+                }
+            }
+        }
+    }
+    if config.workers == 0 {
+        eprintln!("error: --workers must be at least 1");
+        return 2;
+    }
+    let server = match pypm::serve::Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return 1;
+        }
+    };
+    // The line scripts/tests scrape for the resolved port.
+    println!("listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    // Runs until a client sends `shutdown`; the drain finishes queued
+    // compiles before join returns. Whoever launched us may have
+    // hung up on our stdout long ago — that must not turn a clean
+    // drain into a broken-pipe panic.
+    server.join();
+    let _ = writeln!(std::io::stdout(), "server drained, exiting");
+    0
 }
 
 fn library(args: &[String]) -> i32 {

@@ -60,3 +60,19 @@ pub use pypm_engine as engine;
 pub use pypm_graph as graph;
 pub use pypm_models as models;
 pub use pypm_perf as perf;
+
+pub mod serve;
+
+/// Builds a zoo model by name into `session`, searching the
+/// HuggingFace-style transformers first and the TorchVision-style CNNs
+/// second — the lookup behind `pypmc compile <model>` and the serve
+/// protocol's `compile` verb. `None` when neither zoo knows the name.
+pub fn build_model(session: &mut engine::Session, name: &str) -> Option<graph::Graph> {
+    if let Some(cfg) = models::hf_zoo().into_iter().find(|c| c.name == name) {
+        return Some(cfg.build(session));
+    }
+    if let Some(cfg) = models::tv_zoo().into_iter().find(|c| c.name == name) {
+        return Some(cfg.build(session));
+    }
+    None
+}

@@ -1,0 +1,637 @@
+//! `pypmc serve` — a long-lived compile session server.
+//!
+//! The paper's matcher is designed to sit inside a long-running
+//! DL-compiler session: patterns loaded once, many graphs compiled.
+//! This module keeps that state — warm [`crate::perf::pool::WorkerPool`]
+//! threads, per-worker [`Session`] stores, a ruleset cache — alive
+//! across requests, turning the one-shot `pypmc compile` into a
+//! service. Std-only: a plain TCP accept loop plus a bounded worker
+//! queue, no async runtime.
+//!
+//! ## Protocol
+//!
+//! Length-prefixed frames over one TCP connection, any number of
+//! requests per connection:
+//!
+//! * **Request**: `u32` little-endian payload length, then that many
+//!   bytes of UTF-8 text. Frames above [`MAX_FRAME`] bytes are
+//!   rejected (the connection closes — an absurd length means the
+//!   stream cannot be resynchronized).
+//! * **Response**: one status byte, then a `u32` little-endian payload
+//!   length, then the payload.
+//!
+//! Request grammar (whitespace-separated):
+//!
+//! ```text
+//! ping
+//! shutdown
+//! compile <model> [config=<C>] [policy=<P>] [jobs=<N>]
+//! ```
+//!
+//! `C` and `P` take exactly the `pypmc compile` vocabulary
+//! (`baseline|fmha|epilog|both|all`, `restart|continue|incremental`).
+//! A successful `compile` responds with the request's
+//! `pypm.pipeline.v1` stats JSON — the same document `pypmc compile
+//! --stats-json` writes, byte-identical in every semantic counter (the
+//! wall-clock fields and the warm-pool reuse counter legitimately
+//! differ on a warm server).
+//!
+//! ## Status bytes
+//!
+//! | status | meaning |
+//! |---|---|
+//! | [`STATUS_OK`] | request served; payload is the response body |
+//! | [`STATUS_BAD_REQUEST`] | unparseable/oversized frame; payload explains |
+//! | [`STATUS_UNKNOWN_MODEL`] | `compile` named no zoo model |
+//! | [`STATUS_OVERLOADED`] | admission control: the bounded queue was full |
+//! | [`STATUS_ERROR`] | the compile failed server-side; the server survives |
+//! | [`STATUS_SHUTTING_DOWN`] | draining: no new work accepted |
+//!
+//! ## Backpressure and shutdown
+//!
+//! Admission control is a bounded [`std::sync::mpsc::sync_channel`]:
+//! `compile` requests are enqueued with `try_send`, and a full queue is
+//! answered *immediately* with [`STATUS_OVERLOADED`] — the client
+//! retries, the server never buffers unboundedly. `shutdown` (or
+//! [`Server::shutdown`]) drains gracefully: queued compiles finish and
+//! their responses are delivered, new compiles are refused with
+//! [`STATUS_SHUTTING_DOWN`], and [`Server::join`] returns once the
+//! workers exit.
+//!
+//! A compile worker survives everything a request can throw at it: a
+//! panicking request handler is caught ([`std::panic::catch_unwind`])
+//! and answered with [`STATUS_ERROR`], and the worker's session is
+//! rebuilt before the next request. Worker-pool task panics inside the
+//! parallel match phase surface as clean pass errors (the engine's
+//! term-store loan guard restores the session stores), so the same
+//! session keeps serving.
+
+use crate::dsl::LibraryConfig;
+use crate::engine::{ParallelConfig, Pipeline, RewritePass, Session, SweepPolicy};
+use crate::perf::pool::WorkerPool;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Request served; the payload is the response body.
+pub const STATUS_OK: u8 = 0;
+/// Unparseable, non-UTF-8 or oversized request frame.
+pub const STATUS_BAD_REQUEST: u8 = 1;
+/// `compile` named a model neither zoo knows.
+pub const STATUS_UNKNOWN_MODEL: u8 = 2;
+/// The bounded in-flight queue was full — retry later.
+pub const STATUS_OVERLOADED: u8 = 3;
+/// The compile failed (or panicked) server-side; the server survives.
+pub const STATUS_ERROR: u8 = 4;
+/// The server is draining and accepts no new work.
+pub const STATUS_SHUTTING_DOWN: u8 = 5;
+
+/// Hard ceiling on request/response frame payloads (16 MiB).
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Server configuration: where to listen and how much to admit.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Default per-request match-phase worker count (a request's
+    /// `jobs=N` wins). `1` compiles serially, like `pypmc compile
+    /// --jobs 1`.
+    pub jobs: usize,
+    /// Compile worker threads — concurrent compiles in flight.
+    pub workers: usize,
+    /// Bounded admission queue depth: compiles waiting beyond the ones
+    /// the workers are already running. `0` is a rendezvous queue —
+    /// admit only when a worker is free to take the job.
+    pub queue_depth: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: crate::perf::parallel::available_jobs(),
+            workers: 2,
+            queue_depth: 16,
+        }
+    }
+}
+
+/// A parsed `compile` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CompileRequest {
+    model: String,
+    config: LibraryConfig,
+    policy: SweepPolicy,
+    jobs: Option<usize>,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Request {
+    Ping,
+    Shutdown,
+    Compile(CompileRequest),
+}
+
+/// Parses one request line against the grammar in the module docs.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("ping") => Ok(Request::Ping),
+        Some("shutdown") => Ok(Request::Shutdown),
+        Some("compile") => {
+            let Some(model) = words.next() else {
+                return Err("compile needs a model name".to_owned());
+            };
+            let mut req = CompileRequest {
+                model: model.to_owned(),
+                config: LibraryConfig::both(),
+                policy: SweepPolicy::RestartOnRewrite,
+                jobs: None,
+            };
+            for word in words {
+                let Some((key, value)) = word.split_once('=') else {
+                    return Err(format!("expected key=value, got '{word}'"));
+                };
+                match key {
+                    "config" => {
+                        req.config =
+                            parse_config(value).ok_or_else(|| format!("unknown config {value}"))?;
+                    }
+                    "policy" => {
+                        req.policy = SweepPolicy::parse(value)
+                            .ok_or_else(|| format!("unknown sweep policy {value}"))?;
+                    }
+                    "jobs" => {
+                        req.jobs = Some(
+                            crate::perf::parallel::parse_jobs(value)
+                                .map_err(|e| format!("invalid jobs={value}: {e}"))?,
+                        );
+                    }
+                    other => return Err(format!("unknown key '{other}'")),
+                }
+            }
+            Ok(Request::Compile(req))
+        }
+        Some(other) => Err(format!(
+            "unknown verb '{other}' (want ping|shutdown|compile)"
+        )),
+        None => Err("empty request".to_owned()),
+    }
+}
+
+/// The `pypmc compile --config` vocabulary.
+fn parse_config(name: &str) -> Option<LibraryConfig> {
+    match name {
+        "baseline" => Some(LibraryConfig::none()),
+        "fmha" => Some(LibraryConfig::fmha_only()),
+        "epilog" => Some(LibraryConfig::epilog_only()),
+        "both" => Some(LibraryConfig::both()),
+        "all" => Some(LibraryConfig::all()),
+        _ => None,
+    }
+}
+
+/// One admitted unit of work, or a shutdown poison.
+enum Job {
+    Compile {
+        req: CompileRequest,
+        reply: mpsc::Sender<(u8, String)>,
+    },
+    Poison,
+}
+
+/// The state one compile worker keeps warm across requests: its own
+/// session stores (rebuilt only after a caught handler panic) and one
+/// persistent worker pool for parallel match phases.
+struct WorkerState {
+    session: Session,
+    pool: Option<Arc<WorkerPool>>,
+    default_jobs: usize,
+}
+
+impl WorkerState {
+    fn new(default_jobs: usize) -> Self {
+        WorkerState {
+            session: Session::new(),
+            pool: None,
+            default_jobs,
+        }
+    }
+
+    /// The worker's warm pool, created on the first parallel request
+    /// with `jobs - 1` threads (shard 0 of every warm phase runs on
+    /// the compile worker itself — the same sizing `pypmc compile`
+    /// uses).
+    fn pool(&mut self, jobs: usize) -> Arc<WorkerPool> {
+        Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(WorkerPool::new(jobs.max(2) - 1))),
+        )
+    }
+
+    /// Serves one compile: exactly the `pypmc compile` pipeline over
+    /// this worker's long-lived session. Returns the request's
+    /// `pypm.pipeline.v1` JSON.
+    fn compile(&mut self, req: &CompileRequest) -> Result<String, (u8, String)> {
+        let jobs = req.jobs.unwrap_or(self.default_jobs).max(1);
+        let Some(mut graph) = crate::build_model(&mut self.session, &req.model) else {
+            return Err((
+                STATUS_UNKNOWN_MODEL,
+                format!("unknown model {}; try `pypmc list-models`", req.model),
+            ));
+        };
+        let rules = self.session.load_library_cached(req.config);
+        // Serial requests never touch a pool (the `--jobs 1`
+        // contract); parallel ones share this worker's warm one.
+        let pool = (jobs > 1).then(|| self.pool(jobs));
+        let mut pipeline =
+            Pipeline::new(&mut self.session).parallelism(ParallelConfig::with_jobs(jobs));
+        if let Some(pool) = pool {
+            pipeline = pipeline.with_pool(pool);
+        }
+        if !rules.is_empty() {
+            pipeline = pipeline.with(RewritePass::new(rules).policy(req.policy));
+        }
+        let reports = pipeline
+            .run_batch(std::slice::from_mut(&mut graph))
+            .map_err(|e| (STATUS_ERROR, format!("rewrite pass failed: {e}")))?;
+        Ok(reports[0].to_json())
+    }
+}
+
+/// The compile-worker loop: pull admitted jobs off the shared queue
+/// until poisoned. A panicking handler is caught and reported as
+/// [`STATUS_ERROR`]; the session is rebuilt before the next job so one
+/// poisoned request can never corrupt later ones.
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize) {
+    let mut state = WorkerState::new(default_jobs);
+    loop {
+        // Hold the lock only for the dequeue, never during a compile.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match job {
+            Ok(Job::Compile { req, reply }) => {
+                let outcome = catch_unwind(AssertUnwindSafe(|| state.compile(&req)));
+                let response = match outcome {
+                    Ok(Ok(json)) => (STATUS_OK, json),
+                    Ok(Err(err)) => err,
+                    Err(_) => {
+                        state = WorkerState::new(default_jobs);
+                        (
+                            STATUS_ERROR,
+                            "request handler panicked; session rebuilt".to_owned(),
+                        )
+                    }
+                };
+                // A vanished client is its own problem.
+                let _ = reply.send(response);
+            }
+            Ok(Job::Poison) | Err(_) => return,
+        }
+    }
+}
+
+/// State shared between the accept loop, connection threads and
+/// [`Server`].
+struct Shared {
+    queue: SyncSender<Job>,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the drain flag and wakes the blocking accept loop with a
+    /// throwaway self-connection. Idempotent.
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running compile server. Bind with [`Server::bind`], discover the
+/// actual port with [`Server::addr`], stop with a `shutdown` request
+/// (or [`Server::shutdown`]) followed by [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop plus
+    /// `config.workers` compile workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let (queue, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let shared = Arc::new(Shared {
+            queue,
+            shutting_down: AtomicBool::new(false),
+            addr,
+        });
+        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let jobs = config.jobs.max(1);
+                std::thread::spawn(move || worker_loop(rx, jobs))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let worker_count = workers.len();
+            std::thread::spawn(move || accept_loop(listener, shared, worker_count))
+        };
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (the resolved port when the config said 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Starts a graceful drain, exactly like a client `shutdown`
+    /// request: queued compiles finish, new ones are refused.
+    pub fn shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Waits for the accept loop and every compile worker to exit —
+    /// i.e. for a drain started by [`Server::shutdown`] or a client's
+    /// `shutdown` request to complete.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The accept loop: one thread per connection (admission control
+/// bounds *compiles*, not idle connections). On shutdown it stops
+/// accepting and poisons the queue behind any still-queued work, so
+/// workers drain in order and then exit.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, worker_count: usize) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        // Detached on purpose: an idle connection must not block the
+        // drain. Its compiles are either already queued (they finish)
+        // or refused with STATUS_SHUTTING_DOWN.
+        std::thread::spawn(move || handle_connection(stream, &shared));
+    }
+    for _ in 0..worker_count {
+        // Blocking send: poisons queue *behind* every admitted job.
+        let _ = shared.queue.send(Job::Poison);
+    }
+}
+
+/// Serves one connection: frames in, responses out, until EOF or an
+/// unrecoverable framing error.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            // EOF between frames: the client is done.
+            Ok(None) => return,
+            Err(FrameError::TooLarge(n)) => {
+                let msg = format!("frame of {n} bytes exceeds the {MAX_FRAME} byte limit");
+                let _ = write_response(&mut stream, STATUS_BAD_REQUEST, msg.as_bytes());
+                return;
+            }
+            // Truncated frame or transport error: nothing sane to say.
+            Err(FrameError::Io) => return,
+        };
+        let response = match std::str::from_utf8(&payload) {
+            Err(_) => (STATUS_BAD_REQUEST, "request is not UTF-8".to_owned()),
+            Ok(text) => match parse_request(text) {
+                Err(e) => (STATUS_BAD_REQUEST, e),
+                Ok(Request::Ping) => (STATUS_OK, "pong".to_owned()),
+                Ok(Request::Shutdown) => {
+                    shared.initiate_shutdown();
+                    let _ = write_response(&mut stream, STATUS_OK, b"draining");
+                    return;
+                }
+                Ok(Request::Compile(req)) => serve_compile(shared, req),
+            },
+        };
+        if write_response(&mut stream, response.0, response.1.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// Admits one compile through the bounded queue and waits for its
+/// result. Refusals (overload, drain) are immediate.
+fn serve_compile(shared: &Shared, req: CompileRequest) -> (u8, String) {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return (STATUS_SHUTTING_DOWN, "server is draining".to_owned());
+    }
+    let (reply, result) = mpsc::channel();
+    match shared.queue.try_send(Job::Compile { req, reply }) {
+        Err(TrySendError::Full(_)) => (
+            STATUS_OVERLOADED,
+            "compile queue is full; retry later".to_owned(),
+        ),
+        Err(TrySendError::Disconnected(_)) => {
+            (STATUS_SHUTTING_DOWN, "server is draining".to_owned())
+        }
+        Ok(()) => match result.recv() {
+            Ok(response) => response,
+            Err(_) => (
+                STATUS_SHUTTING_DOWN,
+                "server shut down before the compile ran".to_owned(),
+            ),
+        },
+    }
+}
+
+/// A framing failure: unrecoverable transport errors, or a declared
+/// length the server refuses to buffer.
+enum FrameError {
+    /// The transport dropped or the frame was truncated; the error
+    /// itself is unreportable (the stream is gone), so it is not kept.
+    Io,
+    TooLarge(usize),
+}
+
+impl From<io::Error> for FrameError {
+    fn from(_: io::Error) -> Self {
+        FrameError::Io
+    }
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` is a clean EOF *between*
+/// frames; EOF mid-frame is an error (truncated frame).
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut len = [0u8; 4];
+    match stream.read(&mut len)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let got = stream.read(&mut len[n..])?;
+                if got == 0 {
+                    return Err(FrameError::Io);
+                }
+                n += got;
+            }
+        }
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one `status + u32 length + payload` response frame.
+fn write_response(stream: &mut TcpStream, status: u8, payload: &[u8]) -> io::Result<()> {
+    stream.write_all(&[status])?;
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// A minimal blocking client speaking the serve protocol — the load
+/// generator (`serve_bench`) and the test suites drive servers through
+/// it, and it doubles as reference client code.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends one request line and reads the `(status, payload)`
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the transport drops or the server answers with a
+    /// malformed frame.
+    pub fn request(&mut self, line: &str) -> io::Result<(u8, String)> {
+        self.stream.write_all(&(line.len() as u32).to_le_bytes())?;
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.flush()?;
+        let mut status = [0u8; 1];
+        self.stream.read_exact(&mut status)?;
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "response frame too large",
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.stream.read_exact(&mut payload)?;
+        let payload = String::from_utf8(payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response not UTF-8"))?;
+        Ok((status[0], payload))
+    }
+
+    /// Sends raw bytes on the wire, bypassing framing — for tests that
+    /// need to feed the server garbage.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one response frame without sending anything first.
+    ///
+    /// # Errors
+    ///
+    /// Fails on EOF or a malformed frame.
+    pub fn read_response(&mut self) -> io::Result<(u8, String)> {
+        let mut status = [0u8; 1];
+        self.stream.read_exact(&mut status)?;
+        let mut len = [0u8; 4];
+        self.stream.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        let mut payload = vec![0u8; len.min(MAX_FRAME)];
+        self.stream.read_exact(&mut payload)?;
+        Ok((status[0], String::from_utf8_lossy(&payload).into_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_grammar_parses_the_documented_forms() {
+        assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
+        assert_eq!(
+            parse_request("compile bert-tiny"),
+            Ok(Request::Compile(CompileRequest {
+                model: "bert-tiny".to_owned(),
+                config: LibraryConfig::both(),
+                policy: SweepPolicy::RestartOnRewrite,
+                jobs: None,
+            }))
+        );
+        assert_eq!(
+            parse_request("compile vgg11 config=all policy=incremental jobs=4"),
+            Ok(Request::Compile(CompileRequest {
+                model: "vgg11".to_owned(),
+                config: LibraryConfig::all(),
+                policy: SweepPolicy::Incremental,
+                jobs: Some(4),
+            }))
+        );
+    }
+
+    #[test]
+    fn request_grammar_rejects_garbage_with_reasons() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("frobnicate").is_err());
+        assert!(parse_request("compile").is_err());
+        assert!(parse_request("compile m config=bogus").is_err());
+        assert!(parse_request("compile m policy=bogus").is_err());
+        assert!(parse_request("compile m jobs=0").is_err());
+        assert!(parse_request("compile m jobs=four").is_err());
+        assert!(parse_request("compile m stray").is_err());
+        assert!(parse_request("compile m color=red").is_err());
+    }
+}

@@ -324,6 +324,79 @@ fn compile_stats_json_writes_pipeline_report() {
 }
 
 #[test]
+fn compile_stats_json_unwritable_path_fails_cleanly() {
+    // A missing parent directory must produce a clean error + exit 1
+    // *after* compilation — never a panic mid-report.
+    let dir = std::env::temp_dir().join("pypmc_no_such_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let path = dir.join("stats.json");
+    let out = pypmc(&[
+        "compile",
+        "bert-tiny",
+        "--stats-json",
+        path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    // Compilation ran to completion first: the stats still printed.
+    assert!(stdout(&out).contains("rewrites"), "{}", stdout(&out));
+}
+
+#[test]
+fn compile_empty_jobs_env_is_treated_as_unset() {
+    // `PYPM_JOBS= pypmc …` is the shell idiom for "unset": it must run
+    // with the default worker count, not die on a parse error.
+    for empty in ["", "  "] {
+        let out = pypmc_with_jobs_env(&["compile", "bert-tiny"], Some(empty));
+        assert!(out.status.success(), "PYPM_JOBS={empty:?}: {out:?}");
+        assert!(stdout(&out).contains("parallel"), "{}", stdout(&out));
+    }
+}
+
+#[test]
+fn serve_subcommand_listens_compiles_and_drains() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pypmc"))
+        .args(["serve", "--jobs", "2", "--workers", "1"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn pypmc serve");
+    let mut line = String::new();
+    std::io::BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr: std::net::SocketAddr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+        .parse()
+        .expect("bound address");
+    let mut c = pypm::serve::Client::connect(addr).unwrap();
+    let (status, body) = c.request("compile bert-tiny jobs=2").unwrap();
+    assert_eq!(status, pypm::serve::STATUS_OK, "{body}");
+    assert!(body.contains("\"schema\": \"pypm.pipeline.v1\""), "{body}");
+    let (status, _) = c.request("shutdown").unwrap();
+    assert_eq!(status, pypm::serve::STATUS_OK);
+    let out = child.wait().expect("server exits after drain");
+    assert!(out.success(), "{out:?}");
+}
+
+#[test]
+fn serve_rejects_bad_flags_and_values() {
+    let out = pypmc(&["serve", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --bogus"));
+    let out = pypmc(&["serve", "--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = pypmc(&["serve", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = pypmc(&["serve", "--queue", "lots"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
 fn partition_reports_regions() {
     let out = pypmc(&["partition", "bert-tiny"]);
     assert!(out.status.success(), "{out:?}");

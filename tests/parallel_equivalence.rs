@@ -333,3 +333,53 @@ fn auto_parallelism_is_equivalent_on_bert_tiny() {
     );
     assert_eq!(serial, parallel);
 }
+
+/// The survival contract a long-lived `pypmc serve` process depends
+/// on: a mid-compile worker panic fails that one run with a clean
+/// error, and the *same session* (term store restored by the loan
+/// guard, pool still warm) compiles the next graph successfully — with
+/// results identical to an undisturbed fresh-session run.
+#[test]
+fn session_survives_an_injected_worker_panic() {
+    let cfg = pypm::models::hf_zoo()
+        .into_iter()
+        .find(|c| c.name == "bert-small")
+        .unwrap();
+    // Everything about a compile that is independent of term interning
+    // (the retry session has extra interned terms from the failed run).
+    let compile = |s: &mut Session| {
+        let mut g = cfg.build(s);
+        let rules = s.load_library(LibraryConfig::both());
+        let log = Rc::new(RefCell::new(FiringLog::default()));
+        let report = Pipeline::new(s)
+            .with(RewritePass::new(rules).policy(SweepPolicy::RestartOnRewrite))
+            .parallelism(ParallelConfig::with_jobs(4))
+            .observe(log.clone())
+            .run(&mut g)
+            .expect("compile succeeds");
+        let stats = report.total();
+        let fired = std::mem::take(&mut log.borrow_mut().fired);
+        (fired, stats.rewrites_fired, stats.match_attempts)
+    };
+
+    let mut fresh = Session::new();
+    let want = compile(&mut fresh);
+    assert!(want.1 > 0, "model must actually rewrite");
+
+    let mut s = Session::new();
+    let mut g = cfg.build(&mut s);
+    let rules = s.load_library(LibraryConfig::both());
+    pypm::engine::shard::inject_worker_panic_once();
+    let err = Pipeline::new(&mut s)
+        .with(RewritePass::new(rules).policy(SweepPolicy::RestartOnRewrite))
+        .parallelism(ParallelConfig::with_jobs(4))
+        .run(&mut g)
+        .expect_err("the injected panic must fail the run");
+    assert!(
+        err.to_string().contains("panic"),
+        "error must surface the worker panic: {err}"
+    );
+
+    let got = compile(&mut s);
+    assert_eq!(want, got, "retry in the survivor session diverged");
+}

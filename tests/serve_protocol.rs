@@ -1,0 +1,320 @@
+//! Protocol suite for the `pypmc serve` session server: framing,
+//! status codes, concurrent clients, admission control, fault
+//! tolerance and graceful shutdown — all against in-process
+//! [`pypm::serve::Server`] instances on ephemeral ports.
+
+use pypm::serve::{
+    Client, ServeConfig, Server, MAX_FRAME, STATUS_BAD_REQUEST, STATUS_ERROR, STATUS_OK,
+    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNKNOWN_MODEL,
+};
+
+/// A small server for most tests: modest queue, parallel compiles.
+fn spawn_server() -> Server {
+    Server::bind(ServeConfig {
+        jobs: 4,
+        workers: 2,
+        queue_depth: 32,
+        ..ServeConfig::default()
+    })
+    .expect("bind on an ephemeral port")
+}
+
+fn shutdown_and_join(server: Server) {
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (status, _) = c.request("shutdown").unwrap();
+    assert_eq!(status, STATUS_OK);
+    server.join();
+}
+
+#[test]
+fn ping_compile_and_errors_over_one_connection() {
+    let server = spawn_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    let (status, body) = c.request("ping").unwrap();
+    assert_eq!((status, body.as_str()), (STATUS_OK, "pong"));
+
+    let (status, body) = c.request("compile bert-tiny jobs=4").unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    assert!(body.contains("\"schema\": \"pypm.pipeline.v1\""), "{body}");
+    assert!(body.contains("\"rewrites_fired\""), "{body}");
+
+    let (status, body) = c.request("compile no-such-model").unwrap();
+    assert_eq!(status, STATUS_UNKNOWN_MODEL, "{body}");
+
+    let (status, body) = c.request("frobnicate").unwrap();
+    assert_eq!(status, STATUS_BAD_REQUEST, "{body}");
+
+    let (status, body) = c.request("compile bert-tiny policy=bogus").unwrap();
+    assert_eq!(status, STATUS_BAD_REQUEST, "{body}");
+    assert!(body.contains("bogus"), "{body}");
+
+    // The connection survives every rejected request: it still serves.
+    let (status, _) = c.request("ping").unwrap();
+    assert_eq!(status, STATUS_OK);
+    shutdown_and_join(server);
+}
+
+#[test]
+fn all_request_parameters_are_honored() {
+    let server = spawn_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+    for line in [
+        "compile bert-tiny config=baseline policy=incremental jobs=1",
+        "compile vgg11 config=all policy=continue jobs=2",
+        "compile bert-tiny config=fmha",
+        "compile bert-tiny config=epilog policy=restart",
+    ] {
+        let (status, body) = c.request(line).unwrap();
+        assert_eq!(status, STATUS_OK, "{line}: {body}");
+        assert!(body.contains("pypm.pipeline.v1"), "{line}: {body}");
+    }
+    // `config=baseline jobs=1` really ran serial: the parallel block
+    // reports one job.
+    let (status, body) = c.request("compile bert-tiny jobs=1").unwrap();
+    assert_eq!(status, STATUS_OK);
+    assert!(body.contains("\"jobs\": 1"), "{body}");
+    shutdown_and_join(server);
+}
+
+#[test]
+fn eight_concurrent_clients_get_identical_counters() {
+    let server = spawn_server();
+    let addr = server.addr();
+    // One reference response, then 8 clients × 3 requests each, all in
+    // flight at once. Every successful response must match the
+    // reference byte-for-byte after masking the wall-clock fields and
+    // the warm-pool reuse counter (the only legitimately volatile
+    // fields — see the serve module docs).
+    let reference = {
+        let mut c = Client::connect(addr).unwrap();
+        let (status, body) = c.request("compile bert-tiny jobs=4").unwrap();
+        assert_eq!(status, STATUS_OK);
+        mask_volatile(&body)
+    };
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let (status, body) = c.request("compile bert-tiny jobs=4").unwrap();
+                    // Admission control may push back under the burst;
+                    // retry is the documented client behaviour.
+                    if status == STATUS_OVERLOADED {
+                        continue;
+                    }
+                    assert_eq!(status, STATUS_OK, "{body}");
+                    assert_eq!(mask_volatile(&body), reference, "counters diverged");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    shutdown_and_join(server);
+}
+
+/// Masks the volatile fields of a `pypm.pipeline.v1` document: wall
+/// clocks and the warm-pool reuse counter (a warm server's pool has
+/// run batches before; a cold CLI's has not).
+fn mask_volatile(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some(at) = find_volatile(rest) {
+        let (field, pos) = at;
+        let value_start = pos + field.len();
+        out.push_str(&rest[..value_start]);
+        out.push('_');
+        let tail = &rest[value_start..];
+        let value_len = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        rest = &tail[value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn find_volatile(s: &str) -> Option<(&'static str, usize)> {
+    [
+        "\"wall_ms\": ",
+        "\"duration_ms\": ",
+        "\"warm_wall_ms\": ",
+        "\"pool_spawn_reuse\": ",
+    ]
+    .into_iter()
+    .filter_map(|f| s.find(f).map(|p| (f, p)))
+    .min_by_key(|&(_, p)| p)
+}
+
+#[test]
+fn rendezvous_queue_rejects_the_burst_with_overloaded() {
+    // workers=1, queue_depth=0: one compile in flight, zero waiting.
+    // A burst of concurrent compiles must see at least one immediate
+    // STATUS_OVERLOADED — and every admitted request must succeed.
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                let mut ok = 0u32;
+                let mut overloaded = 0u32;
+                for _ in 0..4 {
+                    let (status, body) = c.request("compile bert-small jobs=2").unwrap();
+                    match status {
+                        STATUS_OK => {
+                            assert!(body.contains("pypm.pipeline.v1"), "{body}");
+                            ok += 1;
+                        }
+                        STATUS_OVERLOADED => overloaded += 1,
+                        other => panic!("unexpected status {other}: {body}"),
+                    }
+                }
+                (ok, overloaded)
+            })
+        })
+        .collect();
+    let (mut ok, mut overloaded) = (0, 0);
+    for h in handles {
+        let (o, ov) = h.join().expect("client thread");
+        ok += o;
+        overloaded += ov;
+    }
+    assert_eq!(ok + overloaded, 32);
+    assert!(ok >= 1, "a rendezvous queue still serves whoever it admits");
+    assert!(
+        overloaded >= 1,
+        "32 bursty compiles against one worker and depth 0 must trip admission control"
+    );
+    shutdown_and_join(server);
+}
+
+#[test]
+fn garbage_and_truncated_frames_do_not_kill_the_server() {
+    let server = spawn_server();
+    let addr = server.addr();
+
+    // An oversized frame declaration is answered then the connection
+    // closes (the stream cannot be resynchronized).
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&(MAX_FRAME as u32 + 1).to_le_bytes()).unwrap();
+    let (status, body) = c.read_response().unwrap();
+    assert_eq!(status, STATUS_BAD_REQUEST, "{body}");
+    assert!(body.contains("exceeds"), "{body}");
+
+    // A truncated frame (length says 100, client hangs up after 3).
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&100u32.to_le_bytes()).unwrap();
+    c.send_raw(b"com").unwrap();
+    drop(c);
+
+    // Non-UTF-8 payload: rejected, connection keeps serving.
+    let mut c = Client::connect(addr).unwrap();
+    c.send_raw(&4u32.to_le_bytes()).unwrap();
+    c.send_raw(&[0xff, 0xfe, 0x80, 0x00]).unwrap();
+    let (status, body) = c.read_response().unwrap();
+    assert_eq!(status, STATUS_BAD_REQUEST, "{body}");
+
+    // And the server still compiles after all of it.
+    let (status, body) = c.request("compile bert-tiny jobs=2").unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    shutdown_and_join(server);
+}
+
+#[test]
+fn server_survives_an_injected_worker_pool_panic() {
+    let server = spawn_server();
+    let mut c = Client::connect(server.addr()).unwrap();
+
+    // Arm a one-shot panic inside the engine's parallel match phase.
+    // The request must fail with a server-side error…
+    pypm::engine::shard::inject_worker_panic_once();
+    let (status, body) = c.request("compile bert-small jobs=4").unwrap();
+    assert_eq!(status, STATUS_ERROR, "{body}");
+    assert!(body.contains("panic"), "{body}");
+
+    // …and the *same* worker (same session, same warm pool) serves the
+    // next request cleanly.
+    let (status, body) = c.request("compile bert-small jobs=4").unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    assert!(body.contains("\"rewrites_fired\""), "{body}");
+    shutdown_and_join(server);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work_and_refuses_new_work() {
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Three clients queue compiles on the single worker, then shutdown
+    // lands. Everything already admitted must still complete with OK.
+    let compilers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.request("compile bert-small jobs=2").unwrap()
+            })
+        })
+        .collect();
+    // Give the burst a moment to be admitted before draining.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.shutdown();
+    for h in compilers {
+        let (status, body) = h.join().expect("client thread");
+        assert!(
+            status == STATUS_OK || status == STATUS_SHUTTING_DOWN || status == STATUS_OVERLOADED,
+            "unexpected status {status}: {body}"
+        );
+        if status == STATUS_OK {
+            assert!(body.contains("pypm.pipeline.v1"), "{body}");
+        }
+    }
+    // join returns — the drain terminates.
+    server.join();
+}
+
+#[test]
+fn compiles_admitted_before_shutdown_complete_with_ok() {
+    // The strict drain guarantee, raced-free: admit one slow compile,
+    // *wait for it to be admitted* (rendezvous queue hands it straight
+    // to the worker), then shut down. The admitted compile must finish
+    // OK; a compile sent after the drain flag is refused.
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    // Connected before the drain: the listener closes once shutdown
+    // starts, but established connections keep being served.
+    let mut late = Client::connect(addr).unwrap();
+    let (status, _) = late.request("ping").unwrap();
+    assert_eq!(status, STATUS_OK);
+    let admitted = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.request("compile bert-small jobs=2").unwrap()
+    });
+    // The request above is in flight; let the worker pick it up.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    server.shutdown();
+    let (status, _) = late.request("compile bert-tiny").unwrap();
+    assert_eq!(status, STATUS_SHUTTING_DOWN);
+    let (status, body) = admitted.join().expect("client thread");
+    assert_eq!(status, STATUS_OK, "admitted work must drain: {body}");
+    server.join();
+}
