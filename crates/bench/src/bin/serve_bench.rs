@@ -1,12 +1,19 @@
 //! `serve_bench` — the load generator for `pypmc serve`.
 //!
-//! Boots an in-process [`pypm::serve::Server`], drives it with
-//! concurrent clients, and emits the serve latency series —
-//! requests/sec plus p50/p99 — into `crates/bench/BENCH_serve.json`
-//! (schema `pypm.bench.serve.v1`), alongside the existing
-//! `BENCH_rewrite_pass.json` series. Every successful response is also
-//! checked for counter equivalence against the first one: a load bench
-//! that silently serves wrong answers measures nothing.
+//! Boots in-process [`pypm::serve::Server`]s and drives them with
+//! concurrent clients, emitting **two** latency series into
+//! `crates/bench/BENCH_serve.json` (schema `pypm.bench.serve.v2`):
+//!
+//! * `compile` — the result cache disabled, every request a full
+//!   compile (the old `pypm.bench.serve.v1` measurement);
+//! * `cache_hit` — the cache primed, every measured request answered
+//!   from the content-addressed result cache.
+//!
+//! The ratio between the two is the headline number for the cache:
+//! a hit skips the whole pipeline, so `cache_hit` req/s should dwarf
+//! `compile` req/s. Every successful response is also checked for
+//! counter equivalence against the first one: a load bench that
+//! silently serves wrong answers measures nothing.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin serve_bench -- \
@@ -107,12 +114,20 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
-fn main() {
-    let args = parse_args();
+/// One measured load run against a dedicated server.
+struct SeriesResult {
+    latencies_ms: Vec<f64>,
+    overloaded: u64,
+    wall_s: f64,
+    cache_hits: u64,
+}
+
+fn run_series(args: &Args, cache_capacity: usize) -> SeriesResult {
     let server = Server::bind(ServeConfig {
         jobs: args.jobs,
         workers: args.workers,
         queue_depth: args.queue,
+        cache_capacity,
         ..ServeConfig::default()
     })
     .expect("bind on an ephemeral port");
@@ -120,7 +135,8 @@ fn main() {
     let line = format!("compile {} jobs={}", args.model, args.jobs);
 
     // The equivalence reference: one warm-up request, outside the
-    // measured window.
+    // measured window. With the cache enabled this also primes it, so
+    // the measured window is pure hits.
     let reference = {
         let mut c = Client::connect(addr).expect("connect");
         let (status, body) = c.request(&line).expect("warm-up request");
@@ -173,44 +189,98 @@ fn main() {
         overloaded += ov;
     }
     let wall_s = clock.elapsed().as_secs_f64();
+
+    // The cache's own accounting, straight from the `stats` verb.
+    let cache_hits = {
+        let mut c = Client::connect(addr).expect("connect");
+        let (status, body) = c.request("stats").expect("stats request");
+        assert_eq!(status, STATUS_OK, "stats failed: {body}");
+        let key = "\"hits\": ";
+        let at = body.find(key).expect("hits counter");
+        let tail = &body[at + key.len()..];
+        tail[..tail.find([',', '}']).unwrap()]
+            .trim()
+            .parse()
+            .unwrap()
+    };
     server.shutdown();
     server.join();
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let ok = latencies_ms.len();
-    let requests_per_sec = ok as f64 / wall_s;
-    let p50 = percentile(&latencies_ms, 50.0);
-    let p99 = percentile(&latencies_ms, 99.0);
-    let mean = latencies_ms.iter().sum::<f64>() / ok.max(1) as f64;
+    SeriesResult {
+        latencies_ms,
+        overloaded,
+        wall_s,
+        cache_hits,
+    }
+}
 
+/// One series as a JSON object body.
+fn series_json(r: &SeriesResult) -> String {
+    let ok = r.latencies_ms.len();
+    let mean = r.latencies_ms.iter().sum::<f64>() / ok.max(1) as f64;
+    format!(
+        "{{\"ok\": {}, \"overload_rejections\": {}, \"cache_hits\": {}, \
+         \"wall_s\": {:.6}, \"requests_per_sec\": {:.3}, \
+         \"latency_ms\": {{\"p50\": {:.6}, \"p99\": {:.6}, \"mean\": {:.6}, \
+         \"min\": {:.6}, \"max\": {:.6}}}}}",
+        ok,
+        r.overloaded,
+        r.cache_hits,
+        r.wall_s,
+        ok as f64 / r.wall_s,
+        percentile(&r.latencies_ms, 50.0),
+        percentile(&r.latencies_ms, 99.0),
+        mean,
+        r.latencies_ms.first().copied().unwrap_or(0.0),
+        r.latencies_ms.last().copied().unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    // Series 1: the cache disabled — every request is a full compile.
+    let compile = run_series(&args, 0);
+    assert_eq!(compile.cache_hits, 0, "disabled cache must not hit");
+    // Series 2: the cache enabled and primed by the warm-up request —
+    // every measured request is a hit.
+    let cache_hit = run_series(&args, ServeConfig::default().cache_capacity);
+    let total = (args.clients * args.requests) as u64;
+    assert_eq!(
+        cache_hit.cache_hits, total,
+        "warm-cache series must be all hits"
+    );
+
+    let compile_rps = compile.latencies_ms.len() as f64 / compile.wall_s;
+    let hit_rps = cache_hit.latencies_ms.len() as f64 / cache_hit.wall_s;
     let json = format!(
-        "{{\n  \"schema\": \"pypm.bench.serve.v1\",\n  \"model\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pypm.bench.serve.v2\",\n  \"model\": \"{}\",\n  \
          \"jobs\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
-         \"clients\": {},\n  \"requests_per_client\": {},\n  \"ok\": {},\n  \
-         \"overload_rejections\": {},\n  \"wall_s\": {:.6},\n  \
-         \"requests_per_sec\": {:.3},\n  \"latency_ms\": {{\"p50\": {:.6}, \
-         \"p99\": {:.6}, \"mean\": {:.6}, \"min\": {:.6}, \"max\": {:.6}}},\n  \
-         \"counters_equivalent\": true\n}}\n",
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"series\": {{\n    \
+         \"compile\": {},\n    \"cache_hit\": {}\n  }},\n  \
+         \"cache_hit_speedup\": {:.3},\n  \"counters_equivalent\": true\n}}\n",
         args.model,
         args.jobs,
         args.workers,
         args.queue,
         args.clients,
         args.requests,
-        ok,
-        overloaded,
-        wall_s,
-        requests_per_sec,
-        p50,
-        p99,
-        mean,
-        latencies_ms.first().copied().unwrap_or(0.0),
-        latencies_ms.last().copied().unwrap_or(0.0),
+        series_json(&compile),
+        series_json(&cache_hit),
+        hit_rps / compile_rps,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
     println!(
-        "{} clients x {} requests of {}: {:.1} req/s, p50 {:.2} ms, p99 {:.2} ms, \
-         {} overload rejections -> {}",
-        args.clients, args.requests, args.model, requests_per_sec, p50, p99, overloaded, args.out
+        "{} clients x {} requests of {}: compile {:.1} req/s (p50 {:.2} ms), \
+         cache-hit {:.1} req/s (p50 {:.2} ms), {:.1}x -> {}",
+        args.clients,
+        args.requests,
+        args.model,
+        compile_rps,
+        percentile(&compile.latencies_ms, 50.0),
+        hit_rps,
+        percentile(&cache_hit.latencies_ms, 50.0),
+        hit_rps / compile_rps,
+        args.out
     );
 }

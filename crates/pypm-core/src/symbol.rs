@@ -20,10 +20,7 @@ use std::fmt;
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(
-            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord,
-            serde::Serialize, serde::Deserialize,
-        )]
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         pub struct $name(pub(crate) u32);
 
         impl $name {

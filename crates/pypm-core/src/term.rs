@@ -12,9 +12,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A hash-consed term. Equal ids ⇔ structurally equal terms.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(u32);
 
 impl TermId {

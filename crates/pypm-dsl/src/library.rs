@@ -26,7 +26,7 @@ use pypm_graph::{Activation, DType, StdOps, TensorAttrs};
 /// of the paper's benchmarks ("once with the FMHA and Epilog
 /// optimizations disabled, once each with FMHA and Epilog only, and once
 /// with both", §4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LibraryConfig {
     /// Fused multi-head attention rewriting.
     pub fmha: bool,

@@ -104,6 +104,54 @@ impl Session {
     pub fn load_text(&mut self, text: &str) -> Result<RuleSet, pypm_dsl::text::ParseError> {
         pypm_dsl::text::parse_ruleset(text, &mut self.syms, &mut self.pats)
     }
+
+    /// Encodes a graph into a `PYPMWIRE` container against this
+    /// session's symbol table.
+    pub fn wire_graph(&self, graph: &pypm_graph::Graph) -> bytes::Bytes {
+        pypm_wire::encode_graph(graph, &self.syms)
+    }
+
+    /// Decodes a `PYPMWIRE` graph container into this session,
+    /// re-interning operator names (arities are checked against any
+    /// operators already declared here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures; never panics on corrupt input.
+    pub fn load_wire_graph(
+        &mut self,
+        data: &[u8],
+    ) -> Result<pypm_graph::Graph, pypm_wire::WireError> {
+        pypm_wire::decode_graph(data, &mut self.syms)
+    }
+
+    /// Encodes a graph and a rule set into one `PYPMWIRE` container —
+    /// the payload `pypmc dump` writes.
+    pub fn wire_bundle(&self, graph: &pypm_graph::Graph, rules: &RuleSet) -> bytes::Bytes {
+        pypm_wire::encode_bundle(graph, rules, &self.syms, &self.pats)
+    }
+
+    /// Decodes a `PYPMWIRE` bundle (graph + rule set) into this session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures; never panics on corrupt input.
+    pub fn load_wire_bundle(
+        &mut self,
+        data: &[u8],
+    ) -> Result<(pypm_graph::Graph, RuleSet), pypm_wire::WireError> {
+        pypm_wire::decode_bundle(data, &mut self.syms, &mut self.pats)
+    }
+
+    /// Loads a rule set from either a `PYPMWIRE` container or the
+    /// legacy raw `PYPMB1` encoding (dispatched on the magic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode failures; never panics on corrupt input.
+    pub fn load_wire_ruleset(&mut self, data: &[u8]) -> Result<RuleSet, pypm_wire::WireError> {
+        pypm_wire::decode_ruleset(data, &mut self.syms, &mut self.pats)
+    }
 }
 
 impl Default for Session {
@@ -140,6 +188,44 @@ mod tests {
         // A different configuration still builds (and caches) fresh.
         let c = s.load_library_cached(LibraryConfig::all());
         assert!(c.len() >= a.len());
+    }
+
+    #[test]
+    fn wire_helpers_roundtrip_graph_and_rules() {
+        use pypm_graph::{DType, Graph, TensorMeta};
+        let mut s = Session::new();
+        let rules = s.load_library(LibraryConfig::both());
+        let mut g = Graph::new();
+        let a = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![4, 4]));
+        let b = g.input(&mut s.syms, TensorMeta::new(DType::F32, vec![4, 4]));
+        let mm = g
+            .op_with_meta(
+                s.syms.find_op("MatMul").unwrap(),
+                vec![a, b],
+                vec![],
+                TensorMeta::new(DType::F32, vec![4, 4]),
+            )
+            .unwrap();
+        g.mark_output(mm);
+
+        let blob = s.wire_bundle(&g, &rules);
+        let mut s2 = Session::new();
+        let (g2, rules2) = s2.load_wire_bundle(&blob).unwrap();
+        assert_eq!(g2.outputs(), g.outputs(), "node ids survive the reload");
+        assert_eq!(rules2.len(), rules.len());
+        assert_eq!(
+            s2.wire_graph(&g2),
+            s.wire_graph(&g),
+            "canonical reload re-encodes byte-identically"
+        );
+
+        // The single-section helpers agree with the bundle path.
+        let g3 = s2.load_wire_graph(&s.wire_graph(&g)).unwrap();
+        assert_eq!(g3.outputs(), g.outputs());
+        assert!(
+            s2.load_wire_ruleset(&blob[..4]).is_err(),
+            "corrupt input errs"
+        );
     }
 
     #[test]

@@ -5,14 +5,13 @@
 //! `x.eltType` and `x.shape.rank`. This module defines the metadata those
 //! attributes are computed from.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Element data types supported by the IR.
 ///
 /// Each dtype has a stable numeric code used in guard expressions (guards
 /// compare integers), e.g. `x.eltType = DType::F32.code()`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DType {
     /// 32-bit IEEE float.
     F32,
@@ -98,7 +97,7 @@ impl fmt::Display for DType {
 ///
 /// A scalar has rank 0. Extents are `i64` to line up with guard
 /// arithmetic.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<i64>);
 
 impl Shape {
@@ -206,7 +205,7 @@ impl From<&[i64]> for Shape {
 
 /// Metadata carried by every graph node: the element type and shape of the
 /// tensor it produces.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct TensorMeta {
     /// Element data type.
     pub dtype: DType,

@@ -1,0 +1,353 @@
+//! The content-addressed compile-result cache.
+//!
+//! The engine's inputs are fully described by bytes: the canonical
+//! graph encoding, the rule-set encoding, and the semantic knobs
+//! (sweep policy, library configuration, job count — jobs changes the
+//! machine-step/backtrack counters, so it is part of the key, not a
+//! volatile detail). Hash them together ([`CacheKey`]) and a repeat
+//! compile request is a lookup: the stored `pypm.pipeline.v1` report
+//! is returned verbatim, byte-identical to what a cold compile would
+//! produce.
+//!
+//! [`ResultCache`] layers an in-memory LRU over an optional on-disk
+//! store. Disk entries are whole `PYPMWIRE` report containers
+//! (checksummed — a corrupted cache file is a miss, never a wrong
+//! answer), named `<key-hex>.pypmw`, written atomically
+//! (temp file + rename) so a crashed server never leaves a torn entry
+//! for the next one to read. That is what makes `pypmc serve
+//! --cache-dir` survive restarts.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A 128-bit FNV-1a content hash over length-prefixed parts.
+///
+/// Length-prefixing keeps part boundaries in the hash — `("ab", "c")`
+/// and `("a", "bc")` key differently — and the 128-bit width makes
+/// accidental collisions a non-concern at any realistic cache size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// Hashes the parts, in order, each prefixed with its length.
+    pub fn of(parts: &[&[u8]]) -> CacheKey {
+        const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+        const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u128::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for part in parts {
+            eat(&(part.len() as u64).to_le_bytes());
+            eat(part);
+        }
+        CacheKey(h)
+    }
+
+    /// The key as 32 lowercase hex digits — the stats `last_key` field
+    /// and the on-disk file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+}
+
+/// A snapshot of the cache counters, as served by the `stats` verb.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (memory or disk).
+    pub hits: u64,
+    /// The subset of `hits` that had to be read back from disk.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results inserted.
+    pub stores: u64,
+    /// In-memory entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// The most recently computed key, as hex.
+    pub last_key: Option<String>,
+}
+
+struct State {
+    /// MRU-first. Linear scans are fine: capacity is small (hundreds)
+    /// and the values are shared, so moves are cheap.
+    entries: Vec<(CacheKey, String)>,
+    stats: CacheStats,
+}
+
+/// An in-memory LRU of compile results, optionally backed by a
+/// directory of `PYPMWIRE` report files. Shared by every serve worker
+/// behind an `Arc`.
+pub struct ResultCache {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    state: Mutex<State>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &self.capacity)
+            .field("dir", &self.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ResultCache {
+    /// A cache that stores nothing: [`ResultCache::get`] always misses
+    /// without counting, [`ResultCache::put`] is a no-op — `pypmc serve
+    /// --cache 0` without a directory.
+    pub fn disabled() -> ResultCache {
+        ResultCache::in_memory(0)
+    }
+
+    /// A purely in-memory cache holding up to `capacity` results.
+    pub fn in_memory(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity,
+            dir: None,
+            state: Mutex::new(State {
+                entries: Vec::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// An in-memory cache backed by `dir`, which is created if missing.
+    /// Entries written by previous processes are picked up lazily, on
+    /// lookup — nothing is scanned at startup.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn persistent(capacity: usize, dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut cache = ResultCache::in_memory(capacity);
+        cache.dir = Some(dir);
+        Ok(cache)
+    }
+
+    /// Whether get/put can ever do anything.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0 || self.dir.is_some()
+    }
+
+    /// The configured in-memory capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The backing directory, when persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up a result. Memory first, then (when persistent) the
+    /// disk store; a disk hit is promoted into memory. A corrupt or
+    /// unreadable disk entry is a miss, never an error.
+    pub fn get(&self, key: CacheKey) -> Option<String> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let mut state = self.state.lock().expect("cache lock");
+        state.stats.last_key = Some(key.to_hex());
+        if let Some(at) = state.entries.iter().position(|(k, _)| *k == key) {
+            let entry = state.entries.remove(at);
+            let payload = entry.1.clone();
+            state.entries.insert(0, entry);
+            state.stats.hits += 1;
+            return Some(payload);
+        }
+        if let Some(dir) = &self.dir {
+            let path = entry_path(dir, key);
+            if let Ok(bytes) = std::fs::read(&path) {
+                if let Ok(payload) = crate::decode_report(&bytes) {
+                    state.stats.hits += 1;
+                    state.stats.disk_hits += 1;
+                    Self::insert(&mut state, self.capacity, key, payload.clone());
+                    return Some(payload);
+                }
+            }
+        }
+        state.stats.misses += 1;
+        None
+    }
+
+    /// Stores a result under `key`, evicting the least recently used
+    /// in-memory entry beyond capacity and (when persistent) writing
+    /// the report container to disk atomically. Disk write failures
+    /// are swallowed: a cache that cannot persist degrades to an
+    /// in-memory one rather than failing compiles.
+    pub fn put(&self, key: CacheKey, payload: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut state = self.state.lock().expect("cache lock");
+        state.stats.last_key = Some(key.to_hex());
+        if state.entries.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        state.stats.stores += 1;
+        Self::insert(&mut state, self.capacity, key, payload.to_owned());
+        if let Some(dir) = &self.dir {
+            let path = entry_path(dir, key);
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            let bytes = crate::encode_report(payload);
+            if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    fn insert(state: &mut State, capacity: usize, key: CacheKey, payload: String) {
+        state.entries.insert(0, (key, payload));
+        while state.entries.len() > capacity {
+            state.entries.pop();
+            state.stats.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").stats.clone()
+    }
+
+    /// The additive `cache` stats block, as one stable JSON object —
+    /// what `pypmc serve`'s `stats` verb embeds.
+    pub fn stats_json(&self) -> String {
+        let stats = self.stats();
+        format!(
+            "{{\"capacity\": {}, \"persistent\": {}, \"hits\": {}, \"disk_hits\": {}, \
+             \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"last_key\": {}}}",
+            self.capacity,
+            self.dir.is_some(),
+            stats.hits,
+            stats.disk_hits,
+            stats.misses,
+            stats.stores,
+            stats.evictions,
+            match &stats.last_key {
+                Some(k) => format!("\"{k}\""),
+                None => "null".to_owned(),
+            },
+        )
+    }
+}
+
+fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
+    dir.join(format!("{}.pypmw", key.to_hex()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey::of(&[&[n]])
+    }
+
+    #[test]
+    fn keys_are_stable_and_boundary_sensitive() {
+        assert_eq!(
+            CacheKey::of(&[b"graph", b"rules"]),
+            CacheKey::of(&[b"graph", b"rules"])
+        );
+        assert_ne!(
+            CacheKey::of(&[b"graph", b"rules"]),
+            CacheKey::of(&[b"graphr", b"ules"]),
+            "length prefixes keep part boundaries in the hash"
+        );
+        assert_ne!(CacheKey::of(&[b""]), CacheKey::of(&[b"", b""]));
+        assert_eq!(key(1).to_hex().len(), 32);
+    }
+
+    #[test]
+    fn lru_semantics_hits_misses_and_evictions() {
+        let cache = ResultCache::in_memory(2);
+        assert!(cache.get(key(1)).is_none());
+        cache.put(key(1), "one");
+        cache.put(key(2), "two");
+        assert_eq!(cache.get(key(1)).as_deref(), Some("one"));
+        // 1 was just used; inserting 3 evicts 2.
+        cache.put(key(3), "three");
+        assert!(cache.get(key(2)).is_none());
+        assert_eq!(cache.get(key(1)).as_deref(), Some("one"));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.stores, stats.evictions),
+            (2, 2, 3, 1)
+        );
+        assert_eq!(stats.disk_hits, 0);
+        assert!(cache.stats_json().contains("\"evictions\": 1"));
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing_and_counts_nothing() {
+        let cache = ResultCache::disabled();
+        assert!(!cache.is_enabled());
+        cache.put(key(1), "one");
+        assert!(cache.get(key(1)).is_none());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn disk_store_survives_a_new_cache_instance_and_tolerates_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = ResultCache::persistent(4, &dir).unwrap();
+        first.put(key(7), "{\"schema\": \"pypm.pipeline.v1\"}");
+        drop(first);
+
+        // A fresh instance (a restarted server) hits from disk.
+        let second = ResultCache::persistent(4, &dir).unwrap();
+        assert_eq!(
+            second.get(key(7)).as_deref(),
+            Some("{\"schema\": \"pypm.pipeline.v1\"}")
+        );
+        let stats = second.stats();
+        assert_eq!((stats.hits, stats.disk_hits, stats.misses), (1, 1, 0));
+        // …and the promotion means the second lookup is a memory hit.
+        assert!(second.get(key(7)).is_some());
+        assert_eq!(second.stats().disk_hits, 1);
+
+        // Corrupt the file on disk: a third instance must miss, not
+        // panic and not serve garbage.
+        let path = entry_path(&dir, key(7));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let third = ResultCache::persistent(4, &dir).unwrap();
+        assert!(third.get(key(7)).is_none());
+        assert_eq!(third.stats().misses, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn capacity_zero_with_a_directory_is_disk_only() {
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_disk_only_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::persistent(0, &dir).unwrap();
+        assert!(cache.is_enabled());
+        cache.put(key(9), "nine");
+        // Not in memory (capacity 0) — but the disk store answers.
+        assert_eq!(cache.get(key(9)).as_deref(), Some("nine"));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,438 @@
+//! The graph section: a canonical, portable encoding of a computation
+//! graph.
+//!
+//! Layout (all integers little-endian, strings `u32` length + UTF-8):
+//!
+//! ```text
+//! u32     node count N                  (live nodes, canonical order)
+//!   u8    node kind                     (0 input, 1 op, 2 opaque)
+//!   str   operator name, u32 arity      (op and opaque nodes only)
+//!   u32   input count, u32 × n          (indices < this node's index)
+//!   u32   attr count, (str, i64) × n    (op nodes only)
+//!   u8    dtype code
+//!   u32   rank, i64 × rank              (dimension extents)
+//! u32     output count, u32 × n         (indices < N, no duplicates)
+//! ```
+//!
+//! The canonical order is a deterministic topological sort (Kahn's
+//! algorithm, always emitting the smallest-id ready node). For a graph
+//! whose allocation order is already topological — every freshly built
+//! graph, and every decoded graph — that *is* allocation order, which
+//! gives the two properties the format is built around: a canonical
+//! reload assigns identical node ids, and `encode(decode(b)) == b`.
+//! Input nodes carry no operator name: their fresh-constant symbols are
+//! session-local and are re-minted by [`pypm_graph::Graph::input`] on
+//! decode, so the bytes are independent of the encoding session's
+//! history — the property that makes them valid cache-key material.
+//!
+//! Inputs are *backward references by construction*: the decoder
+//! rejects forward or self references, so a decoded graph is acyclic
+//! without a separate validation pass.
+
+use crate::WireError;
+use bytes::{BufMut, Bytes, BytesMut};
+use pypm_core::SymbolTable;
+use pypm_graph::{DType, Graph, NodeId, NodeKind, TensorMeta};
+use std::collections::BinaryHeap;
+
+const KIND_INPUT: u8 = 0;
+const KIND_OP: u8 = 1;
+const KIND_OPAQUE: u8 = 2;
+
+/// The live nodes in canonical order: Kahn's algorithm over dataflow
+/// edges, smallest id first. Equals allocation order whenever that
+/// order is already topological; otherwise (a rewritten graph, where
+/// `replace` points early users at late replacement nodes) it is the
+/// unique deterministic schedule closest to it.
+fn canonical_order(g: &Graph) -> Vec<NodeId> {
+    let allocated = g.allocated_count();
+    let mut indegree = vec![0usize; allocated];
+    let mut live = 0usize;
+    for n in g.allocated_since(0) {
+        if !g.is_alive(n) {
+            continue;
+        }
+        live += 1;
+        indegree[n.index()] = g.node(n).inputs.len();
+    }
+    let mut ready: BinaryHeap<std::cmp::Reverse<usize>> = g
+        .allocated_since(0)
+        .into_iter()
+        .filter(|&n| g.is_alive(n) && indegree[n.index()] == 0)
+        .map(|n| std::cmp::Reverse(n.index()))
+        .collect();
+    let mut order = Vec::with_capacity(live);
+    let by_index: Vec<NodeId> = g.allocated_since(0);
+    while let Some(std::cmp::Reverse(i)) = ready.pop() {
+        let n = by_index[i];
+        order.push(n);
+        for &user in g.users_of(n) {
+            indegree[user.index()] -= 1;
+            if indegree[user.index()] == 0 {
+                ready.push(std::cmp::Reverse(user.index()));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), live, "live graph has a cycle?");
+    order
+}
+
+/// Encodes the graph section payload (no container header).
+pub(crate) fn encode_section(g: &Graph, syms: &SymbolTable) -> Bytes {
+    let order = canonical_order(g);
+    let mut dense = vec![u32::MAX; g.allocated_count()];
+    for (i, &n) in order.iter().enumerate() {
+        dense[n.index()] = i as u32;
+    }
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(order.len() as u32);
+    for &n in &order {
+        let node = g.node(n);
+        match node.kind {
+            NodeKind::Input => buf.put_u8(KIND_INPUT),
+            NodeKind::Op => buf.put_u8(KIND_OP),
+            NodeKind::Opaque => buf.put_u8(KIND_OPAQUE),
+        }
+        if node.kind != NodeKind::Input {
+            put_str(&mut buf, syms.op_name(node.op));
+            buf.put_u32_le(syms.arity(node.op) as u32);
+        }
+        buf.put_u32_le(node.inputs.len() as u32);
+        for &i in &node.inputs {
+            buf.put_u32_le(dense[i.index()]);
+        }
+        if node.kind == NodeKind::Op {
+            buf.put_u32_le(node.attrs.len() as u32);
+            for &(attr, value) in &node.attrs {
+                put_str(&mut buf, syms.attr_name(attr));
+                buf.put_i64_le(value);
+            }
+        }
+        buf.put_u8(node.meta.dtype.code() as u8);
+        let dims = node.meta.shape.dims();
+        buf.put_u32_le(dims.len() as u32);
+        for &d in dims {
+            buf.put_i64_le(d);
+        }
+    }
+    let outputs: Vec<u32> = g
+        .outputs()
+        .iter()
+        .filter(|&&o| g.is_alive(o))
+        .map(|&o| dense[o.index()])
+        .collect();
+    buf.put_u32_le(outputs.len() as u32);
+    for o in outputs {
+        buf.put_u32_le(o);
+    }
+    buf.freeze()
+}
+
+/// Decodes a graph section payload, re-interning operator and attribute
+/// names into `syms`.
+pub(crate) fn decode_section(data: &[u8], syms: &mut SymbolTable) -> Result<Graph, WireError> {
+    let mut r = Reader { data, pos: 0 };
+    let mut g = Graph::new();
+    // A node occupies at least kind + input count + dtype + rank bytes;
+    // a count claiming more nodes than that is garbage, rejected before
+    // any allocation.
+    let node_count = r.count(10, "node count")?;
+    let mut ids: Vec<NodeId> = Vec::with_capacity(node_count);
+    for index in 0..node_count {
+        let kind = r.u8()?;
+        let op = if kind != KIND_INPUT {
+            let name = r.str_()?;
+            let arity = r.u32()? as usize;
+            let sym = match syms.find_op(&name) {
+                Some(sym) => {
+                    if syms.arity(sym) != arity {
+                        return Err(WireError::Inconsistent {
+                            what: format!(
+                                "operator {name} declared with arity {arity}, session has {}",
+                                syms.arity(sym)
+                            ),
+                        });
+                    }
+                    sym
+                }
+                None => syms.op(&name, arity),
+            };
+            Some(sym)
+        } else {
+            None
+        };
+        let input_count = r.count(4, "input count")?;
+        let mut inputs = Vec::with_capacity(input_count);
+        for _ in 0..input_count {
+            let i = r.u32()? as usize;
+            if i >= index {
+                return Err(WireError::Malformed {
+                    what: "forward or self input reference",
+                });
+            }
+            inputs.push(ids[i]);
+        }
+        let mut attrs = Vec::new();
+        if kind == KIND_OP {
+            let attr_count = r.count(13, "attr count")?;
+            for _ in 0..attr_count {
+                let name = r.str_()?;
+                let value = r.i64()?;
+                attrs.push((syms.attr(&name), value));
+            }
+        }
+        let dtype = DType::from_code(i64::from(r.u8()?))
+            .ok_or(WireError::Malformed { what: "dtype code" })?;
+        let rank = r.count(8, "rank")?;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(r.i64()?);
+        }
+        let meta = TensorMeta::new(dtype, dims);
+        let id = match kind {
+            KIND_INPUT => {
+                if !inputs.is_empty() {
+                    return Err(WireError::Malformed {
+                        what: "input node with inputs",
+                    });
+                }
+                g.input(syms, meta)
+            }
+            KIND_OP => g
+                .op_with_meta(op.expect("op has a symbol"), inputs, attrs, meta)
+                .map_err(|_| WireError::Malformed { what: "dead input" })?,
+            KIND_OPAQUE => g
+                .opaque(syms, op.expect("opaque has a symbol"), inputs, meta)
+                .map_err(|_| WireError::Malformed { what: "dead input" })?,
+            _ => {
+                return Err(WireError::Malformed {
+                    what: "node kind tag",
+                })
+            }
+        };
+        ids.push(id);
+    }
+    let output_count = r.count(4, "output count")?;
+    let mut seen = vec![false; node_count];
+    for _ in 0..output_count {
+        let o = r.u32()? as usize;
+        if o >= node_count {
+            return Err(WireError::Malformed {
+                what: "output out of range",
+            });
+        }
+        if seen[o] {
+            return Err(WireError::Malformed {
+                what: "duplicate output",
+            });
+        }
+        seen[o] = true;
+        g.mark_output(ids[o]);
+    }
+    if r.pos != r.data.len() {
+        return Err(WireError::Malformed {
+            what: "trailing bytes in graph section",
+        });
+    }
+    Ok(g)
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor: every read validates the remaining length
+/// first, so no input — however corrupt — can panic the decoder.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a count field and validates it against the remaining
+    /// payload: `count` elements of at least `min_elem` bytes each must
+    /// fit, so a hostile count can never trigger a giant allocation —
+    /// the `binary::get_count` guard, ported.
+    fn count(&mut self, min_elem: usize, _what: &'static str) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.remaining() {
+            return Err(WireError::Malformed {
+                what: "count exceeds remaining payload",
+            });
+        }
+        Ok(n)
+    }
+
+    fn str_(&mut self) -> Result<String, WireError> {
+        let len = self.count(1, "string length")?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| WireError::BadString)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_graph, encode_graph};
+
+    /// A little diamond with every node kind: two inputs, a custom op,
+    /// an opaque node, attrs on the op.
+    fn build(syms: &mut SymbolTable) -> Graph {
+        let mut g = Graph::new();
+        let a = g.input(syms, TensorMeta::new(DType::F32, vec![8, 4]));
+        let b = g.input(syms, TensorMeta::new(DType::F16, vec![4]));
+        let mul = syms.op("TestMul", 2);
+        let ext = syms.op("TestExternal", 1);
+        let m = g
+            .op_with_meta(
+                mul,
+                vec![a, b],
+                vec![(syms.attr("stride"), 2), (syms.attr("pad"), -1)],
+                TensorMeta::new(DType::F32, vec![8, 4]),
+            )
+            .unwrap();
+        let q = g
+            .opaque(syms, ext, vec![m], TensorMeta::new(DType::Bool, vec![]))
+            .unwrap();
+        g.mark_output(q);
+        g.mark_output(m);
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_ids_and_bytes() {
+        let mut syms = SymbolTable::new();
+        let g = build(&mut syms);
+        let bytes = encode_graph(&g, &syms);
+
+        let mut fresh = SymbolTable::new();
+        let g2 = decode_graph(&bytes, &mut fresh).unwrap();
+        assert_eq!(g2.live_count(), g.live_count());
+        assert_eq!(g2.outputs(), g.outputs(), "node ids survive the reload");
+        for (a, b) in g.topo_order().iter().zip(g2.topo_order().iter()) {
+            assert_eq!(a, b);
+            assert_eq!(g.node(*a).kind, g2.node(*b).kind);
+            assert_eq!(g.node(*a).meta, g2.node(*b).meta);
+            assert_eq!(g.node(*a).inputs, g2.node(*b).inputs);
+        }
+        // Ops and attrs are re-interned by name.
+        let m = g2.outputs()[1];
+        assert_eq!(fresh.op_name(g2.node(m).op), "TestMul");
+        assert_eq!(g2.node(m).attr(fresh.attr("pad")), Some(-1));
+        // Canonical: re-encoding the decoded graph reproduces the bytes.
+        assert_eq!(encode_graph(&g2, &fresh), bytes);
+        g2.validate().expect("decoded graph validates");
+    }
+
+    #[test]
+    fn decode_into_a_warm_session_reuses_interned_ops() {
+        let mut syms = SymbolTable::new();
+        let g = build(&mut syms);
+        let bytes = encode_graph(&g, &syms);
+        let ops_before = syms.op_count();
+        // Same session: operators resolve to the existing symbols; only
+        // the fresh constants of the two inputs and the opaque node are
+        // re-minted.
+        let g2 = decode_graph(&bytes, &mut syms).unwrap();
+        assert_eq!(g2.node(g2.outputs()[1]).op, g.node(g.outputs()[1]).op);
+        assert_eq!(syms.op_count(), ops_before + 3);
+    }
+
+    #[test]
+    fn arity_conflicts_are_inconsistent_not_panics() {
+        let mut syms = SymbolTable::new();
+        let g = build(&mut syms);
+        let bytes = encode_graph(&g, &syms);
+        let mut hostile = SymbolTable::new();
+        hostile.op("TestMul", 3); // conflicting arity
+        assert!(matches!(
+            decode_graph(&bytes, &mut hostile),
+            Err(WireError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn a_rewritten_graph_still_encodes_a_valid_schedule() {
+        // replace() points early users at late nodes, so allocation
+        // order is no longer topological — the canonical order must
+        // still produce only backward references.
+        let mut syms = SymbolTable::new();
+        let mut g = Graph::new();
+        let a = g.input(&mut syms, TensorMeta::new(DType::F32, vec![4]));
+        let f = syms.op("TestF", 1);
+        let h = syms.op("TestH", 1);
+        let fa = g
+            .op_with_meta(f, vec![a], vec![], TensorMeta::new(DType::F32, vec![4]))
+            .unwrap();
+        let top = g
+            .op_with_meta(h, vec![fa], vec![], TensorMeta::new(DType::F32, vec![4]))
+            .unwrap();
+        g.mark_output(top);
+        let repl = g
+            .op_with_meta(h, vec![a], vec![], TensorMeta::new(DType::F32, vec![4]))
+            .unwrap();
+        g.replace(fa, repl).unwrap();
+        g.gc();
+        let bytes = encode_graph(&g, &syms);
+        let mut fresh = SymbolTable::new();
+        let g2 = decode_graph(&bytes, &mut fresh).unwrap();
+        assert_eq!(g2.live_count(), g.live_count());
+        g2.validate().expect("decoded rewritten graph validates");
+        // And the decoded graph is canonical from here on.
+        assert_eq!(encode_graph(&g2, &fresh), bytes);
+    }
+
+    #[test]
+    fn hostile_graph_sections_are_rejected_cleanly() {
+        let mut syms = SymbolTable::new();
+        // An absurd node count against a tiny payload.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_section(&buf.freeze(), &mut syms),
+            Err(WireError::Malformed { .. })
+        ));
+        // A forward input reference.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(1); // one node
+        buf.put_u8(KIND_OP);
+        put_str(&mut buf, "TestLoop");
+        buf.put_u32_le(1); // arity
+        buf.put_u32_le(1); // one input…
+        buf.put_u32_le(0); // …itself
+        assert_eq!(
+            decode_section(&buf.freeze(), &mut syms).err(),
+            Some(WireError::Malformed {
+                what: "forward or self input reference"
+            })
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Corruption properties of every `PYPMWIRE` decoder: bit-flipped or
+//! truncated containers must come back as a clean `Err` — never a
+//! panic, never an abort, and (because every section is checksummed)
+//! never a silently wrong decode. The repository-level
+//! `wire_roundtrip` suite runs the same drill over encoded *zoo*
+//! artifacts; this one drives randomly generated graphs, so the two
+//! suites corrupt structurally different byte streams.
+
+use proptest::prelude::*;
+use pypm_core::{PatternStore, SymbolTable};
+use pypm_graph::{DType, Graph, TensorMeta};
+use pypm_wire::{decode_bundle, decode_graph, decode_report, decode_ruleset, encode_graph};
+
+/// Deterministically builds a small random-shaped graph: a few inputs,
+/// then a chain of ops/opaques each reading previously built nodes.
+fn random_graph(seed: u64, syms: &mut SymbolTable) -> Graph {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut g = Graph::new();
+    let dtypes = [DType::F32, DType::F16, DType::I64, DType::Bool];
+    let mut nodes = Vec::new();
+    for _ in 0..(1 + next() % 3) {
+        let dt = dtypes[(next() % 4) as usize];
+        let rank = (next() % 3) as usize;
+        let dims: Vec<i64> = (0..rank).map(|_| (next() % 64) as i64 + 1).collect();
+        nodes.push(g.input(syms, TensorMeta::new(dt, dims)));
+    }
+    for i in 0..(1 + next() % 8) {
+        let arity = 1 + (next() % 2) as usize;
+        let inputs: Vec<_> = (0..arity)
+            .map(|_| nodes[(next() as usize) % nodes.len()])
+            .collect();
+        let meta = TensorMeta::new(
+            dtypes[(next() % 4) as usize],
+            vec![(next() % 16) as i64 + 1],
+        );
+        let id = if next() % 4 == 0 {
+            let op = syms.op(&format!("RandOpq{arity}_{}", i % 3), arity);
+            g.opaque(syms, op, inputs, meta).unwrap()
+        } else {
+            let op = syms.op(&format!("RandOp{arity}_{}", i % 5), arity);
+            let attrs = if next() % 2 == 0 {
+                vec![(syms.attr("stride"), (next() % 7) as i64)]
+            } else {
+                vec![]
+            };
+            g.op_with_meta(op, inputs, attrs, meta).unwrap()
+        };
+        nodes.push(id);
+    }
+    g.mark_output(*nodes.last().expect("at least one node"));
+    g
+}
+
+/// Applies `flips` bit flips (position and mask derived from each
+/// element, mask forced nonzero) and truncates to `cut_ppm` millionths.
+fn mangle(blob: &[u8], flips: &[u32], cut_ppm: u32) -> Vec<u8> {
+    let cut = (blob.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+    let mut bytes = blob[..cut].to_vec();
+    if !bytes.is_empty() {
+        for &flip in flips {
+            let at = (flip as usize >> 8) % bytes.len();
+            bytes[at] ^= (flip as u8) | 1;
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Graph containers: every strict truncation errors (the section
+    /// table's exact-length check makes prefixes unreadable), and every
+    /// bit flip errors (nothing escapes the checksum).
+    #[test]
+    fn graph_corruption_always_errs(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<u32>(), 1..16),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let mut syms = SymbolTable::new();
+        let g = random_graph(seed, &mut syms);
+        let blob = encode_graph(&g, &syms);
+
+        let mut fresh = SymbolTable::new();
+        let cut = (blob.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        prop_assert!(decode_graph(&blob[..cut], &mut fresh).is_err());
+
+        let flipped = mangle(&blob, &flips, 1_000_000);
+        prop_assert!(decode_graph(&flipped, &mut fresh).is_err());
+
+        // Flip + truncate together, for good measure.
+        let both = mangle(&blob, &flips, cut_ppm.max(1));
+        if both.len() < blob.len() || both != blob[..] {
+            prop_assert!(decode_graph(&both, &mut fresh).is_err());
+        }
+    }
+
+    /// Ruleset containers under the same drill — including the legacy
+    /// dispatch path, which must cleanly reject mangled `PYPMWIRE`
+    /// headers rather than misrouting them to the PYPMB1 decoder.
+    #[test]
+    fn ruleset_corruption_always_errs(
+        flips in proptest::collection::vec(any::<u32>(), 1..16),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let mut syms = SymbolTable::new();
+        let mut pats = PatternStore::new();
+        let rs = pypm_dsl::text::parse_ruleset(
+            "op A/2;\nop B/1;\npattern P(x, y) {\n  A(B(x), y)\n}\nrule r for P when 1 = 1 => x;\n",
+            &mut syms,
+            &mut pats,
+        ).expect("test ruleset parses");
+        let blob = pypm_wire::encode_ruleset(&rs, &syms, &pats);
+
+        let mut s2 = SymbolTable::new();
+        let mut p2 = PatternStore::new();
+        let cut = (blob.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        prop_assert!(decode_ruleset(&blob[..cut], &mut s2, &mut p2).is_err());
+        let flipped = mangle(&blob, &flips, 1_000_000);
+        prop_assert!(decode_ruleset(&flipped, &mut s2, &mut p2).is_err());
+    }
+
+    /// Report and bundle containers: same contract.
+    #[test]
+    fn report_and_bundle_corruption_always_errs(
+        seed in any::<u64>(),
+        flips in proptest::collection::vec(any::<u32>(), 1..16),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let report = pypm_wire::encode_report("{\"schema\": \"pypm.pipeline.v1\"}\n");
+        let cut = (report.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        prop_assert!(decode_report(&report[..cut]).is_err());
+        prop_assert!(decode_report(&mangle(&report, &flips, 1_000_000)).is_err());
+
+        let mut syms = SymbolTable::new();
+        let pats = PatternStore::new();
+        let g = random_graph(seed, &mut syms);
+        let rs = pypm_dsl::RuleSet { patterns: Vec::new() };
+        let blob = pypm_wire::encode_bundle(&g, &rs, &syms, &pats);
+        let mut s2 = SymbolTable::new();
+        let mut p2 = PatternStore::new();
+        let cut = (blob.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        prop_assert!(decode_bundle(&blob[..cut], &mut s2, &mut p2).is_err());
+        prop_assert!(decode_bundle(&mangle(&blob, &flips, 1_000_000), &mut s2, &mut p2).is_err());
+    }
+
+    /// The positive control: an unmangled random graph round-trips with
+    /// identical ids and bytes (so the negative properties above are
+    /// exercising real, decodable artifacts).
+    #[test]
+    fn uncorrupted_random_graphs_roundtrip(seed in any::<u64>()) {
+        let mut syms = SymbolTable::new();
+        let g = random_graph(seed, &mut syms);
+        let blob = encode_graph(&g, &syms);
+        let mut fresh = SymbolTable::new();
+        let g2 = decode_graph(&blob, &mut fresh).expect("clean artifact decodes");
+        prop_assert_eq!(g2.live_count(), g.live_count());
+        prop_assert_eq!(g2.outputs(), g.outputs());
+        prop_assert_eq!(encode_graph(&g2, &fresh), blob);
+        g2.validate().expect("decoded graph validates");
+    }
+}

@@ -8,11 +8,16 @@
 //!                                           report rewrite stats + simulated
 //!                                           cost per model
 //! pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]
+//!             [--cache N] [--cache-dir DIR]
 //!                                           long-lived compile session server
 //!                                           (see the `pypm::serve` docs for
 //!                                           the framed TCP protocol)
 //! pypmc library [--format text|binary] [-o FILE]
 //!                                           dump the paper's pattern library
+//! pypmc dump <model> [--config C] [-o FILE] write a model's graph + ruleset
+//!                                           as one PYPMWIRE container
+//! pypmc load <file>                         decode a PYPMWIRE container and
+//!                                           report what it holds
 //! pypmc partition <model> [--pattern P]     directed graph partitioning (§4.2)
 //! pypmc explain <model> <pattern>           per-node match diagnostics
 //! ```
@@ -35,6 +40,15 @@
 //! batch it writes a `pypm.batch.v1` document wrapping one report per
 //! model.
 //!
+//! `serve --cache N` sizes the in-memory compile-result cache (default
+//! 128 entries; 0 disables it without a directory), and `--cache-dir
+//! DIR` additionally persists results as checksummed `PYPMWIRE` report
+//! containers so a restarted server keeps hitting. `dump`/`load`
+//! round-trip graphs and rulesets through the `PYPMWIRE` container
+//! format (`pypm::wire`): `dump` writes the canonical encoding, `load`
+//! decodes any container (or a legacy raw `PYPMB1` ruleset) and reports
+//! its contents, failing cleanly on corrupt input.
+//!
 //! Unknown flags and stray positional arguments are rejected with exit
 //! code 2 and a usage line — every subcommand declares exactly what it
 //! accepts.
@@ -56,10 +70,14 @@ fn main() {
         Some("compile") => compile(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("library") => library(&args[1..]),
+        Some("dump") => dump(&args[1..]),
+        Some("load") => load(&args[1..]),
         Some("partition") => run_partition(&args[1..]),
         Some("explain") => run_explain(&args[1..]),
         _ => {
-            eprintln!("usage: pypmc <list-models|compile|serve|library|partition|explain> [...]");
+            eprintln!(
+                "usage: pypmc <list-models|compile|serve|library|dump|load|partition|explain> [...]"
+            );
             eprintln!("see the module docs (`cargo doc -p pypm`) for details");
             2
         }
@@ -150,6 +168,18 @@ fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
     pypm::build_model(session, name)
 }
 
+/// The `--config` vocabulary shared by `compile` and `dump`.
+fn lib_config(name: &str) -> Option<LibraryConfig> {
+    match name {
+        "baseline" => Some(LibraryConfig::none()),
+        "fmha" => Some(LibraryConfig::fmha_only()),
+        "epilog" => Some(LibraryConfig::epilog_only()),
+        "both" => Some(LibraryConfig::both()),
+        "all" => Some(LibraryConfig::all()),
+        _ => None,
+    }
+}
+
 fn list_models(args: &[String]) -> i32 {
     let spec = Spec {
         usage: "pypmc list-models",
@@ -199,16 +229,10 @@ fn compile(args: &[String]) -> i32 {
         Err(code) => return code,
     };
     let models = &parsed.positionals;
-    let lib = match parsed.value("--config").unwrap_or("both") {
-        "baseline" => LibraryConfig::none(),
-        "fmha" => LibraryConfig::fmha_only(),
-        "epilog" => LibraryConfig::epilog_only(),
-        "both" => LibraryConfig::both(),
-        "all" => LibraryConfig::all(),
-        other => {
-            eprintln!("unknown config {other}");
-            return 2;
-        }
+    let config_arg = parsed.value("--config").unwrap_or("both");
+    let Some(lib) = lib_config(config_arg) else {
+        eprintln!("unknown config {config_arg}");
+        return 2;
     };
     // `--policy` survives as an alias from before the incremental
     // scheduler; `--sweep-policy` wins when both are given.
@@ -368,9 +392,17 @@ fn batch_json(models: &[String], reports: &[pypm::engine::PipelineReport]) -> St
 
 fn serve(args: &[String]) -> i32 {
     let spec = Spec {
-        usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]",
+        usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N] \
+                [--cache N] [--cache-dir DIR]",
         positionals: (0, 0),
-        value_flags: &["--addr", "--jobs", "--workers", "--queue"],
+        value_flags: &[
+            "--addr",
+            "--jobs",
+            "--workers",
+            "--queue",
+            "--cache",
+            "--cache-dir",
+        ],
         bool_flags: &[],
     };
     let parsed = match parse_or_usage(&spec, args) {
@@ -402,9 +434,13 @@ fn serve(args: &[String]) -> i32 {
             }
         },
     }
+    if let Some(dir) = parsed.value("--cache-dir") {
+        config.cache_dir = Some(dir.to_owned());
+    }
     for (flag, slot) in [
         ("--workers", &mut config.workers as &mut usize),
         ("--queue", &mut config.queue_depth),
+        ("--cache", &mut config.cache_capacity),
     ] {
         if let Some(v) = parsed.value(flag) {
             match v.parse::<usize>() {
@@ -475,6 +511,112 @@ fn library(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+fn dump(args: &[String]) -> i32 {
+    let spec = Spec {
+        usage: "pypmc dump <model> [--config C] [-o FILE]",
+        positionals: (1, 1),
+        value_flags: &["--config", "-o"],
+        bool_flags: &[],
+    };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let model = &parsed.positionals[0];
+    let config_arg = parsed.value("--config").unwrap_or("both");
+    let Some(lib) = lib_config(config_arg) else {
+        eprintln!("unknown config {config_arg}");
+        return 2;
+    };
+    let mut s = Session::new();
+    let Some(g) = build_model(&mut s, model) else {
+        eprintln!("unknown model {model}; try `pypmc list-models`");
+        return 1;
+    };
+    let rules = s.load_library(lib);
+    let payload = s.wire_bundle(&g, &rules);
+    match parsed.value("-o") {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &payload) {
+                eprintln!("cannot write {path}: {e}");
+                return 1;
+            }
+            println!(
+                "wrote {} bytes to {path}: {} nodes, {} outputs, {} rules",
+                payload.len(),
+                g.live_count(),
+                g.outputs().len(),
+                rules.len()
+            );
+        }
+        None => {
+            std::io::stdout().write_all(&payload).expect("stdout");
+        }
+    }
+    0
+}
+
+fn load(args: &[String]) -> i32 {
+    let spec = Spec {
+        usage: "pypmc load <file>",
+        positionals: (1, 1),
+        value_flags: &[],
+        bool_flags: &[],
+    };
+    let parsed = match parse_or_usage(&spec, args) {
+        Ok(p) => p,
+        Err(code) => return code,
+    };
+    let path = &parsed.positionals[0];
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let mut s = Session::new();
+    // A bundle is the common case (`pypmc dump` writes one); a bare
+    // ruleset container — or the legacy raw PYPMB1 encoding `pypmc
+    // library --format binary` writes — still loads.
+    match s.load_wire_bundle(&bytes) {
+        Ok((g, rules)) => {
+            if let Err(e) = g.validate() {
+                eprintln!("decoded graph fails validation: {e:?}");
+                return 1;
+            }
+            let identical = s.wire_bundle(&g, &rules)[..] == bytes[..];
+            println!(
+                "loaded {path}: {} nodes, {} outputs, {} rules{}",
+                g.live_count(),
+                g.outputs().len(),
+                rules.len(),
+                if identical {
+                    " (canonical: re-encodes byte-identically)"
+                } else {
+                    ""
+                }
+            );
+            0
+        }
+        Err(pypm::wire::WireError::MissingSection { .. })
+        | Err(pypm::wire::WireError::BadMagic) => match s.load_wire_ruleset(&bytes) {
+            Ok(rules) => {
+                println!("loaded {path}: {} rules (no graph section)", rules.len());
+                0
+            }
+            Err(e) => {
+                eprintln!("cannot decode {path}: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("cannot decode {path}: {e}");
+            1
+        }
+    }
 }
 
 fn run_explain(args: &[String]) -> i32 {

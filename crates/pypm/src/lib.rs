@@ -12,6 +12,7 @@
 //! | [`engine`] | `pypm-engine` | the rewrite pass and directed graph partitioning (§2.4, §4.2) |
 //! | [`models`] | `pypm-models` | synthetic HuggingFace / TorchVision zoos (§4.1) |
 //! | [`perf`] | `pypm-perf` | the simulated GPU testbed (§4.1) |
+//! | [`wire`] | `pypm-wire` | the `PYPMWIRE` container format and the compile-result cache |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use pypm_engine as engine;
 pub use pypm_graph as graph;
 pub use pypm_models as models;
 pub use pypm_perf as perf;
+pub use pypm_wire as wire;
 
 pub mod serve;
 

@@ -24,6 +24,7 @@
 //!
 //! ```text
 //! ping
+//! stats
 //! shutdown
 //! compile <model> [config=<C>] [policy=<P>] [jobs=<N>]
 //! ```
@@ -34,7 +35,22 @@
 //! `pypm.pipeline.v1` stats JSON — the same document `pypmc compile
 //! --stats-json` writes, byte-identical in every semantic counter (the
 //! wall-clock fields and the warm-pool reuse counter legitimately
-//! differ on a warm server).
+//! differ on a warm server). `stats` responds with a
+//! `pypm.serve.stats.v1` JSON document carrying the cache counters.
+//!
+//! ## The result cache
+//!
+//! Every worker shares one [`ResultCache`]: before compiling, the
+//! request is content-addressed — a [`CacheKey`] over the canonical
+//! `PYPMWIRE` graph bytes, the rule-set bytes, the library
+//! configuration, the sweep policy and the effective job count — and a
+//! hit returns the stored `pypm.pipeline.v1` report verbatim. Jobs is
+//! part of the key because it changes the machine-step/backtrack
+//! counters; the cached report is byte-identical to what a cold
+//! compile of the same request would produce. With
+//! [`ServeConfig::cache_dir`] set (`pypmc serve --cache-dir`), entries
+//! also persist as checksummed report containers on disk, so a
+//! restarted server keeps hitting.
 //!
 //! ## Status bytes
 //!
@@ -69,6 +85,8 @@
 use crate::dsl::LibraryConfig;
 use crate::engine::{ParallelConfig, Pipeline, RewritePass, Session, SweepPolicy};
 use crate::perf::pool::WorkerPool;
+use crate::wire::cache::{CacheKey, ResultCache};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -108,6 +126,12 @@ pub struct ServeConfig {
     /// the workers are already running. `0` is a rendezvous queue —
     /// admit only when a worker is free to take the job.
     pub queue_depth: usize,
+    /// In-memory result-cache capacity (entries). `0` with no
+    /// [`ServeConfig::cache_dir`] disables the cache entirely.
+    pub cache_capacity: usize,
+    /// Directory for the persistent result-cache store. `None` keeps
+    /// the cache purely in memory.
+    pub cache_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +141,8 @@ impl Default for ServeConfig {
             jobs: crate::perf::parallel::available_jobs(),
             workers: 2,
             queue_depth: 16,
+            cache_capacity: 128,
+            cache_dir: None,
         }
     }
 }
@@ -134,6 +160,7 @@ struct CompileRequest {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Request {
     Ping,
+    Stats,
     Shutdown,
     Compile(CompileRequest),
 }
@@ -143,6 +170,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
     let mut words = line.split_whitespace();
     match words.next() {
         Some("ping") => Ok(Request::Ping),
+        Some("stats") => Ok(Request::Stats),
         Some("shutdown") => Ok(Request::Shutdown),
         Some("compile") => {
             let Some(model) = words.next() else {
@@ -179,7 +207,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Compile(req))
         }
         Some(other) => Err(format!(
-            "unknown verb '{other}' (want ping|shutdown|compile)"
+            "unknown verb '{other}' (want ping|stats|shutdown|compile)"
         )),
         None => Err("empty request".to_owned()),
     }
@@ -213,14 +241,23 @@ struct WorkerState {
     session: Session,
     pool: Option<Arc<WorkerPool>>,
     default_jobs: usize,
+    cache: Arc<ResultCache>,
+    /// Request determinants → content hash. The zoo builders are pure,
+    /// so the canonical graph/ruleset bytes — and therefore the cache
+    /// key — are a function of (model, config, policy, jobs); once a
+    /// worker has hashed a request's content it never rebuilds the
+    /// graph just to rediscover the same key.
+    key_memo: HashMap<(String, LibraryConfig, &'static str, usize), CacheKey>,
 }
 
 impl WorkerState {
-    fn new(default_jobs: usize) -> Self {
+    fn new(default_jobs: usize, cache: Arc<ResultCache>) -> Self {
         WorkerState {
             session: Session::new(),
             pool: None,
             default_jobs,
+            cache,
+            key_memo: HashMap::new(),
         }
     }
 
@@ -240,6 +277,22 @@ impl WorkerState {
     /// `pypm.pipeline.v1` JSON.
     fn compile(&mut self, req: &CompileRequest) -> Result<String, (u8, String)> {
         let jobs = req.jobs.unwrap_or(self.default_jobs).max(1);
+        // Repeat requests skip the build entirely: the memo maps the
+        // request determinants to the content hash this worker already
+        // computed, so a warm hit costs one LRU probe and never touches
+        // the graph builder. A memoized *miss* (the entry was evicted)
+        // falls through to recompile without probing again — the
+        // recomputed key is the same hash of the same bytes.
+        let memo = (req.model.clone(), req.config, req.policy.name(), jobs);
+        let mut probed = false;
+        if self.cache.is_enabled() {
+            if let Some(key) = self.key_memo.get(&memo) {
+                if let Some(report) = self.cache.get(*key) {
+                    return Ok(report);
+                }
+                probed = true;
+            }
+        }
         let Some(mut graph) = crate::build_model(&mut self.session, &req.model) else {
             return Err((
                 STATUS_UNKNOWN_MODEL,
@@ -247,6 +300,28 @@ impl WorkerState {
             ));
         };
         let rules = self.session.load_library_cached(req.config);
+        // Content-address the request: the canonical graph bytes plus
+        // everything else that shapes the report. Jobs is in the key
+        // because it changes the machine-step/backtrack counters.
+        let key = self.cache.is_enabled().then(|| {
+            let key = CacheKey::of(&[
+                b"pypm.serve.compile.v1",
+                &self.session.wire_graph(&graph),
+                &crate::wire::encode_ruleset(&rules, &self.session.syms, &self.session.pats),
+                format!("{:?}", req.config).as_bytes(),
+                req.policy.name().as_bytes(),
+                &(jobs as u64).to_le_bytes(),
+            ]);
+            self.key_memo.insert(memo, key);
+            key
+        });
+        if let Some(key) = key {
+            if !probed {
+                if let Some(report) = self.cache.get(key) {
+                    return Ok(report);
+                }
+            }
+        }
         // Serial requests never touch a pool (the `--jobs 1`
         // contract); parallel ones share this worker's warm one.
         let pool = (jobs > 1).then(|| self.pool(jobs));
@@ -261,7 +336,11 @@ impl WorkerState {
         let reports = pipeline
             .run_batch(std::slice::from_mut(&mut graph))
             .map_err(|e| (STATUS_ERROR, format!("rewrite pass failed: {e}")))?;
-        Ok(reports[0].to_json())
+        let report = reports[0].to_json();
+        if let Some(key) = key {
+            self.cache.put(key, &report);
+        }
+        Ok(report)
     }
 }
 
@@ -269,8 +348,8 @@ impl WorkerState {
 /// until poisoned. A panicking handler is caught and reported as
 /// [`STATUS_ERROR`]; the session is rebuilt before the next job so one
 /// poisoned request can never corrupt later ones.
-fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize) {
-    let mut state = WorkerState::new(default_jobs);
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize, cache: Arc<ResultCache>) {
+    let mut state = WorkerState::new(default_jobs, cache);
     loop {
         // Hold the lock only for the dequeue, never during a compile.
         let job = match rx.lock() {
@@ -284,7 +363,7 @@ fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize) {
                     Ok(Ok(json)) => (STATUS_OK, json),
                     Ok(Err(err)) => err,
                     Err(_) => {
-                        state = WorkerState::new(default_jobs);
+                        state = WorkerState::new(default_jobs, Arc::clone(&state.cache));
                         (
                             STATUS_ERROR,
                             "request handler panicked; session rebuilt".to_owned(),
@@ -305,6 +384,7 @@ struct Shared {
     queue: SyncSender<Job>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+    cache: Arc<ResultCache>,
 }
 
 impl Shared {
@@ -339,16 +419,22 @@ impl Server {
         let addr = listener.local_addr()?;
         let (queue, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
+        let cache = Arc::new(match &config.cache_dir {
+            Some(dir) => ResultCache::persistent(config.cache_capacity, dir)?,
+            None => ResultCache::in_memory(config.cache_capacity),
+        });
         let shared = Arc::new(Shared {
             queue,
             shutting_down: AtomicBool::new(false),
             addr,
+            cache: Arc::clone(&cache),
         });
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let jobs = config.jobs.max(1);
-                std::thread::spawn(move || worker_loop(rx, jobs))
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || worker_loop(rx, jobs, cache))
             })
             .collect();
         let accept = {
@@ -397,6 +483,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, worker_count: usize) 
             break;
         }
         let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
         let shared = Arc::clone(&shared);
         // Detached on purpose: an idle connection must not block the
         // drain. Its compiles are either already queued (they finish)
@@ -430,9 +517,20 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Ok(text) => match parse_request(text) {
                 Err(e) => (STATUS_BAD_REQUEST, e),
                 Ok(Request::Ping) => (STATUS_OK, "pong".to_owned()),
+                Ok(Request::Stats) => (
+                    STATUS_OK,
+                    format!(
+                        "{{\"schema\": \"pypm.serve.stats.v1\", \"cache\": {}}}",
+                        shared.cache.stats_json()
+                    ),
+                ),
                 Ok(Request::Shutdown) => {
-                    shared.initiate_shutdown();
+                    // Acknowledge *before* starting the drain: once the
+                    // drain finishes the process may exit, and exit
+                    // kills this detached thread — possibly before a
+                    // post-drain write ever reaches the socket.
                     let _ = write_response(&mut stream, STATUS_OK, b"draining");
+                    shared.initiate_shutdown();
                     return;
                 }
                 Ok(Request::Compile(req)) => serve_compile(shared, req),
@@ -509,11 +607,15 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
     Ok(Some(payload))
 }
 
-/// Writes one `status + u32 length + payload` response frame.
+/// Writes one `status + u32 length + payload` response frame as a
+/// single buffered write: three small writes would interact with
+/// Nagle's algorithm and delayed ACKs to add ~40 ms per response.
 fn write_response(stream: &mut TcpStream, status: u8, payload: &[u8]) -> io::Result<()> {
-    stream.write_all(&[status])?;
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload)?;
+    let mut frame = Vec::with_capacity(5 + payload.len());
+    frame.push(status);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
     stream.flush()
 }
 
@@ -532,9 +634,11 @@ impl Client {
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        // A request-response protocol with multi-segment frames: the
+        // tail segment of a large frame must not wait on a delayed ACK.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
     }
 
     /// Sends one request line and reads the `(status, payload)`
@@ -545,8 +649,12 @@ impl Client {
     /// Fails when the transport drops or the server answers with a
     /// malformed frame.
     pub fn request(&mut self, line: &str) -> io::Result<(u8, String)> {
-        self.stream.write_all(&(line.len() as u32).to_le_bytes())?;
-        self.stream.write_all(line.as_bytes())?;
+        // One buffered write per request frame — split writes would
+        // stall on Nagle + delayed ACK (~40 ms each).
+        let mut frame = Vec::with_capacity(4 + line.len());
+        frame.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        frame.extend_from_slice(line.as_bytes());
+        self.stream.write_all(&frame)?;
         self.stream.flush()?;
         let mut status = [0u8; 1];
         self.stream.read_exact(&mut status)?;
@@ -601,6 +709,7 @@ mod tests {
     #[test]
     fn request_grammar_parses_the_documented_forms() {
         assert_eq!(parse_request("ping"), Ok(Request::Ping));
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
         assert_eq!(parse_request("shutdown"), Ok(Request::Shutdown));
         assert_eq!(
             parse_request("compile bert-tiny"),

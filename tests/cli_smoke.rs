@@ -394,6 +394,72 @@ fn serve_rejects_bad_flags_and_values() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     let out = pypmc(&["serve", "--queue", "lots"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = pypmc(&["serve", "--cache", "many"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = pypmc(&["serve", "--cache-dir"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value for --cache-dir"));
+}
+
+#[test]
+fn dump_and_load_roundtrip_a_model() {
+    let dir = std::env::temp_dir().join(format!("pypmc_dump_load_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bert-tiny.pypmw");
+    let path_s = path.to_str().unwrap();
+
+    let out = pypmc(&["dump", "bert-tiny", "--config", "all", "-o", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("wrote"), "{}", stdout(&out));
+    let bytes = std::fs::read(&path).unwrap();
+    assert_eq!(&bytes[..8], b"PYPMWIRE", "container magic leads the file");
+
+    let out = pypmc(&["load", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("nodes"), "{text}");
+    assert!(
+        text.contains("re-encodes byte-identically"),
+        "dump output must be canonical: {text}"
+    );
+
+    // Corrupt one payload byte: load must fail cleanly, not panic.
+    let mut mangled = bytes.clone();
+    let last = mangled.len() - 1;
+    mangled[last] ^= 0x10;
+    std::fs::write(&path, &mangled).unwrap();
+    let out = pypmc(&["load", path_s]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot decode"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_reads_a_legacy_binary_library() {
+    let dir = std::env::temp_dir().join(format!("pypmc_load_legacy_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("library.pypmb");
+    let path_s = path.to_str().unwrap();
+    let out = pypmc(&["library", "--format", "binary", "-o", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    let out = pypmc(&["load", path_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("rules"), "{}", stdout(&out));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn dump_rejects_unknown_model_and_config() {
+    let out = pypmc(&["dump", "no-such-model"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = pypmc(&["dump", "bert-tiny", "--config", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = pypmc(&["load", "/no/such/file.pypmw"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
 
 #[test]

@@ -1,0 +1,268 @@
+//! The result-cache correctness story: a cache hit must be
+//! **byte-identical** to the cold compile it replays — for every zoo
+//! model, every sweep policy, serial and parallel — the cache must
+//! key on everything that shapes the counters (jobs included), must
+//! survive a server restart via `--cache-dir`, and must stay invisible
+//! when disabled.
+
+use pypm::serve::{Client, ServeConfig, Server, STATUS_OK};
+use std::process::Command;
+
+/// Masks `wall_ms`, `duration_ms`, `warm_wall_ms` and
+/// `pool_spawn_reuse` values — the same masking as
+/// `tests/serve_equivalence.rs`.
+fn mask_volatile(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some((field, pos)) = find_volatile(rest) {
+        let value_start = pos + field.len();
+        out.push_str(&rest[..value_start]);
+        out.push('_');
+        let tail = &rest[value_start..];
+        let value_len = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        rest = &tail[value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn find_volatile(s: &str) -> Option<(&'static str, usize)> {
+    [
+        "\"wall_ms\": ",
+        "\"duration_ms\": ",
+        "\"warm_wall_ms\": ",
+        "\"pool_spawn_reuse\": ",
+    ]
+    .into_iter()
+    .filter_map(|f| s.find(f).map(|p| (f, p)))
+    .min_by_key(|&(_, p)| p)
+}
+
+fn compile_ok(client: &mut Client, model: &str, policy: &str, jobs: usize) -> String {
+    let (status, body) = client
+        .request(&format!("compile {model} policy={policy} jobs={jobs}"))
+        .unwrap();
+    assert_eq!(status, STATUS_OK, "{model}/{policy}/jobs={jobs}: {body}");
+    body
+}
+
+/// The cache `stats` block as served by the `stats` verb.
+fn stats_json(client: &mut Client) -> String {
+    let (status, body) = client.request("stats").unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    assert!(
+        body.contains("\"schema\": \"pypm.serve.stats.v1\""),
+        "{body}"
+    );
+    body
+}
+
+/// Pulls one integer counter out of the stats document.
+fn counter(stats: &str, name: &str) -> u64 {
+    let key = format!("\"{name}\": ");
+    let at = stats
+        .find(&key)
+        .unwrap_or_else(|| panic!("{name} in {stats}"));
+    let tail = &stats[at + key.len()..];
+    let end = tail.find([',', '}']).unwrap();
+    tail[..end].trim().parse().unwrap()
+}
+
+/// Every zoo model × every sweep policy × serial and parallel jobs:
+/// the second identical request is a cache hit and its response is
+/// **byte-identical** to the cold compile's — not just masked-equal;
+/// the cached report is the cold report, verbatim.
+#[test]
+fn cache_hits_are_byte_identical_across_the_zoo_policies_and_jobs() {
+    let server = Server::bind(ServeConfig {
+        jobs: 4,
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let names: Vec<String> = pypm::models::hf_zoo()
+        .iter()
+        .map(|c| c.name.to_owned())
+        .chain(pypm::models::tv_zoo().iter().map(|c| c.name.to_owned()))
+        .collect();
+    let mut expected_hits = 0;
+    for name in &names {
+        for policy in ["restart", "continue", "incremental"] {
+            for jobs in [1, 4] {
+                let cold = compile_ok(&mut client, name, policy, jobs);
+                let hit = compile_ok(&mut client, name, policy, jobs);
+                assert_eq!(
+                    hit, cold,
+                    "{name}/{policy}/jobs={jobs}: cache hit diverged from the cold compile"
+                );
+                expected_hits += 1;
+            }
+        }
+    }
+    let stats = stats_json(&mut client);
+    // Every immediate repeat hits; the key is *content*-addressed, so
+    // zoo models that build byte-identical graphs share an entry and
+    // some cold compiles hit another model's cached report too (the
+    // reports are identical by construction — same bytes, same key).
+    let hits = counter(&stats, "hits");
+    let misses = counter(&stats, "misses");
+    assert_eq!(hits + misses, expected_hits * 2, "{stats}");
+    assert!(hits >= expected_hits, "{stats}");
+    assert_eq!(counter(&stats, "stores"), misses, "{stats}");
+    server.shutdown();
+    server.join();
+}
+
+/// A cache hit also matches a cold `pypmc compile` run byte-for-byte
+/// after the standard volatile-field masking — the serve ≡ CLI
+/// equivalence contract extends to cached responses.
+#[test]
+fn cache_hits_match_the_cold_cli_after_masking() {
+    let server = Server::bind(ServeConfig {
+        jobs: 4,
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for (model, policy, jobs) in [("bert-small", "restart", 4), ("vgg16", "incremental", 1)] {
+        compile_ok(&mut client, model, policy, jobs); // prime: miss
+        let hit = compile_ok(&mut client, model, policy, jobs);
+
+        let dir = std::env::temp_dir().join(format!(
+            "pypmc_cache_eq_{model}_{policy}_{jobs}_{:?}",
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stats.json");
+        let out = Command::new(env!("CARGO_BIN_EXE_pypmc"))
+            .args([
+                "compile",
+                model,
+                "--sweep-policy",
+                policy,
+                "--jobs",
+                &jobs.to_string(),
+                "--stats-json",
+                path.to_str().unwrap(),
+            ])
+            .env_remove("PYPM_JOBS")
+            .output()
+            .expect("failed to spawn pypmc");
+        assert!(out.status.success(), "{model}: {out:?}");
+        let cli = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(
+            mask_volatile(&hit),
+            mask_volatile(&cli),
+            "{model}/{policy}/jobs={jobs}: cached response diverged from the cold CLI"
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+/// Jobs is part of the cache key: the same model and policy at a
+/// different job count has different machine-step counters and must
+/// *miss*, not replay the wrong report.
+#[test]
+fn different_job_counts_never_share_a_cache_entry() {
+    let server = Server::bind(ServeConfig {
+        jobs: 4,
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    compile_ok(&mut client, "bert-tiny", "restart", 1);
+    compile_ok(&mut client, "bert-tiny", "restart", 4);
+    let stats = stats_json(&mut client);
+    assert_eq!(counter(&stats, "hits"), 0, "{stats}");
+    assert_eq!(counter(&stats, "misses"), 2, "{stats}");
+    server.shutdown();
+    server.join();
+}
+
+/// `--cache-dir` persistence: a second server over the same directory
+/// answers the very first repeat request from disk, byte-identical to
+/// the first server's cold compile.
+#[test]
+fn cache_dir_persists_across_server_restart() {
+    let dir = std::env::temp_dir().join(format!(
+        "pypmc_cache_restart_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap().to_owned();
+
+    let first = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        cache_dir: Some(dir_s.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(first.addr()).unwrap();
+    let cold = compile_ok(&mut client, "bert-tiny", "incremental", 2);
+    let stats = stats_json(&mut client);
+    assert_eq!(counter(&stats, "stores"), 1, "{stats}");
+    drop(client);
+    first.shutdown();
+    first.join();
+
+    // A restarted server — fresh memory, same directory.
+    let second = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        cache_dir: Some(dir_s),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(second.addr()).unwrap();
+    let warm = compile_ok(&mut client, "bert-tiny", "incremental", 2);
+    assert_eq!(
+        warm, cold,
+        "the restarted server's disk hit diverged from the original cold compile"
+    );
+    let stats = stats_json(&mut client);
+    assert_eq!(counter(&stats, "hits"), 1, "{stats}");
+    assert_eq!(counter(&stats, "disk_hits"), 1, "{stats}");
+    assert_eq!(counter(&stats, "misses"), 0, "{stats}");
+    assert!(stats.contains("\"persistent\": true"), "{stats}");
+    second.shutdown();
+    second.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--cache 0` (no directory) disables the cache: repeats recompile —
+/// still masked-equal, but nothing is counted or stored.
+#[test]
+fn a_disabled_cache_recompiles_and_counts_nothing() {
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let a = compile_ok(&mut client, "bert-tiny", "restart", 2);
+    let b = compile_ok(&mut client, "bert-tiny", "restart", 2);
+    assert_eq!(mask_volatile(&a), mask_volatile(&b));
+    let stats = stats_json(&mut client);
+    assert_eq!(counter(&stats, "hits"), 0, "{stats}");
+    assert_eq!(counter(&stats, "misses"), 0, "{stats}");
+    assert_eq!(counter(&stats, "stores"), 0, "{stats}");
+    assert!(stats.contains("\"last_key\": null"), "{stats}");
+    server.shutdown();
+    server.join();
+}
