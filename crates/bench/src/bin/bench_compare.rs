@@ -5,9 +5,9 @@
 //! ```
 //!
 //! Compares two `BENCH_rewrite_pass.json` documents (schema
-//! `pypm.bench.rewrite_pass.v4`, row-compatible with v3, v2 and v1) and
-//! exits non-zero when the current run regressed against the checked-in
-//! baseline:
+//! `pypm.bench.rewrite_pass.v5`, row-compatible with v4, v3, v2 and
+//! v1) and exits non-zero when the current run regressed against the
+//! checked-in baseline:
 //!
 //! * **Counter drift fails, always.** `mean_match_attempts`,
 //!   `mean_matches_found` and `mean_rewrites_fired` are deterministic
@@ -33,6 +33,16 @@
 //!   the current document means the bench silently stopped measuring
 //!   something.
 //!
+//! * **Fused-matcher scaling regressions fail.** Within the *current*
+//!   document's v5 `rules_scaling` section, the matcher backends must
+//!   agree exactly on the semantic counters (the fused matcher's
+//!   admission-soundness contract), and at ≥4× rules (`synth >= 39`)
+//!   the fused backend must admit at least 3× fewer match probes per
+//!   node than per-pattern, with its wall-clock no worse than
+//!   per-pattern's beyond the tolerance. Scaling cells also compare
+//!   against the baseline like ordinary rows (as `rules:<config>`
+//!   series keyed by backend).
+//!
 //! New rows/policies/jobs in the current document are reported but pass
 //! (the trajectory is allowed to grow).
 
@@ -48,9 +58,21 @@ const EXACT_COUNTERS: [&str; 3] = [
 ];
 
 /// Deterministic counters newer schemas added (v4:
-/// `mean_nodes_reindexed`). Compared exactly whenever both documents
-/// carry them; absent from older baselines without failing the gate.
-const OPTIONAL_EXACT_COUNTERS: [&str; 1] = ["mean_nodes_reindexed"];
+/// `mean_nodes_reindexed`; v5 scaling cells: machine steps, admitted
+/// probes and the probes/node ratio). Compared exactly whenever both
+/// documents carry them; absent from older baselines without failing
+/// the gate.
+const OPTIONAL_EXACT_COUNTERS: [&str; 4] = [
+    "mean_nodes_reindexed",
+    "mean_machine_steps",
+    "mean_pairs_admitted",
+    "probes_per_node",
+];
+
+/// The synth level from which the sublinearity bar applies (4× the base
+/// rule count) and the required probes/node advantage.
+const SUBLINEAR_FROM_SYNTH: f64 = 39.0;
+const SUBLINEAR_FACTOR: f64 = 3.0;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +113,17 @@ impl Series {
 /// (model, config) → policy name → series.
 type Table = BTreeMap<(String, String), BTreeMap<String, Series>>;
 
+/// One v5 `rules_scaling` row, kept in structured form for the
+/// intra-document sublinearity gate (its cells also land in the
+/// [`Table`] as `rules:<config>` rows for the ordinary drift gates).
+#[derive(Debug, Clone)]
+struct ScalingRow {
+    model: String,
+    config: String,
+    synth: f64,
+    backends: BTreeMap<String, Series>,
+}
+
 fn run(args: &[String]) -> Result<String, Vec<String>> {
     let usage = "usage: bench_compare <baseline.json> <current.json> [--wall-tolerance F]";
     let mut paths = Vec::new();
@@ -111,11 +144,64 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
     if paths.len() != 2 {
         return Err(vec![usage.to_owned()]);
     }
-    let baseline = load_table(&paths[0]).map_err(|e| vec![e])?;
-    let current = load_table(&paths[1]).map_err(|e| vec![e])?;
+    let (baseline, _) = load_table(&paths[0]).map_err(|e| vec![e])?;
+    let (current, cur_scaling) = load_table(&paths[1]).map_err(|e| vec![e])?;
 
     let mut failures = Vec::new();
     let mut lines = Vec::new();
+    // Intra-document gate: the fused matcher's scaling contract,
+    // checked on every gate run. Admission must be sound (semantic
+    // counters agree between backends), and past 4x rules it must pay
+    // off (>=3x fewer probes/node than per-pattern, wall no worse).
+    for row in &cur_scaling {
+        let (Some(per), Some(fused)) = (row.backends.get("per-pattern"), row.backends.get("fused"))
+        else {
+            failures.push(format!(
+                "{}/rules:{}: scaling row is missing a matcher backend series",
+                row.model, row.config
+            ));
+            continue;
+        };
+        for name in EXACT_COUNTERS {
+            let (p, f) = (per.counter(name), fused.counter(name));
+            if p != f {
+                failures.push(format!(
+                    "{}/rules:{}: {name} differs between matcher backends \
+                     ({p:?} vs {f:?}) — fused admission dropped a live probe",
+                    row.model, row.config
+                ));
+            }
+        }
+        if row.synth < SUBLINEAR_FROM_SYNTH {
+            continue;
+        }
+        match (
+            per.counter("probes_per_node"),
+            fused.counter("probes_per_node"),
+        ) {
+            (Some(p), Some(f)) if f * SUBLINEAR_FACTOR > p => failures.push(format!(
+                "{}/rules:{}: fused probes/node {f:.3} is not {SUBLINEAR_FACTOR}x below \
+                 per-pattern's {p:.3} — the fused matcher stopped being sublinear in rule count",
+                row.model, row.config
+            )),
+            (None, _) | (_, None) => failures.push(format!(
+                "{}/rules:{}: scaling row lacks probes_per_node",
+                row.model, row.config
+            )),
+            _ => {}
+        }
+        let (per_wall, fused_wall) = (
+            per.min_wall_ms.unwrap_or(per.wall_ms),
+            fused.min_wall_ms.unwrap_or(fused.wall_ms),
+        );
+        if per_wall > 0.0 && fused_wall / per_wall > 1.0 + tolerance {
+            failures.push(format!(
+                "{}/rules:{}: fused wall {fused_wall:.3}ms exceeds per-pattern's \
+                 {per_wall:.3}ms beyond tolerance — fused lost its wall advantage at scale",
+                row.model, row.config
+            ));
+        }
+    }
     // Intra-document gate: a v3 per-jobs sub-series (`P@jobsN`) must
     // carry exactly the counters of its serial policy series `P` — the
     // parallel match phase's byte-identity contract.
@@ -225,7 +311,7 @@ fn run(args: &[String]) -> Result<String, Vec<String>> {
     }
 }
 
-fn load_table(path: &str) -> Result<Table, String> {
+fn load_table(path: &str) -> Result<(Table, Vec<ScalingRow>), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let schema = doc.get("schema").and_then(Value::as_str).unwrap_or("");
@@ -276,7 +362,44 @@ fn load_table(path: &str) -> Result<Table, String> {
         }
         table.insert((model, config), policies);
     }
-    Ok(table)
+    // v5: the `rules_scaling` section. Each row lands twice — in the
+    // structured list for the intra-document sublinearity gate, and in
+    // the table as a `rules:<config>` row (policy keys = backend names)
+    // so the ordinary drift/wall/coverage gates cover it too.
+    let mut scaling = Vec::new();
+    if let Some(Value::Array(rows)) = doc.get("rules_scaling") {
+        for row in rows {
+            let model = row
+                .get("model")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: scaling row without model"))?
+                .to_owned();
+            let config = row
+                .get("config")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path}: scaling row without config"))?
+                .to_owned();
+            let synth = row
+                .get("synth")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("{path}: scaling row without synth"))?;
+            let Some(Value::Object(map)) = row.get("backends") else {
+                return Err(format!("{path}: scaling row without backends"));
+            };
+            let mut backends = BTreeMap::new();
+            for (backend, series) in map {
+                backends.insert(backend.clone(), read_series(path, series)?);
+            }
+            table.insert((model.clone(), format!("rules:{config}")), backends.clone());
+            scaling.push(ScalingRow {
+                model,
+                config,
+                synth,
+                backends,
+            });
+        }
+    }
+    Ok((table, scaling))
 }
 
 fn read_series(path: &str, v: &Value) -> Result<Series, String> {
@@ -465,6 +588,127 @@ mod tests {
         assert!(err[0].contains("mean wall-clock regressed"), "{err:?}");
         std::fs::remove_file(a).ok();
         std::fs::remove_file(b).ok();
+    }
+
+    /// A v5 document: one ordinary row plus one `rules_scaling` row
+    /// with both matcher backends at the given synth level.
+    fn doc_with_scaling(
+        synth: f64,
+        fused_attempts: f64,
+        fused_probes: f64,
+        fused_wall: f64,
+    ) -> String {
+        let base = doc(1.0, 100.0).replace("]}", "],");
+        format!(
+            r#"{base} "rules_scaling": [
+                {{"model": "m", "config": "all+synth{synth}", "synth": {synth},
+                  "rule_patterns": 52, "runs": 2,
+                  "backends": {{
+                    "per-pattern": {{"mean_wall_ms": 2.0, "min_wall_ms": 2.0,
+                      "mean_match_attempts": 100.0, "mean_matches_found": 2.0,
+                      "mean_rewrites_fired": 2.0, "mean_pairs_admitted": 100.0,
+                      "probes_per_node": 52.0}},
+                    "fused": {{"mean_wall_ms": {fused_wall}, "min_wall_ms": {fused_wall},
+                      "mean_match_attempts": {fused_attempts}, "mean_matches_found": 2.0,
+                      "mean_rewrites_fired": 2.0, "mean_pairs_admitted": 10.0,
+                      "probes_per_node": {fused_probes}}}}}}}]}}"#
+        )
+    }
+
+    #[test]
+    fn sublinear_scaling_passes_and_backend_counter_drift_fails() {
+        let good = doc_with_scaling(39.0, 100.0, 8.0, 1.0);
+        let a = write("scale_a", &good);
+        let b = write("scale_b", &good);
+        assert!(run(&[a.clone(), b.clone()]).is_ok());
+        // The fused backend dropping a live probe (match_attempts no
+        // longer agree) fails intra-document, even self-compared.
+        let broken = doc_with_scaling(39.0, 99.0, 8.0, 1.0);
+        let c = write("scale_c", &broken);
+        let err = run(&[c.clone(), c.clone()]).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|f| f.contains("mean_match_attempts differs between matcher backends")),
+            "{err:?}"
+        );
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+        std::fs::remove_file(c).ok();
+    }
+
+    #[test]
+    fn losing_the_probes_per_node_advantage_at_4x_rules_fails() {
+        // probes/node 20 vs per-pattern's 52: under the required 3x.
+        let flat = doc_with_scaling(39.0, 100.0, 20.0, 1.0);
+        let a = write("sub_a", &flat);
+        let err = run(&[a.clone(), a.clone()]).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|f| f.contains("stopped being sublinear in rule count")),
+            "{err:?}"
+        );
+        // The same ratio below the synth threshold is not gated.
+        let small = doc_with_scaling(13.0, 100.0, 20.0, 1.0);
+        let b = write("sub_b", &small);
+        assert!(run(&[b.clone(), b.clone()]).is_ok());
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+    }
+
+    #[test]
+    fn fused_wall_regression_at_scale_fails_intra_document() {
+        // Fused 3.0ms vs per-pattern 2.0ms: +50% is beyond the default
+        // +25% tolerance — fused lost its wall advantage.
+        let slow = doc_with_scaling(39.0, 100.0, 8.0, 3.0);
+        let a = write("fwall_a", &slow);
+        let err = run(&[a.clone(), a.clone()]).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|f| f.contains("lost its wall advantage at scale")),
+            "{err:?}"
+        );
+        // A wider tolerance accepts it.
+        assert!(run(&[
+            a.clone(),
+            a.clone(),
+            "--wall-tolerance".into(),
+            "0.6".into()
+        ])
+        .is_ok());
+        std::fs::remove_file(a).ok();
+    }
+
+    #[test]
+    fn scaling_cells_compare_against_the_baseline_as_rules_rows() {
+        // The fused series' admitted-probe count drifted since the
+        // baseline: caught by the ordinary exact-counter gate on the
+        // `rules:<config>` row (mean_pairs_admitted is optional-exact).
+        let a = write(
+            "sbase_a",
+            &doc_with_scaling(39.0, 100.0, 8.0, 1.0).replace(
+                r#""mean_pairs_admitted": 10.0"#,
+                r#""mean_pairs_admitted": 11.0"#,
+            ),
+        );
+        let b = write("sbase_b", &doc_with_scaling(39.0, 100.0, 8.0, 1.0));
+        let err = run(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(
+            err.iter().any(|f| {
+                f.contains("rules:all+synth39/fused") && f.contains("mean_pairs_admitted drifted")
+            }),
+            "{err:?}"
+        );
+        // Dropping the whole section is lost coverage.
+        let c = write("sbase_c", &doc(1.0, 100.0));
+        let err = run(&[b.clone(), c.clone()]).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|f| f.contains("rules:all+synth39") && f.contains("missing from current")),
+            "{err:?}"
+        );
+        std::fs::remove_file(a).ok();
+        std::fs::remove_file(b).ok();
+        std::fs::remove_file(c).ok();
     }
 
     #[test]

@@ -14,7 +14,8 @@
 
 use pypm_dsl::LibraryConfig;
 use pypm_engine::{
-    ParallelConfig, PassStats, Pipeline, PipelineReport, RewritePass, Session, SweepPolicy,
+    MatcherBackend, ParallelConfig, PassStats, Pipeline, PipelineReport, RewritePass, Session,
+    SweepPolicy,
 };
 use pypm_graph::Graph;
 use pypm_perf::pool::WorkerPool;
@@ -34,6 +35,19 @@ pub const POLICY_NAMES: [&str; 3] = ["restart", "continue", "incremental"];
 /// per-jobs sub-series). `1` is the serial reference; `4` exercises the
 /// sharded parallel match phase.
 pub const JOBS_SERIES: [usize; 2] = [1, 4];
+
+/// The synthetic-rule counts of the rules-count scaling series (schema
+/// v5): the `all` library carries 13 rule-bearing patterns, so the
+/// points are 1×, 2×, 4× and 16× the base rule count (the last one
+/// puts the library past 200 patterns). Each point compiles
+/// [`RULES_SCALING_MODEL`] once per matcher backend at `jobs = 1`
+/// under the restart policy.
+pub const SYNTH_SERIES: [u16; 4] = [0, 13, 39, 195];
+
+/// The model the rules-count scaling series measures — the acceptance
+/// model for the fused matcher (≥3× fewer match probes per node than
+/// per-pattern at 4× rules, with lower wall).
+pub const RULES_SCALING_MODEL: &str = "bert-small";
 
 /// Resolves a policy series name to the engine policy.
 pub fn policy(name: &str) -> SweepPolicy {
@@ -369,15 +383,162 @@ pub fn rewrite_pass_row(
     }
 }
 
+/// One matcher backend's aggregated numbers at one rules-count scaling
+/// point: means over `runs` serial restart-policy pipeline runs.
+#[derive(Debug, Clone)]
+pub struct MatcherSeries {
+    /// Backend series name (`MatcherBackend::name`).
+    pub backend: &'static str,
+    /// Mean pipeline wall-clock, ms.
+    pub mean_wall_ms: f64,
+    /// Minimum pipeline wall-clock across the runs, ms.
+    pub min_wall_ms: f64,
+    /// Mean pattern match attempts — backend-invariant: the fused
+    /// matcher only skips probes that were guaranteed machine failures,
+    /// and attempts are counted before admission.
+    pub mean_match_attempts: f64,
+    /// Mean successful matches (backend-invariant).
+    pub mean_matches_found: f64,
+    /// Mean rewrites fired (backend-invariant).
+    pub mean_rewrites_fired: f64,
+    /// Mean abstract-machine steps — this is what admission filtering
+    /// shrinks.
+    pub mean_machine_steps: f64,
+    /// Mean `(pattern, node)` pairs the backend admitted to a machine
+    /// run.
+    pub mean_pairs_admitted: f64,
+    /// Mean pairs rejected without a machine run.
+    pub mean_pairs_rejected: f64,
+    /// Mean distinct terms walked through the discrimination tree
+    /// (0 for per-pattern).
+    pub mean_terms_walked: f64,
+    /// Mean trie edges taken across those walks (0 for per-pattern).
+    pub mean_trie_steps: f64,
+    /// Match probes admitted per node visit: `mean_pairs_admitted /
+    /// (mean_match_attempts / rule_patterns)`. Per-pattern admits every
+    /// probe, so its value is exactly the rule-bearing pattern count;
+    /// the fused matcher's must stay sublinear in it.
+    pub probes_per_node: f64,
+}
+
+/// One point of the rules-count scaling series: one model compiled with
+/// `all+synthN` once per matcher backend, serial, restart policy.
+#[derive(Debug, Clone)]
+pub struct RulesScalingRow {
+    /// Model name.
+    pub model: String,
+    /// Library-configuration label (`all` or `all+synthN`).
+    pub config: String,
+    /// Synthetic rule count appended to the `all` library.
+    pub synth: u16,
+    /// Rule-bearing patterns in the loaded library at this point.
+    pub rule_patterns: usize,
+    /// Number of timed pipeline runs averaged per backend.
+    pub runs: usize,
+    /// Per-backend series in `MatcherBackend::ALL` order.
+    pub backends: Vec<MatcherSeries>,
+}
+
+/// Runs the serial restart-policy pipeline `runs` times per matcher
+/// backend at one rules-count point and aggregates a
+/// [`RulesScalingRow`].
+pub fn rules_scaling_row(
+    model: &str,
+    synth: u16,
+    runs: usize,
+    build: impl Fn(&mut Session) -> Graph,
+) -> RulesScalingRow {
+    assert!(runs > 0, "need at least one run");
+    let n = runs as f64;
+    let lib = LibraryConfig::all().with_synth(synth);
+    let mut rule_patterns = 0usize;
+    let mut backends = Vec::with_capacity(MatcherBackend::ALL.len());
+    for backend in MatcherBackend::ALL {
+        let mut wall_ms = 0.0;
+        let mut min_wall_ms = f64::INFINITY;
+        let mut totals = PassStats::default();
+        for _ in 0..runs {
+            let mut session = Session::new();
+            let mut graph = build(&mut session);
+            let rules = session.load_library(lib);
+            rule_patterns = rules.patterns.len();
+            let report = Pipeline::new(&mut session)
+                .with(RewritePass::new(rules).matcher(backend))
+                .run(&mut graph)
+                .expect("rewrite pass succeeds");
+            let total = report.total();
+            let run_ms = total.duration.as_secs_f64() * 1e3;
+            wall_ms += run_ms;
+            min_wall_ms = min_wall_ms.min(run_ms);
+            totals.match_attempts += total.match_attempts;
+            totals.matches_found += total.matches_found;
+            totals.rewrites_fired += total.rewrites_fired;
+            totals.machine_steps += total.machine_steps;
+            totals.matcher.pairs_admitted += total.matcher.pairs_admitted;
+            totals.matcher.pairs_rejected += total.matcher.pairs_rejected;
+            totals.matcher.terms_walked += total.matcher.terms_walked;
+            totals.matcher.trie_steps += total.matcher.trie_steps;
+        }
+        let mean_match_attempts = totals.match_attempts as f64 / n;
+        let mean_pairs_admitted = totals.matcher.pairs_admitted as f64 / n;
+        // attempts / patterns = node visits, exactly: the consume loop
+        // counts one attempt per (node, pattern) pair before admission.
+        let node_visits = mean_match_attempts / rule_patterns.max(1) as f64;
+        backends.push(MatcherSeries {
+            backend: backend.name(),
+            mean_wall_ms: wall_ms / n,
+            min_wall_ms,
+            mean_match_attempts,
+            mean_matches_found: totals.matches_found as f64 / n,
+            mean_rewrites_fired: totals.rewrites_fired as f64 / n,
+            mean_machine_steps: totals.machine_steps as f64 / n,
+            mean_pairs_admitted,
+            mean_pairs_rejected: totals.matcher.pairs_rejected as f64 / n,
+            mean_terms_walked: totals.matcher.terms_walked as f64 / n,
+            mean_trie_steps: totals.matcher.trie_steps as f64 / n,
+            probes_per_node: if node_visits > 0.0 {
+                mean_pairs_admitted / node_visits
+            } else {
+                0.0
+            },
+        });
+    }
+    RulesScalingRow {
+        model: model.to_owned(),
+        config: if synth == 0 {
+            "all".to_owned()
+        } else {
+            format!("all+synth{synth}")
+        },
+        synth,
+        rule_patterns,
+        runs,
+        backends,
+    }
+}
+
+/// The rules-count scaling series the trajectory tracks: bert-small at
+/// every [`SYNTH_SERIES`] point.
+pub fn rules_scaling_rows(runs: usize) -> Vec<RulesScalingRow> {
+    let cfg = pypm_models::hf_zoo()
+        .into_iter()
+        .find(|m| m.name == RULES_SCALING_MODEL)
+        .expect("hf zoo model");
+    SYNTH_SERIES
+        .into_iter()
+        .map(|synth| rules_scaling_row(RULES_SCALING_MODEL, synth, runs, |s| cfg.build(s)))
+        .collect()
+}
+
 /// Renders the `BENCH_rewrite_pass.json` document (schema
-/// `pypm.bench.rewrite_pass.v4` — v3 plus `mean_nodes_reindexed` in
-/// every policy series, measured against a warm per-cell worker pool;
-/// the policy-level `mean_*` fields still carry the serial numbers and
-/// the top-level `mean_*` fields the restart series, so v1/v2/v3
-/// consumers keep reading the paper-faithful values) from aggregated
-/// rows.
-pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
-    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v4\",\n  \"rows\": [");
+/// `pypm.bench.rewrite_pass.v5` — v4 plus the top-level
+/// `rules_scaling` section: per-matcher-backend probe/wall series at
+/// growing rule counts; the policy-level `mean_*` fields still carry
+/// the serial numbers and the top-level `mean_*` fields the restart
+/// series, so v1–v4 consumers keep reading the paper-faithful values)
+/// from aggregated rows.
+pub fn rows_to_json(rows: &[PassBenchRow], scaling: &[RulesScalingRow]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"pypm.bench.rewrite_pass.v5\",\n  \"rows\": [");
     for (i, row) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -444,6 +605,48 @@ pub fn rows_to_json(rows: &[PassBenchRow]) -> String {
             row.last_report_json.trim_end(),
         ));
     }
+    out.push_str("\n  ],\n  \"rules_scaling\": [");
+    for (i, row) in scaling.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "\n    {{\"model\": \"{}\", \"config\": \"{}\", \"synth\": {}, \
+             \"rule_patterns\": {}, \"runs\": {}, \"backends\": {{",
+            esc(&row.model),
+            esc(&row.config),
+            row.synth,
+            row.rule_patterns,
+            row.runs,
+        ));
+        for (j, b) in row.backends.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"mean_wall_ms\": {:.6}, \"min_wall_ms\": {:.6}, \
+                 \"mean_match_attempts\": {:.1}, \"mean_matches_found\": {:.1}, \
+                 \"mean_rewrites_fired\": {:.1}, \"mean_machine_steps\": {:.1}, \
+                 \"mean_pairs_admitted\": {:.1}, \"mean_pairs_rejected\": {:.1}, \
+                 \"mean_terms_walked\": {:.1}, \"mean_trie_steps\": {:.1}, \
+                 \"probes_per_node\": {:.3}}}",
+                esc(b.backend),
+                b.mean_wall_ms,
+                b.min_wall_ms,
+                b.mean_match_attempts,
+                b.mean_matches_found,
+                b.mean_rewrites_fired,
+                b.mean_machine_steps,
+                b.mean_pairs_admitted,
+                b.mean_pairs_rejected,
+                b.mean_terms_walked,
+                b.mean_trie_steps,
+                b.probes_per_node,
+            ));
+        }
+        out.push_str("}}");
+    }
     out.push_str("\n  ]\n}\n");
     out
 }
@@ -502,7 +705,11 @@ pub fn emit_rewrite_pass_json() -> std::io::Result<String> {
     // enough for the ±25% band while keeping the whole emit in the
     // seconds range.
     let rows = rewrite_pass_rows(48);
-    std::fs::write(path, rows_to_json(&rows))?;
+    // The scaling series runs the heavy end (200+ patterns under the
+    // per-pattern ablation) — 16 runs keeps the whole emit bounded
+    // while min-of-16 still pins the deterministic best case.
+    let scaling = rules_scaling_rows(16);
+    std::fs::write(path, rows_to_json(&rows, &scaling))?;
     Ok(path.to_owned())
 }
 
@@ -621,8 +828,9 @@ mod tests {
                 );
             }
         }
-        let json = rows_to_json(std::slice::from_ref(&row));
-        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v4\""));
+        let scaling = rules_scaling_row("bert-tiny", 13, 1, |s| cfg.build(s));
+        let json = rows_to_json(std::slice::from_ref(&row), std::slice::from_ref(&scaling));
+        assert!(json.contains("\"schema\": \"pypm.bench.rewrite_pass.v5\""));
         assert!(json.contains("\"model\": \"bert-tiny\""));
         assert!(json.contains("\"policies\": {\"restart\""));
         assert!(json.contains("\"incremental\": {\"mean_wall_ms\""));
@@ -630,6 +838,11 @@ mod tests {
         assert!(json.contains("\"jobs\": {\"1\": {\"mean_wall_ms\""));
         assert!(json.contains("\"4\": {\"mean_wall_ms\""));
         assert!(json.contains("\"schema\": \"pypm.pipeline.v1\""));
+        assert!(json.contains("\"rules_scaling\": ["));
+        assert!(json.contains("\"config\": \"all+synth13\""));
+        assert!(json.contains("\"backends\": {\"per-pattern\": {"));
+        assert!(json.contains("\"fused\": {"));
+        assert!(json.contains("\"probes_per_node\""));
         for (open, close) in [('{', '}'), ('[', ']')] {
             assert_eq!(json.matches(open).count(), json.matches(close).count());
         }
@@ -638,7 +851,7 @@ mod tests {
         let doc = json::parse(&json).expect("bench JSON parses");
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
-            Some("pypm.bench.rewrite_pass.v4")
+            Some("pypm.bench.rewrite_pass.v5")
         );
         assert_eq!(
             doc.get("rows")
@@ -646,6 +859,49 @@ mod tests {
                 .map(Vec::len),
             Some(1)
         );
+        assert_eq!(
+            doc.get("rules_scaling")
+                .and_then(json::Value::as_array)
+                .map(Vec::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rules_scaling_rows_are_backend_invariant_and_sublinear() {
+        let cfg = pypm_models::hf_zoo()
+            .into_iter()
+            .find(|c| c.name == "bert-tiny")
+            .unwrap();
+        let row = rules_scaling_row("bert-tiny", 39, 1, |s| cfg.build(s));
+        assert_eq!(row.config, "all+synth39");
+        assert!(row.rule_patterns >= 52, "13 base + 39 synthetic");
+        assert_eq!(
+            row.backends.iter().map(|b| b.backend).collect::<Vec<_>>(),
+            ["per-pattern", "fused"]
+        );
+        let (per, fused) = (&row.backends[0], &row.backends[1]);
+        // The semantic counters are backend-invariant: admission only
+        // skips guaranteed machine failures.
+        assert_eq!(per.mean_match_attempts, fused.mean_match_attempts);
+        assert_eq!(per.mean_matches_found, fused.mean_matches_found);
+        assert_eq!(per.mean_rewrites_fired, fused.mean_rewrites_fired);
+        // What shrinks: admitted probes and machine steps.
+        assert!(fused.mean_machine_steps <= per.mean_machine_steps);
+        assert!(fused.mean_pairs_admitted < per.mean_pairs_admitted);
+        // Per-pattern serial admits everything: probes/node is exactly
+        // the pattern count; fused must be at least 3x below at 4x
+        // rules (the acceptance bar the CI gate enforces).
+        assert!((per.probes_per_node - row.rule_patterns as f64).abs() < 1e-9);
+        assert!(
+            fused.probes_per_node * 3.0 <= per.probes_per_node,
+            "fused {} vs per-pattern {}",
+            fused.probes_per_node,
+            per.probes_per_node
+        );
+        // The fused walk actually ran.
+        assert!(fused.mean_terms_walked > 0.0 && fused.mean_trie_steps > 0.0);
+        assert_eq!(per.mean_terms_walked, 0.0);
     }
 
     #[test]

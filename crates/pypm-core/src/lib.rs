@@ -66,6 +66,7 @@
 pub mod analysis;
 pub mod attr;
 pub mod declarative;
+pub mod fused;
 pub mod guard;
 pub mod machine;
 pub mod pattern;
@@ -75,6 +76,7 @@ pub mod term;
 pub mod testing;
 
 pub use attr::{AttrInterp, NoAttrs, StructuralAttrInterp, TableAttrInterp};
+pub use fused::FusedSet;
 pub use guard::{Expr, Guard, GuardValue};
 pub use machine::{Action, Machine, MachineError, MachineStats, Outcome, RuleName};
 pub use pattern::{Pattern, PatternError, PatternId, PatternStore, RootFilter};

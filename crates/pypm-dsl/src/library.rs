@@ -39,9 +39,21 @@ pub struct LibraryConfig {
     pub algebraic: bool,
     /// The Fig. 1 cuBLAS selection pattern.
     pub cublas: bool,
+    /// Number of auto-generated synthetic rules appended to the library
+    /// (0 disables them — the default everywhere). Each is a distinct
+    /// pointwise-over-GEMM variant guarded by an unsatisfiable rank
+    /// assertion, so loading them scales *matching* cost without ever
+    /// firing — the rules-count dimension of the bench suite (probes
+    /// per node vs ruleset size, per matcher backend). Capped at
+    /// [`LibraryConfig::MAX_SYNTH`].
+    pub synth: u16,
 }
 
 impl LibraryConfig {
+    /// The synthetic-rule generator enumerates pointwise wrappers over
+    /// a GEMM up to three levels deep: 8 × 8 × 8 distinct shapes.
+    pub const MAX_SYNTH: u16 = 512;
+
     /// Neither benchmark optimization (the paper's baseline compile).
     pub fn none() -> Self {
         LibraryConfig {
@@ -49,6 +61,16 @@ impl LibraryConfig {
             epilog: false,
             algebraic: false,
             cublas: false,
+            synth: 0,
+        }
+    }
+
+    /// This configuration with `n` synthetic scaling rules appended
+    /// (clamped to [`LibraryConfig::MAX_SYNTH`]).
+    pub fn with_synth(self, n: u16) -> Self {
+        LibraryConfig {
+            synth: n.min(Self::MAX_SYNTH),
+            ..self
         }
     }
 
@@ -84,6 +106,7 @@ impl LibraryConfig {
             epilog: true,
             algebraic: true,
             cublas: true,
+            ..Self::none()
         }
     }
 }
@@ -124,6 +147,14 @@ pub fn build_library(
     }
     if cfg.cublas {
         define_cublas(&mut fe, ops, tattrs);
+    }
+    if cfg.synth > 0 {
+        define_synthetic(
+            &mut fe,
+            ops,
+            tattrs,
+            cfg.synth.min(LibraryConfig::MAX_SYNTH),
+        );
     }
 
     let (syms, pats, rs) = fe.serialize().expect("library patterns validate");
@@ -472,6 +503,65 @@ fn define_algebraic(fe: &mut Frontend, ops: &StdOps, tattrs: &TensorAttrs) {
     });
 }
 
+/// The rules-count scaling dimension: `count` auto-generated variants
+/// of the epilog shape — pointwise wrappers over a GEMM, two or three
+/// levels deep (`u(v(MatMul(x, y)))`, then `w(u(v(MatMul(x, y))))`
+/// past the 64 two-level combinations), enumerated over the registry's
+/// unary pointwise menu. Each variant:
+///
+/// * is structurally distinct (the wrapper combination is unique per
+///   index), so the fused discrimination tree grows real branches —
+///   this is what takes a zoo library from a dozen rules to 200+;
+/// * shares its `MatMul` spine with the genuine epilog patterns, so
+///   prefix sharing in the tree is exercised, not just fan-out;
+/// * carries an unsatisfiable rank assertion (`rank(x) = 1_000_000+i`,
+///   also what makes equal-shaped variants distinct under pattern
+///   hash-consing), so it can never match: zoo firing sequences and
+///   `matches_found` are *unchanged* at any `synth` level, and the only
+///   thing that scales is discovery/probe cost — exactly the variable
+///   the rules-count bench series isolates;
+/// * still carries a rule, so the rewrite loop treats it as a live
+///   pattern and probes it at every candidate node.
+fn define_synthetic(fe: &mut Frontend, ops: &StdOps, tattrs: &TensorAttrs, count: u16) {
+    let pointwise = [
+        ops.relu,
+        ops.gelu,
+        ops.erf,
+        ops.exp,
+        ops.tanh,
+        ops.sigmoid,
+        ops.sqrt,
+        ops.neg,
+    ];
+    let rank = tattrs.rank;
+    let matmul = ops.matmul;
+    for i in 0..count as usize {
+        let name = format!("Synth{i:03}");
+        let u = pointwise[i % pointwise.len()];
+        let v = pointwise[(i / 8) % pointwise.len()];
+        let w = (i >= 64).then(|| pointwise[(i / 64) % pointwise.len()]);
+        let marker = 1_000_000 + i as i64;
+        fe.pattern(&name, move |p| {
+            let x = p.param("x");
+            let y = p.param("y");
+            p.assert_(p.attr(x, rank).eq(Expr::Const(marker)));
+            let px = p.v(x);
+            let py = p.v(y);
+            let mm = p.op(matmul, vec![px, py]);
+            let inner = p.op(v, vec![mm]);
+            let outer = p.op(u, vec![inner]);
+            match w {
+                Some(w) => p.op(w, vec![outer]),
+                None => outer,
+            }
+        });
+        let x = fe.syms.var("x");
+        fe.rule(&name, &format!("synth_rule{i:03}"), move |r| {
+            r.ret(Rhs::Var(x));
+        });
+    }
+}
+
 /// Re-exported for callers that need the variable handles of a library
 /// pattern's parameters.
 pub fn param(syms: &SymbolTable, def_params: &[Var], name: &str) -> Option<Var> {
@@ -552,6 +642,29 @@ mod tests {
         let (_syms, _pats, rs) = build(LibraryConfig::all());
         let def = rs.find("MMxyT").unwrap();
         assert_eq!(def.rules.len(), 2);
+    }
+
+    #[test]
+    fn synth_appends_distinct_never_matching_rules() {
+        let (_s, _p, base) = build(LibraryConfig::all());
+        let (syms, pats, rs) = build(LibraryConfig::all().with_synth(100));
+        assert_eq!(rs.len(), base.len() + 100);
+        let d0 = rs.find("Synth000").unwrap();
+        let d99 = rs.find("Synth099").unwrap();
+        assert_eq!(d0.rules.len(), 1);
+        assert_ne!(
+            d0.pattern, d99.pattern,
+            "hash-consing must keep variants distinct"
+        );
+        // Three-level variants appear past the 64 two-level combos.
+        assert!(
+            pats.display(&syms, d99.pattern).matches('(').count()
+                > pats.display(&syms, d0.pattern).matches('(').count(),
+            "deep variant should nest one level more"
+        );
+        // The cap clamps rather than panics.
+        let (_s, _p, capped) = build(LibraryConfig::all().with_synth(u16::MAX));
+        assert_eq!(capped.len(), base.len() + LibraryConfig::MAX_SYNTH as usize);
     }
 
     #[test]

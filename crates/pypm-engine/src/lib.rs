@@ -128,6 +128,7 @@
 #![forbid(unsafe_code)]
 
 pub mod explain;
+pub mod matcher;
 pub mod partition;
 pub mod pass;
 pub mod pipeline;
@@ -136,6 +137,7 @@ pub mod session;
 pub mod shard;
 
 pub use explain::{explain_at, ExplainObserver, Explanation};
+pub use matcher::{FusedMatcher, Matcher, MatcherBackend, MatcherStats, PerPatternMatcher};
 pub use partition::{Partition, PartitionPass};
 pub use pass::{
     Diagnostic, MatchRejected, Observer, Pass, PassError, PassOutcome, PassRecord, PipelineCx,

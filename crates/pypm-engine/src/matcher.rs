@@ -1,0 +1,365 @@
+//! The matcher seam: how the rewrite pass decides which `(node,
+//! pattern)` pairs deserve an abstract-machine run.
+//!
+//! The paper's cost model separates *candidate discovery* from *match
+//! confirmation*: confirmation is always the per-pattern abstract
+//! machine (its witnesses drive the rewrites and are what the
+//! metatheory is proved about), but discovery — deciding which pairs to
+//! even hand to the machine — is a pluggable index. This module defines
+//! that seam as the [`Matcher`] trait and ships both backends:
+//!
+//! * [`PerPatternMatcher`] — the historical path: no index in serial
+//!   mode (every pair goes to the machine), the per-pattern
+//!   [`RootFilter`] head check in parallel mode. Byte-for-byte the
+//!   engine's pre-seam behaviour.
+//! * [`FusedMatcher`] — the whole rule set compiled into one
+//!   [`FusedSet`] discrimination tree; each distinct term is walked
+//!   once (memoized across sweeps — hash-consing means a [`TermId`]'s
+//!   meaning never changes) and all candidate patterns fall out of that
+//!   single traversal.
+//!
+//! Everything *above* the seam is backend-agnostic and unchanged: the
+//! sharded warm phase, the probe cache, cross-sweep memoization and the
+//! canonical serial commit loop all consume admission verdicts without
+//! caring how they were computed. That is what makes the two backends
+//! interchangeable at the CLI (`pypmc compile --matcher …`).
+//!
+//! ## The contract
+//!
+//! [`Matcher::admits`] returning `false` must mean the machine run for
+//! that pair is a **guaranteed failure**. Under that contract every
+//! backend fires byte-identical rewrite sequences: the pass still
+//! iterates patterns in rule-set order at every node, `match_attempts`
+//! / `matches_found` / `rewrites_fired` are backend-independent, and
+//! only the machine-work counters (`machine_steps`,
+//! `machine_backtracks`) and the admission counters in [`MatcherStats`]
+//! vary — the same counter-shrinkage contract the sweep policies and
+//! the parallel root filter already document.
+//!
+//! ## When per-pattern still wins
+//!
+//! The fused tree pays an up-front build (once per pass) and a walk per
+//! distinct term. For tiny rule sets (a handful of patterns), for
+//! single-shot matching over small graphs, or for pattern sets that
+//! collapse to wildcards (every pattern variable-rooted), the tree
+//! admits nearly everything and the build is pure overhead — that is
+//! what `--matcher per-pattern` is for, and why the bench suite records
+//! both backends across the rules-count series.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pypm_core::{FusedSet, PatternId, PatternStore, RootFilter, Symbol, TermId, TermStore};
+
+/// Which candidate-discovery index the rewrite pass runs above the
+/// abstract machine. See the module docs for the trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatcherBackend {
+    /// Per-pattern probing: no index in serial mode, the
+    /// [`RootFilter`] head check in parallel mode. The engine's
+    /// historical behaviour, kept as the reference ablation point.
+    PerPattern,
+    /// One [`FusedSet`] discrimination tree over the whole rule set;
+    /// each distinct term is walked once and every pattern's verdict
+    /// falls out of that single traversal.
+    #[default]
+    Fused,
+}
+
+impl MatcherBackend {
+    /// Every backend, in ablation order (reference first).
+    pub const ALL: [MatcherBackend; 2] = [MatcherBackend::PerPattern, MatcherBackend::Fused];
+
+    /// The backend's stable command-line / JSON-series name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatcherBackend::PerPattern => "per-pattern",
+            MatcherBackend::Fused => "fused",
+        }
+    }
+
+    /// Parses a [`MatcherBackend::name`] back to the backend — the
+    /// single vocabulary shared by `pypmc compile --matcher`, the serve
+    /// protocol and the bench series.
+    pub fn parse(name: &str) -> Option<MatcherBackend> {
+        Self::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
+
+impl fmt::Display for MatcherBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Admission counters for one pass — the discovery-side cost metrics
+/// (the machine-side costs stay in the existing `machine_steps` /
+/// `machine_backtracks` counters).
+///
+/// The headline bench metric is **probes per node** =
+/// `pairs_admitted / nodes_visited`: how many machine runs each node
+/// visit costs. Per-pattern serial admission is total (probes/node =
+/// rule-bearing pattern count); the fused tree is what makes it
+/// sublinear in ruleset size.
+#[derive(Debug, Clone, Default)]
+pub struct MatcherStats {
+    /// [`MatcherBackend::name`] of the backend that ran (empty when no
+    /// pass ran).
+    pub backend: &'static str,
+    /// Distinct terms walked through the fused tree (memo misses).
+    /// Zero under [`MatcherBackend::PerPattern`].
+    pub terms_walked: u64,
+    /// Trie states expanded across all walks. Zero under
+    /// [`MatcherBackend::PerPattern`].
+    pub trie_steps: u64,
+    /// `(pattern, term)` pairs the index admitted to the machine on the
+    /// commit path — each is one machine probe (inline, or replayed
+    /// from the warm-phase cache).
+    pub pairs_admitted: u64,
+    /// Pairs rejected by the index on the commit path — guaranteed
+    /// machine failures resolved without machine work.
+    pub pairs_rejected: u64,
+}
+
+impl MatcherStats {
+    /// Folds another pass's counters into this one (backend: first
+    /// non-empty wins — a pipeline mixes backends only if configured
+    /// per-pass, and then the aggregate names the first).
+    pub fn absorb(&mut self, other: &MatcherStats) {
+        if self.backend.is_empty() {
+            self.backend = other.backend;
+        }
+        self.terms_walked += other.terms_walked;
+        self.trie_steps += other.trie_steps;
+        self.pairs_admitted += other.pairs_admitted;
+        self.pairs_rejected += other.pairs_rejected;
+    }
+}
+
+/// A candidate-discovery index over one rule set.
+///
+/// # Contract
+///
+/// [`Matcher::admits`] may return `false` **only** when running the
+/// abstract machine on `(pattern index, term)` is a guaranteed failure.
+/// `true` promises nothing — the machine is always the arbiter. Under
+/// this contract, backends are observationally equivalent: identical
+/// firing sequences, identical `match_attempts` / `matches_found` /
+/// `rewrites_fired`; only machine-work and admission counters differ.
+///
+/// Implementations may mutate themselves on query (memoization); the
+/// driver owns one matcher per pass, built after the rule set is fixed.
+/// Term keys never go stale because terms are hash-consed and rewrites
+/// give changed nodes fresh terms — the same property the probe cache
+/// relies on.
+pub trait Matcher: fmt::Debug + Send {
+    /// The backend this matcher implements.
+    fn backend(&self) -> MatcherBackend;
+
+    /// Whether the machine should run pattern `pi` against `t` (whose
+    /// head operator is `op`). Walk-side counters (`terms_walked`,
+    /// `trie_steps`) are recorded on `stats`; the *caller* accounts the
+    /// pair-level verdict, so a discovery phase and a commit phase can
+    /// share one matcher without double-counting pairs.
+    fn admits(
+        &mut self,
+        pi: usize,
+        t: TermId,
+        op: Symbol,
+        terms: &TermStore,
+        stats: &mut MatcherStats,
+    ) -> bool;
+}
+
+/// The historical per-pattern discovery path (see
+/// [`MatcherBackend::PerPattern`]).
+#[derive(Debug)]
+pub struct PerPatternMatcher {
+    /// Per-pattern root-operator indexes, aligned with the rule set.
+    /// Empty in serial mode: the pre-seam serial loop ran the machine
+    /// unconditionally, and the reference backend preserves that
+    /// behaviour (and its counters) exactly.
+    filters: Vec<RootFilter>,
+}
+
+impl PerPatternMatcher {
+    /// Builds the backend. `parallel` mirrors the pre-seam engine: root
+    /// filters exist (and reject) only when the parallel match phase is
+    /// on.
+    pub fn new(pats: &PatternStore, patterns: &[PatternId], parallel: bool) -> Self {
+        PerPatternMatcher {
+            filters: if parallel {
+                patterns.iter().map(|&p| pats.root_filter(p)).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+}
+
+impl Matcher for PerPatternMatcher {
+    fn backend(&self) -> MatcherBackend {
+        MatcherBackend::PerPattern
+    }
+
+    fn admits(
+        &mut self,
+        pi: usize,
+        _t: TermId,
+        op: Symbol,
+        _terms: &TermStore,
+        _stats: &mut MatcherStats,
+    ) -> bool {
+        match self.filters.get(pi) {
+            Some(f) => f.admits(op),
+            None => true,
+        }
+    }
+}
+
+/// The fused discrimination-tree backend (see [`MatcherBackend::Fused`]
+/// and [`FusedSet`]).
+#[derive(Debug)]
+pub struct FusedMatcher {
+    set: FusedSet,
+    /// Candidate sets per distinct term, memoized across nodes *and*
+    /// sweeps: hash-consed [`TermId`]s never change meaning, so a walk
+    /// is paid once per distinct subject term per pass.
+    memo: HashMap<TermId, Vec<u32>>,
+}
+
+impl FusedMatcher {
+    /// Compiles the rule set's patterns into one discrimination tree.
+    pub fn new(pats: &PatternStore, patterns: &[PatternId]) -> Self {
+        FusedMatcher {
+            set: FusedSet::build(pats, patterns),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The compiled tree (diagnostics: node counts, collapse counts).
+    pub fn set(&self) -> &FusedSet {
+        &self.set
+    }
+}
+
+impl Matcher for FusedMatcher {
+    fn backend(&self) -> MatcherBackend {
+        MatcherBackend::Fused
+    }
+
+    fn admits(
+        &mut self,
+        pi: usize,
+        t: TermId,
+        _op: Symbol,
+        terms: &TermStore,
+        stats: &mut MatcherStats,
+    ) -> bool {
+        if !self.memo.contains_key(&t) {
+            stats.terms_walked += 1;
+            let candidates = self.set.candidates(terms, t, &mut stats.trie_steps);
+            self.memo.insert(t, candidates);
+        }
+        self.memo[&t].binary_search(&(pi as u32)).is_ok()
+    }
+}
+
+/// Builds the configured backend over `patterns` (in rule-set order).
+pub fn build_matcher(
+    backend: MatcherBackend,
+    pats: &PatternStore,
+    patterns: &[PatternId],
+    parallel: bool,
+) -> Box<dyn Matcher> {
+    match backend {
+        MatcherBackend::PerPattern => Box::new(PerPatternMatcher::new(pats, patterns, parallel)),
+        MatcherBackend::Fused => Box::new(FusedMatcher::new(pats, patterns)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pypm_core::SymbolTable;
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in MatcherBackend::ALL {
+            assert_eq!(MatcherBackend::parse(b.name()), Some(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert_eq!(MatcherBackend::parse("bogus"), None);
+        assert_eq!(MatcherBackend::default(), MatcherBackend::Fused);
+    }
+
+    #[test]
+    fn per_pattern_serial_admits_everything() {
+        let mut syms = SymbolTable::new();
+        let f = syms.op("f", 1);
+        let g = syms.op("g", 1);
+        let x = syms.var("x");
+        let mut pats = PatternStore::new();
+        let px = pats.var(x);
+        let pf = pats.app(f, vec![px]);
+        let mut terms = TermStore::new();
+        let c = terms.app0(syms.op("c", 0));
+        let tg = terms.app(g, vec![c]);
+
+        let mut stats = MatcherStats::default();
+        let mut serial = PerPatternMatcher::new(&pats, &[pf], false);
+        assert!(serial.admits(0, tg, g, &terms, &mut stats));
+        let mut par = PerPatternMatcher::new(&pats, &[pf], true);
+        assert!(!par.admits(0, tg, g, &terms, &mut stats));
+        assert!(par.admits(0, tg, f, &terms, &mut stats));
+    }
+
+    #[test]
+    fn fused_memoizes_walks_per_distinct_term() {
+        let mut syms = SymbolTable::new();
+        let f = syms.op("f", 1);
+        let x = syms.var("x");
+        let mut pats = PatternStore::new();
+        let px = pats.var(x);
+        let pf = pats.app(f, vec![px]);
+        let mut terms = TermStore::new();
+        let c = terms.app0(syms.op("c", 0));
+        let tf = terms.app(f, vec![c]);
+
+        let mut stats = MatcherStats::default();
+        let mut m = FusedMatcher::new(&pats, &[pf, px]);
+        assert!(m.admits(0, tf, f, &terms, &mut stats));
+        assert!(m.admits(1, tf, f, &terms, &mut stats));
+        assert!(!m.admits(0, c, terms.op(c), &terms, &mut stats));
+        assert!(m.admits(1, c, terms.op(c), &terms, &mut stats));
+        assert_eq!(stats.terms_walked, 2, "one walk per distinct term");
+        assert!(stats.trie_steps > 0);
+    }
+
+    #[test]
+    fn matcher_stats_absorb_sums_and_keeps_first_backend() {
+        let mut a = MatcherStats {
+            backend: "fused",
+            terms_walked: 1,
+            trie_steps: 2,
+            pairs_admitted: 3,
+            pairs_rejected: 4,
+        };
+        let b = MatcherStats {
+            backend: "per-pattern",
+            terms_walked: 10,
+            trie_steps: 20,
+            pairs_admitted: 30,
+            pairs_rejected: 40,
+        };
+        a.absorb(&b);
+        assert_eq!(a.backend, "fused");
+        assert_eq!(a.terms_walked, 11);
+        assert_eq!(a.trie_steps, 22);
+        assert_eq!(a.pairs_admitted, 33);
+        assert_eq!(a.pairs_rejected, 44);
+        let mut empty = MatcherStats::default();
+        empty.absorb(&b);
+        assert_eq!(empty.backend, "per-pattern");
+    }
+}

@@ -333,6 +333,7 @@ impl PipelineReport {
             for (shard, probes) in s.parallel.probes_by_shard.iter().enumerate() {
                 total.parallel.probes_by_shard[shard] += probes;
             }
+            total.matcher.absorb(&s.matcher);
         }
         total
     }
@@ -356,7 +357,10 @@ impl PipelineReport {
     ///                    "pool_rounds": 0, "pool_spawn_reuse": 0,
     ///                    "probes_executed": 0, "probes_filtered": 0,
     ///                    "probes_reused": 0, "probes_inline": 0,
-    ///                    "warm_wall_ms": 0.0, "probes_by_shard": []}
+    ///                    "warm_wall_ms": 0.0, "probes_by_shard": []},
+    ///       "matcher": {"backend": "fused", "terms_walked": 5,
+    ///                   "trie_steps": 40, "pairs_admitted": 3,
+    ///                   "pairs_rejected": 6}
     ///     }
     ///   ],
     ///   "totals": { ...same counter fields, "wall_ms" summed... },
@@ -401,12 +405,14 @@ impl PipelineReport {
 }
 
 /// The shared counter fields of one [`PassStats`], as JSON key/values.
-/// The trailing `incremental` and `parallel` objects are the schema's
-/// additive blocks: incremental-rewriting view maintenance (all zero
-/// for passes that never build a term view) and the parallel
+/// The trailing `incremental`, `parallel` and `matcher` objects are the
+/// schema's additive blocks: incremental-rewriting view maintenance
+/// (all zero for passes that never build a term view), the parallel
 /// match-phase counters (`jobs` records the configured worker count
 /// and `batch_graphs` the owning run's batch size; everything else is
-/// zero under `jobs = 1`).
+/// zero under `jobs = 1`), and the candidate-discovery counters of the
+/// configured matcher backend (`backend` is empty for passes that never
+/// probe).
 fn stats_fields(s: &PassStats) -> String {
     let shards = s
         .parallel
@@ -425,7 +431,10 @@ fn stats_fields(s: &PassStats) -> String {
          \"pool_rounds\": {}, \"pool_spawn_reuse\": {}, \
          \"probes_executed\": {}, \"probes_filtered\": {}, \
          \"probes_reused\": {}, \"probes_inline\": {}, \
-         \"warm_wall_ms\": {:.6}, \"probes_by_shard\": [{}]}}",
+         \"warm_wall_ms\": {:.6}, \"probes_by_shard\": [{}]}}, \
+         \"matcher\": {{\"backend\": {}, \"terms_walked\": {}, \
+         \"trie_steps\": {}, \"pairs_admitted\": {}, \
+         \"pairs_rejected\": {}}}",
         s.duration.as_secs_f64() * 1e3,
         s.nodes_visited,
         s.match_attempts,
@@ -449,6 +458,11 @@ fn stats_fields(s: &PassStats) -> String {
         s.parallel.probes_inline,
         s.parallel.warm_wall.as_secs_f64() * 1e3,
         shards,
+        json_string(s.matcher.backend),
+        s.matcher.terms_walked,
+        s.matcher.trie_steps,
+        s.matcher.pairs_admitted,
+        s.matcher.pairs_rejected,
     )
 }
 

@@ -37,10 +37,11 @@
 //! (including the "partial matches that don't end up actually matching"),
 //! matches found, and rewrites fired.
 
+use crate::matcher::{build_matcher, Matcher, MatcherBackend, MatcherStats};
 use crate::pass::{Pass, PassError, PassOutcome, PipelineCx, RejectReason};
 use crate::session::Session;
 use crate::shard::{warm_probes, ParallelConfig, ParallelStats, ProbeCache, ProbeKey, ProbeResult};
-use pypm_core::{Machine, Outcome, PatternId, RootFilter, Subst, TermId, Witness};
+use pypm_core::{Machine, Outcome, PatternId, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
 use pypm_perf::pool::WorkerPool;
@@ -120,6 +121,10 @@ pub struct PassConfig {
     pub max_rewrites: usize,
     /// Mid-sweep scheduling policy.
     pub sweep_policy: SweepPolicy,
+    /// Candidate-discovery backend run above the abstract machine (see
+    /// [`crate::matcher`]). Backends fire byte-identical rewrite
+    /// sequences; only machine-work counters differ.
+    pub matcher: MatcherBackend,
 }
 
 impl Default for PassConfig {
@@ -128,6 +133,7 @@ impl Default for PassConfig {
             machine_fuel: 1_000_000,
             max_rewrites: 100_000,
             sweep_policy: SweepPolicy::RestartOnRewrite,
+            matcher: MatcherBackend::Fused,
         }
     }
 }
@@ -173,6 +179,9 @@ pub struct PassStats {
     /// worker count; everything else is zero when `jobs = 1`); see
     /// [`ParallelStats`] and the [`crate::shard`] module docs.
     pub parallel: ParallelStats,
+    /// Candidate-discovery counters for the configured matcher backend;
+    /// see [`MatcherStats`] and the [`crate::matcher`] module docs.
+    pub matcher: MatcherStats,
 }
 
 impl fmt::Display for PassStats {
@@ -304,10 +313,10 @@ struct Driver<'a> {
     /// populated when `parallel.is_parallel()`; a term key can never go
     /// stale because rewrites give every changed node a fresh term.
     cache: ProbeCache,
-    /// Per-pattern root-operator indexes (parallel mode only), aligned
-    /// with `rules.patterns`; a rejected head operator is a guaranteed
-    /// machine failure resolved without a machine run.
-    filters: Vec<RootFilter>,
+    /// The candidate-discovery index (see [`crate::matcher`]), built
+    /// lazily at the start of [`Driver::run`] so match-only entry
+    /// points ([`Driver::find_matches`]) never pay the build.
+    matcher: Option<Box<dyn Matcher>>,
 }
 
 impl<'a> Driver<'a> {
@@ -320,7 +329,7 @@ impl<'a> Driver<'a> {
             pool: None,
             pattern_ids: Vec::new(),
             cache: ProbeCache::new(),
-            filters: Vec::new(),
+            matcher: None,
         }
     }
 
@@ -331,21 +340,32 @@ impl<'a> Driver<'a> {
         if self.parallel.is_parallel() {
             self.pool = pool;
             self.pattern_ids = self.rules.patterns.iter().map(|d| d.pattern).collect();
-            self.filters = self
-                .rules
-                .patterns
-                .iter()
-                .map(|def| self.session.pats.root_filter(def.pattern))
-                .collect();
         }
         self
+    }
+
+    /// Builds the configured discovery index over the rule set's
+    /// patterns (in rule-set order). Idempotent.
+    fn ensure_matcher(&mut self) {
+        if self.matcher.is_some() {
+            return;
+        }
+        let patterns: Vec<PatternId> = self.rules.patterns.iter().map(|d| d.pattern).collect();
+        self.matcher = Some(build_matcher(
+            self.config.matcher,
+            &self.session.pats,
+            &patterns,
+            self.parallel.is_parallel(),
+        ));
     }
 
     /// Runs the pass to fixpoint, mutating `graph` in place and
     /// streaming match/rewrite events through `cx`.
     fn run(&mut self, graph: &mut Graph, cx: &mut PipelineCx) -> Result<PassStats, RewriteError> {
         let start = Instant::now();
+        self.ensure_matcher();
         let mut stats = PassStats::default();
+        stats.matcher.backend = self.config.matcher.name();
         stats.parallel.jobs = self.parallel.jobs as u64;
         stats.parallel.batch_graphs = cx.batch_graphs();
         if self.parallel.is_parallel() {
@@ -379,6 +399,7 @@ impl<'a> Driver<'a> {
         }
         let mut todo: Vec<ProbeKey> = Vec::new();
         let mut queued: HashSet<ProbeKey> = HashSet::new();
+        let matcher = self.matcher.as_mut().expect("matcher built in run()");
         for &node in candidates {
             // Stale candidates report no term and are skipped here on
             // purpose: eagerly repairing them for speculation would
@@ -394,11 +415,13 @@ impl<'a> Driver<'a> {
                 if def.rules.is_empty() {
                     continue;
                 }
-                // Root-operator index first: guaranteed head-mismatch
-                // failures are never queued (nor cached — the consume
-                // path re-derives them from the same filter for the
-                // cost of a linear scan over a handful of symbols).
-                if !self.filters[pi].admits(op) {
+                // Discovery index first: guaranteed failures are never
+                // queued (nor cached — the consume path re-derives the
+                // verdict from the same index; the fused backend
+                // answers it from its per-term memo). Pair counters
+                // stay with the consume path so each (pattern, term)
+                // verdict is accounted exactly once.
+                if !matcher.admits(pi, t, op, &self.session.terms, &mut stats.matcher) {
                     continue;
                 }
                 let key = (pi, t);
@@ -430,12 +453,14 @@ impl<'a> Driver<'a> {
         })
     }
 
-    /// Probes one (pattern, term) candidate: consumes the memoized
-    /// outcome when the parallel match phase is on (falling back to an
-    /// inline machine run on a miss), or runs the machine directly in
-    /// serial mode. Counter accounting is identical on every path —
-    /// cached probes replay the [`pypm_core::MachineStats`] a serial
-    /// run of the same probe would have produced.
+    /// Probes one (pattern, term) candidate: consults the discovery
+    /// index first (a rejected pair is a guaranteed failure — no
+    /// machine, no cache entry), then consumes the memoized outcome
+    /// when the parallel match phase is on (falling back to an inline
+    /// machine run on a miss), or runs the machine directly in serial
+    /// mode. Counter accounting is identical on every path — cached
+    /// probes replay the [`pypm_core::MachineStats`] a serial run of
+    /// the same probe would have produced.
     fn probe(
         &mut self,
         pi: usize,
@@ -444,13 +469,18 @@ impl<'a> Driver<'a> {
         view: &TermView,
         stats: &mut PassStats,
     ) -> Option<Witness> {
-        if self.parallel.is_parallel() {
-            // Root-operator index: a rejected head operator is a
-            // guaranteed machine failure — no cache entry, no machine.
-            if !self.filters[pi].admits(op) {
+        let matcher = self.matcher.as_mut().expect("matcher built in run()");
+        if !matcher.admits(pi, t, op, &self.session.terms, &mut stats.matcher) {
+            // A rejected pair is a guaranteed machine failure — no
+            // cache entry, no machine run.
+            stats.matcher.pairs_rejected += 1;
+            if self.parallel.is_parallel() {
                 stats.parallel.probes_filtered += 1;
-                return None;
             }
+            return None;
+        }
+        stats.matcher.pairs_admitted += 1;
+        if self.parallel.is_parallel() {
             if let Some(cached) = self.cache.get(&(pi, t)) {
                 stats.machine_steps += cached.steps;
                 stats.machine_backtracks += cached.backtracks;
@@ -1049,6 +1079,12 @@ impl RewritePass {
     /// Overrides the total-rewrite safety bound.
     pub fn max_rewrites(mut self, max: usize) -> Self {
         self.config.max_rewrites = max;
+        self
+    }
+
+    /// Selects the candidate-discovery backend (see [`crate::matcher`]).
+    pub fn matcher(mut self, backend: MatcherBackend) -> Self {
+        self.config.matcher = backend;
         self
     }
 

@@ -10,7 +10,8 @@
 use proptest::prelude::*;
 use pypm_dsl::LibraryConfig;
 use pypm_engine::{
-    ParallelConfig, PassConfig, Pipeline, RewritePass, Rewriter, Session, SweepPolicy,
+    MatcherBackend, ParallelConfig, PassConfig, Pipeline, RewritePass, Rewriter, Session,
+    SweepPolicy,
 };
 use pypm_graph::{DType, Graph, NodeId, TensorMeta};
 use rand::rngs::StdRng;
@@ -209,6 +210,67 @@ proptest! {
             ));
         }
         prop_assert_eq!(&snapshots[0], &snapshots[1]);
+    }
+
+    /// The fused discrimination-tree matcher must be byte-identical to
+    /// per-pattern discovery on random graphs × random rule subsets ×
+    /// random worker counts × every sweep policy — the matcher half of
+    /// the nightly divergence hunt. The tree may only *skip* machine
+    /// runs that were guaranteed to fail, so every semantic counter and
+    /// the final graph (node ids included) must agree, and machine work
+    /// may only shrink.
+    #[test]
+    fn fused_matcher_is_byte_identical_on_random_rule_subsets(
+        seed in any::<u64>(),
+        size in 1usize..30,
+        mask in 1u32..u32::MAX,
+        jobs in 1usize..6,
+        policy_idx in 0usize..3,
+    ) {
+        let policy = SweepPolicy::ALL[policy_idx];
+        let mut snapshots = Vec::new();
+        let mut machine_steps = Vec::new();
+        for backend in MatcherBackend::ALL {
+            let mut s = Session::new();
+            let mut g = random_graph(&mut s, seed, size);
+            let mut rules = s.load_library(LibraryConfig::all());
+            let kept: Vec<_> = rules
+                .patterns
+                .drain(..)
+                .enumerate()
+                .filter(|(i, _)| mask >> (i % 32) & 1 == 1)
+                .map(|(_, p)| p)
+                .collect();
+            rules.patterns = kept;
+            let report = Pipeline::new(&mut s)
+                .with(RewritePass::new(rules).policy(policy).matcher(backend))
+                .parallelism(ParallelConfig::with_jobs(jobs))
+                .run(&mut g)
+                .unwrap();
+            let stats = report.total();
+            g.validate().unwrap();
+            let snap: Vec<(NodeId, String, Vec<NodeId>)> = g
+                .topo_order()
+                .into_iter()
+                .map(|n| (n, s.syms.op_name(g.node(n).op).to_owned(), g.node(n).inputs.clone()))
+                .collect();
+            snapshots.push((
+                stats.rewrites_fired,
+                stats.match_attempts,
+                stats.matches_found,
+                stats.sweeps,
+                snap,
+                g.outputs().to_vec(),
+            ));
+            machine_steps.push(stats.machine_steps);
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        prop_assert!(
+            machine_steps[1] <= machine_steps[0],
+            "fused did more machine work ({}) than per-pattern ({})",
+            machine_steps[1],
+            machine_steps[0]
+        );
     }
 
     /// Batch compilation is invisible in the results: a

@@ -16,6 +16,13 @@
 //! (temp file + rename) so a crashed server never leaves a torn entry
 //! for the next one to read. That is what makes `pypmc serve
 //! --cache-dir` survive restarts.
+//!
+//! The disk tier can be capped ([`ResultCache::with_dir_max_bytes`],
+//! `pypmc serve --cache-dir-max-bytes`): after every store the
+//! directory's `.pypmw` entries are trimmed oldest-first (modification
+//! time, then file name for determinism) until the total size fits.
+//! Evictions are counted in [`CacheStats::disk_evictions`] and surface
+//! through the serve `stats` verb's `pypm.serve.stats.v1` document.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -68,6 +75,8 @@ pub struct CacheStats {
     pub stores: u64,
     /// In-memory entries dropped to stay within capacity.
     pub evictions: u64,
+    /// Disk entries removed to stay within the directory byte cap.
+    pub disk_evictions: u64,
     /// The most recently computed key, as hex.
     pub last_key: Option<String>,
 }
@@ -85,6 +94,7 @@ struct State {
 pub struct ResultCache {
     capacity: usize,
     dir: Option<PathBuf>,
+    dir_max_bytes: Option<u64>,
     state: Mutex<State>,
 }
 
@@ -93,6 +103,7 @@ impl std::fmt::Debug for ResultCache {
         f.debug_struct("ResultCache")
             .field("capacity", &self.capacity)
             .field("dir", &self.dir)
+            .field("dir_max_bytes", &self.dir_max_bytes)
             .finish_non_exhaustive()
     }
 }
@@ -110,6 +121,7 @@ impl ResultCache {
         ResultCache {
             capacity,
             dir: None,
+            dir_max_bytes: None,
             state: Mutex::new(State {
                 entries: Vec::new(),
                 stats: CacheStats::default(),
@@ -130,6 +142,22 @@ impl ResultCache {
         let mut cache = ResultCache::in_memory(capacity);
         cache.dir = Some(dir);
         Ok(cache)
+    }
+
+    /// Caps the disk tier at `max_bytes`: after every store, `.pypmw`
+    /// entries are evicted oldest-first (by modification time, file
+    /// name breaking ties) until the directory's total entry size is
+    /// within the cap. The cap is hard — a store that itself exceeds it
+    /// is evicted too. No effect on a purely in-memory cache.
+    #[must_use]
+    pub fn with_dir_max_bytes(mut self, max_bytes: u64) -> ResultCache {
+        self.dir_max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The configured disk-tier byte cap, when any.
+    pub fn dir_max_bytes(&self) -> Option<u64> {
+        self.dir_max_bytes
     }
 
     /// Whether get/put can ever do anything.
@@ -201,6 +229,9 @@ impl ResultCache {
             if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
                 let _ = std::fs::remove_file(&tmp);
             }
+            if let Some(max_bytes) = self.dir_max_bytes {
+                state.stats.disk_evictions += enforce_dir_limit(dir, max_bytes);
+            }
         }
     }
 
@@ -223,7 +254,8 @@ impl ResultCache {
         let stats = self.stats();
         format!(
             "{{\"capacity\": {}, \"persistent\": {}, \"hits\": {}, \"disk_hits\": {}, \
-             \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"last_key\": {}}}",
+             \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"disk_evictions\": {}, \
+             \"last_key\": {}}}",
             self.capacity,
             self.dir.is_some(),
             stats.hits,
@@ -231,6 +263,7 @@ impl ResultCache {
             stats.misses,
             stats.stores,
             stats.evictions,
+            stats.disk_evictions,
             match &stats.last_key {
                 Some(k) => format!("\"{k}\""),
                 None => "null".to_owned(),
@@ -241,6 +274,43 @@ impl ResultCache {
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.pypmw", key.to_hex()))
+}
+
+/// Trims the disk tier to `max_bytes`, removing `.pypmw` entries
+/// oldest-first (modification time, then file name so same-instant
+/// writes evict deterministically). Returns how many entries were
+/// removed. I/O failures — an unreadable directory, a vanished file —
+/// degrade to evicting less, never to an error: the cap is best-effort
+/// accounting over a cache, not a durability contract.
+fn enforce_dir_limit(dir: &Path, max_bytes: u64) -> u64 {
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = listing
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|ext| ext == "pypmw"))
+        .filter_map(|e| {
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().ok()?;
+            Some((mtime, e.path(), meta.len()))
+        })
+        .collect();
+    let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+    if total <= max_bytes {
+        return 0;
+    }
+    entries.sort();
+    let mut evicted = 0;
+    for (_, path, len) in entries {
+        if total <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+            evicted += 1;
+        }
+    }
+    evicted
 }
 
 #[cfg(test)]
@@ -330,6 +400,45 @@ mod tests {
         let third = ResultCache::persistent(4, &dir).unwrap();
         assert!(third.get(key(7)).is_none());
         assert_eq!(third.stats().misses, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_tier_evicts_oldest_entries_beyond_the_byte_cap() {
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_dir_cap_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Measure one entry, then cap the directory at two of them.
+        let probe = ResultCache::persistent(0, &dir).unwrap();
+        probe.put(key(1), "payload-0");
+        let entry_bytes = std::fs::metadata(entry_path(&dir, key(1))).unwrap().len();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = ResultCache::persistent(0, &dir)
+            .unwrap()
+            .with_dir_max_bytes(2 * entry_bytes);
+        assert_eq!(cache.dir_max_bytes(), Some(2 * entry_bytes));
+        for n in 1..=3u8 {
+            cache.put(key(n), "payload-0");
+            // Distinct mtimes, so "oldest" is well-defined even on
+            // coarse-timestamp filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // The oldest entry fell off disk; the two newest survive.
+        assert!(!entry_path(&dir, key(1)).exists());
+        assert!(entry_path(&dir, key(2)).exists());
+        assert!(entry_path(&dir, key(3)).exists());
+        assert_eq!(cache.stats().disk_evictions, 1);
+        assert!(cache.stats_json().contains("\"disk_evictions\": 1"));
+        // Capacity 0 means the memory tier holds nothing: the evicted
+        // key is a true miss, the survivors still answer from disk.
+        assert!(cache.get(key(1)).is_none());
+        assert_eq!(cache.get(key(3)).as_deref(), Some("payload-0"));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

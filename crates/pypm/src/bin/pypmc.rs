@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! pypmc list-models                         list both model zoos
-//! pypmc compile <model>... [--config C] [--sweep-policy P] [--jobs N]
-//!                          [--stats-json FILE] [--dot]
+//! pypmc compile <model>... [--config C] [--sweep-policy P] [--matcher M]
+//!                          [--jobs N] [--stats-json FILE] [--dot]
 //!                                           compile one or more models and
 //!                                           report rewrite stats + simulated
 //!                                           cost per model
 //! pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]
-//!             [--cache N] [--cache-dir DIR]
+//!             [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N]
 //!                                           long-lived compile session server
 //!                                           (see the `pypm::serve` docs for
 //!                                           the framed TCP protocol)
@@ -22,11 +22,16 @@
 //! pypmc explain <model> <pattern>           per-node match diagnostics
 //! ```
 //!
-//! Configurations `C`: `baseline`, `fmha`, `epilog`, `both` (default).
-//! Sweep policies `P`: `restart` (paper-faithful, default), `continue`,
-//! `incremental` (dirty-node worklist; identical result, fewest match
-//! attempts). `--policy` is accepted as a deprecated alias of
-//! `--sweep-policy`. `--jobs N` selects the parallel match phase's
+//! Configurations `C`: `baseline`, `fmha`, `epilog`, `both` (default),
+//! `all` — each optionally suffixed `+synthN` (e.g. `all+synth39`) to
+//! append `N` synthetic never-matching rules for matcher-scaling
+//! experiments. Sweep policies `P`: `restart` (paper-faithful,
+//! default), `continue`, `incremental` (dirty-node worklist; identical
+//! result, fewest match attempts). `--policy` is accepted as a
+//! deprecated alias of `--sweep-policy`. Matcher backends `M`: `fused`
+//! (default — one discrimination tree over the whole rule set) or
+//! `per-pattern` (the reference ablation); both fire byte-identical
+//! rewrite sequences. `--jobs N` selects the parallel match phase's
 //! worker count (sharded discovery, serial commit — byte-identical
 //! results); the default is the machine's available parallelism,
 //! overridable with the `PYPM_JOBS` environment variable (the explicit
@@ -43,7 +48,10 @@
 //! `serve --cache N` sizes the in-memory compile-result cache (default
 //! 128 entries; 0 disables it without a directory), and `--cache-dir
 //! DIR` additionally persists results as checksummed `PYPMWIRE` report
-//! containers so a restarted server keeps hitting. `dump`/`load`
+//! containers so a restarted server keeps hitting;
+//! `--cache-dir-max-bytes N` caps that directory, evicting the oldest
+//! entries first (evictions are reported in the `stats` verb's
+//! `pypm.serve.stats.v1` document). `dump`/`load`
 //! round-trip graphs and rulesets through the `PYPMWIRE` container
 //! format (`pypm::wire`): `dump` writes the canonical encoding, `load`
 //! decodes any container (or a legacy raw `PYPMB1` ruleset) and reports
@@ -53,10 +61,11 @@
 //! code 2 and a usage line — every subcommand declares exactly what it
 //! accepts.
 
+use pypm::cli_args::{self, parse_or_usage, Spec};
 use pypm::dsl::{binary, text, LibraryConfig};
 use pypm::engine::{
     explain_at, ExplainObserver, ParallelConfig, Partition, PartitionPass, Pipeline, RewritePass,
-    Session, SweepPolicy,
+    Session,
 };
 use pypm::graph::Graph;
 use pypm::perf::CostModel;
@@ -85,99 +94,15 @@ fn main() {
     exit(code);
 }
 
-/// What one subcommand accepts: its usage line, the positional-argument
-/// count range, and its flag vocabulary.
-struct Spec {
-    usage: &'static str,
-    /// Inclusive (min, max) count of positional arguments.
-    positionals: (usize, usize),
-    /// Flags taking a value (`--flag VALUE`).
-    value_flags: &'static [&'static str],
-    /// Boolean flags.
-    bool_flags: &'static [&'static str],
-}
-
-/// A parsed command line: positionals in order, flags by name.
-struct Parsed {
-    positionals: Vec<String>,
-    values: Vec<(String, String)>,
-    bools: Vec<String>,
-}
-
-impl Parsed {
-    fn value(&self, flag: &str) -> Option<&str> {
-        self.values
-            .iter()
-            .find(|(f, _)| f == flag)
-            .map(|(_, v)| v.as_str())
-    }
-
-    fn has(&self, flag: &str) -> bool {
-        self.bools.iter().any(|f| f == flag)
-    }
-}
-
-/// Parses `args` against `spec`. Unknown flags, missing flag values and
-/// out-of-range positional counts are errors — `pypmc compile bert
-/// --polcy continue` must fail loudly, not silently run the default
-/// policy.
-fn parse_args(spec: &Spec, args: &[String]) -> Result<Parsed, String> {
-    let mut parsed = Parsed {
-        positionals: Vec::new(),
-        values: Vec::new(),
-        bools: Vec::new(),
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if arg.starts_with('-') && arg.len() > 1 {
-            if spec.value_flags.contains(&arg.as_str()) {
-                let Some(value) = it.next() else {
-                    return Err(format!("missing value for {arg}"));
-                };
-                parsed.values.push((arg.clone(), value.clone()));
-            } else if spec.bool_flags.contains(&arg.as_str()) {
-                parsed.bools.push(arg.clone());
-            } else {
-                return Err(format!("unknown flag {arg}"));
-            }
-        } else {
-            parsed.positionals.push(arg.clone());
-        }
-    }
-    let (min, max) = spec.positionals;
-    let n = parsed.positionals.len();
-    if n < min {
-        return Err("missing required argument".to_owned());
-    }
-    if n > max {
-        return Err(format!("unexpected argument '{}'", parsed.positionals[max]));
-    }
-    Ok(parsed)
-}
-
-/// Parses or prints the error + usage line and returns exit code 2.
-fn parse_or_usage(spec: &Spec, args: &[String]) -> Result<Parsed, i32> {
-    parse_args(spec, args).map_err(|e| {
-        eprintln!("error: {e}");
-        eprintln!("usage: {}", spec.usage);
-        2
-    })
-}
-
 fn build_model(session: &mut Session, name: &str) -> Option<Graph> {
     pypm::build_model(session, name)
 }
 
-/// The `--config` vocabulary shared by `compile` and `dump`.
+/// The `--config` vocabulary shared by `compile` and `dump` — the
+/// shared [`cli_args::lib_config`] base names plus the `+synthN`
+/// scaling suffix.
 fn lib_config(name: &str) -> Option<LibraryConfig> {
-    match name {
-        "baseline" => Some(LibraryConfig::none()),
-        "fmha" => Some(LibraryConfig::fmha_only()),
-        "epilog" => Some(LibraryConfig::epilog_only()),
-        "both" => Some(LibraryConfig::both()),
-        "all" => Some(LibraryConfig::all()),
-        _ => None,
-    }
+    cli_args::lib_config(name)
 }
 
 fn list_models(args: &[String]) -> i32 {
@@ -212,13 +137,14 @@ fn list_models(args: &[String]) -> i32 {
 
 fn compile(args: &[String]) -> i32 {
     let spec = Spec {
-        usage: "pypmc compile <model>... [--config C] [--sweep-policy P] [--jobs N] \
-                [--stats-json FILE] [--dot]",
+        usage: "pypmc compile <model>... [--config C] [--sweep-policy P] [--matcher M] \
+                [--jobs N] [--stats-json FILE] [--dot]",
         positionals: (1, usize::MAX),
         value_flags: &[
             "--config",
             "--sweep-policy",
             "--policy",
+            "--matcher",
             "--jobs",
             "--stats-json",
         ],
@@ -236,36 +162,31 @@ fn compile(args: &[String]) -> i32 {
     };
     // `--policy` survives as an alias from before the incremental
     // scheduler; `--sweep-policy` wins when both are given.
-    let policy_arg = parsed
-        .value("--sweep-policy")
-        .or_else(|| parsed.value("--policy"))
-        .unwrap_or("restart");
-    let Some(policy) = SweepPolicy::parse(policy_arg) else {
-        let vocabulary = SweepPolicy::ALL.map(SweepPolicy::name).join("|");
-        eprintln!("unknown sweep policy {policy_arg} (want {vocabulary})");
-        return 2;
+    let policy = match cli_args::resolve_policy(&parsed) {
+        Ok(policy) => policy,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let matcher = match cli_args::resolve_matcher(&parsed) {
+        Ok(matcher) => matcher,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
     // Worker count: explicit --jobs wins, then the PYPM_JOBS override,
     // then the machine's available parallelism. Invalid values (0,
     // non-numeric) fail loudly on either path.
-    let jobs = match parsed.value("--jobs") {
-        Some(v) => match pypm::perf::parallel::parse_jobs(v) {
-            Ok(jobs) => jobs,
-            Err(e) => {
-                eprintln!("error: invalid --jobs {v}: {e}");
-                eprintln!("usage: {}", spec.usage);
-                return 2;
-            }
-        },
-        None => match pypm::perf::parallel::jobs_from_env("PYPM_JOBS") {
-            Ok(Some(jobs)) => jobs,
-            Ok(None) => pypm::perf::parallel::available_jobs(),
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!("usage: {}", spec.usage);
-                return 2;
-            }
-        },
+    let jobs = match cli_args::resolve_jobs(&parsed) {
+        Ok(Some(jobs)) => jobs,
+        Ok(None) => pypm::perf::parallel::available_jobs(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: {}", spec.usage);
+            return 2;
+        }
     };
 
     // One session for the whole batch: shared symbol/term/pattern
@@ -294,7 +215,7 @@ fn compile(args: &[String]) -> i32 {
     let rules = s.load_library(lib);
     let mut pipeline = Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(jobs));
     if !rules.is_empty() {
-        pipeline = pipeline.with(RewritePass::new(rules).policy(policy));
+        pipeline = pipeline.with(RewritePass::new(rules).policy(policy).matcher(matcher));
     }
     let reports = match pipeline.run_batch(&mut graphs) {
         Ok(reports) => reports,
@@ -328,6 +249,14 @@ fn compile(args: &[String]) -> i32 {
         println!(
             "term view  {} builds, {} patches, {} nodes revisited, {} reindexed",
             stats.view_builds, stats.view_patches, stats.nodes_revisited, stats.nodes_reindexed
+        );
+        println!(
+            "backend    {}: {} pairs admitted / {} rejected, {} terms walked, {} trie steps",
+            stats.matcher.backend,
+            stats.matcher.pairs_admitted,
+            stats.matcher.pairs_rejected,
+            stats.matcher.terms_walked,
+            stats.matcher.trie_steps
         );
         if jobs > 1 {
             println!(
@@ -393,7 +322,7 @@ fn batch_json(models: &[String], reports: &[pypm::engine::PipelineReport]) -> St
 fn serve(args: &[String]) -> i32 {
     let spec = Spec {
         usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N] \
-                [--cache N] [--cache-dir DIR]",
+                [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N]",
         positionals: (0, 0),
         value_flags: &[
             "--addr",
@@ -402,6 +331,7 @@ fn serve(args: &[String]) -> i32 {
             "--queue",
             "--cache",
             "--cache-dir",
+            "--cache-dir-max-bytes",
         ],
         bool_flags: &[],
     };
@@ -415,27 +345,27 @@ fn serve(args: &[String]) -> i32 {
     }
     // Same resolution order as `compile`: flag, then PYPM_JOBS, then
     // the machine's parallelism (the ServeConfig default).
-    match parsed.value("--jobs") {
-        Some(v) => match pypm::perf::parallel::parse_jobs(v) {
-            Ok(jobs) => config.jobs = jobs,
-            Err(e) => {
-                eprintln!("error: invalid --jobs {v}: {e}");
-                eprintln!("usage: {}", spec.usage);
-                return 2;
-            }
-        },
-        None => match pypm::perf::parallel::jobs_from_env("PYPM_JOBS") {
-            Ok(Some(jobs)) => config.jobs = jobs,
-            Ok(None) => {}
-            Err(e) => {
-                eprintln!("error: {e}");
-                eprintln!("usage: {}", spec.usage);
-                return 2;
-            }
-        },
+    match cli_args::resolve_jobs(&parsed) {
+        Ok(Some(jobs)) => config.jobs = jobs,
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: {}", spec.usage);
+            return 2;
+        }
     }
     if let Some(dir) = parsed.value("--cache-dir") {
         config.cache_dir = Some(dir.to_owned());
+    }
+    if let Some(v) = parsed.value("--cache-dir-max-bytes") {
+        match v.parse::<u64>() {
+            Ok(n) => config.cache_dir_max_bytes = Some(n),
+            Err(_) => {
+                eprintln!("error: invalid --cache-dir-max-bytes {v}: not a non-negative integer");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
+            }
+        }
     }
     for (flag, slot) in [
         ("--workers", &mut config.workers as &mut usize),

@@ -1,0 +1,356 @@
+//! The shared `pypmc` command-line vocabulary.
+//!
+//! Every `pypmc` subcommand used to hand-roll its own flag loop; this
+//! module is the one place the parsing machinery and the shared flag
+//! vocabularies live. [`Spec`] declares what a subcommand accepts,
+//! [`parse_args`]/[`parse_or_usage`] parse against it under the CLI's
+//! loud-failure contract (unknown flags, missing flag values and
+//! out-of-range positional counts exit 2 with a usage line), and the
+//! `resolve_*`/`parse_*` helpers implement the vocabularies shared by
+//! `compile`, `dump`, `serve` *and* the serve protocol's `compile`
+//! verb, so a flag and its `key=value` twin can never drift apart:
+//!
+//! * **library configurations** ([`lib_config`]) —
+//!   `baseline|fmha|epilog|both|all`, each optionally suffixed
+//!   `+synthN` to append `N` synthetic never-matching rules
+//!   (`all+synth39` is the 4×-rules benchmark point; see
+//!   [`LibraryConfig::with_synth`]),
+//! * **sweep policies** ([`resolve_policy`]) — `--policy` stays a
+//!   documented alias of `--sweep-policy`, with `--sweep-policy`
+//!   winning when both are given, and both producing the same exit-2
+//!   diagnostic on an unknown name,
+//! * **matcher backends** ([`resolve_matcher`]) —
+//!   `per-pattern|fused`: explicit flag, then the `PYPM_MATCHER`
+//!   environment override, then the fused default,
+//! * **job counts** ([`resolve_jobs`]) — explicit flag, then the
+//!   `PYPM_JOBS` environment override, then (the caller's choice of)
+//!   machine default.
+
+use crate::dsl::LibraryConfig;
+use crate::engine::{MatcherBackend, SweepPolicy};
+
+/// What one subcommand accepts: its usage line, the positional-argument
+/// count range, and its flag vocabulary.
+pub struct Spec {
+    /// The usage line printed under every parse error.
+    pub usage: &'static str,
+    /// Inclusive (min, max) count of positional arguments.
+    pub positionals: (usize, usize),
+    /// Flags taking a value (`--flag VALUE`).
+    pub value_flags: &'static [&'static str],
+    /// Boolean flags.
+    pub bool_flags: &'static [&'static str],
+}
+
+/// A parsed command line: positionals in order, flags by name.
+#[derive(Debug)]
+pub struct Parsed {
+    /// Positional arguments, in order.
+    pub positionals: Vec<String>,
+    /// `(flag, value)` pairs, in order of appearance.
+    pub values: Vec<(String, String)>,
+    /// Boolean flags seen.
+    pub bools: Vec<String>,
+}
+
+impl Parsed {
+    /// The first value given for `flag`, if any.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the boolean `flag` was given.
+    pub fn has(&self, flag: &str) -> bool {
+        self.bools.iter().any(|f| f == flag)
+    }
+}
+
+/// Parses `args` against `spec`. Unknown flags, missing flag values and
+/// out-of-range positional counts are errors — `pypmc compile bert
+/// --polcy continue` must fail loudly, not silently run the default
+/// policy.
+///
+/// # Errors
+///
+/// Returns the human-readable reason; the caller prints it with the
+/// spec's usage line and exits 2 (or uses [`parse_or_usage`], which
+/// does both).
+pub fn parse_args(spec: &Spec, args: &[String]) -> Result<Parsed, String> {
+    let mut parsed = Parsed {
+        positionals: Vec::new(),
+        values: Vec::new(),
+        bools: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg.starts_with('-') && arg.len() > 1 {
+            if spec.value_flags.contains(&arg.as_str()) {
+                let Some(value) = it.next() else {
+                    return Err(format!("missing value for {arg}"));
+                };
+                parsed.values.push((arg.clone(), value.clone()));
+            } else if spec.bool_flags.contains(&arg.as_str()) {
+                parsed.bools.push(arg.clone());
+            } else {
+                return Err(format!("unknown flag {arg}"));
+            }
+        } else {
+            parsed.positionals.push(arg.clone());
+        }
+    }
+    let (min, max) = spec.positionals;
+    let n = parsed.positionals.len();
+    if n < min {
+        return Err("missing required argument".to_owned());
+    }
+    if n > max {
+        return Err(format!("unexpected argument '{}'", parsed.positionals[max]));
+    }
+    Ok(parsed)
+}
+
+/// Parses or prints the error + usage line and returns exit code 2.
+///
+/// # Errors
+///
+/// The error side carries the process exit code (always 2), after the
+/// diagnostic has already been printed to stderr.
+pub fn parse_or_usage(spec: &Spec, args: &[String]) -> Result<Parsed, i32> {
+    parse_args(spec, args).map_err(|e| {
+        eprintln!("error: {e}");
+        eprintln!("usage: {}", spec.usage);
+        2
+    })
+}
+
+/// The `--config` / `config=` vocabulary shared by `pypmc compile`,
+/// `pypmc dump` and the serve protocol: a base configuration
+/// (`baseline|fmha|epilog|both|all`), optionally suffixed `+synthN` to
+/// append `N` synthetic never-matching rules for matcher-scaling
+/// experiments (`all+synth39` ≈ 4× the rule-bearing pattern count).
+/// `None` for anything else — including a malformed or out-of-range
+/// synth count.
+pub fn lib_config(name: &str) -> Option<LibraryConfig> {
+    let (base, synth) = match name.split_once("+synth") {
+        Some((base, digits)) => (base, Some(digits.parse::<u16>().ok()?)),
+        None => (name, None),
+    };
+    let config = match base {
+        "baseline" => LibraryConfig::none(),
+        "fmha" => LibraryConfig::fmha_only(),
+        "epilog" => LibraryConfig::epilog_only(),
+        "both" => LibraryConfig::both(),
+        "all" => LibraryConfig::all(),
+        _ => return None,
+    };
+    Some(match synth {
+        Some(n) => config.with_synth(n),
+        None => config,
+    })
+}
+
+/// Parses a sweep-policy name with the shared diagnostic.
+///
+/// # Errors
+///
+/// Names the unknown policy and the accepted vocabulary.
+pub fn parse_policy(name: &str) -> Result<SweepPolicy, String> {
+    SweepPolicy::parse(name).ok_or_else(|| {
+        let vocabulary = SweepPolicy::ALL.map(SweepPolicy::name).join("|");
+        format!("unknown sweep policy {name} (want {vocabulary})")
+    })
+}
+
+/// Resolves the sweep policy from `--sweep-policy`, falling back to the
+/// deprecated `--policy` alias (kept from before the incremental
+/// scheduler; `--sweep-policy` wins when both are given), then the
+/// restart default. Both spellings fail with the identical diagnostic.
+///
+/// # Errors
+///
+/// Propagates [`parse_policy`]'s diagnostic.
+pub fn resolve_policy(parsed: &Parsed) -> Result<SweepPolicy, String> {
+    let arg = parsed
+        .value("--sweep-policy")
+        .or_else(|| parsed.value("--policy"))
+        .unwrap_or("restart");
+    parse_policy(arg)
+}
+
+/// Parses a matcher-backend name with the shared diagnostic.
+///
+/// # Errors
+///
+/// Names the unknown backend and the accepted vocabulary.
+pub fn parse_matcher(name: &str) -> Result<MatcherBackend, String> {
+    MatcherBackend::parse(name).ok_or_else(|| {
+        let vocabulary = MatcherBackend::ALL.map(MatcherBackend::name).join("|");
+        format!("unknown matcher backend {name} (want {vocabulary})")
+    })
+}
+
+/// Resolves the match backend: the explicit `--matcher` flag wins,
+/// then the `PYPM_MATCHER` environment override (the CI matrix leg
+/// sweeps backends through it without code changes, mirroring
+/// `PYPM_JOBS`), then the engine default ([`MatcherBackend::Fused`]).
+///
+/// # Errors
+///
+/// Propagates [`parse_matcher`]'s diagnostic on either path.
+pub fn resolve_matcher(parsed: &Parsed) -> Result<MatcherBackend, String> {
+    match parsed.value("--matcher") {
+        Some(v) => parse_matcher(v),
+        None => match matcher_from_env("PYPM_MATCHER")? {
+            Some(backend) => Ok(backend),
+            None => Ok(MatcherBackend::default()),
+        },
+    }
+}
+
+/// Reads a matcher backend from the environment variable `var`.
+/// `Ok(None)` when unset or blank (mirroring
+/// [`jobs_from_env`](crate::perf::parallel::jobs_from_env): an empty
+/// value is "not configured", not an error).
+///
+/// # Errors
+///
+/// A set, non-blank, unparsable value fails loudly — naming the
+/// variable so a typo in a CI matrix is not a silent fused default.
+pub fn matcher_from_env(var: &str) -> Result<Option<MatcherBackend>, String> {
+    match std::env::var(var) {
+        Ok(v) if !v.trim().is_empty() => parse_matcher(v.trim())
+            .map(Some)
+            .map_err(|e| format!("invalid {var}={}: {e}", v.trim())),
+        _ => Ok(None),
+    }
+}
+
+/// Resolves the match-phase worker count: the explicit `--jobs` flag
+/// wins, then the `PYPM_JOBS` environment override; `Ok(None)` means
+/// neither was given and the caller picks its own default (`compile`
+/// uses the machine's available parallelism, `serve` its config
+/// default). Invalid values — 0, non-numeric — fail loudly on either
+/// path.
+///
+/// # Errors
+///
+/// The diagnostic to print (the caller prefixes `error: ` and adds its
+/// usage line, exit 2).
+pub fn resolve_jobs(parsed: &Parsed) -> Result<Option<usize>, String> {
+    match parsed.value("--jobs") {
+        Some(v) => crate::perf::parallel::parse_jobs(v)
+            .map(Some)
+            .map_err(|e| format!("invalid --jobs {v}: {e}")),
+        None => crate::perf::parallel::jobs_from_env("PYPM_JOBS").map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> Spec {
+        Spec {
+            usage: "test",
+            positionals: (0, 1),
+            value_flags: &[
+                "--config",
+                "--sweep-policy",
+                "--policy",
+                "--jobs",
+                "--matcher",
+            ],
+            bool_flags: &["--dot"],
+        }
+    }
+
+    fn parse(words: &[&str]) -> Result<Parsed, String> {
+        let args: Vec<String> = words.iter().map(|w| w.to_string()).collect();
+        parse_args(&spec(), &args)
+    }
+
+    #[test]
+    fn rejects_unknown_flags_missing_values_and_stray_positionals() {
+        assert!(parse(&["--polcy", "continue"])
+            .unwrap_err()
+            .contains("unknown flag"));
+        assert!(parse(&["--jobs"]).unwrap_err().contains("missing value"));
+        assert!(parse(&["a", "b"])
+            .unwrap_err()
+            .contains("unexpected argument 'b'"));
+        let ok = parse(&["m", "--jobs", "4", "--dot"]).unwrap();
+        assert_eq!(ok.positionals, vec!["m"]);
+        assert_eq!(ok.value("--jobs"), Some("4"));
+        assert!(ok.has("--dot"));
+    }
+
+    #[test]
+    fn lib_config_parses_the_base_vocabulary_and_the_synth_suffix() {
+        assert_eq!(lib_config("both"), Some(LibraryConfig::both()));
+        assert_eq!(lib_config("baseline"), Some(LibraryConfig::none()));
+        assert_eq!(
+            lib_config("all+synth39"),
+            Some(LibraryConfig::all().with_synth(39))
+        );
+        assert_eq!(
+            lib_config("both+synth0"),
+            Some(LibraryConfig::both().with_synth(0))
+        );
+        // Malformed suffixes and unknown bases are unknown configs,
+        // not silent defaults.
+        assert_eq!(lib_config("bogus"), None);
+        assert_eq!(lib_config("all+synth"), None);
+        assert_eq!(lib_config("all+synthX"), None);
+        assert_eq!(lib_config("bogus+synth4"), None);
+        assert_eq!(lib_config("all+synth99999"), None, "u16 overflow rejected");
+    }
+
+    #[test]
+    fn policy_alias_resolves_identically_and_sweep_policy_wins() {
+        let both = parse(&["--sweep-policy", "incremental", "--policy", "continue"]).unwrap();
+        assert_eq!(resolve_policy(&both), Ok(SweepPolicy::Incremental));
+        let alias = parse(&["--policy", "continue"]).unwrap();
+        assert_eq!(resolve_policy(&alias), Ok(SweepPolicy::ContinueSweep));
+        let neither = parse(&[]).unwrap();
+        assert_eq!(resolve_policy(&neither), Ok(SweepPolicy::RestartOnRewrite));
+        // Identical diagnostics whichever spelling carried the bad name.
+        let bad_alias = parse(&["--policy", "bogus"]).unwrap();
+        let bad_flag = parse(&["--sweep-policy", "bogus"]).unwrap();
+        assert_eq!(resolve_policy(&bad_alias), resolve_policy(&bad_flag));
+        assert!(resolve_policy(&bad_alias).unwrap_err().contains("restart|"));
+    }
+
+    #[test]
+    fn matcher_resolves_with_a_fused_default() {
+        assert_eq!(
+            resolve_matcher(&parse(&[]).unwrap()),
+            Ok(MatcherBackend::Fused)
+        );
+        assert_eq!(
+            resolve_matcher(&parse(&["--matcher", "per-pattern"]).unwrap()),
+            Ok(MatcherBackend::PerPattern)
+        );
+        let err = resolve_matcher(&parse(&["--matcher", "bogus"]).unwrap()).unwrap_err();
+        assert!(err.contains("per-pattern|fused"), "{err}");
+    }
+
+    #[test]
+    fn matcher_env_override_treats_empty_as_unset_and_rejects_typos() {
+        // Distinct variable names: the test runner is multi-threaded
+        // and the real PYPM_MATCHER may be pinned by a CI matrix leg.
+        std::env::set_var("PYPM_TEST_MATCHER_EMPTY", "");
+        assert_eq!(matcher_from_env("PYPM_TEST_MATCHER_EMPTY"), Ok(None));
+        assert_eq!(matcher_from_env("PYPM_TEST_MATCHER_UNSET"), Ok(None));
+        std::env::set_var("PYPM_TEST_MATCHER_VALID", " per-pattern ");
+        assert_eq!(
+            matcher_from_env("PYPM_TEST_MATCHER_VALID"),
+            Ok(Some(MatcherBackend::PerPattern))
+        );
+        std::env::set_var("PYPM_TEST_MATCHER_TYPO", "fuse");
+        let err = matcher_from_env("PYPM_TEST_MATCHER_TYPO").unwrap_err();
+        assert!(err.contains("invalid PYPM_TEST_MATCHER_TYPO=fuse"), "{err}");
+    }
+}

@@ -63,6 +63,7 @@ pub use pypm_models as models;
 pub use pypm_perf as perf;
 pub use pypm_wire as wire;
 
+pub mod cli_args;
 pub mod serve;
 
 /// Builds a zoo model by name into `session`, searching the

@@ -26,11 +26,14 @@
 //! ping
 //! stats
 //! shutdown
-//! compile <model> [config=<C>] [policy=<P>] [jobs=<N>]
+//! compile <model> [config=<C>] [policy=<P>] [matcher=<M>] [jobs=<N>]
 //! ```
 //!
-//! `C` and `P` take exactly the `pypmc compile` vocabulary
-//! (`baseline|fmha|epilog|both|all`, `restart|continue|incremental`).
+//! `C`, `P` and `M` take exactly the `pypmc compile` vocabulary
+//! ([`crate::cli_args`]: `baseline|fmha|epilog|both|all` with an
+//! optional `+synthN` scaling suffix, `restart|continue|incremental`,
+//! `per-pattern|fused` — both spellings are the *same* parser, so the
+//! flag and its `key=value` twin can never drift).
 //! A successful `compile` responds with the request's
 //! `pypm.pipeline.v1` stats JSON — the same document `pypmc compile
 //! --stats-json` writes, byte-identical in every semantic counter (the
@@ -41,16 +44,23 @@
 //! ## The result cache
 //!
 //! Every worker shares one [`ResultCache`]: before compiling, the
-//! request is content-addressed — a [`CacheKey`] over the canonical
-//! `PYPMWIRE` graph bytes, the rule-set bytes, the library
-//! configuration, the sweep policy and the effective job count — and a
-//! hit returns the stored `pypm.pipeline.v1` report verbatim. Jobs is
-//! part of the key because it changes the machine-step/backtrack
-//! counters; the cached report is byte-identical to what a cold
-//! compile of the same request would produce. With
-//! [`ServeConfig::cache_dir`] set (`pypmc serve --cache-dir`), entries
-//! also persist as checksummed report containers on disk, so a
-//! restarted server keeps hitting.
+//! request is content-addressed — a [`CacheKey`] over the engine
+//! version, the canonical `PYPMWIRE` graph bytes, the rule-set bytes,
+//! the library configuration, the sweep policy, the matcher backend
+//! and the effective job count — and a hit returns the stored
+//! `pypm.pipeline.v1` report verbatim. Jobs and the matcher backend
+//! are part of the key because they change the
+//! machine-step/backtrack/admission counters; the engine version
+//! (`CARGO_PKG_VERSION`) is part of it so a persistent store written
+//! by an older build reads as a miss rather than serving a report the
+//! current engine would not produce. The cached report is
+//! byte-identical to what a cold compile of the same request would
+//! produce. With [`ServeConfig::cache_dir`] set (`pypmc serve
+//! --cache-dir`), entries also persist as checksummed report
+//! containers on disk, so a restarted server keeps hitting;
+//! [`ServeConfig::cache_dir_max_bytes`] caps that directory with
+//! oldest-first eviction (the `disk_evictions` counter in the `stats`
+//! document).
 //!
 //! ## Status bytes
 //!
@@ -83,7 +93,7 @@
 //! session keeps serving.
 
 use crate::dsl::LibraryConfig;
-use crate::engine::{ParallelConfig, Pipeline, RewritePass, Session, SweepPolicy};
+use crate::engine::{MatcherBackend, ParallelConfig, Pipeline, RewritePass, Session, SweepPolicy};
 use crate::perf::pool::WorkerPool;
 use crate::wire::cache::{CacheKey, ResultCache};
 use std::collections::HashMap;
@@ -132,6 +142,11 @@ pub struct ServeConfig {
     /// Directory for the persistent result-cache store. `None` keeps
     /// the cache purely in memory.
     pub cache_dir: Option<String>,
+    /// Byte cap on the persistent store: after every store, the oldest
+    /// disk entries are evicted until the directory fits (`pypmc serve
+    /// --cache-dir-max-bytes`). `None` leaves the disk tier unbounded;
+    /// ignored without [`ServeConfig::cache_dir`].
+    pub cache_dir_max_bytes: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -143,6 +158,7 @@ impl Default for ServeConfig {
             queue_depth: 16,
             cache_capacity: 128,
             cache_dir: None,
+            cache_dir_max_bytes: None,
         }
     }
 }
@@ -153,6 +169,7 @@ struct CompileRequest {
     model: String,
     config: LibraryConfig,
     policy: SweepPolicy,
+    matcher: MatcherBackend,
     jobs: Option<usize>,
 }
 
@@ -180,6 +197,7 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 model: model.to_owned(),
                 config: LibraryConfig::both(),
                 policy: SweepPolicy::RestartOnRewrite,
+                matcher: MatcherBackend::default(),
                 jobs: None,
             };
             for word in words {
@@ -188,12 +206,14 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 };
                 match key {
                     "config" => {
-                        req.config =
-                            parse_config(value).ok_or_else(|| format!("unknown config {value}"))?;
+                        req.config = crate::cli_args::lib_config(value)
+                            .ok_or_else(|| format!("unknown config {value}"))?;
                     }
                     "policy" => {
-                        req.policy = SweepPolicy::parse(value)
-                            .ok_or_else(|| format!("unknown sweep policy {value}"))?;
+                        req.policy = crate::cli_args::parse_policy(value)?;
+                    }
+                    "matcher" => {
+                        req.matcher = crate::cli_args::parse_matcher(value)?;
                     }
                     "jobs" => {
                         req.jobs = Some(
@@ -210,18 +230,6 @@ fn parse_request(line: &str) -> Result<Request, String> {
             "unknown verb '{other}' (want ping|stats|shutdown|compile)"
         )),
         None => Err("empty request".to_owned()),
-    }
-}
-
-/// The `pypmc compile --config` vocabulary.
-fn parse_config(name: &str) -> Option<LibraryConfig> {
-    match name {
-        "baseline" => Some(LibraryConfig::none()),
-        "fmha" => Some(LibraryConfig::fmha_only()),
-        "epilog" => Some(LibraryConfig::epilog_only()),
-        "both" => Some(LibraryConfig::both()),
-        "all" => Some(LibraryConfig::all()),
-        _ => None,
     }
 }
 
@@ -244,10 +252,10 @@ struct WorkerState {
     cache: Arc<ResultCache>,
     /// Request determinants → content hash. The zoo builders are pure,
     /// so the canonical graph/ruleset bytes — and therefore the cache
-    /// key — are a function of (model, config, policy, jobs); once a
-    /// worker has hashed a request's content it never rebuilds the
-    /// graph just to rediscover the same key.
-    key_memo: HashMap<(String, LibraryConfig, &'static str, usize), CacheKey>,
+    /// key — are a function of (model, config, policy, matcher, jobs);
+    /// once a worker has hashed a request's content it never rebuilds
+    /// the graph just to rediscover the same key.
+    key_memo: HashMap<(String, LibraryConfig, &'static str, &'static str, usize), CacheKey>,
 }
 
 impl WorkerState {
@@ -283,7 +291,13 @@ impl WorkerState {
         // the graph builder. A memoized *miss* (the entry was evicted)
         // falls through to recompile without probing again — the
         // recomputed key is the same hash of the same bytes.
-        let memo = (req.model.clone(), req.config, req.policy.name(), jobs);
+        let memo = (
+            req.model.clone(),
+            req.config,
+            req.policy.name(),
+            req.matcher.name(),
+            jobs,
+        );
         let mut probed = false;
         if self.cache.is_enabled() {
             if let Some(key) = self.key_memo.get(&memo) {
@@ -301,15 +315,21 @@ impl WorkerState {
         };
         let rules = self.session.load_library_cached(req.config);
         // Content-address the request: the canonical graph bytes plus
-        // everything else that shapes the report. Jobs is in the key
-        // because it changes the machine-step/backtrack counters.
+        // everything else that shapes the report. Jobs and the matcher
+        // backend are in the key because they change the
+        // machine-step/backtrack/admission counters; the engine version
+        // is in it so a persistent store outliving this binary (an
+        // upgraded server over an old --cache-dir) misses instead of
+        // replaying a stale report.
         let key = self.cache.is_enabled().then(|| {
             let key = CacheKey::of(&[
                 b"pypm.serve.compile.v1",
+                env!("CARGO_PKG_VERSION").as_bytes(),
                 &self.session.wire_graph(&graph),
                 &crate::wire::encode_ruleset(&rules, &self.session.syms, &self.session.pats),
                 format!("{:?}", req.config).as_bytes(),
                 req.policy.name().as_bytes(),
+                req.matcher.name().as_bytes(),
                 &(jobs as u64).to_le_bytes(),
             ]);
             self.key_memo.insert(memo, key);
@@ -331,7 +351,11 @@ impl WorkerState {
             pipeline = pipeline.with_pool(pool);
         }
         if !rules.is_empty() {
-            pipeline = pipeline.with(RewritePass::new(rules).policy(req.policy));
+            pipeline = pipeline.with(
+                RewritePass::new(rules)
+                    .policy(req.policy)
+                    .matcher(req.matcher),
+            );
         }
         let reports = pipeline
             .run_batch(std::slice::from_mut(&mut graph))
@@ -420,7 +444,13 @@ impl Server {
         let (queue, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let cache = Arc::new(match &config.cache_dir {
-            Some(dir) => ResultCache::persistent(config.cache_capacity, dir)?,
+            Some(dir) => {
+                let cache = ResultCache::persistent(config.cache_capacity, dir)?;
+                match config.cache_dir_max_bytes {
+                    Some(max_bytes) => cache.with_dir_max_bytes(max_bytes),
+                    None => cache,
+                }
+            }
             None => ResultCache::in_memory(config.cache_capacity),
         });
         let shared = Arc::new(Shared {
@@ -717,15 +747,19 @@ mod tests {
                 model: "bert-tiny".to_owned(),
                 config: LibraryConfig::both(),
                 policy: SweepPolicy::RestartOnRewrite,
+                matcher: MatcherBackend::Fused,
                 jobs: None,
             }))
         );
         assert_eq!(
-            parse_request("compile vgg11 config=all policy=incremental jobs=4"),
+            parse_request(
+                "compile vgg11 config=all+synth39 policy=incremental matcher=per-pattern jobs=4"
+            ),
             Ok(Request::Compile(CompileRequest {
                 model: "vgg11".to_owned(),
-                config: LibraryConfig::all(),
+                config: LibraryConfig::all().with_synth(39),
                 policy: SweepPolicy::Incremental,
+                matcher: MatcherBackend::PerPattern,
                 jobs: Some(4),
             }))
         );
@@ -737,7 +771,9 @@ mod tests {
         assert!(parse_request("frobnicate").is_err());
         assert!(parse_request("compile").is_err());
         assert!(parse_request("compile m config=bogus").is_err());
+        assert!(parse_request("compile m config=all+synthX").is_err());
         assert!(parse_request("compile m policy=bogus").is_err());
+        assert!(parse_request("compile m matcher=bogus").is_err());
         assert!(parse_request("compile m jobs=0").is_err());
         assert!(parse_request("compile m jobs=four").is_err());
         assert!(parse_request("compile m stray").is_err());

@@ -153,6 +153,93 @@ fn compile_jobs_env_override_and_flag_precedence() {
 }
 
 #[test]
+fn compile_matcher_flag_env_and_diagnostics() {
+    // Both backends compile to identical rewrite lines; the backend
+    // line names which matcher ran.
+    let mut rewrite_lines = Vec::new();
+    for matcher in ["per-pattern", "fused"] {
+        let out = pypmc(&["compile", "bert-tiny", "--matcher", matcher]);
+        assert!(out.status.success(), "--matcher {matcher}: {out:?}");
+        let text = stdout(&out);
+        assert!(text.contains(&format!("backend    {matcher}:")), "{text}");
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("rewrites"))
+            .expect("rewrites line")
+            .to_owned();
+        rewrite_lines.push(line);
+    }
+    assert_eq!(rewrite_lines[0], rewrite_lines[1]);
+    // The PYPM_MATCHER environment override selects the backend when no
+    // flag is given; the explicit flag wins over it; a broken value
+    // fails loudly, naming the variable.
+    let with_env = |args: &[&str], env: &str| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_pypmc"));
+        cmd.args(args).env("PYPM_MATCHER", env);
+        cmd.output().expect("failed to spawn pypmc")
+    };
+    let out = with_env(&["compile", "bert-tiny"], "per-pattern");
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("backend    per-pattern:"), "{out:?}");
+    let out = with_env(
+        &["compile", "bert-tiny", "--matcher", "fused"],
+        "per-pattern",
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("backend    fused:"), "{out:?}");
+    let out = with_env(&["compile", "bert-tiny"], "fuse");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("invalid PYPM_MATCHER=fuse"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn compile_unknown_matcher_fails_loudly() {
+    let out = pypmc(&["compile", "bert-tiny", "--matcher", "bogus"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("unknown matcher backend bogus"),
+        "should name the bad value: {err}"
+    );
+    assert!(
+        err.contains("per-pattern|fused"),
+        "should list the vocabulary: {err}"
+    );
+}
+
+#[test]
+fn compile_synth_config_suffix_scales_the_library() {
+    // `+synthN` appends N synthetic never-firing rules: fired/matched
+    // counts are unchanged from the base config (attempts legitimately
+    // grow — the extra rules are still probed), and a malformed suffix
+    // is an unknown config, not a silent default.
+    let base = pypmc(&["compile", "bert-tiny", "--config", "all"]);
+    assert!(base.status.success(), "{base:?}");
+    let synth = pypmc(&["compile", "bert-tiny", "--config", "all+synth39"]);
+    assert!(synth.status.success(), "{synth:?}");
+    let rewrites = |out: &Output| {
+        stdout(out)
+            .lines()
+            .find(|l| l.starts_with("rewrites"))
+            .expect("rewrites line")
+            .split(" / ")
+            .take(2)
+            .collect::<Vec<_>>()
+            .join(" / ")
+    };
+    assert_eq!(rewrites(&base), rewrites(&synth));
+    let out = pypmc(&["compile", "bert-tiny", "--config", "all+synthX"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown config"),
+        "{out:?}"
+    );
+}
+
+#[test]
 fn compile_unknown_sweep_policy_fails_loudly() {
     let out = pypmc(&["compile", "bert-tiny", "--sweep-policy", "bogus"]);
     assert_eq!(out.status.code(), Some(2), "{out:?}");

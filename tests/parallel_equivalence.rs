@@ -15,7 +15,8 @@
 
 use pypm::dsl::LibraryConfig;
 use pypm::engine::{
-    Observer, ParallelConfig, PassStats, Pipeline, RewriteFired, RewritePass, Session, SweepPolicy,
+    MatcherBackend, Observer, ParallelConfig, PassStats, Pipeline, RewriteFired, RewritePass,
+    Session, SweepPolicy,
 };
 use pypm::graph::{Graph, NodeId};
 use std::cell::RefCell;
@@ -370,8 +371,16 @@ fn session_survives_an_injected_worker_panic() {
     let mut g = cfg.build(&mut s);
     let rules = s.load_library(LibraryConfig::both());
     pypm::engine::shard::inject_worker_panic_once();
+    // Per-pattern discovery keeps the warm phase large enough to fan
+    // across pool workers — the fused tree rejects so many pairs that
+    // the tiny remainder runs on the caller thread and the injected
+    // pool-task panic would never fire.
     let err = Pipeline::new(&mut s)
-        .with(RewritePass::new(rules).policy(SweepPolicy::RestartOnRewrite))
+        .with(
+            RewritePass::new(rules)
+                .policy(SweepPolicy::RestartOnRewrite)
+                .matcher(MatcherBackend::PerPattern),
+        )
         .parallelism(ParallelConfig::with_jobs(4))
         .run(&mut g)
         .expect_err("the injected panic must fail the run");

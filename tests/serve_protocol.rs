@@ -234,15 +234,23 @@ fn server_survives_an_injected_worker_pool_panic() {
     let mut c = Client::connect(server.addr()).unwrap();
 
     // Arm a one-shot panic inside the engine's parallel match phase.
-    // The request must fail with a server-side error…
+    // The request pins the per-pattern backend: the fused matcher
+    // filters warm rounds below the pool's dispatch grain, so the
+    // armed hook would never fire inside a pool task (and would leak
+    // into another test's run). The request must fail with a
+    // server-side error…
     pypm::engine::shard::inject_worker_panic_once();
-    let (status, body) = c.request("compile bert-small jobs=4").unwrap();
+    let (status, body) = c
+        .request("compile bert-small jobs=4 matcher=per-pattern")
+        .unwrap();
     assert_eq!(status, STATUS_ERROR, "{body}");
     assert!(body.contains("panic"), "{body}");
 
     // …and the *same* worker (same session, same warm pool) serves the
     // next request cleanly.
-    let (status, body) = c.request("compile bert-small jobs=4").unwrap();
+    let (status, body) = c
+        .request("compile bert-small jobs=4 matcher=per-pattern")
+        .unwrap();
     assert_eq!(status, STATUS_OK, "{body}");
     assert!(body.contains("\"rewrites_fired\""), "{body}");
     shutdown_and_join(server);
