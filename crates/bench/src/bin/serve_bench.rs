@@ -1,13 +1,17 @@
 //! `serve_bench` — the load generator for `pypmc serve`.
 //!
 //! Boots in-process [`pypm::serve::Server`]s and drives them with
-//! concurrent clients, emitting **two** latency series into
-//! `crates/bench/BENCH_serve.json` (schema `pypm.bench.serve.v2`):
+//! concurrent clients, emitting **three** latency series into
+//! `crates/bench/BENCH_serve.json` (schema `pypm.bench.serve.v3`):
 //!
 //! * `compile` — the result cache disabled, every request a full
 //!   compile (the old `pypm.bench.serve.v1` measurement);
 //! * `cache_hit` — the cache primed, every measured request answered
-//!   from the content-addressed result cache.
+//!   from the content-addressed result cache;
+//! * `deadline` — every request carries `step_limit=1`, so every
+//!   response is `DEADLINE_EXCEEDED`: the p99 of this series is how
+//!   fast the server *sheds* over-budget work, the robustness
+//!   headline next to the throughput ones.
 //!
 //! The ratio between the two is the headline number for the cache:
 //! a hit skips the whole pipeline, so `cache_hit` req/s should dwarf
@@ -25,7 +29,9 @@
 //! and counted separately; only successful compiles enter the latency
 //! series.
 
-use pypm::serve::{Client, ServeConfig, Server, STATUS_OK, STATUS_OVERLOADED};
+use pypm::serve::{
+    Client, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_OK, STATUS_OVERLOADED,
+};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -215,6 +221,74 @@ fn run_series(args: &Args, cache_capacity: usize) -> SeriesResult {
     }
 }
 
+/// The deadline-shedding series: cache disabled, every request capped
+/// at `step_limit=1` so no compile can finish — every response must be
+/// `DEADLINE_EXCEEDED`, and its latency measures how quickly the
+/// cooperative budget unwinds a doomed compile.
+fn run_deadline_series(args: &Args) -> SeriesResult {
+    let server = Server::bind(ServeConfig {
+        jobs: args.jobs,
+        workers: args.workers,
+        queue_depth: args.queue,
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind on an ephemeral port");
+    let addr = server.addr();
+    let line = format!("compile {} jobs={} step_limit=1", args.model, args.jobs);
+
+    let clock = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let line = line.clone();
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut latencies_ms = Vec::with_capacity(requests);
+                let mut overloaded = 0u64;
+                for _ in 0..requests {
+                    loop {
+                        let t = Instant::now();
+                        let (status, body) = c.request(&line).expect("request");
+                        match status {
+                            STATUS_DEADLINE_EXCEEDED => {
+                                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                                assert!(body.contains("step_limit=1"), "{body}");
+                                break;
+                            }
+                            STATUS_OVERLOADED => {
+                                overloaded += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            other => panic!("unexpected status {other}: {body}"),
+                        }
+                    }
+                }
+                (latencies_ms, overloaded)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::with_capacity(args.clients * args.requests);
+    let mut overloaded = 0u64;
+    for h in handles {
+        let (lat, ov) = h.join().expect("client thread");
+        latencies_ms.extend(lat);
+        overloaded += ov;
+    }
+    let wall_s = clock.elapsed().as_secs_f64();
+    server.shutdown();
+    server.join();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SeriesResult {
+        latencies_ms,
+        overloaded,
+        wall_s,
+        cache_hits: 0,
+    }
+}
+
 /// One series as a JSON object body.
 fn series_json(r: &SeriesResult) -> String {
     let ok = r.latencies_ms.len();
@@ -250,14 +324,17 @@ fn main() {
         cache_hit.cache_hits, total,
         "warm-cache series must be all hits"
     );
+    // Series 3: every request doomed by `step_limit=1` — measures how
+    // fast the budget sheds over-limit work.
+    let deadline = run_deadline_series(&args);
 
     let compile_rps = compile.latencies_ms.len() as f64 / compile.wall_s;
     let hit_rps = cache_hit.latencies_ms.len() as f64 / cache_hit.wall_s;
     let json = format!(
-        "{{\n  \"schema\": \"pypm.bench.serve.v2\",\n  \"model\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pypm.bench.serve.v3\",\n  \"model\": \"{}\",\n  \
          \"jobs\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"series\": {{\n    \
-         \"compile\": {},\n    \"cache_hit\": {}\n  }},\n  \
+         \"compile\": {},\n    \"cache_hit\": {},\n    \"deadline\": {}\n  }},\n  \
          \"cache_hit_speedup\": {:.3},\n  \"counters_equivalent\": true\n}}\n",
         args.model,
         args.jobs,
@@ -267,12 +344,14 @@ fn main() {
         args.requests,
         series_json(&compile),
         series_json(&cache_hit),
+        series_json(&deadline),
         hit_rps / compile_rps,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
     println!(
         "{} clients x {} requests of {}: compile {:.1} req/s (p50 {:.2} ms), \
-         cache-hit {:.1} req/s (p50 {:.2} ms), {:.1}x -> {}",
+         cache-hit {:.1} req/s (p50 {:.2} ms), {:.1}x, \
+         deadline-shed p99 {:.2} ms -> {}",
         args.clients,
         args.requests,
         args.model,
@@ -281,6 +360,7 @@ fn main() {
         hit_rps,
         percentile(&cache_hit.latencies_ms, 50.0),
         hit_rps / compile_rps,
+        percentile(&deadline.latencies_ms, 99.0),
         args.out
     );
 }

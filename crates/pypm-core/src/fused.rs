@@ -52,6 +52,7 @@
 //! degenerate but sound, and exactly as cheap as having no index for
 //! that one pattern.
 
+use crate::budget::Budget;
 use crate::pattern::{Pattern, PatternId, PatternStore};
 use crate::symbol::{PatName, Symbol};
 use crate::term::{TermId, TermStore};
@@ -214,13 +215,41 @@ impl FusedSet {
     /// guaranteed machine failure on `t`. `steps` is incremented once
     /// per trie state expanded (the work metric of the walk).
     pub fn candidates(&self, terms: &TermStore, t: TermId, steps: &mut u64) -> Vec<u32> {
+        self.candidates_bounded(terms, t, steps, None)
+    }
+
+    /// [`FusedSet::candidates`] under a cooperative [`Budget`]: the walk
+    /// charges its trie steps against the budget in
+    /// [`Budget::WALL_CHECK_MASK`]-sized batches and **abandons the walk
+    /// early** once the budget trips, returning whatever candidates it
+    /// had collected. A truncated candidate set is only ever *used* by
+    /// callers that abort the whole compile at their next budget check —
+    /// an un-tripped budget changes nothing, so results with headroom
+    /// stay byte-identical to the unbudgeted walk.
+    pub fn candidates_bounded(
+        &self,
+        terms: &TermStore,
+        t: TermId,
+        steps: &mut u64,
+        budget: Option<&Budget>,
+    ) -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
         // Depth-first over (trie node, stack of term subtrees still to
         // consume). Skeletons are saturated preorder strings, so a leaf
         // is valid exactly when the stack empties.
         let mut work: Vec<(u32, Vec<TermId>)> = vec![(0, vec![t])];
+        let mut unbilled: u64 = 0;
         while let Some((n, mut stack)) = work.pop() {
             *steps += 1;
+            if let Some(b) = budget {
+                unbilled += 1;
+                if unbilled > Budget::WALL_CHECK_MASK {
+                    if !b.charge(unbilled) {
+                        break;
+                    }
+                    unbilled = 0;
+                }
+            }
             let node = &self.nodes[n as usize];
             let Some(&cur) = stack.last() else {
                 out.extend_from_slice(&node.leaves);
@@ -240,6 +269,11 @@ impl FusedSet {
                 stack.pop();
                 stack.extend(terms.args(cur).iter().rev());
                 work.push((child, stack));
+            }
+        }
+        if let Some(b) = budget {
+            if unbilled > 0 {
+                b.charge(unbilled);
             }
         }
         out.sort_unstable();

@@ -65,6 +65,7 @@
 
 pub mod analysis;
 pub mod attr;
+pub mod budget;
 pub mod declarative;
 pub mod fused;
 pub mod guard;
@@ -76,6 +77,7 @@ pub mod term;
 pub mod testing;
 
 pub use attr::{AttrInterp, NoAttrs, StructuralAttrInterp, TableAttrInterp};
+pub use budget::Budget;
 pub use fused::FusedSet;
 pub use guard::{Expr, Guard, GuardValue};
 pub use machine::{Action, Machine, MachineError, MachineStats, Outcome, RuleName};

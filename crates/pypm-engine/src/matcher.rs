@@ -48,8 +48,9 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
-use pypm_core::{FusedSet, PatternId, PatternStore, RootFilter, Symbol, TermId, TermStore};
+use pypm_core::{Budget, FusedSet, PatternId, PatternStore, RootFilter, Symbol, TermId, TermStore};
 
 /// Which candidate-discovery index the rewrite pass runs above the
 /// abstract machine. See the module docs for the trade-off.
@@ -169,6 +170,17 @@ pub trait Matcher: fmt::Debug + Send {
         terms: &TermStore,
         stats: &mut MatcherStats,
     ) -> bool;
+
+    /// Installs (or clears) the run's cooperative [`Budget`]. Backends
+    /// whose admission work is per-pair constant ignore it; the fused
+    /// tree charges its trie walks and truncates them once the budget
+    /// trips. A truncated walk may produce conservative verdicts, which
+    /// is sound here only because the driver aborts the whole pass at
+    /// its next budget check — an un-tripped budget never changes a
+    /// verdict.
+    fn set_budget(&mut self, budget: Option<Arc<Budget>>) {
+        let _ = budget;
+    }
 }
 
 /// The historical per-pattern discovery path (see
@@ -226,6 +238,10 @@ pub struct FusedMatcher {
     /// sweeps: hash-consed [`TermId`]s never change meaning, so a walk
     /// is paid once per distinct subject term per pass.
     memo: HashMap<TermId, Vec<u32>>,
+    /// The run's cooperative budget; walks charge their trie steps
+    /// against it and truncate once it trips (see
+    /// [`Matcher::set_budget`]).
+    budget: Option<Arc<Budget>>,
 }
 
 impl FusedMatcher {
@@ -234,6 +250,7 @@ impl FusedMatcher {
         FusedMatcher {
             set: FusedSet::build(pats, patterns),
             memo: HashMap::new(),
+            budget: None,
         }
     }
 
@@ -258,10 +275,19 @@ impl Matcher for FusedMatcher {
     ) -> bool {
         if !self.memo.contains_key(&t) {
             stats.terms_walked += 1;
-            let candidates = self.set.candidates(terms, t, &mut stats.trie_steps);
+            let candidates = self.set.candidates_bounded(
+                terms,
+                t,
+                &mut stats.trie_steps,
+                self.budget.as_deref(),
+            );
             self.memo.insert(t, candidates);
         }
         self.memo[&t].binary_search(&(pi as u32)).is_ok()
+    }
+
+    fn set_budget(&mut self, budget: Option<Arc<Budget>>) {
+        self.budget = budget;
     }
 }
 

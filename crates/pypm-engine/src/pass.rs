@@ -18,6 +18,7 @@
 use crate::rewriter::{PassStats, RewriteError};
 use crate::session::Session;
 use crate::shard::ParallelConfig;
+use pypm_core::Budget;
 use pypm_graph::{Graph, NodeId};
 use pypm_perf::pool::WorkerPool;
 use std::any::Any;
@@ -87,6 +88,13 @@ pub enum PassError {
         /// Validation failure rendered for humans.
         reason: String,
     },
+    /// The compile's cooperative [`pypm_core::Budget`] was exhausted
+    /// mid-pass. The session, pool and graph stores remain fully
+    /// reusable; the graph may have been partially rewritten.
+    BudgetExceeded {
+        /// The exhausted limits, e.g. `"timeout_ms=50 step_limit=1000"`.
+        limits: String,
+    },
     /// Any other pass-specific failure.
     Failed {
         /// Human-readable reason.
@@ -100,6 +108,13 @@ impl fmt::Display for PassError {
             PassError::Rewrite(e) => write!(f, "{e}"),
             PassError::InvalidGraph { reason } => {
                 write!(f, "invalid graph after pass: {reason}")
+            }
+            PassError::BudgetExceeded { limits } => {
+                if limits.is_empty() {
+                    write!(f, "compile budget exceeded")
+                } else {
+                    write!(f, "compile budget exceeded ({limits})")
+                }
             }
             PassError::Failed { reason } => write!(f, "{reason}"),
         }
@@ -117,7 +132,13 @@ impl std::error::Error for PassError {
 
 impl From<RewriteError> for PassError {
     fn from(e: RewriteError) -> Self {
-        PassError::Rewrite(e)
+        match e {
+            // Budget exhaustion is a pipeline-level condition, not a
+            // rewrite defect — surface it as its own variant so callers
+            // (the serve layer in particular) can match on it.
+            RewriteError::BudgetExceeded { limits } => PassError::BudgetExceeded { limits },
+            other => PassError::Rewrite(other),
+        }
     }
 }
 
@@ -299,6 +320,9 @@ pub struct PipelineCx {
     /// batch length for `Pipeline::run_batch`); surfaces as the
     /// `batch_graphs` counter.
     batch_graphs: u64,
+    /// Cooperative resource budget for the run, checked by passes at
+    /// their scheduling points; `None` = unlimited.
+    budget: Option<Arc<Budget>>,
 }
 
 impl Default for PipelineCx {
@@ -313,6 +337,7 @@ impl Default for PipelineCx {
             parallel: ParallelConfig::default(),
             pool: None,
             batch_graphs: 1,
+            budget: None,
         }
     }
 }
@@ -374,6 +399,18 @@ impl PipelineCx {
     /// [`crate::Pipeline::run`]).
     pub fn batch_graphs(&self) -> u64 {
         self.batch_graphs
+    }
+
+    /// The run's cooperative resource budget, if one was installed via
+    /// [`crate::Pipeline::with_budget`]. Passes check it at their
+    /// scheduling points and unwind with [`PassError::BudgetExceeded`].
+    pub fn budget(&self) -> Option<&Arc<Budget>> {
+        self.budget.as_ref()
+    }
+
+    /// Installs the run's cooperative resource budget.
+    pub(crate) fn set_budget(&mut self, budget: Arc<Budget>) {
+        self.budget = Some(budget);
     }
 
     /// Records the batch size of the owning run.

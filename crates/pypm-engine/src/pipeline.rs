@@ -31,6 +31,7 @@
 use crate::pass::{Diagnostic, Observer, Pass, PassError, PassRecord, PipelineCx};
 use crate::rewriter::PassStats;
 use crate::session::Session;
+use pypm_core::Budget;
 use pypm_graph::Graph;
 use pypm_perf::pool::WorkerPool;
 use std::any::Any;
@@ -153,6 +154,19 @@ impl<'s> Pipeline<'s> {
     /// ```
     pub fn with_pool(mut self, pool: Arc<WorkerPool>) -> Self {
         self.cx.set_pool(pool);
+        self
+    }
+
+    /// Installs a cooperative resource [`Budget`] (wall deadline and/or
+    /// machine-step cap) for this run. Passes check it at their
+    /// scheduling points — the commit loop, shard workers and fused
+    /// matcher walks — and the run stops at the first pass to observe
+    /// exhaustion, failing with [`PassError::BudgetExceeded`]. The
+    /// session and any shared pool remain fully reusable afterwards,
+    /// and a budget that never trips changes nothing: results stay
+    /// byte-identical to an unbudgeted run.
+    pub fn with_budget(mut self, budget: Arc<Budget>) -> Self {
+        self.cx.set_budget(budget);
         self
     }
 

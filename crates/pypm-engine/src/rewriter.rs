@@ -41,7 +41,7 @@ use crate::matcher::{build_matcher, Matcher, MatcherBackend, MatcherStats};
 use crate::pass::{Pass, PassError, PassOutcome, PipelineCx, RejectReason};
 use crate::session::Session;
 use crate::shard::{warm_probes, ParallelConfig, ParallelStats, ProbeCache, ProbeKey, ProbeResult};
-use pypm_core::{Machine, Outcome, PatternId, Subst, TermId, Witness};
+use pypm_core::{Budget, Machine, Outcome, PatternId, Subst, TermId, Witness};
 use pypm_dsl::{Rhs, RuleSet};
 use pypm_graph::{Graph, NodeId, TermView};
 use pypm_perf::pool::WorkerPool;
@@ -228,6 +228,14 @@ pub enum RewriteError {
         /// The panic message.
         reason: String,
     },
+    /// The run's cooperative [`pypm_core::Budget`] was exhausted. The
+    /// session, pool and stores remain reusable; the graph may have
+    /// been partially rewritten. Surfaced to pipeline callers as
+    /// [`crate::PassError::BudgetExceeded`].
+    BudgetExceeded {
+        /// The exhausted limits ([`pypm_core::Budget::describe`]).
+        limits: String,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -243,6 +251,13 @@ impl fmt::Display for RewriteError {
             RewriteError::BuildFailed { reason } => write!(f, "replacement build failed: {reason}"),
             RewriteError::WorkerPanicked { reason } => {
                 write!(f, "parallel match worker panicked: {reason}")
+            }
+            RewriteError::BudgetExceeded { limits } => {
+                if limits.is_empty() {
+                    write!(f, "compile budget exceeded")
+                } else {
+                    write!(f, "compile budget exceeded ({limits})")
+                }
             }
         }
     }
@@ -317,6 +332,10 @@ struct Driver<'a> {
     /// lazily at the start of [`Driver::run`] so match-only entry
     /// points ([`Driver::find_matches`]) never pay the build.
     matcher: Option<Box<dyn Matcher>>,
+    /// The run's cooperative resource budget, taken from the
+    /// [`PipelineCx`] at the start of [`Driver::run`]; `None` (the
+    /// default, and every legacy entry point) means unlimited.
+    budget: Option<Arc<Budget>>,
 }
 
 impl<'a> Driver<'a> {
@@ -330,6 +349,7 @@ impl<'a> Driver<'a> {
             pattern_ids: Vec::new(),
             cache: ProbeCache::new(),
             matcher: None,
+            budget: None,
         }
     }
 
@@ -363,7 +383,16 @@ impl<'a> Driver<'a> {
     /// streaming match/rewrite events through `cx`.
     fn run(&mut self, graph: &mut Graph, cx: &mut PipelineCx) -> Result<PassStats, RewriteError> {
         let start = Instant::now();
+        self.budget = cx.budget().cloned();
         self.ensure_matcher();
+        if let Some(b) = &self.budget {
+            // The fused matcher charges its trie walks against the
+            // budget (and truncates them once it trips).
+            self.matcher
+                .as_mut()
+                .expect("matcher built above")
+                .set_budget(Some(Arc::clone(b)));
+        }
         let mut stats = PassStats::default();
         stats.matcher.backend = self.config.matcher.name();
         stats.parallel.jobs = self.parallel.jobs as u64;
@@ -381,6 +410,18 @@ impl<'a> Driver<'a> {
         graph.gc();
         stats.duration = start.elapsed();
         Ok(stats)
+    }
+
+    /// Checks the run's cooperative budget (a no-op without one). Both
+    /// schedulers call this once per candidate visit and once per scan
+    /// round, so a tripped budget unwinds within one node visit.
+    fn check_budget(&self) -> Result<(), RewriteError> {
+        match &self.budget {
+            Some(b) if !b.check() => Err(RewriteError::BudgetExceeded {
+                limits: b.describe(),
+            }),
+            _ => Ok(()),
+        }
     }
 
     /// The parallel discovery phase of one scan round: collects the
@@ -447,6 +488,7 @@ impl<'a> Driver<'a> {
             &todo,
             &mut self.cache,
             &mut stats.parallel,
+            self.budget.clone(),
         )
         .map_err(|e| RewriteError::WorkerPanicked {
             reason: e.to_string(),
@@ -491,6 +533,12 @@ impl<'a> Driver<'a> {
         let mut machine = Machine::new(&mut self.session.pats, &self.session.terms, view.attrs());
         let outcome = machine.run(self.rules.patterns[pi].pattern, t, self.config.machine_fuel);
         let result = ProbeResult::from_run(outcome, machine.stats());
+        if let Some(b) = &self.budget {
+            // Machine transitions are the step currency of the budget's
+            // `machine_steps` cap; a replayed cached probe re-runs no
+            // machine, so it charges nothing.
+            b.charge(result.steps);
+        }
         stats.machine_steps += result.steps;
         stats.machine_backtracks += result.backtracks;
         if self.parallel.is_parallel() {
@@ -645,6 +693,7 @@ impl<'a> Driver<'a> {
                     // (ContinueSweep policy).
                     continue;
                 }
+                self.check_budget()?;
                 let Some(fired) =
                     self.visit_node(graph, &mut view, node, &mut visited_once, stats, cx)?
                 else {
@@ -754,6 +803,7 @@ impl<'a> Driver<'a> {
                 if !dirty.remove(&node) {
                     continue;
                 }
+                self.check_budget()?;
                 let Some(fired) =
                     self.visit_node(graph, &mut view, node, &mut visited_once, stats, cx)?
                 else {

@@ -67,31 +67,13 @@
 //! subgraphs carry equal metadata) — the invariant documented on that
 //! variant and hunted by the nightly randomized divergence suites.
 
-use pypm_core::{Machine, Outcome, PatternId, PatternStore, TermId, TermStore, Witness};
+use pypm_core::{Budget, Machine, Outcome, PatternId, PatternStore, TermId, TermStore, Witness};
 use pypm_graph::GraphAttrInterp;
 use pypm_perf::parallel::{available_jobs, shard_ranges};
 use pypm_perf::pool::{PoolError, WorkerPool};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Test-only fault injection: when armed, the next pool task of a warm
-/// phase panics instead of probing. See [`inject_worker_panic_once`].
-static INJECT_WORKER_PANIC: AtomicBool = AtomicBool::new(false);
-
-/// Arms a one-shot panic in the next warm-phase pool task. The flag is
-/// consumed by whichever worker observes it first, so exactly one task
-/// of the next pooled round fails with [`PoolError::TaskPanicked`].
-///
-/// This exists to let regression tests drive the error paths of the
-/// term-store loan (un-restorable stores would poison a long-lived
-/// session) without reaching into engine internals. Not part of the
-/// public API.
-#[doc(hidden)]
-pub fn inject_worker_panic_once() {
-    INJECT_WORKER_PANIC.store(true, Ordering::SeqCst);
-}
 
 /// RAII loan of the session's [`TermStore`] to pool workers.
 ///
@@ -304,18 +286,28 @@ fn run_shard(
     attrs: &GraphAttrInterp,
     fuel: u64,
     chunk: &[ProbeKey],
+    budget: Option<&Budget>,
 ) -> Vec<(ProbeKey, ProbeResult)> {
     let mut machine = Machine::new(pats, terms, attrs);
-    chunk
-        .iter()
-        .map(|&key| {
-            let (pi, t) = key;
-            machine.load(patterns[pi], t);
-            let outcome = machine.resume(fuel);
-            let mstats = machine.stats();
-            (key, ProbeResult::from_run(outcome, mstats))
-        })
-        .collect()
+    let mut out = Vec::with_capacity(chunk.len());
+    for &key in chunk {
+        // Cooperative deadline: once the shared budget trips (here or
+        // on any other shard), stop probing and return the partial
+        // buffer — the driver aborts the pass at its next check, so a
+        // short buffer is only ever observed by a failing run.
+        if budget.is_some_and(|b| b.exceeded()) {
+            break;
+        }
+        let (pi, t) = key;
+        machine.load(patterns[pi], t);
+        let outcome = machine.resume(fuel);
+        let mstats = machine.stats();
+        if let Some(b) = budget {
+            b.charge(mstats.steps);
+        }
+        out.push((key, ProbeResult::from_run(outcome, mstats)));
+    }
+    out
 }
 
 /// The warm phase: probes `todo` (deduplicated, in candidate order)
@@ -350,6 +342,7 @@ pub(crate) fn warm_probes(
     todo: &[ProbeKey],
     cache: &mut ProbeCache,
     stats: &mut ParallelStats,
+    budget: Option<Arc<Budget>>,
 ) -> Result<(), PoolError> {
     if todo.is_empty() {
         return Ok(());
@@ -370,7 +363,17 @@ pub(crate) fn warm_probes(
     let buffers: Vec<Vec<(ProbeKey, ProbeResult)>> = match pool {
         None => ranges
             .iter()
-            .map(|r| run_shard(patterns, pats, terms, attrs, fuel, &todo[r.clone()]))
+            .map(|r| {
+                run_shard(
+                    patterns,
+                    pats,
+                    terms,
+                    attrs,
+                    fuel,
+                    &todo[r.clone()],
+                    budget.as_deref(),
+                )
+            })
             .collect(),
         Some(pool) => {
             if pool.batches_run() > 0 {
@@ -393,10 +396,17 @@ pub(crate) fn warm_probes(
                     let mut worker_pats = pats.clone();
                     let worker_terms = loan.share();
                     let worker_attrs = Arc::clone(attrs);
+                    let worker_budget = budget.clone();
                     move || {
-                        if INJECT_WORKER_PANIC.swap(false, Ordering::SeqCst) {
-                            panic!("injected warm-phase worker panic (test hook)");
+                        // Failpoints (no-ops unless armed, one atomic
+                        // load each): `worker.panic` exercises the
+                        // pool's catch_unwind + loan-restore recovery,
+                        // `worker.slow` stalls a shard to simulate a
+                        // straggler under a deadline.
+                        if pypm_faults::fires("worker.panic").is_some() {
+                            panic!("injected warm-phase worker panic (failpoint worker.panic)");
                         }
+                        pypm_faults::sleep_if_delayed("worker.slow");
                         run_shard(
                             &patterns,
                             &mut worker_pats,
@@ -404,6 +414,7 @@ pub(crate) fn warm_probes(
                             &worker_attrs,
                             fuel,
                             &chunk,
+                            worker_budget.as_deref(),
                         )
                     }
                 })
@@ -419,6 +430,7 @@ pub(crate) fn warm_probes(
                 attrs,
                 fuel,
                 &todo[ranges[0].clone()],
+                budget.as_deref(),
             );
             let rest = batch.collect();
             drop(loan);
@@ -514,6 +526,7 @@ mod tests {
             &todo,
             &mut cache,
             &mut stats,
+            None,
         )
         .unwrap();
         assert_eq!(cache.len(), todo.len());
@@ -579,6 +592,7 @@ mod tests {
             &[],
             &mut cache,
             &mut stats,
+            None,
         )
         .unwrap();
         assert!(cache.is_empty());
@@ -640,7 +654,7 @@ mod tests {
 
         let mut cache = ProbeCache::new();
         let mut stats = ParallelStats::default();
-        inject_worker_panic_once();
+        pypm_faults::arm("worker.panic=panic*1").unwrap();
         let err = warm_probes(
             ParallelConfig::with_jobs(4),
             Some(&pool),
@@ -652,8 +666,10 @@ mod tests {
             &todo,
             &mut cache,
             &mut stats,
+            None,
         )
         .unwrap_err();
+        pypm_faults::disarm();
         assert!(matches!(err, PoolError::TaskPanicked { .. }), "{err:?}");
         assert_eq!(
             s.terms.len(),
@@ -674,6 +690,7 @@ mod tests {
             &todo,
             &mut cache,
             &mut stats,
+            None,
         )
         .unwrap();
         assert_eq!(cache.len(), todo.len(), "the pool must stay usable");
@@ -744,6 +761,7 @@ mod tests {
             &todo,
             &mut cache,
             &mut stats,
+            None,
         )
         .unwrap();
         assert_eq!(cache.len(), todo.len());

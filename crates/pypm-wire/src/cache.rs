@@ -77,6 +77,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Disk entries removed to stay within the directory byte cap.
     pub disk_evictions: u64,
+    /// Orphaned temp files (`*.tmp.<pid>`, left by a crash mid-write)
+    /// removed by the startup sweep of [`ResultCache::persistent`].
+    pub disk_orphans_removed: u64,
     /// The most recently computed key, as hex.
     pub last_key: Option<String>,
 }
@@ -131,7 +134,12 @@ impl ResultCache {
 
     /// An in-memory cache backed by `dir`, which is created if missing.
     /// Entries written by previous processes are picked up lazily, on
-    /// lookup — nothing is scanned at startup.
+    /// lookup — no entry is *read* at startup. The only startup disk
+    /// work is an orphan sweep: temp files (`*.tmp.<pid>`) left behind
+    /// by a process that crashed between write and rename are removed
+    /// and counted in [`CacheStats::disk_orphans_removed`] — they can
+    /// never be read back (lookups only open `.pypmw` paths), so they
+    /// are pure leaked space.
     ///
     /// # Errors
     ///
@@ -139,8 +147,15 @@ impl ResultCache {
     pub fn persistent(capacity: usize, dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
+        let orphans = sweep_orphans(&dir);
         let mut cache = ResultCache::in_memory(capacity);
         cache.dir = Some(dir);
+        cache
+            .state
+            .get_mut()
+            .expect("fresh lock")
+            .stats
+            .disk_orphans_removed = orphans;
         Ok(cache)
     }
 
@@ -193,7 +208,14 @@ impl ResultCache {
         }
         if let Some(dir) = &self.dir {
             let path = entry_path(dir, key);
-            if let Ok(bytes) = std::fs::read(&path) {
+            // Failpoint `cache.read`: an injected disk I/O error. Same
+            // contract as a real one — the lookup degrades to a miss.
+            let bytes = if pypm_faults::fires("cache.read").is_some() {
+                Err(io::Error::other("injected cache.read failure"))
+            } else {
+                std::fs::read(&path)
+            };
+            if let Ok(bytes) = bytes {
                 if let Ok(payload) = crate::decode_report(&bytes) {
                     state.stats.hits += 1;
                     state.stats.disk_hits += 1;
@@ -226,8 +248,20 @@ impl ResultCache {
             let path = entry_path(dir, key);
             let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
             let bytes = crate::encode_report(payload);
-            if std::fs::write(&tmp, &bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-                let _ = std::fs::remove_file(&tmp);
+            // Failpoints: `cache.write` fails the temp-file write (no
+            // bytes reach disk), `cache.torn` simulates a crash between
+            // write and rename — the temp file is left orphaned for the
+            // next startup's sweep. Both degrade the store to
+            // memory-only, exactly like the real I/O failures they
+            // model.
+            if pypm_faults::fires("cache.write").is_some() {
+                // Injected write failure: nothing to clean up.
+            } else if std::fs::write(&tmp, &bytes).is_ok() {
+                if pypm_faults::fires("cache.torn").is_some() {
+                    // Injected torn write: skip the commit rename.
+                } else if std::fs::rename(&tmp, &path).is_err() {
+                    let _ = std::fs::remove_file(&tmp);
+                }
             }
             if let Some(max_bytes) = self.dir_max_bytes {
                 state.stats.disk_evictions += enforce_dir_limit(dir, max_bytes);
@@ -255,7 +289,7 @@ impl ResultCache {
         format!(
             "{{\"capacity\": {}, \"persistent\": {}, \"hits\": {}, \"disk_hits\": {}, \
              \"misses\": {}, \"stores\": {}, \"evictions\": {}, \"disk_evictions\": {}, \
-             \"last_key\": {}}}",
+             \"disk_orphans_removed\": {}, \"last_key\": {}}}",
             self.capacity,
             self.dir.is_some(),
             stats.hits,
@@ -264,6 +298,7 @@ impl ResultCache {
             stats.stores,
             stats.evictions,
             stats.disk_evictions,
+            stats.disk_orphans_removed,
             match &stats.last_key {
                 Some(k) => format!("\"{k}\""),
                 None => "null".to_owned(),
@@ -274,6 +309,29 @@ impl ResultCache {
 
 fn entry_path(dir: &Path, key: CacheKey) -> PathBuf {
     dir.join(format!("{}.pypmw", key.to_hex()))
+}
+
+/// Removes orphaned temp files (`<hex>.tmp.<pid>`) left in `dir` by a
+/// process that crashed between the temp write and the commit rename.
+/// Returns how many were removed. Committed `.pypmw` entries never
+/// match the `.tmp.` pattern, and I/O failures degrade to sweeping
+/// less, never to an error.
+fn sweep_orphans(dir: &Path) -> u64 {
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in listing.flatten() {
+        let path = entry.path();
+        let is_orphan = path
+            .file_name()
+            .and_then(|name| name.to_str())
+            .is_some_and(|name| name.contains(".tmp."));
+        if is_orphan && path.is_file() && std::fs::remove_file(&path).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
 }
 
 /// Trims the disk tier to `max_bytes`, removing `.pypmw` entries
@@ -319,6 +377,16 @@ mod tests {
 
     fn key(n: u8) -> CacheKey {
         CacheKey::of(&[&[n]])
+    }
+
+    /// Serializes tests that touch the disk tier. The failpoint
+    /// registry is process-global, so a test that arms `cache.*` sites
+    /// must not overlap with another test's disk I/O — the innocent
+    /// test would consume the armed fault.
+    fn disk_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -367,6 +435,7 @@ mod tests {
 
     #[test]
     fn disk_store_survives_a_new_cache_instance_and_tolerates_corruption() {
+        let _guard = disk_lock();
         let dir = std::env::temp_dir().join(format!(
             "pypm_wire_cache_test_{}_{:?}",
             std::process::id(),
@@ -406,6 +475,7 @@ mod tests {
 
     #[test]
     fn disk_tier_evicts_oldest_entries_beyond_the_byte_cap() {
+        let _guard = disk_lock();
         let dir = std::env::temp_dir().join(format!(
             "pypm_wire_cache_dir_cap_{}_{:?}",
             std::process::id(),
@@ -445,6 +515,7 @@ mod tests {
 
     #[test]
     fn capacity_zero_with_a_directory_is_disk_only() {
+        let _guard = disk_lock();
         let dir = std::env::temp_dir().join(format!(
             "pypm_wire_cache_disk_only_{}_{:?}",
             std::process::id(),
@@ -457,6 +528,77 @@ mod tests {
         // Not in memory (capacity 0) — but the disk store answers.
         assert_eq!(cache.get(key(9)).as_deref(), Some("nine"));
         assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_sweep_removes_orphaned_temp_files() {
+        let _guard = disk_lock();
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_orphans_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A torn write leaves a temp file and no committed entry.
+        let first = ResultCache::persistent(4, &dir).unwrap();
+        first.put(key(1), "one");
+        pypm_faults::arm("cache.torn=torn*1").unwrap();
+        first.put(key(2), "two");
+        pypm_faults::disarm();
+        drop(first);
+        assert!(entry_path(&dir, key(1)).exists());
+        assert!(!entry_path(&dir, key(2)).exists());
+
+        // Plus an orphan from "another" crashed process.
+        std::fs::write(dir.join("deadbeef.tmp.424242"), b"junk").unwrap();
+
+        // The next startup sweeps both orphans and keeps the committed
+        // entry.
+        let second = ResultCache::persistent(4, &dir).unwrap();
+        assert_eq!(second.stats().disk_orphans_removed, 2);
+        assert!(second.stats_json().contains("\"disk_orphans_removed\": 2"));
+        assert_eq!(second.get(key(1)).as_deref(), Some("one"));
+        assert!(second.get(key(2)).is_none());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "sweep left orphans: {leftovers:?}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_and_write_failpoints_degrade_to_misses() {
+        let _guard = disk_lock();
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_faults_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Capacity 0: every lookup goes through the disk tier.
+        let cache = ResultCache::persistent(0, &dir).unwrap();
+
+        // A failed write means nothing reaches disk — the store
+        // degrades silently and the lookup is an honest miss.
+        pypm_faults::arm("cache.write=io*1").unwrap();
+        cache.put(key(1), "one");
+        pypm_faults::disarm();
+        assert!(!entry_path(&dir, key(1)).exists());
+        assert!(cache.get(key(1)).is_none());
+
+        // A failed read turns a present entry into a miss for that
+        // lookup only; once the fault is exhausted the entry answers.
+        cache.put(key(2), "two");
+        pypm_faults::arm("cache.read=io*1").unwrap();
+        assert!(cache.get(key(2)).is_none());
+        pypm_faults::disarm();
+        assert_eq!(cache.get(key(2)).as_deref(), Some("two"));
+
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

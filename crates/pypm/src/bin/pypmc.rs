@@ -9,6 +9,7 @@
 //!                                           cost per model
 //! pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]
 //!             [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N]
+//!             [--request-timeout-ms N] [--step-limit N]
 //!                                           long-lived compile session server
 //!                                           (see the `pypm::serve` docs for
 //!                                           the framed TCP protocol)
@@ -51,7 +52,13 @@
 //! containers so a restarted server keeps hitting;
 //! `--cache-dir-max-bytes N` caps that directory, evicting the oldest
 //! entries first (evictions are reported in the `stats` verb's
-//! `pypm.serve.stats.v1` document). `dump`/`load`
+//! `pypm.serve.stats.v1` document). `serve --request-timeout-ms N` /
+//! `--step-limit N` set default per-compile budgets (wall clock /
+//! deterministic machine steps); a request's own `timeout_ms=` /
+//! `step_limit=` keys win, and an exhausted budget answers
+//! `DEADLINE_EXCEEDED` while the worker keeps serving. Zero or
+//! non-numeric budget values are rejected with exit code 2 — omit the
+//! flag for no limit. `dump`/`load`
 //! round-trip graphs and rulesets through the `PYPMWIRE` container
 //! format (`pypm::wire`): `dump` writes the canonical encoding, `load`
 //! decodes any container (or a legacy raw `PYPMB1` ruleset) and reports
@@ -322,7 +329,8 @@ fn batch_json(models: &[String], reports: &[pypm::engine::PipelineReport]) -> St
 fn serve(args: &[String]) -> i32 {
     let spec = Spec {
         usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N] \
-                [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N]",
+                [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N] \
+                [--request-timeout-ms N] [--step-limit N]",
         positionals: (0, 0),
         value_flags: &[
             "--addr",
@@ -332,6 +340,8 @@ fn serve(args: &[String]) -> i32 {
             "--cache",
             "--cache-dir",
             "--cache-dir-max-bytes",
+            "--request-timeout-ms",
+            "--step-limit",
         ],
         bool_flags: &[],
     };
@@ -364,6 +374,29 @@ fn serve(args: &[String]) -> i32 {
                 eprintln!("error: invalid --cache-dir-max-bytes {v}: not a non-negative integer");
                 eprintln!("usage: {}", spec.usage);
                 return 2;
+            }
+        }
+    }
+    // Default compile budgets: a request's own timeout_ms=/step_limit=
+    // keys override them. Zero is rejected — "no limit" is spelled by
+    // omitting the flag, and a zero budget would refuse every compile.
+    for (flag, slot) in [
+        ("--request-timeout-ms", &mut config.request_timeout_ms),
+        ("--step-limit", &mut config.step_limit),
+    ] {
+        if let Some(v) = parsed.value(flag) {
+            match v.parse::<u64>() {
+                Ok(n) if n > 0 => *slot = Some(n),
+                Ok(_) => {
+                    eprintln!("error: {flag} must be positive (omit it for no limit)");
+                    eprintln!("usage: {}", spec.usage);
+                    return 2;
+                }
+                Err(_) => {
+                    eprintln!("error: invalid {flag} {v}: not a positive integer");
+                    eprintln!("usage: {}", spec.usage);
+                    return 2;
+                }
             }
         }
     }

@@ -13,6 +13,7 @@
 //! | [`models`] | `pypm-models` | synthetic HuggingFace / TorchVision zoos (§4.1) |
 //! | [`perf`] | `pypm-perf` | the simulated GPU testbed (§4.1) |
 //! | [`wire`] | `pypm-wire` | the `PYPMWIRE` container format and the compile-result cache |
+//! | [`faults`] | `pypm-faults` | the failpoint registry behind the chaos tests (zero-cost when disarmed) |
 //!
 //! ## Quickstart
 //!
@@ -58,6 +59,7 @@
 pub use pypm_core as core;
 pub use pypm_dsl as dsl;
 pub use pypm_engine as engine;
+pub use pypm_faults as faults;
 pub use pypm_graph as graph;
 pub use pypm_models as models;
 pub use pypm_perf as perf;

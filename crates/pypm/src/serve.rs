@@ -27,6 +27,7 @@
 //! stats
 //! shutdown
 //! compile <model> [config=<C>] [policy=<P>] [matcher=<M>] [jobs=<N>]
+//!         [timeout_ms=<T>] [step_limit=<S>]
 //! ```
 //!
 //! `C`, `P` and `M` take exactly the `pypmc compile` vocabulary
@@ -72,6 +73,37 @@
 //! | [`STATUS_OVERLOADED`] | admission control: the bounded queue was full |
 //! | [`STATUS_ERROR`] | the compile failed server-side; the server survives |
 //! | [`STATUS_SHUTTING_DOWN`] | draining: no new work accepted |
+//! | [`STATUS_DEADLINE_EXCEEDED`] | the compile ran out of budget; the worker survives |
+//!
+//! ## Deadlines
+//!
+//! `timeout_ms=<T>` (wall clock) and `step_limit=<S>` (abstract-machine
+//! steps — deterministic across hosts) attach a cooperative
+//! [`Budget`] to one compile; `pypmc serve
+//! --request-timeout-ms` / `--step-limit` set server-side defaults a
+//! request can override. The budget is checked at every commit-loop
+//! node, inside shard workers and during discrimination-tree walks, so
+//! an exceeded compile unwinds within a bounded number of machine
+//! steps, answers [`STATUS_DEADLINE_EXCEEDED`] (the payload names the
+//! exhausted limits), and leaves the worker's session and warm pool
+//! fully reusable — the next request on the same worker compiles
+//! byte-identically to a cold `pypmc compile`. Budget keys are *not*
+//! part of the cache key: a compile that finishes under budget produces
+//! the same report any budget would, and an exceeded one is an error
+//! and is never cached.
+//!
+//! ## Transport hardening
+//!
+//! Server-side connections carry a read timeout
+//! ([`ServeConfig::idle_timeout_ms`]) — a connection idle between
+//! frames for that long is reaped, so leaked client sockets cannot
+//! accumulate threads — and a bounded write timeout, so a stalled
+//! reader cannot wedge a connection thread. [`Client`] uses a bounded
+//! `connect_timeout` plus I/O timeouts on every request, and
+//! [`Client::request_with_retry`] retries [`STATUS_OVERLOADED`]
+//! responses (honoring the `retry-after-ms=` hint in the payload) and
+//! transient transport failures with exponential backoff and jitter,
+//! reconnecting when the stream is poisoned mid-frame.
 //!
 //! ## Backpressure and shutdown
 //!
@@ -92,18 +124,22 @@
 //! term-store loan guard restores the session stores), so the same
 //! session keeps serving.
 
+use crate::core::Budget;
 use crate::dsl::LibraryConfig;
-use crate::engine::{MatcherBackend, ParallelConfig, Pipeline, RewritePass, Session, SweepPolicy};
+use crate::engine::{
+    MatcherBackend, ParallelConfig, PassError, Pipeline, RewritePass, Session, SweepPolicy,
+};
 use crate::perf::pool::WorkerPool;
 use crate::wire::cache::{CacheKey, ResultCache};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Request served; the payload is the response body.
 pub const STATUS_OK: u8 = 0;
@@ -117,9 +153,23 @@ pub const STATUS_OVERLOADED: u8 = 3;
 pub const STATUS_ERROR: u8 = 4;
 /// The server is draining and accepts no new work.
 pub const STATUS_SHUTTING_DOWN: u8 = 5;
+/// The compile exhausted its `timeout_ms=`/`step_limit=` budget. The
+/// payload names the exhausted limits; the worker survives and serves
+/// the next request normally.
+pub const STATUS_DEADLINE_EXCEEDED: u8 = 6;
 
 /// Hard ceiling on request/response frame payloads (16 MiB).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// The backoff hint embedded in [`STATUS_OVERLOADED`] payloads as
+/// `retry-after-ms=<N>` — the base delay [`Client::request_with_retry`]
+/// starts from.
+pub const RETRY_AFTER_HINT_MS: u64 = 25;
+
+/// Write timeout on server-side connections: a reader that stalls this
+/// long mid-response forfeits the connection rather than wedging its
+/// thread.
+const SERVER_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Server configuration: where to listen and how much to admit.
 #[derive(Debug, Clone)]
@@ -147,6 +197,17 @@ pub struct ServeConfig {
     /// --cache-dir-max-bytes`). `None` leaves the disk tier unbounded;
     /// ignored without [`ServeConfig::cache_dir`].
     pub cache_dir_max_bytes: Option<u64>,
+    /// Default wall-clock budget per compile, in milliseconds (`pypmc
+    /// serve --request-timeout-ms`). A request's own `timeout_ms=`
+    /// wins. `None` leaves compiles unbounded by default.
+    pub request_timeout_ms: Option<u64>,
+    /// Default abstract-machine step cap per compile (`pypmc serve
+    /// --step-limit`) — a deterministic budget, unlike wall clock. A
+    /// request's own `step_limit=` wins. `None` is uncapped.
+    pub step_limit: Option<u64>,
+    /// Reap a connection idle between request frames for this long, in
+    /// milliseconds. `None` keeps idle connections forever.
+    pub idle_timeout_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -159,6 +220,9 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             cache_dir: None,
             cache_dir_max_bytes: None,
+            request_timeout_ms: None,
+            step_limit: None,
+            idle_timeout_ms: Some(300_000),
         }
     }
 }
@@ -171,6 +235,8 @@ struct CompileRequest {
     policy: SweepPolicy,
     matcher: MatcherBackend,
     jobs: Option<usize>,
+    timeout_ms: Option<u64>,
+    step_limit: Option<u64>,
 }
 
 /// A parsed request frame.
@@ -199,6 +265,8 @@ fn parse_request(line: &str) -> Result<Request, String> {
                 policy: SweepPolicy::RestartOnRewrite,
                 matcher: MatcherBackend::default(),
                 jobs: None,
+                timeout_ms: None,
+                step_limit: None,
             };
             for word in words {
                 let Some((key, value)) = word.split_once('=') else {
@@ -221,6 +289,12 @@ fn parse_request(line: &str) -> Result<Request, String> {
                                 .map_err(|e| format!("invalid jobs={value}: {e}"))?,
                         );
                     }
+                    "timeout_ms" => {
+                        req.timeout_ms = Some(parse_budget_value("timeout_ms", value)?);
+                    }
+                    "step_limit" => {
+                        req.step_limit = Some(parse_budget_value("step_limit", value)?);
+                    }
                     other => return Err(format!("unknown key '{other}'")),
                 }
             }
@@ -231,6 +305,25 @@ fn parse_request(line: &str) -> Result<Request, String> {
         )),
         None => Err("empty request".to_owned()),
     }
+}
+
+/// Parses a `timeout_ms=`/`step_limit=` value: a positive integer.
+/// Zero is rejected — "no budget" is spelled by omitting the key, and
+/// a zero budget would reject every compile before it starts.
+fn parse_budget_value(key: &str, value: &str) -> Result<u64, String> {
+    match value.parse::<u64>() {
+        Ok(0) => Err(format!("{key} must be positive (omit it for no limit)")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("invalid {key}={value}: want a positive integer")),
+    }
+}
+
+/// Server-side default budget limits, applied when a request carries no
+/// `timeout_ms=`/`step_limit=` of its own.
+#[derive(Debug, Clone, Copy, Default)]
+struct BudgetDefaults {
+    timeout_ms: Option<u64>,
+    step_limit: Option<u64>,
 }
 
 /// One admitted unit of work, or a shutdown poison.
@@ -249,6 +342,7 @@ struct WorkerState {
     session: Session,
     pool: Option<Arc<WorkerPool>>,
     default_jobs: usize,
+    defaults: BudgetDefaults,
     cache: Arc<ResultCache>,
     /// Request determinants → content hash. The zoo builders are pure,
     /// so the canonical graph/ruleset bytes — and therefore the cache
@@ -259,11 +353,12 @@ struct WorkerState {
 }
 
 impl WorkerState {
-    fn new(default_jobs: usize, cache: Arc<ResultCache>) -> Self {
+    fn new(default_jobs: usize, defaults: BudgetDefaults, cache: Arc<ResultCache>) -> Self {
         WorkerState {
             session: Session::new(),
             pool: None,
             default_jobs,
+            defaults,
             cache,
             key_memo: HashMap::new(),
         }
@@ -350,6 +445,18 @@ impl WorkerState {
         if let Some(pool) = pool {
             pipeline = pipeline.with_pool(pool);
         }
+        // The cooperative budget: request keys win over the server
+        // defaults. Deliberately *not* part of the cache key — a
+        // compile that finishes under budget produces the report any
+        // budget would, and an exceeded one errors and is never cached.
+        let timeout_ms = req.timeout_ms.or(self.defaults.timeout_ms);
+        let step_limit = req.step_limit.or(self.defaults.step_limit);
+        if timeout_ms.is_some() || step_limit.is_some() {
+            pipeline = pipeline.with_budget(Arc::new(Budget::new(
+                timeout_ms.map(Duration::from_millis),
+                step_limit,
+            )));
+        }
         if !rules.is_empty() {
             pipeline = pipeline.with(
                 RewritePass::new(rules)
@@ -359,7 +466,13 @@ impl WorkerState {
         }
         let reports = pipeline
             .run_batch(std::slice::from_mut(&mut graph))
-            .map_err(|e| (STATUS_ERROR, format!("rewrite pass failed: {e}")))?;
+            .map_err(|e| match &e.error {
+                PassError::BudgetExceeded { limits } => (
+                    STATUS_DEADLINE_EXCEEDED,
+                    format!("compile budget exceeded ({limits}); the worker is ready for the next request"),
+                ),
+                _ => (STATUS_ERROR, format!("rewrite pass failed: {e}")),
+            })?;
         let report = reports[0].to_json();
         if let Some(key) = key {
             self.cache.put(key, &report);
@@ -372,8 +485,13 @@ impl WorkerState {
 /// until poisoned. A panicking handler is caught and reported as
 /// [`STATUS_ERROR`]; the session is rebuilt before the next job so one
 /// poisoned request can never corrupt later ones.
-fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize, cache: Arc<ResultCache>) {
-    let mut state = WorkerState::new(default_jobs, cache);
+fn worker_loop(
+    rx: Arc<Mutex<Receiver<Job>>>,
+    default_jobs: usize,
+    defaults: BudgetDefaults,
+    cache: Arc<ResultCache>,
+) {
+    let mut state = WorkerState::new(default_jobs, defaults, cache);
     loop {
         // Hold the lock only for the dequeue, never during a compile.
         let job = match rx.lock() {
@@ -387,7 +505,7 @@ fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>, default_jobs: usize, cache: Arc<Re
                     Ok(Ok(json)) => (STATUS_OK, json),
                     Ok(Err(err)) => err,
                     Err(_) => {
-                        state = WorkerState::new(default_jobs, Arc::clone(&state.cache));
+                        state = WorkerState::new(default_jobs, defaults, Arc::clone(&state.cache));
                         (
                             STATUS_ERROR,
                             "request handler panicked; session rebuilt".to_owned(),
@@ -409,6 +527,14 @@ struct Shared {
     shutting_down: AtomicBool,
     addr: SocketAddr,
     cache: Arc<ResultCache>,
+    /// When the server came up — the `stats` verb's `uptime_ms`.
+    started: Instant,
+    /// Compiles admitted through the queue and not yet answered.
+    in_flight: AtomicU64,
+    /// Compiles that exhausted their budget since startup.
+    deadline_exceeded: AtomicU64,
+    /// Server-side read timeout between request frames, when any.
+    idle_timeout: Option<Duration>,
 }
 
 impl Shared {
@@ -458,13 +584,21 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             addr,
             cache: Arc::clone(&cache),
+            started: Instant::now(),
+            in_flight: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout_ms.map(Duration::from_millis),
         });
+        let defaults = BudgetDefaults {
+            timeout_ms: config.request_timeout_ms,
+            step_limit: config.step_limit,
+        };
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
                 let rx = Arc::clone(&rx);
                 let jobs = config.jobs.max(1);
                 let cache = Arc::clone(&cache);
-                std::thread::spawn(move || worker_loop(rx, jobs, cache))
+                std::thread::spawn(move || worker_loop(rx, jobs, defaults, cache))
             })
             .collect();
         let accept = {
@@ -514,6 +648,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, worker_count: usize) 
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
+        // Transport hardening: a connection idle between frames past
+        // the configured timeout is reaped (the blocked read errors and
+        // the thread exits), and a reader stalled mid-response cannot
+        // hold its connection thread past the write timeout.
+        let _ = stream.set_read_timeout(shared.idle_timeout);
+        let _ = stream.set_write_timeout(Some(SERVER_WRITE_TIMEOUT));
         let shared = Arc::clone(&shared);
         // Detached on purpose: an idle connection must not block the
         // drain. Its compiles are either already queued (they finish)
@@ -550,7 +690,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 Ok(Request::Stats) => (
                     STATUS_OK,
                     format!(
-                        "{{\"schema\": \"pypm.serve.stats.v1\", \"cache\": {}}}",
+                        "{{\"schema\": \"pypm.serve.stats.v1\", \"uptime_ms\": {}, \
+                         \"in_flight\": {}, \"deadline_exceeded\": {}, \"cache\": {}}}",
+                        shared.started.elapsed().as_millis(),
+                        shared.in_flight.load(Ordering::Relaxed),
+                        shared.deadline_exceeded.load(Ordering::Relaxed),
                         shared.cache.stats_json()
                     ),
                 ),
@@ -582,18 +726,26 @@ fn serve_compile(shared: &Shared, req: CompileRequest) -> (u8, String) {
     match shared.queue.try_send(Job::Compile { req, reply }) {
         Err(TrySendError::Full(_)) => (
             STATUS_OVERLOADED,
-            "compile queue is full; retry later".to_owned(),
+            format!("compile queue is full; retry-after-ms={RETRY_AFTER_HINT_MS}"),
         ),
         Err(TrySendError::Disconnected(_)) => {
             (STATUS_SHUTTING_DOWN, "server is draining".to_owned())
         }
-        Ok(()) => match result.recv() {
-            Ok(response) => response,
-            Err(_) => (
-                STATUS_SHUTTING_DOWN,
-                "server shut down before the compile ran".to_owned(),
-            ),
-        },
+        Ok(()) => {
+            shared.in_flight.fetch_add(1, Ordering::Relaxed);
+            let response = match result.recv() {
+                Ok(response) => response,
+                Err(_) => (
+                    STATUS_SHUTTING_DOWN,
+                    "server shut down before the compile ran".to_owned(),
+                ),
+            };
+            shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+            if response.0 == STATUS_DEADLINE_EXCEEDED {
+                shared.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            response
+        }
     }
 }
 
@@ -655,20 +807,104 @@ fn write_response(stream: &mut TcpStream, status: u8, payload: &[u8]) -> io::Res
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
 }
 
+/// Default [`Client`] connect timeout.
+pub const CLIENT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default [`Client`] per-read/per-write timeout — generous enough for
+/// the slowest zoo compile, bounded enough that a hung server cannot
+/// wedge a client forever.
+pub const CLIENT_IO_TIMEOUT: Duration = Duration::from_secs(120);
+
 impl Client {
-    /// Connects to a server.
+    /// Connects to a server with the default bounded timeouts
+    /// ([`CLIENT_CONNECT_TIMEOUT`], [`CLIENT_IO_TIMEOUT`]).
     ///
     /// # Errors
     ///
     /// Propagates the connect failure.
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with_timeouts(addr, CLIENT_CONNECT_TIMEOUT, Some(CLIENT_IO_TIMEOUT))
+    }
+
+    /// Connects with explicit timeouts. `io_timeout` bounds every read
+    /// and write on the connection (`None` blocks forever — only for
+    /// tests that deliberately wait).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect_with_timeouts(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
         // A request-response protocol with multi-segment frames: the
         // tail segment of a large frame must not wait on a delayed ACK.
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(Client {
+            stream,
+            addr,
+            io_timeout,
+        })
+    }
+
+    /// Like [`Client::request`], but rides out backpressure and
+    /// transient transport failures: [`STATUS_OVERLOADED`] responses
+    /// and retryable I/O errors are retried up to `max_attempts` times
+    /// with exponential backoff and jitter, starting from the server's
+    /// `retry-after-ms=` hint. An I/O failure may leave the stream
+    /// poisoned mid-frame, so each retry reconnects first.
+    ///
+    /// Exhausting the attempts returns the last `OVERLOADED` response
+    /// (so callers still see an honest status byte).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a non-retryable transport error occurs, or when every
+    /// attempt failed with a retryable one.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        max_attempts: u32,
+    ) -> io::Result<(u8, String)> {
+        let mut delay = Duration::from_millis(RETRY_AFTER_HINT_MS);
+        let mut last = None;
+        for attempt in 0..max_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(jittered(delay));
+                delay = (delay * 2).min(Duration::from_secs(2));
+            }
+            match self.request(line) {
+                Ok((status, payload)) if status == STATUS_OVERLOADED => {
+                    if let Some(hint) = parse_retry_after(&payload) {
+                        delay = delay.max(Duration::from_millis(hint));
+                    }
+                    last = Some(Ok((status, payload)));
+                }
+                Ok(response) => return Ok(response),
+                Err(e) if is_transient(&e) => {
+                    // The stream may hold half a frame; a fresh
+                    // connection is the only way back to a clean
+                    // request boundary.
+                    if let Ok(fresh) = Client::connect_with_timeouts(
+                        self.addr,
+                        CLIENT_CONNECT_TIMEOUT,
+                        self.io_timeout,
+                    ) {
+                        self.stream = fresh.stream;
+                    }
+                    last = Some(Err(e));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        last.unwrap_or_else(|| Err(io::Error::other("request_with_retry made no attempts")))
     }
 
     /// Sends one request line and reads the `(status, payload)`
@@ -732,6 +968,43 @@ impl Client {
     }
 }
 
+/// Whether an I/O error is worth retrying on a fresh connection:
+/// timeouts, resets, refused connects (a server mid-restart) and
+/// truncated frames. Anything else — permission, address errors — is
+/// permanent.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::Interrupted
+    )
+}
+
+/// Adds up to +50% jitter to a backoff delay so retrying clients
+/// de-synchronize instead of stampeding the queue in lockstep. The
+/// entropy comes from the hasher's per-process random keys — no
+/// external RNG dependency.
+fn jittered(base: Duration) -> Duration {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u128(base.as_nanos());
+    let frac = (h.finish() % 256) as u32;
+    base + base.mul_f64(f64::from(frac) / 512.0)
+}
+
+/// Extracts the `retry-after-ms=<N>` hint from an OVERLOADED payload.
+fn parse_retry_after(payload: &str) -> Option<u64> {
+    let (_, rest) = payload.split_once("retry-after-ms=")?;
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -749,11 +1022,14 @@ mod tests {
                 policy: SweepPolicy::RestartOnRewrite,
                 matcher: MatcherBackend::Fused,
                 jobs: None,
+                timeout_ms: None,
+                step_limit: None,
             }))
         );
         assert_eq!(
             parse_request(
-                "compile vgg11 config=all+synth39 policy=incremental matcher=per-pattern jobs=4"
+                "compile vgg11 config=all+synth39 policy=incremental matcher=per-pattern jobs=4 \
+                 timeout_ms=250 step_limit=100000"
             ),
             Ok(Request::Compile(CompileRequest {
                 model: "vgg11".to_owned(),
@@ -761,6 +1037,8 @@ mod tests {
                 policy: SweepPolicy::Incremental,
                 matcher: MatcherBackend::PerPattern,
                 jobs: Some(4),
+                timeout_ms: Some(250),
+                step_limit: Some(100_000),
             }))
         );
     }
@@ -778,5 +1056,36 @@ mod tests {
         assert!(parse_request("compile m jobs=four").is_err());
         assert!(parse_request("compile m stray").is_err());
         assert!(parse_request("compile m color=red").is_err());
+        // Budget keys: zero and non-numeric are rejected with reasons
+        // ("no limit" is spelled by omitting the key).
+        assert!(parse_request("compile m timeout_ms=0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_request("compile m timeout_ms=fast").is_err());
+        assert!(parse_request("compile m timeout_ms=-5").is_err());
+        assert!(parse_request("compile m step_limit=0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_request("compile m step_limit=many").is_err());
+    }
+
+    #[test]
+    fn retry_after_hints_parse_out_of_overloaded_payloads() {
+        assert_eq!(
+            parse_retry_after("compile queue is full; retry-after-ms=25"),
+            Some(25)
+        );
+        assert_eq!(parse_retry_after("retry-after-ms=900 trailing"), Some(900));
+        assert_eq!(parse_retry_after("compile queue is full"), None);
+        assert_eq!(parse_retry_after("retry-after-ms=oops"), None);
+    }
+
+    #[test]
+    fn jitter_stays_within_half_the_base_delay() {
+        let base = Duration::from_millis(100);
+        for _ in 0..64 {
+            let j = jittered(base);
+            assert!(j >= base && j <= base + base / 2 + Duration::from_millis(1));
+        }
     }
 }

@@ -1,0 +1,353 @@
+//! Chaos harness for the compile service: seeded randomized fault
+//! schedules against live servers.
+//!
+//! Each schedule arms a random set of failpoints (cache read/write I/O
+//! errors, torn cache writes, slow and panicking pool workers), brings
+//! up a server with randomized limits, and sweeps randomized requests
+//! across zoo models × sweep policies × job counts — some carrying
+//! `timeout_ms=`/`step_limit=` budgets. The robustness contract under
+//! fire:
+//!
+//! * no panic escapes a worker (the server keeps answering),
+//! * no request hangs past its deadline (bounded response time),
+//! * every response carries a known status byte with a well-formed
+//!   payload,
+//! * the disk cache never serves corrupt bytes — every `OK` compile is
+//!   byte-identical (after masking wall clocks) to a cold in-process
+//!   compile of the same request, even while faults are firing,
+//! * with faults disabled, the same requests answer byte-identically
+//!   zoo-wide.
+//!
+//! The schedule count and base seed are env-tunable: the default is a
+//! quick smoke, CI's nightly chaos leg sets `PYPM_CHAOS_SCHEDULES=32`
+//! (or more) with a fixed `PYPM_CHAOS_SEED` matrix. The suite runs in
+//! its own test binary because the failpoint registry is
+//! process-global: arming it here must not leak into other suites.
+
+use pypm::serve::{
+    Client, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_ERROR, STATUS_OK,
+    STATUS_OVERLOADED,
+};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Serializes the suite's tests: the failpoint registry is global, so
+/// a schedule's armed faults must never overlap another test's
+/// compiles.
+fn chaos_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// SplitMix64 — the schedule generator. Seeded from `PYPM_CHAOS_SEED`
+/// so a CI failure reproduces locally by exporting the same seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+const MODELS: &[&str] = &["bert-tiny", "bert-small", "vgg11"];
+const POLICIES: &[&str] = &["restart", "continue", "incremental"];
+const JOBS: &[usize] = &[1, 2, 4];
+
+/// Masks `wall_ms`, `duration_ms`, `warm_wall_ms` and
+/// `pool_spawn_reuse` — the only legitimately volatile fields of a
+/// `pypm.pipeline.v1` document (see the serve module docs).
+fn mask_volatile(json: &str) -> String {
+    let mut out = String::with_capacity(json.len());
+    let mut rest = json;
+    while let Some((field, pos)) = find_volatile(rest) {
+        let value_start = pos + field.len();
+        out.push_str(&rest[..value_start]);
+        out.push('_');
+        let tail = &rest[value_start..];
+        let value_len = tail.find([',', '}', '\n']).unwrap_or(tail.len());
+        rest = &tail[value_len..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn find_volatile(s: &str) -> Option<(&'static str, usize)> {
+    [
+        "\"wall_ms\": ",
+        "\"duration_ms\": ",
+        "\"warm_wall_ms\": ",
+        "\"pool_spawn_reuse\": ",
+    ]
+    .into_iter()
+    .filter_map(|f| s.find(f).map(|p| (f, p)))
+    .min_by_key(|&(_, p)| p)
+}
+
+/// A cold in-process compile of one request — the byte-identity
+/// reference. Must only run while the registry is disarmed: it shares
+/// this process's failpoint sites.
+fn cold_report(model: &str, policy: &str, jobs: usize) -> String {
+    use pypm::engine::{ParallelConfig, Pipeline, RewritePass, Session};
+    assert!(!pypm::faults::armed(), "cold reference needs faults off");
+    let mut s = Session::new();
+    let mut g = pypm::build_model(&mut s, model).expect("zoo model");
+    let rules = s.load_library(pypm::dsl::LibraryConfig::both());
+    let policy = pypm::cli_args::parse_policy(policy).expect("policy");
+    let mut pipeline = Pipeline::new(&mut s).parallelism(ParallelConfig::with_jobs(jobs));
+    if !rules.is_empty() {
+        pipeline = pipeline.with(RewritePass::new(rules).policy(policy));
+    }
+    let reports = pipeline
+        .run_batch(std::slice::from_mut(&mut g))
+        .expect("cold compile");
+    reports[0].to_json()
+}
+
+/// The masked reference report for every (model, policy, jobs) combo a
+/// schedule can request, computed before any fault is armed.
+fn reference_matrix() -> HashMap<(String, String, usize), String> {
+    let mut refs = HashMap::new();
+    for model in MODELS {
+        for policy in POLICIES {
+            for &jobs in JOBS {
+                refs.insert(
+                    ((*model).to_owned(), (*policy).to_owned(), jobs),
+                    mask_volatile(&cold_report(model, policy, jobs)),
+                );
+            }
+        }
+    }
+    refs
+}
+
+/// One randomized fault spec. Counted entries exhaust on their own;
+/// percent entries fire for the whole schedule and are disarmed at its
+/// end. The `seed=` entry makes percent sampling reproducible.
+fn random_fault_spec(rng: &mut Rng) -> String {
+    let mut parts = vec![format!("seed={}", rng.next())];
+    if rng.chance(50) {
+        parts.push("cache.read=io%30".to_owned());
+    }
+    if rng.chance(50) {
+        parts.push("cache.write=io%30".to_owned());
+    }
+    if rng.chance(50) {
+        parts.push("cache.torn=torn%30".to_owned());
+    }
+    if rng.chance(40) {
+        parts.push(format!("worker.slow=delay:{}%20", 1 + rng.below(5)));
+    }
+    if rng.chance(40) {
+        parts.push(format!("worker.panic=panic*{}", 1 + rng.below(2)));
+    }
+    parts.join(";")
+}
+
+/// Runs one schedule: arm, serve randomized requests, assert the
+/// contract, disarm. Returns how many requests were served.
+fn run_schedule(schedule: u64, seed: u64, refs: &HashMap<(String, String, usize), String>) -> u64 {
+    let mut rng = Rng(seed ^ (schedule.wrapping_mul(0x0100_0000_01b3)));
+    let cache_dir = rng.chance(50).then(|| {
+        std::env::temp_dir().join(format!(
+            "pypm_chaos_{}_{schedule}_{seed}",
+            std::process::id()
+        ))
+    });
+    if let Some(dir) = &cache_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let config = ServeConfig {
+        jobs: 2,
+        workers: 1 + rng.below(2) as usize,
+        queue_depth: *rng.pick(&[0usize, 2, 8]),
+        cache_capacity: *rng.pick(&[0usize, 8, 64]),
+        cache_dir: cache_dir
+            .as_ref()
+            .map(|d| d.to_str().expect("utf-8 temp path").to_owned()),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config).expect("bind chaos server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    let spec = random_fault_spec(&mut rng);
+    pypm::faults::arm(&spec).expect("valid chaos spec");
+
+    let mut served = 0;
+    for _ in 0..8 {
+        let model = *rng.pick(MODELS);
+        let policy = *rng.pick(POLICIES);
+        let jobs = *rng.pick(JOBS);
+        let mut line = format!("compile {model} policy={policy} jobs={jobs}");
+        let timeout_ms = rng.chance(30).then(|| 10 + rng.below(40));
+        if let Some(t) = timeout_ms {
+            line.push_str(&format!(" timeout_ms={t}"));
+        }
+        if rng.chance(20) {
+            line.push_str(&format!(" step_limit={}", 1 + rng.below(100_000)));
+        }
+        let start = Instant::now();
+        let (status, body) = client.request(&line).expect("transport survives chaos");
+        let elapsed = start.elapsed();
+        served += 1;
+
+        // No hang past the deadline: a budgeted request answers within
+        // 2× its deadline plus scheduling slack (injected worker
+        // delays sleep outside the budget's control, but each is
+        // bounded and counted here), and nothing blocks unboundedly.
+        let ceiling = match timeout_ms {
+            Some(t) => Duration::from_millis(2 * t) + Duration::from_secs(5),
+            None => Duration::from_secs(60),
+        };
+        assert!(
+            elapsed <= ceiling,
+            "[schedule {schedule}] '{line}' took {elapsed:?} (ceiling {ceiling:?})"
+        );
+
+        // Every response is a known status with a well-formed payload,
+        // and an OK compile is byte-identical to the cold reference —
+        // injected faults may slow or fail a request, never corrupt
+        // one.
+        match status {
+            STATUS_OK => {
+                let expected = &refs[&(model.to_owned(), policy.to_owned(), jobs)];
+                assert_eq!(
+                    &mask_volatile(&body),
+                    expected,
+                    "[schedule {schedule}] '{line}' served corrupt or divergent bytes"
+                );
+            }
+            STATUS_DEADLINE_EXCEEDED => {
+                assert!(
+                    body.contains("timeout_ms=") || body.contains("step_limit="),
+                    "[schedule {schedule}] deadline payload names no limit: {body}"
+                );
+            }
+            STATUS_ERROR => {
+                assert!(
+                    !body.is_empty(),
+                    "[schedule {schedule}] empty error payload"
+                );
+            }
+            STATUS_OVERLOADED => {
+                assert!(
+                    body.contains("retry-after-ms="),
+                    "[schedule {schedule}] overloaded payload without hint: {body}"
+                );
+            }
+            other => panic!("[schedule {schedule}] unexpected status {other}: {body}"),
+        }
+    }
+    pypm::faults::disarm();
+
+    // No panic escaped: the server still answers, and a clean drain
+    // completes.
+    let (status, _) = client.request("ping").expect("ping after chaos");
+    assert_eq!(status, STATUS_OK, "[schedule {schedule}] server died");
+    let (status, _) = client.request("shutdown").expect("shutdown");
+    assert_eq!(status, STATUS_OK);
+    server.join();
+
+    // A torn-write schedule may leave orphans in the disk tier; the
+    // next server on the same directory must sweep them and keep
+    // serving uncorrupted results.
+    if let Some(dir) = &cache_dir {
+        let fresh = Server::bind(ServeConfig {
+            jobs: 2,
+            workers: 1,
+            queue_depth: 4,
+            cache_capacity: 8,
+            cache_dir: Some(dir.to_str().expect("utf-8 temp path").to_owned()),
+            ..ServeConfig::default()
+        })
+        .expect("rebind on the chaos cache dir");
+        let mut c = Client::connect(fresh.addr()).expect("connect");
+        let (status, body) = c
+            .request("compile bert-tiny policy=restart jobs=2")
+            .unwrap();
+        assert_eq!(status, STATUS_OK, "{body}");
+        assert_eq!(
+            &mask_volatile(&body),
+            &refs[&("bert-tiny".to_owned(), "restart".to_owned(), 2)],
+            "[schedule {schedule}] post-restart compile diverged"
+        );
+        let (_, stats) = c.request("stats").unwrap();
+        assert!(stats.contains("\"disk_orphans_removed\":"), "{stats}");
+        let (status, _) = c.request("shutdown").unwrap();
+        assert_eq!(status, STATUS_OK);
+        fresh.join();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    served
+}
+
+#[test]
+fn seeded_fault_schedules_never_corrupt_hang_or_kill_the_server() {
+    let _guard = chaos_lock();
+    pypm::faults::disarm();
+    let schedules = env_u64("PYPM_CHAOS_SCHEDULES", 4);
+    let seed = env_u64("PYPM_CHAOS_SEED", 0xC0FFEE);
+    let refs = reference_matrix();
+    let mut served = 0;
+    for schedule in 0..schedules {
+        served += run_schedule(schedule, seed, &refs);
+    }
+    assert_eq!(served, schedules * 8);
+}
+
+#[test]
+fn with_faults_disabled_served_results_are_byte_identical_zoo_wide() {
+    let _guard = chaos_lock();
+    pypm::faults::disarm();
+    let refs = reference_matrix();
+    let server = Server::bind(ServeConfig {
+        jobs: 4,
+        workers: 2,
+        queue_depth: 8,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    for model in MODELS {
+        for policy in POLICIES {
+            for &jobs in JOBS {
+                let (status, body) = client
+                    .request_with_retry(&format!("compile {model} policy={policy} jobs={jobs}"), 8)
+                    .unwrap();
+                assert_eq!(status, STATUS_OK, "{model}/{policy}/{jobs}: {body}");
+                assert_eq!(
+                    &mask_volatile(&body),
+                    &refs[&((*model).to_owned(), (*policy).to_owned(), jobs)],
+                    "{model}/{policy}/jobs={jobs} diverged with faults disabled"
+                );
+            }
+        }
+    }
+    let (status, _) = client.request("shutdown").unwrap();
+    assert_eq!(status, STATUS_OK);
+    server.join();
+}

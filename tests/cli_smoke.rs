@@ -489,6 +489,28 @@ fn serve_rejects_bad_flags_and_values() {
 }
 
 #[test]
+fn serve_rejects_zero_and_garbage_budget_flags_with_usage() {
+    // "No limit" is spelled by omitting the flag: zero and non-numeric
+    // budget values exit 2 and print the usage line.
+    for args in [
+        &["serve", "--request-timeout-ms", "0"][..],
+        &["serve", "--request-timeout-ms", "soon"],
+        &["serve", "--request-timeout-ms", "-50"],
+        &["serve", "--step-limit", "0"],
+        &["serve", "--step-limit", "many"],
+    ] {
+        let out = pypmc(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage: pypmc serve"), "{args:?}: {err}");
+        assert!(
+            err.contains(args[1]),
+            "{args:?}: error does not name the flag: {err}"
+        );
+    }
+}
+
+#[test]
 fn dump_and_load_roundtrip_a_model() {
     let dir = std::env::temp_dir().join(format!("pypmc_dump_load_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

@@ -370,7 +370,7 @@ fn session_survives_an_injected_worker_panic() {
     let mut s = Session::new();
     let mut g = cfg.build(&mut s);
     let rules = s.load_library(LibraryConfig::both());
-    pypm::engine::shard::inject_worker_panic_once();
+    pypm::faults::arm("worker.panic=panic*1").expect("valid fault spec");
     // Per-pattern discovery keeps the warm phase large enough to fan
     // across pool workers — the fused tree rejects so many pairs that
     // the tiny remainder runs on the caller thread and the injected
@@ -384,6 +384,7 @@ fn session_survives_an_injected_worker_panic() {
         .parallelism(ParallelConfig::with_jobs(4))
         .run(&mut g)
         .expect_err("the injected panic must fail the run");
+    pypm::faults::disarm();
     assert!(
         err.to_string().contains("panic"),
         "error must surface the worker panic: {err}"

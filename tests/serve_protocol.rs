@@ -4,8 +4,8 @@
 //! [`pypm::serve::Server`] instances on ephemeral ports.
 
 use pypm::serve::{
-    Client, ServeConfig, Server, MAX_FRAME, STATUS_BAD_REQUEST, STATUS_ERROR, STATUS_OK,
-    STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNKNOWN_MODEL,
+    Client, ServeConfig, Server, MAX_FRAME, STATUS_BAD_REQUEST, STATUS_DEADLINE_EXCEEDED,
+    STATUS_ERROR, STATUS_OK, STATUS_OVERLOADED, STATUS_SHUTTING_DOWN, STATUS_UNKNOWN_MODEL,
 };
 
 /// A small server for most tests: modest queue, parallel compiles.
@@ -233,16 +233,17 @@ fn server_survives_an_injected_worker_pool_panic() {
     let server = spawn_server();
     let mut c = Client::connect(server.addr()).unwrap();
 
-    // Arm a one-shot panic inside the engine's parallel match phase.
-    // The request pins the per-pattern backend: the fused matcher
-    // filters warm rounds below the pool's dispatch grain, so the
-    // armed hook would never fire inside a pool task (and would leak
-    // into another test's run). The request must fail with a
-    // server-side error…
-    pypm::engine::shard::inject_worker_panic_once();
+    // Arm a one-shot panic failpoint inside the engine's parallel
+    // match phase. The request pins the per-pattern backend: the fused
+    // matcher filters warm rounds below the pool's dispatch grain, so
+    // the armed failpoint would never fire inside a pool task (and
+    // would leak into another test's run). The request must fail with
+    // a server-side error…
+    pypm::faults::arm("worker.panic=panic*1").unwrap();
     let (status, body) = c
         .request("compile bert-small jobs=4 matcher=per-pattern")
         .unwrap();
+    pypm::faults::disarm();
     assert_eq!(status, STATUS_ERROR, "{body}");
     assert!(body.contains("panic"), "{body}");
 
@@ -253,6 +254,112 @@ fn server_survives_an_injected_worker_pool_panic() {
         .unwrap();
     assert_eq!(status, STATUS_OK, "{body}");
     assert!(body.contains("\"rewrites_fired\""), "{body}");
+    shutdown_and_join(server);
+}
+
+#[test]
+fn deadline_exceeded_compiles_leave_the_worker_reusable() {
+    // step_limit=1 cannot finish any zoo compile: the response must be
+    // DEADLINE_EXCEEDED naming the exhausted limit, and the *same*
+    // worker (workers=1 pins it) must serve the next request cleanly.
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (status, body) = c.request("compile bert-small jobs=2 step_limit=1").unwrap();
+    assert_eq!(status, STATUS_DEADLINE_EXCEEDED, "{body}");
+    assert!(body.contains("step_limit=1"), "{body}");
+
+    // Same worker, same session and warm pool: an uncapped repeat
+    // succeeds…
+    let (status, body) = c.request("compile bert-small jobs=2").unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    assert!(body.contains("pypm.pipeline.v1"), "{body}");
+
+    // …and a generous budget is not part of the cache key, so the
+    // same request with limits attached answers byte-identically.
+    let (status2, body2) = c
+        .request("compile bert-small jobs=2 timeout_ms=600000 step_limit=1000000000")
+        .unwrap();
+    assert_eq!(status2, STATUS_OK, "{body2}");
+    assert_eq!(
+        body, body2,
+        "an unexceeded budget must not change the report"
+    );
+    shutdown_and_join(server);
+}
+
+#[test]
+fn server_side_default_budgets_apply_and_requests_override_them() {
+    // --step-limit as a ServeConfig default: every compile trips it…
+    let server = Server::bind(ServeConfig {
+        jobs: 2,
+        workers: 1,
+        queue_depth: 4,
+        step_limit: Some(1),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let mut c = Client::connect(server.addr()).unwrap();
+    let (status, body) = c.request("compile bert-tiny jobs=2").unwrap();
+    assert_eq!(status, STATUS_DEADLINE_EXCEEDED, "{body}");
+    // …unless the request brings its own, roomier budget.
+    let (status, body) = c
+        .request("compile bert-tiny jobs=2 step_limit=1000000000")
+        .unwrap();
+    assert_eq!(status, STATUS_OK, "{body}");
+    shutdown_and_join(server);
+}
+
+#[test]
+fn stats_stay_coherent_under_concurrent_load() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let mut c = Client::connect(addr).unwrap();
+    let (status, body) = c.request("stats").unwrap();
+    assert_eq!(status, STATUS_OK);
+    for field in [
+        "\"schema\": \"pypm.serve.stats.v1\"",
+        "\"uptime_ms\":",
+        "\"in_flight\": 0",
+        "\"deadline_exceeded\": 0",
+        "\"cache\":",
+        "\"disk_orphans_removed\":",
+    ] {
+        assert!(body.contains(field), "{field} missing from {body}");
+    }
+
+    // Hammer deadline-tripping compiles and stats concurrently: every
+    // stats response must stay a well-formed document, and the
+    // counters must settle to exactly the work that happened.
+    let compilers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for _ in 0..3 {
+                    let (status, body) = c
+                        .request_with_retry("compile bert-tiny jobs=2 step_limit=1", 8)
+                        .unwrap();
+                    assert_eq!(status, STATUS_DEADLINE_EXCEEDED, "{body}");
+                }
+            })
+        })
+        .collect();
+    for _ in 0..10 {
+        let (status, body) = c.request("stats").unwrap();
+        assert_eq!(status, STATUS_OK);
+        assert!(body.contains("pypm.serve.stats.v1"), "{body}");
+    }
+    for h in compilers {
+        h.join().expect("compiler thread");
+    }
+    let (_, body) = c.request("stats").unwrap();
+    assert!(body.contains("\"deadline_exceeded\": 12"), "{body}");
+    assert!(body.contains("\"in_flight\": 0"), "{body}");
     shutdown_and_join(server);
 }
 
