@@ -1,8 +1,8 @@
 //! `serve_bench` — the load generator for `pypmc serve`.
 //!
 //! Boots in-process [`pypm::serve::Server`]s and drives them with
-//! concurrent clients, emitting **three** latency series into
-//! `crates/bench/BENCH_serve.json` (schema `pypm.bench.serve.v3`):
+//! concurrent clients, emitting **four** latency series into
+//! `crates/bench/BENCH_serve.json` (schema `pypm.bench.serve.v4`):
 //!
 //! * `compile` — the result cache disabled, every request a full
 //!   compile (the old `pypm.bench.serve.v1` measurement);
@@ -10,8 +10,13 @@
 //!   from the content-addressed result cache;
 //! * `deadline` — every request carries `step_limit=1`, so every
 //!   response is `DEADLINE_EXCEEDED`: the p99 of this series is how
-//!   fast the server *sheds* over-budget work, the robustness
-//!   headline next to the throughput ones.
+//!   fast the server *sheds* over-budget work once a compile has
+//!   already started;
+//! * `shed` — the single worker pinned by real compiles while every
+//!   measured request carries `timeout_ms=1`, so each one expires *in
+//!   the queue* and is discarded before a session is touched: the p99
+//!   is the marginal cost of queue-time shedding (round trip minus
+//!   the server-reported `queued_ms`).
 //!
 //! The ratio between the two is the headline number for the cache:
 //! a hit skips the whole pipeline, so `cache_hit` req/s should dwarf
@@ -32,6 +37,8 @@
 use pypm::serve::{
     Client, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_OK, STATUS_OVERLOADED,
 };
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -289,6 +296,166 @@ fn run_deadline_series(args: &Args) -> SeriesResult {
     }
 }
 
+/// Pulls `"key": N` out of the stats JSON.
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let rest = &stats[stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"))
+        + pat.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric stat")
+}
+
+/// Pulls the server-reported queue wait out of a shed payload
+/// (`... (timeout_ms=1, queued_ms=NN); the compile was shed ...`).
+/// `None` means the response was a cooperative deadline instead of a
+/// queue shed.
+fn parse_queued_ms(body: &str) -> Option<f64> {
+    let at = body.find("queued_ms=")?;
+    let tail = &body[at + "queued_ms=".len()..];
+    let end = tail
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// The queue-shedding series: one worker pinned by a background stream
+/// of real compiles while every measured request carries
+/// `timeout_ms=1`. Each doomed request expires while queued and is
+/// discarded by the worker without a session ever being touched. The
+/// recorded latency is the round trip **minus** the server-reported
+/// `queued_ms` — the marginal cost of shedding one expired entry
+/// (admission, dequeue, reply) rather than the time the entry
+/// legitimately spent waiting behind the pinned worker.
+fn run_shed_series(args: &Args) -> SeriesResult {
+    let server = Server::bind(ServeConfig {
+        jobs: args.jobs,
+        workers: 1,
+        queue_depth: args.queue.max(args.clients + 4),
+        cache_capacity: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind on an ephemeral port");
+    let addr = server.addr();
+    let pin_line = format!("compile {} jobs={}", args.model, args.jobs);
+    let doomed_line = format!("compile {} jobs={} timeout_ms=1", args.model, args.jobs);
+
+    // Hold the worker for ≥ 20 ms per compile regardless of how fast
+    // the model compiles: without the floor, a small model in release
+    // mode finishes inside the 1 ms deadline and nothing is ever
+    // queued long enough to shed.
+    pypm::faults::arm("serve.compile=delay:20").expect("failpoint spec");
+
+    // Two pinner streams on one worker keep a real compile both in
+    // flight and queued for the whole window, so a doomed request can
+    // (almost) never find the worker idle before its 1 ms deadline
+    // expires.
+    let stop = Arc::new(AtomicBool::new(false));
+    let pinners: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let line = pin_line.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect pinner");
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, body) = c.request(&line).expect("pinner request");
+                    assert_eq!(status, STATUS_OK, "pinner compile failed: {body}");
+                }
+            })
+        })
+        .collect();
+
+    // Measure only once the worker is actually busy.
+    let mut stats_client = Client::connect(addr).expect("connect stats");
+    loop {
+        let (status, body) = stats_client.request("stats").expect("stats request");
+        assert_eq!(status, STATUS_OK, "stats failed: {body}");
+        if stat_u64(&body, "compiles_started") >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let clock = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|_| {
+            let line = doomed_line.clone();
+            let requests = args.requests;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut shed_cost_ms = Vec::with_capacity(requests);
+                let mut overloaded = 0u64;
+                for _ in 0..requests {
+                    loop {
+                        let t = Instant::now();
+                        let (status, body) = c.request(&line).expect("request");
+                        match status {
+                            STATUS_DEADLINE_EXCEEDED => {
+                                let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+                                // A request popped in the sliver before
+                                // its 1 ms deadline expires dies
+                                // cooperatively instead; only genuine
+                                // queue sheds enter the series.
+                                if let Some(queued) = parse_queued_ms(&body) {
+                                    assert!(body.contains("shed before it started"), "{body}");
+                                    shed_cost_ms.push((elapsed_ms - queued).max(0.0));
+                                }
+                                break;
+                            }
+                            STATUS_OVERLOADED => {
+                                overloaded += 1;
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            other => panic!("unexpected status {other}: {body}"),
+                        }
+                    }
+                }
+                (shed_cost_ms, overloaded)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::with_capacity(args.clients * args.requests);
+    let mut overloaded = 0u64;
+    for h in handles {
+        let (lat, ov) = h.join().expect("client thread");
+        latencies_ms.extend(lat);
+        overloaded += ov;
+    }
+    let wall_s = clock.elapsed().as_secs_f64();
+
+    // The worker counters are the proof this series measured what it
+    // claims: every recorded latency is one `shed_in_queue` tick, and
+    // no shed request ever started a compile.
+    let (status, stats) = stats_client.request("stats").expect("stats request");
+    assert_eq!(status, STATUS_OK, "stats failed: {stats}");
+    assert_eq!(
+        stat_u64(&stats, "shed_in_queue"),
+        latencies_ms.len() as u64,
+        "shed counter diverged from observed sheds: {stats}"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    for p in pinners {
+        p.join().expect("pinner thread");
+    }
+    server.shutdown();
+    server.join();
+    pypm::faults::disarm();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SeriesResult {
+        latencies_ms,
+        overloaded,
+        wall_s,
+        cache_hits: 0,
+    }
+}
+
 /// One series as a JSON object body.
 fn series_json(r: &SeriesResult) -> String {
     let ok = r.latencies_ms.len();
@@ -327,14 +494,23 @@ fn main() {
     // Series 3: every request doomed by `step_limit=1` — measures how
     // fast the budget sheds over-limit work.
     let deadline = run_deadline_series(&args);
+    // Series 4: every request expires in the queue behind a pinned
+    // worker — measures the marginal cost of queue-time shedding.
+    let shed = run_shed_series(&args);
+    assert!(
+        shed.latencies_ms.len() * 10 >= total as usize * 9,
+        "fewer than 90% of doomed requests were shed in queue ({} of {total})",
+        shed.latencies_ms.len()
+    );
 
     let compile_rps = compile.latencies_ms.len() as f64 / compile.wall_s;
     let hit_rps = cache_hit.latencies_ms.len() as f64 / cache_hit.wall_s;
     let json = format!(
-        "{{\n  \"schema\": \"pypm.bench.serve.v3\",\n  \"model\": \"{}\",\n  \
+        "{{\n  \"schema\": \"pypm.bench.serve.v4\",\n  \"model\": \"{}\",\n  \
          \"jobs\": {},\n  \"workers\": {},\n  \"queue_depth\": {},\n  \
          \"clients\": {},\n  \"requests_per_client\": {},\n  \"series\": {{\n    \
-         \"compile\": {},\n    \"cache_hit\": {},\n    \"deadline\": {}\n  }},\n  \
+         \"compile\": {},\n    \"cache_hit\": {},\n    \"deadline\": {},\n    \
+         \"shed\": {}\n  }},\n  \
          \"cache_hit_speedup\": {:.3},\n  \"counters_equivalent\": true\n}}\n",
         args.model,
         args.jobs,
@@ -345,13 +521,14 @@ fn main() {
         series_json(&compile),
         series_json(&cache_hit),
         series_json(&deadline),
+        series_json(&shed),
         hit_rps / compile_rps,
     );
     std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
     println!(
         "{} clients x {} requests of {}: compile {:.1} req/s (p50 {:.2} ms), \
          cache-hit {:.1} req/s (p50 {:.2} ms), {:.1}x, \
-         deadline-shed p99 {:.2} ms -> {}",
+         deadline-shed p99 {:.2} ms, queue-shed p99 {:.2} ms -> {}",
         args.clients,
         args.requests,
         args.model,
@@ -361,6 +538,7 @@ fn main() {
         percentile(&cache_hit.latencies_ms, 50.0),
         hit_rps / compile_rps,
         percentile(&deadline.latencies_ms, 99.0),
+        percentile(&shed.latencies_ms, 99.0),
         args.out
     );
 }

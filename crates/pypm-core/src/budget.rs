@@ -16,15 +16,26 @@
 //! charge is one relaxed atomic add, and wall-clock reads are amortized
 //! by only sampling the clock every [`Budget::WALL_CHECK_MASK`]+1
 //! charged steps.
+//!
+//! Wall time is read through an injected [`Clock`], so deadline
+//! behavior is deterministically testable: hand the budget a
+//! [`VirtualClock`](crate::VirtualClock) via [`Budget::with_clock`] and
+//! advance it manually to trip (or not trip) the deadline at an exact
+//! virtual instant. [`Budget::deadline_at`] rebases the deadline onto
+//! an absolute instant — a server uses it to anchor the deadline at
+//! request *admission* rather than compile start, so queue wait counts
+//! against the budget too.
 
+use crate::clock::{system_clock, Clock};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A cooperative per-compile resource budget. See the module docs.
 ///
 /// `Budget` is `Send + Sync`; share one across shard workers behind an
 /// `Arc`. A default-constructed budget is unlimited and never trips.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Budget {
     /// The originally requested timeout span (kept for error messages).
     timeout: Option<Duration>,
@@ -38,6 +49,21 @@ pub struct Budget {
     /// Sticky: set by the first check that observes an exhausted
     /// budget, observed by every later check.
     exceeded: AtomicBool,
+    /// The clock the deadline is measured against.
+    clock: Arc<dyn Clock>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            timeout: None,
+            deadline: None,
+            step_limit: None,
+            steps: AtomicU64::new(0),
+            exceeded: AtomicBool::new(false),
+            clock: system_clock(),
+        }
+    }
 }
 
 impl Budget {
@@ -46,16 +72,38 @@ impl Budget {
     /// count crosses a multiple of `WALL_CHECK_MASK + 1`.
     pub const WALL_CHECK_MASK: u64 = 0xFF;
 
-    /// A budget with the given wall-clock timeout (from now) and/or
-    /// machine-step cap. `None` for both yields an unlimited budget.
+    /// A budget with the given wall-clock timeout (from now, on the
+    /// system clock) and/or machine-step cap. `None` for both yields an
+    /// unlimited budget.
     pub fn new(timeout: Option<Duration>, step_limit: Option<u64>) -> Self {
+        Self::with_clock(timeout, step_limit, system_clock())
+    }
+
+    /// [`Budget::new`], measuring the deadline against an injected
+    /// clock — the deadline is `clock.now() + timeout`.
+    pub fn with_clock(
+        timeout: Option<Duration>,
+        step_limit: Option<u64>,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
         Budget {
             timeout,
-            deadline: timeout.map(|d| Instant::now() + d),
+            deadline: timeout.map(|d| clock.now() + d),
             step_limit,
             steps: AtomicU64::new(0),
             exceeded: AtomicBool::new(false),
+            clock,
         }
+    }
+
+    /// Rebases the wall deadline onto an absolute instant on this
+    /// budget's clock, keeping the original timeout label for
+    /// [`Budget::describe`]. A serve worker uses this to anchor the
+    /// deadline at request admission: time spent queued counts, so a
+    /// whole request — not just its compile — fits the timeout.
+    pub fn deadline_at(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// An unlimited budget: every check passes, nothing is ever
@@ -140,7 +188,7 @@ impl Budget {
     }
 
     fn wall_expired(&self) -> bool {
-        matches!(self.deadline, Some(d) if Instant::now() >= d)
+        matches!(self.deadline, Some(d) if self.clock.now() >= d)
     }
 
     fn trip(&self) -> bool {
@@ -152,6 +200,7 @@ impl Budget {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::VirtualClock;
 
     #[test]
     fn unlimited_budgets_never_trip() {
@@ -221,5 +270,40 @@ mod tests {
         let d = b.describe();
         assert!(d.contains("timeout_ms="), "{d}");
         assert!(d.ends_with("step_limit=7"), "{d}");
+    }
+
+    #[test]
+    fn virtual_deadlines_trip_at_the_exact_advance() {
+        let clock = Arc::new(VirtualClock::new());
+        let b = Budget::with_clock(Some(Duration::from_millis(50)), None, clock.clone());
+        assert!(b.check());
+        clock.advance(Duration::from_millis(49));
+        assert!(b.check(), "one tick before the deadline still passes");
+        clock.advance(Duration::from_millis(1));
+        assert!(!b.check(), "reaching the deadline trips");
+        assert!(b.exceeded());
+    }
+
+    #[test]
+    fn deadline_at_rebases_but_keeps_the_label() {
+        let clock = Arc::new(VirtualClock::new());
+        let admitted = clock.now();
+        let b = Budget::with_clock(Some(Duration::from_millis(10)), None, clock.clone())
+            .deadline_at(admitted + Duration::from_millis(10));
+        // Simulate 10 ms of queue wait: the rebased deadline has passed
+        // even though the budget itself was constructed "later".
+        clock.advance(Duration::from_millis(10));
+        assert!(!b.check(), "queue wait counts against the deadline");
+        assert_eq!(b.describe(), "timeout_ms=10");
+    }
+
+    #[test]
+    fn virtual_step_and_wall_limits_compose() {
+        let clock = Arc::new(VirtualClock::new());
+        let b = Budget::with_clock(Some(Duration::from_secs(1)), Some(1000), clock.clone());
+        assert!(b.charge(1000));
+        assert!(b.check(), "within both limits");
+        clock.advance(Duration::from_secs(2));
+        assert!(!b.check(), "wall trips independently of steps");
     }
 }

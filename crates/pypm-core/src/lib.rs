@@ -66,6 +66,7 @@
 pub mod analysis;
 pub mod attr;
 pub mod budget;
+pub mod clock;
 pub mod declarative;
 pub mod fused;
 pub mod guard;
@@ -78,6 +79,7 @@ pub mod testing;
 
 pub use attr::{AttrInterp, NoAttrs, StructuralAttrInterp, TableAttrInterp};
 pub use budget::Budget;
+pub use clock::{system_clock, Clock, SystemClock, VirtualClock};
 pub use fused::FusedSet;
 pub use guard::{Expr, Guard, GuardValue};
 pub use machine::{Action, Machine, MachineError, MachineStats, Outcome, RuleName};

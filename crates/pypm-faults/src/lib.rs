@@ -36,14 +36,20 @@
 //! I/O they guard, `Delay` sites sleep. The convenience wrapper
 //! [`sleep_if_delayed`] handles the common delay idiom.
 //!
+//! Delay sleeps go through an injectable [`Clock`]: [`set_clock`] lets
+//! a test route every `delay:ms` action onto a shared
+//! `pypm_core::VirtualClock`, so injected slowness advances virtual
+//! time instantly instead of stalling the test suite.
+//!
 //! This module replaces the ad-hoc `inject_worker_panic_once` test hook
 //! that previously lived in `pypm-engine::shard`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+use pypm_core::clock::{system_clock, Clock};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Mutex, Once, OnceLock};
+use std::sync::{Arc, Mutex, Once, OnceLock};
 
 /// What an armed failpoint injects at its site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,13 +284,43 @@ pub fn fires(site: &str) -> Option<Action> {
     chosen
 }
 
-/// Convenience wrapper for delay sites: sleeps if the site fires with
-/// [`Action::Delay`], and reports whether any action fired (so a site
-/// can combine a delay schedule with, say, a panic schedule).
+/// The clock `delay:ms` actions sleep on. `None` until [`set_clock`]
+/// is called; the system clock is used in that case.
+static CLOCK: OnceLock<Mutex<Option<Arc<dyn Clock>>>> = OnceLock::new();
+
+fn clock_slot() -> &'static Mutex<Option<Arc<dyn Clock>>> {
+    CLOCK.get_or_init(|| Mutex::new(None))
+}
+
+/// Routes every `delay:ms` action onto the given clock. Chaos tests
+/// install a shared `VirtualClock` here so injected slowness advances
+/// virtual time instantly instead of stalling the run; pass a
+/// `SystemClock` (or call [`reset_clock`]) to restore real sleeps.
+pub fn set_clock(clock: Arc<dyn Clock>) {
+    *clock_slot().lock().unwrap_or_else(|p| p.into_inner()) = Some(clock);
+}
+
+/// Restores `delay:ms` actions to real `thread::sleep` timing.
+pub fn reset_clock() {
+    *clock_slot().lock().unwrap_or_else(|p| p.into_inner()) = None;
+}
+
+fn delay_clock() -> Arc<dyn Clock> {
+    clock_slot()
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .clone()
+        .unwrap_or_else(system_clock)
+}
+
+/// Convenience wrapper for delay sites: sleeps (on the registered
+/// clock, see [`set_clock`]) if the site fires with [`Action::Delay`],
+/// and reports whether any action fired (so a site can combine a delay
+/// schedule with, say, a panic schedule).
 pub fn sleep_if_delayed(site: &str) -> Option<Action> {
     let action = fires(site)?;
     if let Action::Delay(ms) = action {
-        std::thread::sleep(std::time::Duration::from_millis(ms));
+        delay_clock().sleep(std::time::Duration::from_millis(ms));
     }
     Some(action)
 }
@@ -350,10 +386,29 @@ mod tests {
     #[test]
     fn delay_actions_parse_and_sleep() {
         let _g = guard();
+        reset_clock();
         arm("worker.slow=delay:1*1").unwrap();
         let t0 = std::time::Instant::now();
         assert_eq!(sleep_if_delayed("worker.slow"), Some(Action::Delay(1)));
         assert!(t0.elapsed() >= std::time::Duration::from_millis(1));
+        disarm();
+    }
+
+    #[test]
+    fn delays_route_through_a_registered_virtual_clock() {
+        let _g = guard();
+        let clock = Arc::new(pypm_core::VirtualClock::new());
+        set_clock(clock.clone());
+        arm("worker.slow=delay:5000*1").unwrap();
+        let t0 = std::time::Instant::now();
+        assert_eq!(sleep_if_delayed("worker.slow"), Some(Action::Delay(5000)));
+        assert!(
+            t0.elapsed() < std::time::Duration::from_millis(4000),
+            "a virtual delay must not block for real"
+        );
+        assert_eq!(clock.elapsed(), std::time::Duration::from_millis(5000));
+        assert_eq!(clock.sleeps(), vec![std::time::Duration::from_millis(5000)]);
+        reset_clock();
         disarm();
     }
 

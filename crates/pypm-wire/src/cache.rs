@@ -341,6 +341,13 @@ fn sweep_orphans(dir: &Path) -> u64 {
 /// degrade to evicting less, never to an error: the cap is best-effort
 /// accounting over a cache, not a durability contract.
 fn enforce_dir_limit(dir: &Path, max_bytes: u64) -> u64 {
+    // Failpoint `cache.evict`: an injected failure of the eviction
+    // sweep itself. The cap degrades to best-effort — the directory
+    // stays temporarily over budget until the next put retries — which
+    // is exactly how a real read_dir/remove_file error degrades below.
+    if pypm_faults::fires("cache.evict").is_some() {
+        return 0;
+    }
     let Ok(listing) = std::fs::read_dir(dir) else {
         return 0;
     };
@@ -598,6 +605,44 @@ mod tests {
         assert!(cache.get(key(2)).is_none());
         pypm_faults::disarm();
         assert_eq!(cache.get(key(2)).as_deref(), Some("two"));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn evict_failpoint_leaves_the_directory_over_cap_until_the_next_put() {
+        let _guard = disk_lock();
+        let dir = std::env::temp_dir().join(format!(
+            "pypm_wire_cache_evict_fault_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let probe = ResultCache::persistent(0, &dir).unwrap();
+        probe.put(key(1), "payload-0");
+        let entry_bytes = std::fs::metadata(entry_path(&dir, key(1))).unwrap().len();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cache = ResultCache::persistent(0, &dir)
+            .unwrap()
+            .with_dir_max_bytes(entry_bytes);
+        cache.put(key(1), "payload-0");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // The sweep after this put would evict key(1); the failpoint
+        // suppresses it, so the directory sits over cap — degraded,
+        // not corrupted.
+        pypm_faults::arm("cache.evict=io*1").unwrap();
+        cache.put(key(2), "payload-0");
+        pypm_faults::disarm();
+        assert!(entry_path(&dir, key(1)).exists());
+        assert!(entry_path(&dir, key(2)).exists());
+        assert_eq!(cache.stats().disk_evictions, 0);
+        // The next put retries the sweep and restores the cap.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        cache.put(key(3), "payload-0");
+        assert!(entry_path(&dir, key(3)).exists());
+        assert!(cache.stats().disk_evictions >= 2, "cap restored");
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -31,7 +31,7 @@
 
 use crate::WireError;
 use bytes::{BufMut, Bytes, BytesMut};
-use pypm_core::SymbolTable;
+use pypm_core::{Budget, SymbolTable};
 use pypm_graph::{DType, Graph, NodeId, NodeKind, TensorMeta};
 use std::collections::BinaryHeap;
 
@@ -77,8 +77,27 @@ fn canonical_order(g: &Graph) -> Vec<NodeId> {
     order
 }
 
+/// Charges one codec step per node against an optional budget; `None`
+/// never trips. Kept tiny so the per-node cost of a budgeted codec is
+/// one relaxed atomic add (see `Budget::charge`).
+fn charge_node(budget: Option<&Budget>) -> Result<(), WireError> {
+    match budget {
+        Some(b) if !b.charge(1) => Err(WireError::BudgetExceeded),
+        _ => Ok(()),
+    }
+}
+
 /// Encodes the graph section payload (no container header).
 pub(crate) fn encode_section(g: &Graph, syms: &SymbolTable) -> Bytes {
+    encode_section_budgeted(g, syms, None).expect("unbudgeted encode cannot fail")
+}
+
+/// [`encode_section`] charging one budget step per node.
+pub(crate) fn encode_section_budgeted(
+    g: &Graph,
+    syms: &SymbolTable,
+    budget: Option<&Budget>,
+) -> Result<Bytes, WireError> {
     let order = canonical_order(g);
     let mut dense = vec![u32::MAX; g.allocated_count()];
     for (i, &n) in order.iter().enumerate() {
@@ -87,6 +106,7 @@ pub(crate) fn encode_section(g: &Graph, syms: &SymbolTable) -> Bytes {
     let mut buf = BytesMut::new();
     buf.put_u32_le(order.len() as u32);
     for &n in &order {
+        charge_node(budget)?;
         let node = g.node(n);
         match node.kind {
             NodeKind::Input => buf.put_u8(KIND_INPUT),
@@ -125,12 +145,21 @@ pub(crate) fn encode_section(g: &Graph, syms: &SymbolTable) -> Bytes {
     for o in outputs {
         buf.put_u32_le(o);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decodes a graph section payload, re-interning operator and attribute
 /// names into `syms`.
 pub(crate) fn decode_section(data: &[u8], syms: &mut SymbolTable) -> Result<Graph, WireError> {
+    decode_section_budgeted(data, syms, None)
+}
+
+/// [`decode_section`] charging one budget step per node.
+pub(crate) fn decode_section_budgeted(
+    data: &[u8],
+    syms: &mut SymbolTable,
+    budget: Option<&Budget>,
+) -> Result<Graph, WireError> {
     let mut r = Reader { data, pos: 0 };
     let mut g = Graph::new();
     // A node occupies at least kind + input count + dtype + rank bytes;
@@ -139,6 +168,7 @@ pub(crate) fn decode_section(data: &[u8], syms: &mut SymbolTable) -> Result<Grap
     let node_count = r.count(10, "node count")?;
     let mut ids: Vec<NodeId> = Vec::with_capacity(node_count);
     for index in 0..node_count {
+        charge_node(budget)?;
         let kind = r.u8()?;
         let op = if kind != KIND_INPUT {
             let name = r.str_()?;
@@ -408,6 +438,37 @@ mod tests {
         g2.validate().expect("decoded rewritten graph validates");
         // And the decoded graph is canonical from here on.
         assert_eq!(encode_graph(&g2, &fresh), bytes);
+    }
+
+    #[test]
+    fn budgeted_codec_trips_instead_of_running_unbounded() {
+        use crate::{decode_graph_budgeted, encode_graph_budgeted};
+        let mut syms = SymbolTable::new();
+        let g = build(&mut syms);
+        // A generous budget passes and produces the canonical bytes.
+        let roomy = Budget::new(None, Some(1_000));
+        let bytes = encode_graph_budgeted(&g, &syms, Some(&roomy)).unwrap();
+        assert_eq!(bytes, encode_graph(&g, &syms));
+        assert!(roomy.steps() >= g.live_count() as u64);
+        // An exhausted budget trips the encode…
+        let spent = Budget::new(None, Some(1));
+        assert!(spent.charge(1));
+        assert_eq!(
+            encode_graph_budgeted(&g, &syms, Some(&spent)).err(),
+            Some(WireError::BudgetExceeded)
+        );
+        // …and the decode, without touching the error vocabulary of
+        // corrupt input.
+        let mut fresh = SymbolTable::new();
+        let spent = Budget::new(None, Some(1));
+        assert!(spent.charge(1));
+        assert_eq!(
+            decode_graph_budgeted(&bytes, &mut fresh, Some(&spent)).err(),
+            Some(WireError::BudgetExceeded)
+        );
+        let mut fresh = SymbolTable::new();
+        let g2 = decode_graph_budgeted(&bytes, &mut fresh, Some(&roomy)).unwrap();
+        assert_eq!(g2.live_count(), g.live_count());
     }
 
     #[test]

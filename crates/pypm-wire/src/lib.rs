@@ -69,7 +69,7 @@ pub use container::{
 };
 
 use bytes::Bytes;
-use pypm_core::{PatternStore, SymbolTable};
+use pypm_core::{Budget, PatternStore, SymbolTable};
 use pypm_dsl::binary::BinError;
 use pypm_dsl::RuleSet;
 use pypm_graph::Graph;
@@ -123,6 +123,10 @@ pub enum WireError {
     },
     /// A rule-set section failed to decode.
     Ruleset(BinError),
+    /// The compile budget threaded through a budgeted encode/decode
+    /// was exhausted mid-codec. The caller maps this to its own
+    /// deadline-exceeded vocabulary; the input itself may be fine.
+    BudgetExceeded,
 }
 
 impl fmt::Display for WireError {
@@ -151,6 +155,9 @@ impl fmt::Display for WireError {
                 write!(f, "inconsistent PYPMWIRE graph section: {what}")
             }
             WireError::Ruleset(e) => write!(f, "rule-set section: {e}"),
+            WireError::BudgetExceeded => {
+                write!(f, "compile budget exceeded during wire encode/decode")
+            }
         }
     }
 }
@@ -175,6 +182,27 @@ pub fn encode_graph(g: &Graph, syms: &SymbolTable) -> Bytes {
     w.finish()
 }
 
+/// [`encode_graph`] with a cooperative [`Budget`]: one step is charged
+/// per encoded node, so a whole-request deadline covers result encoding
+/// too, not just the rewrite pipeline. With `None` this is exactly
+/// [`encode_graph`] and cannot fail.
+///
+/// # Errors
+///
+/// [`WireError::BudgetExceeded`] when the budget trips mid-encode.
+pub fn encode_graph_budgeted(
+    g: &Graph,
+    syms: &SymbolTable,
+    budget: Option<&Budget>,
+) -> Result<Bytes, WireError> {
+    let mut w = ContainerWriter::new();
+    w.section(
+        SECTION_GRAPH,
+        graph_codec::encode_section_budgeted(g, syms, budget)?,
+    );
+    Ok(w.finish())
+}
+
 /// Decodes a graph from a `PYPMWIRE` container, re-interning every
 /// operator and attribute name into `syms`.
 ///
@@ -182,13 +210,30 @@ pub fn encode_graph(g: &Graph, syms: &SymbolTable) -> Bytes {
 ///
 /// Any [`WireError`]; never panics on corrupt input.
 pub fn decode_graph(data: &[u8], syms: &mut SymbolTable) -> Result<Graph, WireError> {
+    decode_graph_budgeted(data, syms, None)
+}
+
+/// [`decode_graph`] with a cooperative [`Budget`]: one step is charged
+/// per decoded node, so a request's deadline covers parsing the
+/// submitted graph — a hostile or merely enormous payload trips
+/// [`WireError::BudgetExceeded`] instead of running unbounded. With
+/// `None` this is exactly [`decode_graph`].
+///
+/// # Errors
+///
+/// Any [`WireError`]; never panics on corrupt input.
+pub fn decode_graph_budgeted(
+    data: &[u8],
+    syms: &mut SymbolTable,
+    budget: Option<&Budget>,
+) -> Result<Graph, WireError> {
     let container = Container::parse(data)?;
     let section = container
         .section(SECTION_GRAPH)
         .ok_or(WireError::MissingSection {
             kind: SECTION_GRAPH,
         })?;
-    graph_codec::decode_section(section, syms)
+    graph_codec::decode_section_budgeted(section, syms, budget)
 }
 
 /// Serializes a rule set into a one-section `PYPMWIRE` container. The

@@ -10,6 +10,7 @@
 //! pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N]
 //!             [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N]
 //!             [--request-timeout-ms N] [--step-limit N]
+//!             [--idle-timeout-ms N]
 //!                                           long-lived compile session server
 //!                                           (see the `pypm::serve` docs for
 //!                                           the framed TCP protocol)
@@ -330,7 +331,7 @@ fn serve(args: &[String]) -> i32 {
     let spec = Spec {
         usage: "pypmc serve [--addr A] [--jobs N] [--workers N] [--queue N] \
                 [--cache N] [--cache-dir DIR] [--cache-dir-max-bytes N] \
-                [--request-timeout-ms N] [--step-limit N]",
+                [--request-timeout-ms N] [--step-limit N] [--idle-timeout-ms N]",
         positionals: (0, 0),
         value_flags: &[
             "--addr",
@@ -342,6 +343,7 @@ fn serve(args: &[String]) -> i32 {
             "--cache-dir-max-bytes",
             "--request-timeout-ms",
             "--step-limit",
+            "--idle-timeout-ms",
         ],
         bool_flags: &[],
     };
@@ -397,6 +399,20 @@ fn serve(args: &[String]) -> i32 {
                     eprintln!("usage: {}", spec.usage);
                     return 2;
                 }
+            }
+        }
+    }
+    // Idle-connection reaping: how long a connection may sit between
+    // request frames before the server drops it. Zero disables reaping
+    // (idle connections are kept forever); omitting keeps the default.
+    if let Some(v) = parsed.value("--idle-timeout-ms") {
+        match v.parse::<u64>() {
+            Ok(0) => config.idle_timeout_ms = None,
+            Ok(n) => config.idle_timeout_ms = Some(n),
+            Err(_) => {
+                eprintln!("error: invalid --idle-timeout-ms {v}: not a non-negative integer");
+                eprintln!("usage: {}", spec.usage);
+                return 2;
             }
         }
     }

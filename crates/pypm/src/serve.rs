@@ -92,29 +92,63 @@
 //! the same report any budget would, and an exceeded one is an error
 //! and is never cached.
 //!
+//! ## Virtual time
+//!
+//! Every time observation in the serve path — budget deadlines, queue
+//! admission stamps, idle reaping, retry backoff, injected fault
+//! delays — goes through an injectable [`Clock`]
+//! ([`ServeConfig::clock`], [`Client::with_clock`]). Production uses
+//! the system clock; tests share one `VirtualClock` between server,
+//! client and fault registry and advance it manually, so deadline and
+//! retry behavior is asserted exactly instead of raced against the
+//! host scheduler. OS-level socket timeouts (the write timeout, the
+//! idle *poll* interval) remain real: they are liveness backstops, not
+//! semantics.
+//!
 //! ## Transport hardening
 //!
-//! Server-side connections carry a read timeout
-//! ([`ServeConfig::idle_timeout_ms`]) — a connection idle between
-//! frames for that long is reaped, so leaked client sockets cannot
-//! accumulate threads — and a bounded write timeout, so a stalled
+//! Server-side connections reap themselves when idle: reads poll on a
+//! short OS timeout and compare clock-measured inactivity against
+//! [`ServeConfig::idle_timeout_ms`], so leaked client sockets cannot
+//! accumulate threads — and a bounded write timeout means a stalled
 //! reader cannot wedge a connection thread. [`Client`] uses a bounded
 //! `connect_timeout` plus I/O timeouts on every request, and
 //! [`Client::request_with_retry`] retries [`STATUS_OVERLOADED`]
-//! responses (honoring the `retry-after-ms=` hint in the payload) and
-//! transient transport failures with exponential backoff and jitter,
-//! reconnecting when the stream is poisoned mid-frame.
+//! responses (honoring a *positive* `retry-after-ms=` hint in the
+//! payload; a zero hint falls back to the backoff schedule rather than
+//! hot-spinning) and transient transport failures with exponential
+//! backoff and jitter, reconnecting when the stream is poisoned
+//! mid-frame. The whole retry loop is additionally capped by
+//! [`RetryPolicy::overall`], a client-level deadline on total retry
+//! wall time.
 //!
-//! ## Backpressure and shutdown
+//! ## Backpressure, shedding and shutdown
 //!
-//! Admission control is a bounded [`std::sync::mpsc::sync_channel`]:
-//! `compile` requests are enqueued with `try_send`, and a full queue is
-//! answered *immediately* with [`STATUS_OVERLOADED`] — the client
-//! retries, the server never buffers unboundedly. `shutdown` (or
-//! [`Server::shutdown`]) drains gracefully: queued compiles finish and
-//! their responses are delivered, new compiles are refused with
-//! [`STATUS_SHUTTING_DOWN`], and [`Server::join`] returns once the
-//! workers exit.
+//! Admission control is a bounded deadline-aware queue: `compile`
+//! requests are admitted with a non-blocking reservation stamped with
+//! the admission instant and the request's absolute deadline, and a
+//! full queue is answered *immediately* with [`STATUS_OVERLOADED`] —
+//! the client retries, the server never buffers unboundedly. The
+//! `retry-after-ms=` hint in that payload tracks an EWMA of observed
+//! service times, so clients back off roughly one service interval
+//! instead of a constant.
+//!
+//! Workers dequeue **earliest-deadline-first** among budgeted requests
+//! (unbudgeted ones have an infinite deadline: they run FIFO among
+//! themselves, after any budgeted work) and **shed** entries whose
+//! deadline already expired while queued: those are answered
+//! [`STATUS_DEADLINE_EXCEEDED`] without touching a session — no graph
+//! build, no compile. The `shed_in_queue` and `compiles_started`
+//! counters in the `stats` document make the distinction observable.
+//! Because the worker's budget is anchored at the *admission* instant
+//! ([`Budget::deadline_at`]), queue wait also counts against a request
+//! that does start compiling: `timeout_ms=` bounds the whole request,
+//! not just its compile phase.
+//!
+//! `shutdown` (or [`Server::shutdown`]) drains gracefully: queued
+//! compiles finish and their responses are delivered, new compiles are
+//! refused with [`STATUS_SHUTTING_DOWN`], and [`Server::join`] returns
+//! once the workers exit.
 //!
 //! A compile worker survives everything a request can throw at it: a
 //! panicking request handler is caught ([`std::panic::catch_unwind`])
@@ -124,6 +158,7 @@
 //! term-store loan guard restores the session stores), so the same
 //! session keeps serving.
 
+use crate::core::clock::{system_clock, Clock};
 use crate::core::Budget;
 use crate::dsl::LibraryConfig;
 use crate::engine::{
@@ -136,8 +171,8 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -161,15 +196,27 @@ pub const STATUS_DEADLINE_EXCEEDED: u8 = 6;
 /// Hard ceiling on request/response frame payloads (16 MiB).
 pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 
-/// The backoff hint embedded in [`STATUS_OVERLOADED`] payloads as
-/// `retry-after-ms=<N>` — the base delay [`Client::request_with_retry`]
-/// starts from.
+/// The default backoff hint embedded in [`STATUS_OVERLOADED`] payloads
+/// as `retry-after-ms=<N>` — used verbatim until the server has
+/// observed at least one service time, after which the hint tracks an
+/// EWMA of observed service times instead. Also the base delay
+/// [`Client::request_with_retry`] starts from.
 pub const RETRY_AFTER_HINT_MS: u64 = 25;
+
+/// Ceiling on the EWMA-derived `retry-after-ms=` hint: however slow
+/// compiles get, clients are never told to back off more than this.
+const RETRY_AFTER_HINT_CAP_MS: u64 = 2_000;
 
 /// Write timeout on server-side connections: a reader that stalls this
 /// long mid-response forfeits the connection rather than wedging its
 /// thread.
 const SERVER_WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// OS-level read timeout used as the idle-reap *poll interval*: blocked
+/// reads wake this often to compare clock-measured inactivity against
+/// [`ServeConfig::idle_timeout_ms`]. Real even under a `VirtualClock` —
+/// it bounds how stale an idle check can be, not when reaping happens.
+const IDLE_POLL: Duration = Duration::from_millis(25);
 
 /// Server configuration: where to listen and how much to admit.
 #[derive(Debug, Clone)]
@@ -206,8 +253,14 @@ pub struct ServeConfig {
     /// request's own `step_limit=` wins. `None` is uncapped.
     pub step_limit: Option<u64>,
     /// Reap a connection idle between request frames for this long, in
-    /// milliseconds. `None` keeps idle connections forever.
+    /// milliseconds (measured on [`ServeConfig::clock`]). `None` keeps
+    /// idle connections forever.
     pub idle_timeout_ms: Option<u64>,
+    /// The clock every server-side time observation goes through:
+    /// budget deadlines, queue admission stamps, idle reaping, service
+    /// EWMA. Defaults to the system clock; tests inject a shared
+    /// `VirtualClock` for deterministic deadline/shedding assertions.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServeConfig {
@@ -223,6 +276,7 @@ impl Default for ServeConfig {
             request_timeout_ms: None,
             step_limit: None,
             idle_timeout_ms: Some(300_000),
+            clock: system_clock(),
         }
     }
 }
@@ -326,13 +380,209 @@ struct BudgetDefaults {
     step_limit: Option<u64>,
 }
 
-/// One admitted unit of work, or a shutdown poison.
-enum Job {
-    Compile {
+/// One admitted compile, stamped for deadline-aware scheduling.
+struct QueueEntry {
+    req: CompileRequest,
+    reply: mpsc::Sender<(u8, String)>,
+    /// When admission control accepted this request.
+    admitted_at: Instant,
+    /// The request's absolute deadline (`admitted_at` + its effective
+    /// `timeout_ms`), if it has one. Drives both the EDF dequeue order
+    /// and queue-time shedding.
+    deadline: Option<Instant>,
+    /// Admission order — the FIFO tiebreak.
+    seq: u64,
+}
+
+/// What a worker pulled off the queue.
+enum Popped {
+    Entry(QueueEntry),
+    /// Drain: the worker should exit. Delivered only after every
+    /// admitted entry has been dequeued.
+    Poison,
+}
+
+/// Why admission was refused.
+enum AdmitError {
+    /// The bounded queue is full — answer [`STATUS_OVERLOADED`].
+    Full,
+    /// The server is draining — answer [`STATUS_SHUTTING_DOWN`].
+    Closed,
+}
+
+struct QueueInner {
+    /// Admitted entries in admission order. Selection is an O(n) scan —
+    /// the queue is bounded and small, and EDF needs no heap at this
+    /// size.
+    entries: Vec<QueueEntry>,
+    /// Workers currently blocked in [`JobQueue::pop`]. Admission
+    /// capacity is `depth + waiting`: with `depth == 0` that is exactly
+    /// the old rendezvous contract — admit only when a worker is free.
+    waiting: usize,
+    /// Outstanding drain tokens; delivered only once `entries` is dry.
+    poison: usize,
+    /// Set on drain: every further admission is refused.
+    closed: bool,
+    next_seq: u64,
+}
+
+/// The bounded, deadline-aware admission queue that replaced the plain
+/// `sync_channel`. Admission is non-blocking (full ⇒ the caller answers
+/// OVERLOADED immediately); dequeue is earliest-deadline-first among
+/// budgeted entries, FIFO among unbudgeted ones (an absent deadline
+/// sorts as infinity, so budgeted work always goes first — it is the
+/// work that can still be lost to time).
+struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+    depth: usize,
+}
+
+impl JobQueue {
+    fn new(depth: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                entries: Vec::new(),
+                waiting: 0,
+                poison: 0,
+                closed: false,
+                next_seq: 0,
+            }),
+            ready: Condvar::new(),
+            depth,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, QueueInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Non-blocking admission: accepts iff the server is not draining
+    /// and the queue holds fewer entries than `depth` plus the number
+    /// of workers already blocked waiting for work.
+    fn try_admit(
+        &self,
         req: CompileRequest,
         reply: mpsc::Sender<(u8, String)>,
-    },
-    Poison,
+        admitted_at: Instant,
+        deadline: Option<Instant>,
+    ) -> Result<(), AdmitError> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(AdmitError::Closed);
+        }
+        if inner.entries.len() >= self.depth + inner.waiting {
+            return Err(AdmitError::Full);
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.entries.push(QueueEntry {
+            req,
+            reply,
+            admitted_at,
+            deadline,
+            seq,
+        });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an entry (EDF order) or a drain token is available.
+    /// Entries always win over poison, so a drain delivers every
+    /// admitted response before the workers exit.
+    fn pop(&self) -> Popped {
+        let mut inner = self.lock();
+        loop {
+            if let Some(i) = Self::select(&inner.entries) {
+                return Popped::Entry(inner.entries.remove(i));
+            }
+            if inner.poison > 0 {
+                inner.poison -= 1;
+                return Popped::Poison;
+            }
+            inner.waiting += 1;
+            inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner());
+            inner.waiting -= 1;
+        }
+    }
+
+    /// The index to dequeue next: the budgeted entry with the earliest
+    /// `(deadline, seq)`, else the longest-queued unbudgeted entry.
+    fn select(entries: &[QueueEntry]) -> Option<usize> {
+        let mut best: Option<(usize, Instant, u64)> = None;
+        let mut first_unbudgeted: Option<usize> = None;
+        for (i, e) in entries.iter().enumerate() {
+            match e.deadline {
+                Some(d) => {
+                    if best.map_or(true, |(_, bd, bs)| (d, e.seq) < (bd, bs)) {
+                        best = Some((i, d, e.seq));
+                    }
+                }
+                None => {
+                    if first_unbudgeted.is_none() {
+                        first_unbudgeted = Some(i);
+                    }
+                }
+            }
+        }
+        best.map(|(i, _, _)| i).or(first_unbudgeted)
+    }
+
+    /// Starts the drain: refuses every further admission and leaves one
+    /// poison token per worker behind the already-admitted entries.
+    fn close_and_poison(&self, workers: usize) {
+        let mut inner = self.lock();
+        inner.closed = true;
+        inner.poison += workers;
+        drop(inner);
+        self.ready.notify_all();
+    }
+}
+
+/// Load and shedding counters shared between admission control, the
+/// workers and the `stats` verb.
+#[derive(Debug, Default)]
+struct Counters {
+    /// Requests a worker began serving (cache probe or compile). A
+    /// request shed in the queue never increments this.
+    compiles_started: AtomicU64,
+    /// Requests answered [`STATUS_DEADLINE_EXCEEDED`] at dequeue, with
+    /// no session touched, because their deadline passed while queued.
+    shed_in_queue: AtomicU64,
+    /// EWMA of observed service times, in microseconds (α = 1/4). Zero
+    /// until the first service completes. Feeds the `retry-after-ms=`
+    /// hint in [`STATUS_OVERLOADED`] payloads.
+    service_ewma_us: AtomicU64,
+}
+
+impl Counters {
+    /// Folds one observed service time into the EWMA. The
+    /// read-modify-write races benignly under concurrency — the EWMA is
+    /// a load hint, not an invariant.
+    fn record_service(&self, elapsed: Duration) {
+        let sample = u64::try_from(elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let old = self.service_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            (3 * old + sample) / 4
+        };
+        self.service_ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// The backoff hint for OVERLOADED payloads: roughly one EWMA
+    /// service time, clamped to `1..=`[`RETRY_AFTER_HINT_CAP_MS`] so it
+    /// is never zero (a zero hint would invite a hot spin) and never
+    /// absurd. [`RETRY_AFTER_HINT_MS`] until the first service time is
+    /// observed.
+    fn retry_after_hint_ms(&self) -> u64 {
+        match self.service_ewma_us.load(Ordering::Relaxed) {
+            0 => RETRY_AFTER_HINT_MS,
+            us => (us / 1_000).clamp(1, RETRY_AFTER_HINT_CAP_MS),
+        }
+    }
 }
 
 /// The state one compile worker keeps warm across requests: its own
@@ -344,6 +594,8 @@ struct WorkerState {
     default_jobs: usize,
     defaults: BudgetDefaults,
     cache: Arc<ResultCache>,
+    clock: Arc<dyn Clock>,
+    counters: Arc<Counters>,
     /// Request determinants → content hash. The zoo builders are pure,
     /// so the canonical graph/ruleset bytes — and therefore the cache
     /// key — are a function of (model, config, policy, matcher, jobs);
@@ -353,13 +605,21 @@ struct WorkerState {
 }
 
 impl WorkerState {
-    fn new(default_jobs: usize, defaults: BudgetDefaults, cache: Arc<ResultCache>) -> Self {
+    fn new(
+        default_jobs: usize,
+        defaults: BudgetDefaults,
+        cache: Arc<ResultCache>,
+        clock: Arc<dyn Clock>,
+        counters: Arc<Counters>,
+    ) -> Self {
         WorkerState {
             session: Session::new(),
             pool: None,
             default_jobs,
             defaults,
             cache,
+            clock,
+            counters,
             key_memo: HashMap::new(),
         }
     }
@@ -377,9 +637,64 @@ impl WorkerState {
 
     /// Serves one compile: exactly the `pypmc compile` pipeline over
     /// this worker's long-lived session. Returns the request's
-    /// `pypm.pipeline.v1` JSON.
-    fn compile(&mut self, req: &CompileRequest) -> Result<String, (u8, String)> {
+    /// `pypm.pipeline.v1` JSON. `deadline` is the absolute deadline
+    /// stamped at admission: the budget is anchored there, so queue
+    /// wait already spent part of it, and *every* phase — graph build,
+    /// wire encode, the rewrite pipeline, report rendering — charges
+    /// against one whole-request budget.
+    fn compile(
+        &mut self,
+        req: &CompileRequest,
+        deadline: Option<Instant>,
+    ) -> Result<String, (u8, String)> {
+        self.counters
+            .compiles_started
+            .fetch_add(1, Ordering::Relaxed);
+        // Failpoint: `serve.compile` fires once per request a worker
+        // actually serves — `delay:ms` stalls the worker on the fault
+        // clock (how tests pin a worker while shedding is observed
+        // behind it), `io`/`torn` fail the request, `panic` exercises
+        // the session-rebuild path.
+        match pypm_faults::sleep_if_delayed("serve.compile") {
+            Some(pypm_faults::Action::Panic) => {
+                panic!("failpoint serve.compile: injected panic")
+            }
+            Some(pypm_faults::Action::Io) | Some(pypm_faults::Action::Torn) => {
+                return Err((
+                    STATUS_ERROR,
+                    "failpoint serve.compile: injected failure".to_owned(),
+                ));
+            }
+            Some(pypm_faults::Action::Delay(_)) | None => {}
+        }
         let jobs = req.jobs.unwrap_or(self.default_jobs).max(1);
+        // The cooperative whole-request budget: request keys win over
+        // the server defaults. Deliberately *not* part of the cache
+        // key — a compile that finishes under budget produces the
+        // report any budget would, and an exceeded one errors and is
+        // never cached.
+        let timeout_ms = req.timeout_ms.or(self.defaults.timeout_ms);
+        let step_limit = req.step_limit.or(self.defaults.step_limit);
+        let budget = (timeout_ms.is_some() || step_limit.is_some()).then(|| {
+            let mut budget = Budget::with_clock(
+                timeout_ms.map(Duration::from_millis),
+                step_limit,
+                Arc::clone(&self.clock),
+            );
+            if let Some(deadline) = deadline {
+                budget = budget.deadline_at(deadline);
+            }
+            Arc::new(budget)
+        });
+        let over_budget = |b: &Budget| {
+            (
+                STATUS_DEADLINE_EXCEEDED,
+                format!(
+                    "compile budget exceeded ({}); the worker is ready for the next request",
+                    b.describe()
+                ),
+            )
+        };
         // Repeat requests skip the build entirely: the memo maps the
         // request determinants to the content hash this worker already
         // computed, so a warm hit costs one LRU probe and never touches
@@ -408,6 +723,14 @@ impl WorkerState {
                 format!("unknown model {}; try `pypmc list-models`", req.model),
             ));
         };
+        // Whole-request coverage: the graph build charges one step per
+        // live node, so a deadline that expired during the build is
+        // caught here instead of surviving into the match phase.
+        if let Some(b) = budget.as_deref() {
+            if !b.charge(graph.live_count() as u64) {
+                return Err(over_budget(b));
+            }
+        }
         let rules = self.session.load_library_cached(req.config);
         // Content-address the request: the canonical graph bytes plus
         // everything else that shapes the report. Jobs and the matcher
@@ -415,21 +738,36 @@ impl WorkerState {
         // machine-step/backtrack/admission counters; the engine version
         // is in it so a persistent store outliving this binary (an
         // upgraded server over an old --cache-dir) misses instead of
-        // replaying a stale report.
-        let key = self.cache.is_enabled().then(|| {
+        // replaying a stale report. Both encodes charge the budget —
+        // the graph codec per node, the rule-set bytes per 64-byte
+        // chunk — so key construction cannot outlive the deadline
+        // unbudgeted.
+        let key = if self.cache.is_enabled() {
+            let graph_bytes =
+                crate::wire::encode_graph_budgeted(&graph, &self.session.syms, budget.as_deref())
+                    .map_err(|_| over_budget(budget.as_deref().expect("only a budget errs")))?;
+            let ruleset_bytes =
+                crate::wire::encode_ruleset(&rules, &self.session.syms, &self.session.pats);
+            if let Some(b) = budget.as_deref() {
+                if !b.charge(ruleset_bytes.len() as u64 / 64 + 1) {
+                    return Err(over_budget(b));
+                }
+            }
             let key = CacheKey::of(&[
                 b"pypm.serve.compile.v1",
                 env!("CARGO_PKG_VERSION").as_bytes(),
-                &self.session.wire_graph(&graph),
-                &crate::wire::encode_ruleset(&rules, &self.session.syms, &self.session.pats),
+                &graph_bytes,
+                &ruleset_bytes,
                 format!("{:?}", req.config).as_bytes(),
                 req.policy.name().as_bytes(),
                 req.matcher.name().as_bytes(),
                 &(jobs as u64).to_le_bytes(),
             ]);
             self.key_memo.insert(memo, key);
-            key
-        });
+            Some(key)
+        } else {
+            None
+        };
         if let Some(key) = key {
             if !probed {
                 if let Some(report) = self.cache.get(key) {
@@ -445,17 +783,8 @@ impl WorkerState {
         if let Some(pool) = pool {
             pipeline = pipeline.with_pool(pool);
         }
-        // The cooperative budget: request keys win over the server
-        // defaults. Deliberately *not* part of the cache key — a
-        // compile that finishes under budget produces the report any
-        // budget would, and an exceeded one errors and is never cached.
-        let timeout_ms = req.timeout_ms.or(self.defaults.timeout_ms);
-        let step_limit = req.step_limit.or(self.defaults.step_limit);
-        if timeout_ms.is_some() || step_limit.is_some() {
-            pipeline = pipeline.with_budget(Arc::new(Budget::new(
-                timeout_ms.map(Duration::from_millis),
-                step_limit,
-            )));
+        if let Some(b) = &budget {
+            pipeline = pipeline.with_budget(Arc::clone(b));
         }
         if !rules.is_empty() {
             pipeline = pipeline.with(
@@ -474,6 +803,14 @@ impl WorkerState {
                 _ => (STATUS_ERROR, format!("rewrite pass failed: {e}")),
             })?;
         let report = reports[0].to_json();
+        // Report rendering is the last unbudgeted edge: charge it (per
+        // 64-byte chunk) so DEADLINE_EXCEEDED is a whole-request
+        // guarantee, and never cache a report whose budget tripped.
+        if let Some(b) = budget.as_deref() {
+            if !b.charge(report.len() as u64 / 64 + 1) {
+                return Err(over_budget(b));
+            }
+        }
         if let Some(key) = key {
             self.cache.put(key, &report);
         }
@@ -485,55 +822,110 @@ impl WorkerState {
 /// until poisoned. A panicking handler is caught and reported as
 /// [`STATUS_ERROR`]; the session is rebuilt before the next job so one
 /// poisoned request can never corrupt later ones.
+///
+/// Before touching a session the worker sheds any dequeued entry whose
+/// deadline already passed while it sat in the queue: the client gets
+/// [`STATUS_DEADLINE_EXCEEDED`] without a compile ever starting, which
+/// is both cheaper and more honest than compiling a result nobody is
+/// still waiting for.
 fn worker_loop(
-    rx: Arc<Mutex<Receiver<Job>>>,
+    queue: Arc<JobQueue>,
     default_jobs: usize,
     defaults: BudgetDefaults,
     cache: Arc<ResultCache>,
+    clock: Arc<dyn Clock>,
+    counters: Arc<Counters>,
 ) {
-    let mut state = WorkerState::new(default_jobs, defaults, cache);
+    let mut state = WorkerState::new(
+        default_jobs,
+        defaults,
+        cache,
+        Arc::clone(&clock),
+        Arc::clone(&counters),
+    );
     loop {
-        // Hold the lock only for the dequeue, never during a compile.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
+        let entry = match queue.pop() {
+            Popped::Entry(entry) => entry,
+            Popped::Poison => return,
         };
-        match job {
-            Ok(Job::Compile { req, reply }) => {
-                let outcome = catch_unwind(AssertUnwindSafe(|| state.compile(&req)));
-                let response = match outcome {
-                    Ok(Ok(json)) => (STATUS_OK, json),
-                    Ok(Err(err)) => err,
-                    Err(_) => {
-                        state = WorkerState::new(default_jobs, defaults, Arc::clone(&state.cache));
-                        (
-                            STATUS_ERROR,
-                            "request handler panicked; session rebuilt".to_owned(),
-                        )
-                    }
-                };
-                // A vanished client is its own problem.
-                let _ = reply.send(response);
+        // Queue-time shedding: expired-in-queue requests never reach a
+        // session. `compiles_started` stays untouched, which is what
+        // the shed tests assert on.
+        if let Some(deadline) = entry.deadline {
+            let now = clock.now();
+            if now >= deadline {
+                counters.shed_in_queue.fetch_add(1, Ordering::Relaxed);
+                let timeout_ms = entry
+                    .req
+                    .timeout_ms
+                    .or(defaults.timeout_ms)
+                    .unwrap_or_default();
+                let queued_ms = now.saturating_duration_since(entry.admitted_at).as_millis();
+                let _ = entry.reply.send((
+                    STATUS_DEADLINE_EXCEEDED,
+                    format!(
+                        "deadline expired while queued (timeout_ms={timeout_ms}, \
+                         queued_ms={queued_ms}); the compile was shed before it started"
+                    ),
+                ));
+                continue;
             }
-            Ok(Job::Poison) | Err(_) => return,
         }
+        let started = clock.now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            state.compile(&entry.req, entry.deadline)
+        }));
+        let response = match outcome {
+            Ok(Ok(json)) => {
+                // Only successful compiles feed the EWMA: errors are
+                // usually fast rejections and would bias the
+                // retry-after hint toward hot spinning.
+                counters.record_service(clock.now().saturating_duration_since(started));
+                (STATUS_OK, json)
+            }
+            Ok(Err(err)) => err,
+            Err(_) => {
+                state = WorkerState::new(
+                    default_jobs,
+                    defaults,
+                    Arc::clone(&state.cache),
+                    Arc::clone(&clock),
+                    Arc::clone(&counters),
+                );
+                (
+                    STATUS_ERROR,
+                    "request handler panicked; session rebuilt".to_owned(),
+                )
+            }
+        };
+        // A vanished client is its own problem.
+        let _ = entry.reply.send(response);
     }
 }
 
 /// State shared between the accept loop, connection threads and
 /// [`Server`].
 struct Shared {
-    queue: SyncSender<Job>,
+    queue: Arc<JobQueue>,
     shutting_down: AtomicBool,
     addr: SocketAddr,
     cache: Arc<ResultCache>,
+    /// The server's time source; virtual in tests, system in prod.
+    clock: Arc<dyn Clock>,
+    /// Worker-side counters (shedding, EWMA) surfaced via `stats`.
+    counters: Arc<Counters>,
+    /// Server-default budget keys; needed at admission to stamp the
+    /// request deadline before a worker ever sees the entry.
+    defaults: BudgetDefaults,
     /// When the server came up — the `stats` verb's `uptime_ms`.
     started: Instant,
     /// Compiles admitted through the queue and not yet answered.
     in_flight: AtomicU64,
-    /// Compiles that exhausted their budget since startup.
+    /// Compiles that exhausted their budget since startup (whether
+    /// mid-compile or shed while queued).
     deadline_exceeded: AtomicU64,
-    /// Server-side read timeout between request frames, when any.
+    /// Server-side inactivity limit between request frames, when any.
+    /// Enforced against `clock`, polled at [`IDLE_POLL`] granularity.
     idle_timeout: Option<Duration>,
 }
 
@@ -567,8 +959,9 @@ impl Server {
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let (queue, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(JobQueue::new(config.queue_depth));
+        let counters = Arc::new(Counters::default());
+        let clock = Arc::clone(&config.clock);
         let cache = Arc::new(match &config.cache_dir {
             Some(dir) => {
                 let cache = ResultCache::persistent(config.cache_capacity, dir)?;
@@ -579,26 +972,33 @@ impl Server {
             }
             None => ResultCache::in_memory(config.cache_capacity),
         });
-        let shared = Arc::new(Shared {
-            queue,
-            shutting_down: AtomicBool::new(false),
-            addr,
-            cache: Arc::clone(&cache),
-            started: Instant::now(),
-            in_flight: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            idle_timeout: config.idle_timeout_ms.map(Duration::from_millis),
-        });
         let defaults = BudgetDefaults {
             timeout_ms: config.request_timeout_ms,
             step_limit: config.step_limit,
         };
+        let shared = Arc::new(Shared {
+            queue: Arc::clone(&queue),
+            shutting_down: AtomicBool::new(false),
+            addr,
+            cache: Arc::clone(&cache),
+            clock: Arc::clone(&clock),
+            counters: Arc::clone(&counters),
+            defaults,
+            started: clock.now(),
+            in_flight: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            idle_timeout: config.idle_timeout_ms.map(Duration::from_millis),
+        });
         let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
             .map(|_| {
-                let rx = Arc::clone(&rx);
+                let queue = Arc::clone(&queue);
                 let jobs = config.jobs.max(1);
                 let cache = Arc::clone(&cache);
-                std::thread::spawn(move || worker_loop(rx, jobs, defaults, cache))
+                let clock = Arc::clone(&clock);
+                let counters = Arc::clone(&counters);
+                std::thread::spawn(move || {
+                    worker_loop(queue, jobs, defaults, cache, clock, counters)
+                })
             })
             .collect();
         let accept = {
@@ -648,11 +1048,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, worker_count: usize) 
         }
         let Ok(stream) = stream else { continue };
         let _ = stream.set_nodelay(true);
-        // Transport hardening: a connection idle between frames past
-        // the configured timeout is reaped (the blocked read errors and
-        // the thread exits), and a reader stalled mid-response cannot
-        // hold its connection thread past the write timeout.
-        let _ = stream.set_read_timeout(shared.idle_timeout);
+        // Transport hardening: when an idle limit is configured the OS
+        // read timeout becomes a short poll tick, and the *actual*
+        // inactivity comparison happens against `shared.clock` inside
+        // `read_frame` — which is what lets tests reap idle
+        // connections under a virtual clock. A reader stalled
+        // mid-response still cannot hold its connection thread past
+        // the (OS-level) write timeout.
+        let _ = stream.set_read_timeout(shared.idle_timeout.map(|_| IDLE_POLL));
         let _ = stream.set_write_timeout(Some(SERVER_WRITE_TIMEOUT));
         let shared = Arc::clone(&shared);
         // Detached on purpose: an idle connection must not block the
@@ -660,17 +1063,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, worker_count: usize) 
         // or refused with STATUS_SHUTTING_DOWN.
         std::thread::spawn(move || handle_connection(stream, &shared));
     }
-    for _ in 0..worker_count {
-        // Blocking send: poisons queue *behind* every admitted job.
-        let _ = shared.queue.send(Job::Poison);
-    }
+    // Close admission, then poison the queue *behind* every already
+    // admitted job: workers drain in order and then exit.
+    shared.queue.close_and_poison(worker_count);
 }
 
 /// Serves one connection: frames in, responses out, until EOF or an
 /// unrecoverable framing error.
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let mut idle = IdleWatch::new(shared);
     loop {
-        let payload = match read_frame(&mut stream) {
+        let payload = match read_frame(&mut stream, &mut idle) {
             Ok(Some(payload)) => payload,
             // EOF between frames: the client is done.
             Ok(None) => return,
@@ -691,10 +1094,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     STATUS_OK,
                     format!(
                         "{{\"schema\": \"pypm.serve.stats.v1\", \"uptime_ms\": {}, \
-                         \"in_flight\": {}, \"deadline_exceeded\": {}, \"cache\": {}}}",
-                        shared.started.elapsed().as_millis(),
+                         \"in_flight\": {}, \"deadline_exceeded\": {}, \
+                         \"compiles_started\": {}, \"shed_in_queue\": {}, \
+                         \"service_ewma_us\": {}, \"cache\": {}}}",
+                        shared
+                            .clock
+                            .now()
+                            .saturating_duration_since(shared.started)
+                            .as_millis(),
                         shared.in_flight.load(Ordering::Relaxed),
                         shared.deadline_exceeded.load(Ordering::Relaxed),
+                        shared.counters.compiles_started.load(Ordering::Relaxed),
+                        shared.counters.shed_in_queue.load(Ordering::Relaxed),
+                        shared.counters.service_ewma_us.load(Ordering::Relaxed),
                         shared.cache.stats_json()
                     ),
                 ),
@@ -718,19 +1130,30 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 
 /// Admits one compile through the bounded queue and waits for its
 /// result. Refusals (overload, drain) are immediate.
+///
+/// The whole-request deadline is stamped *here*, at admission: queue
+/// wait, wire decode, compile and report render all charge against the
+/// same absolute instant, so a request cannot launder queue time into
+/// extra compile time.
 fn serve_compile(shared: &Shared, req: CompileRequest) -> (u8, String) {
     if shared.shutting_down.load(Ordering::SeqCst) {
         return (STATUS_SHUTTING_DOWN, "server is draining".to_owned());
     }
+    let admitted_at = shared.clock.now();
+    let deadline = req
+        .timeout_ms
+        .or(shared.defaults.timeout_ms)
+        .map(|ms| admitted_at + Duration::from_millis(ms));
     let (reply, result) = mpsc::channel();
-    match shared.queue.try_send(Job::Compile { req, reply }) {
-        Err(TrySendError::Full(_)) => (
+    match shared.queue.try_admit(req, reply, admitted_at, deadline) {
+        Err(AdmitError::Full) => (
             STATUS_OVERLOADED,
-            format!("compile queue is full; retry-after-ms={RETRY_AFTER_HINT_MS}"),
+            format!(
+                "compile queue is full; retry-after-ms={}",
+                shared.counters.retry_after_hint_ms()
+            ),
         ),
-        Err(TrySendError::Disconnected(_)) => {
-            (STATUS_SHUTTING_DOWN, "server is draining".to_owned())
-        }
+        Err(AdmitError::Closed) => (STATUS_SHUTTING_DOWN, "server is draining".to_owned()),
         Ok(()) => {
             shared.in_flight.fetch_add(1, Ordering::Relaxed);
             let response = match result.recv() {
@@ -764,20 +1187,88 @@ impl From<io::Error> for FrameError {
     }
 }
 
+/// Tracks connection inactivity against the server clock. When an idle
+/// timeout is configured the OS-level read timeout is only a short poll
+/// tick ([`IDLE_POLL`]); the actual reap decision compares
+/// clock-measured inactivity against the configured limit, which is how
+/// tests reap idle connections under a [`VirtualClock`]
+/// (`crate::core::VirtualClock`) without waiting wall time.
+///
+/// One watch lives per *connection*, not per frame: the anchor is the
+/// arrival of the last request byte, so time advanced while the
+/// connection sat between frames counts as inactivity no matter which
+/// call observes it.
+struct IdleWatch<'a> {
+    shared: &'a Shared,
+    last_activity: Instant,
+}
+
+impl<'a> IdleWatch<'a> {
+    fn new(shared: &'a Shared) -> IdleWatch<'a> {
+        IdleWatch {
+            shared,
+            last_activity: shared.clock.now(),
+        }
+    }
+
+    /// Any bytes arrived: the connection is live again.
+    fn touch(&mut self) {
+        self.last_activity = self.shared.clock.now();
+    }
+
+    /// Classifies a read error: `Ok(())` means it was a poll tick and
+    /// the idle allowance has not run out (the caller retries the
+    /// read); `Err` means a real transport error or an idle expiry (the
+    /// caller reaps the connection).
+    fn tick(&self, e: &io::Error) -> Result<(), FrameError> {
+        let polling = matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        );
+        match (polling, self.shared.idle_timeout) {
+            (true, Some(limit))
+                if self
+                    .shared
+                    .clock
+                    .now()
+                    .saturating_duration_since(self.last_activity)
+                    < limit =>
+            {
+                Ok(())
+            }
+            _ => Err(FrameError::Io),
+        }
+    }
+}
+
 /// Reads one length-prefixed frame. `Ok(None)` is a clean EOF *between*
 /// frames; EOF mid-frame is an error (truncated frame).
-fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
+///
+/// Failpoint: `frame.read` fires once per frame-read attempt — `io` and
+/// `torn` drop the connection, `panic` unwinds the connection thread,
+/// `delay:ms` stalls on the fault clock before the read.
+fn read_frame(
+    stream: &mut TcpStream,
+    idle: &mut IdleWatch<'_>,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    match pypm_faults::sleep_if_delayed("frame.read") {
+        Some(pypm_faults::Action::Panic) => panic!("failpoint frame.read: injected panic"),
+        Some(pypm_faults::Action::Io) | Some(pypm_faults::Action::Torn) => {
+            return Err(FrameError::Io)
+        }
+        Some(pypm_faults::Action::Delay(_)) | None => {}
+    }
     let mut len = [0u8; 4];
-    match stream.read(&mut len)? {
-        0 => return Ok(None),
-        mut n => {
-            while n < 4 {
-                let got = stream.read(&mut len[n..])?;
-                if got == 0 {
-                    return Err(FrameError::Io);
-                }
-                n += got;
+    let mut have = 0;
+    while have < 4 {
+        match stream.read(&mut len[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::Io),
+            Ok(got) => {
+                have += got;
+                idle.touch();
             }
+            Err(e) => idle.tick(&e)?,
         }
     }
     let len = u32::from_le_bytes(len) as usize;
@@ -785,14 +1276,39 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, FrameError> {
         return Err(FrameError::TooLarge(len));
     }
     let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
+    let mut filled = 0;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return Err(FrameError::Io),
+            Ok(got) => {
+                filled += got;
+                idle.touch();
+            }
+            Err(e) => idle.tick(&e)?,
+        }
+    }
     Ok(Some(payload))
 }
 
 /// Writes one `status + u32 length + payload` response frame as a
 /// single buffered write: three small writes would interact with
 /// Nagle's algorithm and delayed ACKs to add ~40 ms per response.
+///
+/// Failpoint: `frame.write` fires once per response — `io` and `torn`
+/// fail the write (the connection thread exits; the client sees a dead
+/// socket and retries), `panic` unwinds the connection thread,
+/// `delay:ms` stalls on the fault clock before the write.
 fn write_response(stream: &mut TcpStream, status: u8, payload: &[u8]) -> io::Result<()> {
+    match pypm_faults::sleep_if_delayed("frame.write") {
+        Some(pypm_faults::Action::Panic) => panic!("failpoint frame.write: injected panic"),
+        Some(pypm_faults::Action::Io) | Some(pypm_faults::Action::Torn) => {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "failpoint frame.write: injected write failure",
+            ));
+        }
+        Some(pypm_faults::Action::Delay(_)) | None => {}
+    }
     let mut frame = Vec::with_capacity(5 + payload.len());
     frame.push(status);
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -809,6 +1325,74 @@ pub struct Client {
     stream: TcpStream,
     addr: SocketAddr,
     io_timeout: Option<Duration>,
+    /// Time source for retry backoff — virtual in tests.
+    clock: Arc<dyn Clock>,
+    retry: RetryPolicy,
+}
+
+/// Backoff policy for [`Client::request_with_retry`]: exponential
+/// (doubling from `base`, capped at `cap`, jittered), with an optional
+/// overall wall-clock budget across all attempts. A seeded policy
+/// produces an exact, reproducible delay sequence — see
+/// [`RetryPolicy::preview_delays`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Delay before the first retry; doubles on each further retry.
+    pub base: Duration,
+    /// Ceiling on any single retry delay.
+    pub cap: Duration,
+    /// Total wall-clock budget across all attempts, measured on the
+    /// client's clock. A retry sleep that would overrun it is never
+    /// started. `None` removes the bound.
+    pub overall: Option<Duration>,
+    /// `Some(seed)` makes the jitter a deterministic SplitMix64
+    /// sequence (for tests); `None` uses per-process random state.
+    pub jitter_seed: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(RETRY_AFTER_HINT_MS),
+            cap: Duration::from_secs(2),
+            overall: Some(Duration::from_secs(60)),
+            jitter_seed: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The exact sleep sequence `request_with_retry(_, max_attempts)`
+    /// would execute when every attempt keeps failing and the server's
+    /// `retry-after-ms=` hints never exceed the schedule. Exact only
+    /// for a seeded policy (`jitter_seed: Some(_)`); with process
+    /// randomness the jitter differs per call.
+    #[must_use]
+    pub fn preview_delays(&self, max_attempts: u32) -> Vec<Duration> {
+        let mut jitter = self.jitter_seed.map(SplitMix64);
+        let mut delay = self.base;
+        let mut out = Vec::new();
+        for _ in 1..max_attempts.max(1) {
+            out.push(jittered_with(delay, &mut jitter));
+            delay = (delay * 2).min(self.cap);
+        }
+        out
+    }
+}
+
+/// SplitMix64 — tiny, seedable, state-is-one-u64. Used for
+/// deterministic retry jitter so tests can pin exact delay sequences.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 }
 
 /// Default [`Client`] connect timeout.
@@ -851,18 +1435,40 @@ impl Client {
             stream,
             addr,
             io_timeout,
+            clock: system_clock(),
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the client's time source (backoff sleeps and the
+    /// overall retry deadline both run on it). Virtual in tests.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Client {
+        self.clock = clock;
+        self
+    }
+
+    /// Replaces the retry/backoff policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Client {
+        self.retry = retry;
+        self
     }
 
     /// Like [`Client::request`], but rides out backpressure and
     /// transient transport failures: [`STATUS_OVERLOADED`] responses
     /// and retryable I/O errors are retried up to `max_attempts` times
-    /// with exponential backoff and jitter, starting from the server's
-    /// `retry-after-ms=` hint. An I/O failure may leave the stream
-    /// poisoned mid-frame, so each retry reconnects first.
+    /// under the client's [`RetryPolicy`] — exponential backoff with
+    /// jitter, where a *positive* server `retry-after-ms=` hint can
+    /// only raise the next delay (a zero hint falls back to the
+    /// schedule instead of hot-spinning), and a sleep that would
+    /// overrun `RetryPolicy::overall` is never started. An I/O failure
+    /// may leave the stream poisoned mid-frame, so each retry
+    /// reconnects first.
     ///
-    /// Exhausting the attempts returns the last `OVERLOADED` response
-    /// (so callers still see an honest status byte).
+    /// Exhausting the attempts (or the overall budget) returns the last
+    /// `OVERLOADED` response (so callers still see an honest status
+    /// byte).
     ///
     /// # Errors
     ///
@@ -873,16 +1479,27 @@ impl Client {
         line: &str,
         max_attempts: u32,
     ) -> io::Result<(u8, String)> {
-        let mut delay = Duration::from_millis(RETRY_AFTER_HINT_MS);
+        let started = self.clock.now();
+        let mut jitter = self.retry.jitter_seed.map(SplitMix64);
+        let mut delay = self.retry.base;
         let mut last = None;
         for attempt in 0..max_attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(jittered(delay));
-                delay = (delay * 2).min(Duration::from_secs(2));
+                let sleep = jittered_with(delay, &mut jitter);
+                if let Some(overall) = self.retry.overall {
+                    let spent = self.clock.now().saturating_duration_since(started);
+                    if spent + sleep > overall {
+                        break;
+                    }
+                }
+                self.clock.sleep(sleep);
+                delay = (delay * 2).min(self.retry.cap);
             }
             match self.request(line) {
                 Ok((status, payload)) if status == STATUS_OVERLOADED => {
-                    if let Some(hint) = parse_retry_after(&payload) {
+                    // A zero hint must not collapse the schedule into a
+                    // hot spin; a positive hint only ever raises it.
+                    if let Some(hint) = parse_retry_after(&payload).filter(|&ms| ms > 0) {
                         delay = delay.max(Duration::from_millis(hint));
                     }
                     last = Some(Ok((status, payload)));
@@ -987,14 +1604,20 @@ fn is_transient(e: &io::Error) -> bool {
 }
 
 /// Adds up to +50% jitter to a backoff delay so retrying clients
-/// de-synchronize instead of stampeding the queue in lockstep. The
-/// entropy comes from the hasher's per-process random keys — no
-/// external RNG dependency.
-fn jittered(base: Duration) -> Duration {
-    use std::hash::{BuildHasher, Hasher};
-    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
-    h.write_u128(base.as_nanos());
-    let frac = (h.finish() % 256) as u32;
+/// de-synchronize instead of stampeding the queue in lockstep. With a
+/// seeded RNG the jitter is a reproducible SplitMix64 sequence; without
+/// one the entropy comes from the hasher's per-process random keys — no
+/// external RNG dependency either way.
+fn jittered_with(base: Duration, rng: &mut Option<SplitMix64>) -> Duration {
+    let frac = match rng {
+        Some(rng) => (rng.next() % 256) as u32,
+        None => {
+            use std::hash::{BuildHasher, Hasher};
+            let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+            h.write_u128(base.as_nanos());
+            (h.finish() % 256) as u32
+        }
+    };
     base + base.mul_f64(f64::from(frac) / 512.0)
 }
 
@@ -1083,9 +1706,92 @@ mod tests {
     #[test]
     fn jitter_stays_within_half_the_base_delay() {
         let base = Duration::from_millis(100);
-        for _ in 0..64 {
-            let j = jittered(base);
-            assert!(j >= base && j <= base + base / 2 + Duration::from_millis(1));
+        for seed in 0..64 {
+            let unseeded = jittered_with(base, &mut None);
+            let seeded = jittered_with(base, &mut Some(SplitMix64(seed)));
+            for j in [unseeded, seeded] {
+                assert!(j >= base && j <= base + base / 2 + Duration::from_millis(1));
+            }
         }
+    }
+
+    #[test]
+    fn seeded_retry_previews_are_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(40),
+            overall: None,
+            jitter_seed: Some(7),
+        };
+        let a = policy.preview_delays(6);
+        let b = policy.preview_delays(6);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 5, "one delay per retry, none before attempt 0");
+        // Doubling respects the cap (jitter adds at most +50%).
+        for (i, d) in a.iter().enumerate() {
+            let nominal = Duration::from_millis(10 * (1 << i.min(2)) as u64);
+            assert!(*d >= nominal && *d <= nominal + nominal / 2 + Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn edf_select_prefers_earliest_deadline_then_fifo() {
+        let clock = system_clock();
+        let now = clock.now();
+        let entry = |deadline: Option<Instant>, seq: u64| QueueEntry {
+            req: CompileRequest {
+                model: "m".to_owned(),
+                config: LibraryConfig::both(),
+                policy: SweepPolicy::RestartOnRewrite,
+                matcher: MatcherBackend::Fused,
+                jobs: None,
+                timeout_ms: None,
+                step_limit: None,
+            },
+            reply: mpsc::channel().0,
+            admitted_at: now,
+            deadline,
+            seq,
+        };
+        // Budgeted entries beat unbudgeted ones regardless of order.
+        let entries = vec![
+            entry(None, 0),
+            entry(Some(now + Duration::from_millis(500)), 1),
+            entry(Some(now + Duration::from_millis(100)), 2),
+        ];
+        assert_eq!(JobQueue::select(&entries), Some(2), "earliest deadline");
+        // Identical deadlines fall back to admission order.
+        let tied = vec![
+            entry(Some(now + Duration::from_millis(100)), 5),
+            entry(Some(now + Duration::from_millis(100)), 3),
+        ];
+        assert_eq!(JobQueue::select(&tied), Some(1), "seq breaks the tie");
+        // All-unbudgeted stays FIFO.
+        let fifo = vec![entry(None, 8), entry(None, 9)];
+        assert_eq!(JobQueue::select(&fifo), Some(0));
+        assert_eq!(JobQueue::select(&[]), None);
+    }
+
+    #[test]
+    fn retry_hint_tracks_the_service_ewma() {
+        let counters = Counters::default();
+        assert_eq!(
+            counters.retry_after_hint_ms(),
+            RETRY_AFTER_HINT_MS,
+            "static default until the first observation"
+        );
+        counters.record_service(Duration::from_millis(80));
+        assert_eq!(counters.retry_after_hint_ms(), 80);
+        // EWMA folds toward new observations at α = 1/4.
+        counters.record_service(Duration::from_millis(400));
+        assert_eq!(counters.retry_after_hint_ms(), 160);
+        // Sub-millisecond services still hint ≥ 1 ms (never zero).
+        let fast = Counters::default();
+        fast.record_service(Duration::from_micros(3));
+        assert_eq!(fast.retry_after_hint_ms(), 1);
+        // Absurd observations clamp at the cap.
+        let slow = Counters::default();
+        slow.record_service(Duration::from_secs(3600));
+        assert_eq!(slow.retry_after_hint_ms(), RETRY_AFTER_HINT_CAP_MS);
     }
 }

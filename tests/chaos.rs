@@ -1,15 +1,22 @@
 //! Chaos harness for the compile service: seeded randomized fault
 //! schedules against live servers.
 //!
-//! Each schedule arms a random set of failpoints (cache read/write I/O
-//! errors, torn cache writes, slow and panicking pool workers), brings
-//! up a server with randomized limits, and sweeps randomized requests
-//! across zoo models × sweep policies × job counts — some carrying
-//! `timeout_ms=`/`step_limit=` budgets. The robustness contract under
-//! fire:
+//! Each schedule arms a random set of failpoints (cache read/write/
+//! evict I/O errors, torn cache writes, dropped frame reads/writes,
+//! slow and panicking pool workers), brings up a server with randomized
+//! limits, and sweeps randomized requests across zoo models × sweep
+//! policies × job counts — some carrying `timeout_ms=`/`step_limit=`
+//! budgets. The robustness contract under fire:
 //!
 //! * no panic escapes a worker (the server keeps answering),
-//! * no request hangs past its deadline (bounded response time),
+//! * virtual time is exactly accounted: each schedule runs its server
+//!   and fault registry on one shared `VirtualClock`, and per request
+//!   the virtual elapsed equals the sum of sleeps injected during it —
+//!   nothing else may consume virtual time,
+//! * wall time stays under a flat live-TCP ceiling
+//!   (`PYPM_CHAOS_WALL_SLACK_MS`, default 60 s): injected delays
+//!   advance only the virtual clock, so real elapsed time is compute
+//!   plus transport, independent of the fault schedule,
 //! * every response carries a known status byte with a well-formed
 //!   payload,
 //! * the disk cache never serves corrupt bytes — every `OK` compile is
@@ -24,12 +31,13 @@
 //! its own test binary because the failpoint registry is
 //! process-global: arming it here must not leak into other suites.
 
+use pypm::core::VirtualClock;
 use pypm::serve::{
-    Client, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_ERROR, STATUS_OK,
+    Client, RetryPolicy, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_ERROR, STATUS_OK,
     STATUS_OVERLOADED,
 };
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Serializes the suite's tests: the failpoint registry is global, so
@@ -160,7 +168,23 @@ fn random_fault_spec(rng: &mut Rng) -> String {
         parts.push("cache.torn=torn%30".to_owned());
     }
     if rng.chance(40) {
+        parts.push("cache.evict=io%30".to_owned());
+    }
+    // Frame faults are io-only: a dropped frame kills the connection
+    // and the client reconnects and retries. (A panic there would only
+    // unwind a detached connection thread — covered by unit tests, and
+    // arming it here would just spam the harness output.)
+    if rng.chance(40) {
+        parts.push(format!("frame.read=io%{}", 5 + rng.below(15)));
+    }
+    if rng.chance(40) {
+        parts.push(format!("frame.write=io%{}", 5 + rng.below(15)));
+    }
+    if rng.chance(40) {
         parts.push(format!("worker.slow=delay:{}%20", 1 + rng.below(5)));
+    }
+    if rng.chance(30) {
+        parts.push(format!("serve.compile=delay:{}%25", 1 + rng.below(50)));
     }
     if rng.chance(40) {
         parts.push(format!("worker.panic=panic*{}", 1 + rng.below(2)));
@@ -181,6 +205,12 @@ fn run_schedule(schedule: u64, seed: u64, refs: &HashMap<(String, String, usize)
     if let Some(dir) = &cache_dir {
         let _ = std::fs::remove_dir_all(dir);
     }
+    // One virtual timeline per schedule, shared by the server (budget
+    // deadlines, shedding, idle reaping) and the fault registry
+    // (injected delays). Injected sleeps advance it instantly, which
+    // is what makes the exact accounting below — and a fast harness —
+    // possible.
+    let vclock = Arc::new(VirtualClock::new());
     let config = ServeConfig {
         jobs: 2,
         workers: 1 + rng.below(2) as usize,
@@ -189,13 +219,35 @@ fn run_schedule(schedule: u64, seed: u64, refs: &HashMap<(String, String, usize)
         cache_dir: cache_dir
             .as_ref()
             .map(|d| d.to_str().expect("utf-8 temp path").to_owned()),
+        // Half the disk-backed schedules also cap the directory, so the
+        // eviction path (and its `cache.evict` failpoint) gets traffic.
+        cache_dir_max_bytes: (cache_dir.is_some() && rng.chance(50))
+            .then(|| 4_096 + rng.below(65_536)),
+        clock: vclock.clone(),
         ..ServeConfig::default()
     };
     let server = Server::bind(config).expect("bind chaos server");
-    let mut client = Client::connect(server.addr()).expect("connect");
+    // The client deliberately stays on the wall clock: when a frame
+    // fault eats a response, the orphaned compile keeps a worker busy
+    // for *real* milliseconds, and retry backoff must pace against
+    // that — virtual sleeps would hammer every attempt into the same
+    // busy window. Seeded jitter keeps a failing schedule reproducible
+    // from its seed alone.
+    let mut client = Client::connect(server.addr())
+        .expect("connect")
+        .with_retry_policy(RetryPolicy {
+            jitter_seed: Some(seed ^ schedule),
+            ..RetryPolicy::default()
+        });
 
     let spec = random_fault_spec(&mut rng);
+    pypm::faults::set_clock(vclock.clone());
     pypm::faults::arm(&spec).expect("valid chaos spec");
+
+    // The live-TCP wall ceiling: flat, because injected delays cost no
+    // wall time — only compute and transport remain. Overridable for
+    // slow CI machines.
+    let wall_ceiling = Duration::from_millis(env_u64("PYPM_CHAOS_WALL_SLACK_MS", 60_000));
 
     let mut served = 0;
     for _ in 0..8 {
@@ -210,22 +262,34 @@ fn run_schedule(schedule: u64, seed: u64, refs: &HashMap<(String, String, usize)
         if rng.chance(20) {
             line.push_str(&format!(" step_limit={}", 1 + rng.below(100_000)));
         }
+        // Frame faults drop connections mid-request, so the retrying
+        // entry point is the one under test here.
+        vclock.clear_sleeps();
+        let virtual_before = vclock.elapsed();
         let start = Instant::now();
-        let (status, body) = client.request(&line).expect("transport survives chaos");
+        let (status, body) = client
+            .request_with_retry(&line, 8)
+            .expect("transport survives chaos");
         let elapsed = start.elapsed();
+        let virtual_elapsed = vclock.elapsed() - virtual_before;
+        let injected: Duration = vclock.sleeps().iter().sum();
         served += 1;
 
-        // No hang past the deadline: a budgeted request answers within
-        // 2× its deadline plus scheduling slack (injected worker
-        // delays sleep outside the budget's control, but each is
-        // bounded and counted here), and nothing blocks unboundedly.
-        let ceiling = match timeout_ms {
-            Some(t) => Duration::from_millis(2 * t) + Duration::from_secs(5),
-            None => Duration::from_secs(60),
-        };
+        // Exact virtual accounting: the only thing that advances the
+        // schedule's clock is a recorded sleep (injected worker/frame
+        // delays). Any other drift would mean a hidden wait the
+        // harness cannot see.
+        assert_eq!(
+            virtual_elapsed, injected,
+            "[schedule {schedule}] '{line}' leaked virtual time: \
+             {virtual_elapsed:?} elapsed vs {injected:?} injected"
+        );
+
+        // No hang: wall time is bounded by the flat live-TCP ceiling,
+        // independent of the fault schedule.
         assert!(
-            elapsed <= ceiling,
-            "[schedule {schedule}] '{line}' took {elapsed:?} (ceiling {ceiling:?})"
+            elapsed <= wall_ceiling,
+            "[schedule {schedule}] '{line}' took {elapsed:?} (ceiling {wall_ceiling:?})"
         );
 
         // Every response is a known status with a well-formed payload,
@@ -262,11 +326,18 @@ fn run_schedule(schedule: u64, seed: u64, refs: &HashMap<(String, String, usize)
             other => panic!("[schedule {schedule}] unexpected status {other}: {body}"),
         }
     }
+    // Disarm (and detach the fault clock) *before* the drain: a frame
+    // fault on the shutdown ack would drop the one response the drain
+    // assertion depends on.
     pypm::faults::disarm();
+    pypm::faults::reset_clock();
 
     // No panic escaped: the server still answers, and a clean drain
-    // completes.
-    let (status, _) = client.request("ping").expect("ping after chaos");
+    // completes. The *connection* may be a casualty of a between-frames
+    // frame fault, so the liveness probe is the reconnecting call.
+    let (status, _) = client
+        .request_with_retry("ping", 8)
+        .expect("ping after chaos");
     assert_eq!(status, STATUS_OK, "[schedule {schedule}] server died");
     let (status, _) = client.request("shutdown").expect("shutdown");
     assert_eq!(status, STATUS_OK);

@@ -1,0 +1,292 @@
+//! Virtual-time tests for the serve path: exact retry-backoff
+//! sequences, queue-time load shedding, and idle reaping — all driven
+//! by a shared [`VirtualClock`] so nothing here waits on a real
+//! schedule except the deliberately-blocked worker in the shed test.
+//!
+//! Runs as its own test binary because the shed test arms the
+//! process-global failpoint registry.
+
+use pypm::core::VirtualClock;
+use pypm::serve::{
+    Client, RetryPolicy, ServeConfig, Server, STATUS_DEADLINE_EXCEEDED, STATUS_OK,
+    STATUS_OVERLOADED,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Serializes the suite: the failpoint registry and fault clock are
+/// process-global.
+fn suite_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A protocol stub that answers every request with `OVERLOADED` and a
+/// `retry-after-ms=0` hint — the worst legal backoff advice a server
+/// can give. Serves until its listener is dropped with the process.
+fn overloaded_stub(hint_ms: u64) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind stub");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { return };
+            std::thread::spawn(move || loop {
+                let mut len = [0u8; 4];
+                if stream.read_exact(&mut len).is_err() {
+                    return;
+                }
+                let mut payload = vec![0u8; u32::from_le_bytes(len) as usize];
+                if stream.read_exact(&mut payload).is_err() {
+                    return;
+                }
+                let body = format!("compile queue is full; retry-after-ms={hint_ms}");
+                let mut frame = vec![STATUS_OVERLOADED];
+                frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+                frame.extend_from_slice(body.as_bytes());
+                if stream.write_all(&frame).is_err() {
+                    return;
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Pulls `"key": N` out of the stats JSON.
+fn stat_u64(stats: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\": ");
+    let rest = &stats[stats
+        .find(&pat)
+        .unwrap_or_else(|| panic!("{key} in {stats}"))
+        + pat.len()..];
+    rest.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric stat")
+}
+
+#[test]
+fn seeded_backoff_produces_the_exact_previewed_delay_sequence() {
+    let _guard = suite_lock();
+    let addr = overloaded_stub(0);
+    let policy = RetryPolicy {
+        base: Duration::from_millis(25),
+        cap: Duration::from_secs(2),
+        overall: None,
+        jitter_seed: Some(0xBACC0FF),
+    };
+    let vclock = Arc::new(VirtualClock::new());
+    let mut client = Client::connect(addr)
+        .expect("connect stub")
+        .with_clock(vclock.clone())
+        .with_retry_policy(policy.clone());
+
+    let (status, body) = client
+        .request_with_retry("compile m", 6)
+        .expect("stub answers");
+    assert_eq!(status, STATUS_OVERLOADED, "{body}");
+
+    // The zero hint must not collapse the schedule into a hot spin:
+    // every executed sleep is exactly the previewed exponential delay.
+    let slept = vclock.sleeps();
+    let previewed = policy.preview_delays(6);
+    assert_eq!(slept, previewed, "backoff diverged from its preview");
+    assert_eq!(
+        slept.len(),
+        5,
+        "one sleep per retry after the first attempt"
+    );
+    assert!(
+        slept.iter().all(|d| *d >= policy.base),
+        "a delay under base means the zero hint won: {slept:?}"
+    );
+    // And the virtual clock moved by exactly the sum of those sleeps.
+    assert_eq!(vclock.elapsed(), slept.iter().sum());
+}
+
+#[test]
+fn overall_retry_deadline_cuts_the_backoff_schedule_short() {
+    let _guard = suite_lock();
+    let addr = overloaded_stub(0);
+    let policy = RetryPolicy {
+        base: Duration::from_millis(50),
+        cap: Duration::from_millis(50),
+        overall: Some(Duration::from_millis(200)),
+        jitter_seed: Some(7),
+    };
+    let vclock = Arc::new(VirtualClock::new());
+    let mut client = Client::connect(addr)
+        .expect("connect stub")
+        .with_clock(vclock.clone())
+        .with_retry_policy(policy.clone());
+
+    let (status, _) = client
+        .request_with_retry("compile m", 32)
+        .expect("stub answers");
+    assert_eq!(
+        status, STATUS_OVERLOADED,
+        "exhaustion still reports honestly"
+    );
+
+    // Replay the previewed schedule against the overall budget: the
+    // client must have executed exactly the prefix that fits, then
+    // stopped instead of starting a sleep it could not afford.
+    let previewed = policy.preview_delays(32);
+    let overall = policy.overall.expect("bounded policy");
+    let mut affordable = Vec::new();
+    let mut spent = Duration::ZERO;
+    for d in previewed {
+        if spent + d > overall {
+            break;
+        }
+        spent += d;
+        affordable.push(d);
+    }
+    assert!(
+        affordable.len() < 31,
+        "test misconfigured: the budget never bound the schedule"
+    );
+    assert_eq!(vclock.sleeps(), affordable);
+}
+
+#[test]
+fn positive_hints_raise_delays_and_zero_hints_never_lower_them() {
+    let _guard = suite_lock();
+    // A stub hinting 400 ms: every post-hint delay must be ≥ 400 ms
+    // even though the schedule's own base is 25 ms.
+    let addr = overloaded_stub(400);
+    let vclock = Arc::new(VirtualClock::new());
+    let mut client = Client::connect(addr)
+        .expect("connect stub")
+        .with_clock(vclock.clone())
+        .with_retry_policy(RetryPolicy {
+            overall: None,
+            jitter_seed: Some(3),
+            ..RetryPolicy::default()
+        });
+    let (status, _) = client
+        .request_with_retry("compile m", 4)
+        .expect("stub answers");
+    assert_eq!(status, STATUS_OVERLOADED);
+    let slept = vclock.sleeps();
+    assert_eq!(slept.len(), 3);
+    assert!(
+        slept.iter().all(|d| *d >= Duration::from_millis(400)),
+        "a positive server hint must floor the backoff: {slept:?}"
+    );
+}
+
+#[test]
+fn a_request_expiring_in_queue_is_shed_without_touching_a_session() {
+    let _guard = suite_lock();
+    pypm::faults::disarm();
+    pypm::faults::reset_clock();
+    let vclock = Arc::new(VirtualClock::new());
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        jobs: 2,
+        queue_depth: 8,
+        cache_capacity: 0,
+        clock: vclock.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr();
+
+    // Block the only worker for real wall time: `serve.compile` sleeps
+    // on the system clock here (no fault clock registered), so request
+    // A pins the worker while B expires behind it in virtual time.
+    pypm::faults::arm("serve.compile=delay:1500*1").expect("spec");
+
+    let a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect A");
+        c.request("compile bert-tiny jobs=2").expect("A answers")
+    });
+    // Admit B only after A holds the worker (in_flight hits 1), so the
+    // fault is guaranteed to have been claimed by A's compile.
+    let mut stats_client = Client::connect(addr).expect("connect stats");
+    let wait_for_in_flight = |c: &mut Client, n: u64| loop {
+        let (status, stats) = c.request("stats").expect("stats");
+        assert_eq!(status, STATUS_OK);
+        if stat_u64(&stats, "in_flight") == n {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    };
+    wait_for_in_flight(&mut stats_client, 1);
+    let b = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("connect B");
+        c.request("compile bert-tiny jobs=2 timeout_ms=100")
+            .expect("B answers")
+    });
+    wait_for_in_flight(&mut stats_client, 2);
+
+    // B's whole-request deadline was stamped at admission on the
+    // virtual clock; ten virtual seconds blow straight through it while
+    // A's compile still owns the worker.
+    vclock.advance(Duration::from_secs(10));
+
+    let (a_status, a_body) = a.join().expect("A thread");
+    assert_eq!(
+        a_status, STATUS_OK,
+        "the blocked compile still succeeds: {a_body}"
+    );
+    let (b_status, b_body) = b.join().expect("B thread");
+    assert_eq!(b_status, STATUS_DEADLINE_EXCEEDED, "{b_body}");
+    assert!(
+        b_body.contains("shed before it started") && b_body.contains("timeout_ms=100"),
+        "shed payload names the cause: {b_body}"
+    );
+
+    // The worker counters prove no session was touched for B: one
+    // compile started (A), one request shed in queue (B).
+    let (_, stats) = stats_client.request("stats").expect("stats");
+    assert_eq!(stat_u64(&stats, "compiles_started"), 1, "{stats}");
+    assert_eq!(stat_u64(&stats, "shed_in_queue"), 1, "{stats}");
+    assert_eq!(stat_u64(&stats, "deadline_exceeded"), 1, "{stats}");
+
+    pypm::faults::disarm();
+    let (status, _) = stats_client.request("shutdown").expect("shutdown");
+    assert_eq!(status, STATUS_OK);
+    server.join();
+}
+
+#[test]
+fn idle_connections_are_reaped_by_virtual_time_not_wall_time() {
+    let _guard = suite_lock();
+    let vclock = Arc::new(VirtualClock::new());
+    let server = Server::bind(ServeConfig {
+        workers: 1,
+        idle_timeout_ms: Some(5_000),
+        clock: vclock.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let mut client = Client::connect_with_timeouts(
+        server.addr(),
+        Duration::from_secs(10),
+        Some(Duration::from_secs(5)),
+    )
+    .expect("connect");
+    let (status, _) = client.request("ping").expect("ping");
+    assert_eq!(status, STATUS_OK);
+
+    // Five virtual seconds of inactivity pass instantly; the server's
+    // 25 ms poll tick notices and closes the connection. A blocked read
+    // sees the close — long before the 5 s transport timeout that
+    // bounds this test on a broken server.
+    vclock.advance(Duration::from_secs(6));
+    assert!(
+        client.read_response().is_err(),
+        "the idle connection outlived its virtual timeout"
+    );
+
+    let mut fresh = Client::connect(server.addr()).expect("reconnect");
+    let (status, _) = fresh.request("shutdown").expect("shutdown");
+    assert_eq!(status, STATUS_OK);
+    server.join();
+}
